@@ -1,0 +1,54 @@
+// Ablation (paper §2.2.1): "prioritization does not span across
+// connections and priorities lose their meaning."
+//
+// The same page (CSS/JS high weight, images low) is delivered over 1..8
+// HTTP/2 connections. Within a connection the RFC 7540 priority tree
+// schedules perfectly; across connections the link is shared blindly.
+// Reported: how late render-blocking resources finish and how many
+// priority inversions occur (a low-priority image completing before a
+// render-blocking stylesheet).
+#include <cstdio>
+
+#include "experiments/perf_model.hpp"
+#include "stats/table.hpp"
+#include "util/format.hpp"
+
+using namespace h2r;
+
+int main() {
+  const auto workload = experiments::make_priority_workload(48, 7);
+  std::uint64_t total_bytes = 0;
+  for (const auto& r : workload) total_bytes += r.bytes;
+
+  stats::Table table({"connections", "high-prio done (round)",
+                      "priority inversions", "vs 1 conn"});
+  double baseline = 0;
+  for (int conns : {1, 2, 4, 6, 8}) {
+    const auto result =
+        experiments::schedule_prioritized(workload, conns, 128 * 1024);
+    if (conns == 1) baseline = result.mean_high_priority_round;
+    table.add_row(
+        {std::to_string(conns),
+         util::fixed(result.mean_high_priority_round, 1),
+         util::fixed(100.0 * result.inversion_share, 1) + " %",
+         conns == 1 ? "-"
+                    : "+" + util::fixed(100.0 *
+                                            (result.mean_high_priority_round /
+                                                 baseline -
+                                             1.0),
+                                        0) +
+                          " % later"});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Priority effectiveness: 48 resources (" +
+                          util::human_count(total_bytes) +
+                          " bytes) over k connections")
+                  .c_str());
+  std::printf(
+      "expected shape: with one connection render-blocking resources\n"
+      "complete first and inversions are ~0; splitting across connections\n"
+      "delays them and inverts the order — the paper's argument for a\n"
+      "single connection.\n");
+  return 0;
+}

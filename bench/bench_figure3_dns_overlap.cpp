@@ -1,0 +1,88 @@
+// Regenerates the paper's Figure 3 (Appendix A.4): the number of DNS
+// vantage points for which two domains of one operator resolve to
+// overlapping IPs, per 6-minute slot over several days — rendered as an
+// ASCII heat strip (darker = more resolvers overlap).
+//
+// Expected shape (paper): www.google-analytics.com and
+// www.googletagmanager.com never overlap; fonts.gstatic.com and
+// www.gstatic.com overlap sometimes and fluctuate over time; statically
+// deployed pairs (klaviyo) overlap at every vantage point all the time.
+#include <cstdio>
+
+#include "core/dns_study.hpp"
+#include "dns/vantage.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+
+using namespace h2r;
+
+namespace {
+
+char shade(int overlapping, int total) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const int idx = overlapping * 9 / (total > 0 ? total : 1);
+  return kRamp[idx < 0 ? 0 : (idx > 9 ? 9 : idx)];
+}
+
+}  // namespace
+
+int main() {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  const auto vantage = dns::standard_vantage_points();
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"www.google-analytics.com", "www.googletagmanager.com"},
+      {"fonts.gstatic.com", "www.gstatic.com"},
+      {"fonts.googleapis.com", "ajax.googleapis.com"},
+      {"pagead2.googlesyndication.com", "googleads.g.doubleclick.net"},
+      {"adservice.google.com", "pagead2.googlesyndication.com"},
+      {"connect.facebook.net", "www.facebook.com"},
+      {"static.hotjar.com", "script.hotjar.com"},
+      {"c0.wp.com", "stats.wp.com"},
+      {"static.klaviyo.com", "fast.a.klaviyo.com"},
+      {"static1.squarespace.com", "images.squarespace-cdn.com"},
+  };
+
+  core::DnsOverlapConfig config;
+  config.start = util::days(1);
+  config.duration = util::days(3);
+  config.step = util::minutes(6);
+
+  // Table 11: the resolver list behind the study (an input, printed for
+  // completeness).
+  std::printf("Table 11: DNS resolvers used to analyze load balancing\n");
+  for (const auto& v : vantage) {
+    std::printf("  [%2llu] %-30s %-14s region %s\n",
+                static_cast<unsigned long long>(v.id), v.name.c_str(),
+                v.country.c_str(), v.region.c_str());
+  }
+  std::printf("\n");
+
+  const auto series =
+      core::run_dns_overlap_study(eco.authority(), pairs, vantage, config);
+
+  std::printf("Figure 3: DNS vantage points (of %zu) with overlapping "
+              "answers, 3 days x 6-minute slots (one column = 2 hours, "
+              "shade = mean overlap)\n\n",
+              vantage.size());
+  const std::size_t slots_per_col = 20;  // 20 * 6 min = 2 h
+  for (const core::DnsOverlapSeries& s : series) {
+    std::string strip;
+    for (std::size_t i = 0; i < s.slots.size(); i += slots_per_col) {
+      int sum = 0;
+      std::size_t n = 0;
+      for (std::size_t j = i; j < s.slots.size() && j < i + slots_per_col;
+           ++j, ++n) {
+        sum += s.slots[j].overlapping_resolvers;
+      }
+      strip.push_back(shade(n > 0 ? sum / static_cast<int>(n) : 0,
+                            static_cast<int>(vantage.size())));
+    }
+    std::printf("%-30s |%s|  mean %.2f, any-overlap %.0f%%\n",
+                (s.domain_a + " /").c_str(), strip.c_str(), s.mean_overlap(),
+                100.0 * s.any_overlap_share());
+    std::printf("%-30s\n", ("  " + s.domain_b).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) for the hot paths: the redundancy
+// classifier, the aggregator, HPACK coding, DNS resolution and a full
+// simulated page load. These back the DESIGN.md claim that the classifier
+// is cheap enough to run over millions of sites.
+#include <benchmark/benchmark.h>
+
+#include "core/classify.hpp"
+#include "core/report.hpp"
+#include "dns/vantage.hpp"
+#include "experiments/perf_model.hpp"
+#include "http2/hpack.hpp"
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+#include "web/catalog.hpp"
+#include "web/sitegen.hpp"
+#include "browser/browser.hpp"
+
+using namespace h2r;
+
+namespace {
+
+core::SiteObservation synthetic_site(std::size_t connections) {
+  core::SiteObservation site;
+  site.site_url = "https://bench.example";
+  util::Rng rng{99};
+  for (std::size_t i = 0; i < connections; ++i) {
+    core::ConnectionRecord rec;
+    rec.id = i;
+    rec.endpoint.address =
+        net::IpAddress::v4(10, 0, 0, static_cast<std::uint8_t>(rng.index(8)));
+    rec.endpoint.port = 443;
+    rec.initial_domain = "host" + std::to_string(rng.index(6)) + ".example";
+    rec.san_dns_names = {"*.example"};
+    rec.issuer_organization = "Bench CA";
+    rec.opened_at = static_cast<util::SimTime>(i * 50);
+    core::RequestRecord req;
+    req.started_at = rec.opened_at;
+    req.finished_at = rec.opened_at + 40;
+    req.domain = rec.initial_domain;
+    rec.requests.push_back(req);
+    site.connections.push_back(std::move(rec));
+  }
+  return site;
+}
+
+void BM_ClassifySite(benchmark::State& state) {
+  const core::SiteObservation site =
+      synthetic_site(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::classify_site(site, {core::DurationModel::kEndless}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClassifySite)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_Aggregate(benchmark::State& state) {
+  const core::SiteObservation site = synthetic_site(24);
+  const core::SiteClassification cls =
+      core::classify_site(site, {core::DurationModel::kEndless});
+  for (auto _ : state) {
+    core::Aggregator agg;
+    agg.add_site(site, cls);
+    benchmark::DoNotOptimize(agg.report());
+  }
+}
+BENCHMARK(BM_Aggregate);
+
+void BM_HpackEncode(benchmark::State& state) {
+  const auto workload = experiments::make_header_workload(64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::hpack_bytes(workload, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HpackEncode);
+
+void BM_DnsResolve(benchmark::State& state) {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  dns::RecursiveResolver resolver{dns::standard_vantage_points()[0],
+                                  &eco.authority()};
+  util::SimTime now = util::days(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve("www.google-analytics.com", now));
+    now += util::seconds(400);  // stay past the TTL -> upstream query
+  }
+}
+BENCHMARK(BM_DnsResolve);
+
+void BM_PageLoad(benchmark::State& state) {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  web::SiteUniverse universe{eco, catalog};
+  dns::RecursiveResolver resolver{dns::standard_vantage_points()[0],
+                                  &eco.authority()};
+  browser::Browser chrome{eco, resolver, browser::BrowserOptions{}, 5};
+  const web::Website& site = universe.site(1);
+  util::SimTime now = util::days(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chrome.load(site, now));
+    now += util::seconds(30);
+  }
+}
+BENCHMARK(BM_PageLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+// Regenerates the paper's Table 10 (Appendix A.3): top domains for cause
+// CERT on the overlap / intersection of both datasets.
+//
+// Expected shape (paper): the same heavy hitters as Table 4 on both sides
+// (klaviyo, the Google ad domains), with the geo-dependent
+// adservice.google.de only on the EU side.
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_cert_domain_table(
+      "Table 10: top CERT domains on the dataset intersection",
+      r.overlap_har_endless, "HAR", r.overlap_alexa_endless, "Alexa", 5);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates the paper's Table 12 (Appendix): the top 20 domains for the
+// IP case, the full version of Table 2.
+//
+// Expected shape (paper): Google tracking/ads/fonts/static domains fill
+// most slots, with Facebook, Hotjar (script/vars/in prev static) and
+// wp.com (stats prev c0) in between; the gstatic pair appears in both
+// directions (www prev fonts, fonts prev www).
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_ip_origin_table(
+      "Table 12: top 20 domains for the IP case", r.har_endless, "HAR",
+      r.alexa_exact, "Alexa", 20);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates the paper's Table 1: counts of occurring causes of redundant
+// connections and affected websites, for HAR endless / HAR immediate /
+// Alexa (exact) / Alexa endless / Alexa without Fetch.
+//
+// Expected shape (paper): IP dominates connections (22-28%), CRED affects
+// the second-most sites (~43% HAR / ~79% Alexa) but far fewer connections
+// (6-8%), CERT is the smallest cause (1% of connections), and the w/o
+// Fetch run has exactly zero CRED.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+
+  stats::Table table({"Dataset / cause", "Sites", "Sites%", "Conns", "Conns%"},
+                     {stats::Align::kLeft});
+  benchcommon::add_cause_rows(table, "HAR Endless", r.har_endless);
+  benchcommon::add_cause_rows(table, "HAR Immediate", r.har_immediate);
+  benchcommon::add_cause_rows(table, "Alexa Endless", r.alexa_endless);
+  benchcommon::add_cause_rows(table, "Alexa", r.alexa_exact);
+  benchcommon::add_cause_rows(table, "Alexa w/o Fetch", r.nofetch_exact);
+  std::printf("%s\n",
+              table.render("Table 1: causes of redundant connections")
+                  .c_str());
+
+  // §5.1 headline facts.
+  std::printf("sites with redundant connections: HAR %s, Alexa %s\n",
+              util::percent(
+                  static_cast<double>(r.har_endless.redundant_sites),
+                  static_cast<double>(r.har_endless.h2_sites))
+                  .c_str(),
+              util::percent(
+                  static_cast<double>(r.alexa_exact.redundant_sites),
+                  static_cast<double>(r.alexa_exact.h2_sites))
+                  .c_str());
+  const auto median = r.alexa_exact.median_closed_lifetime();
+  std::printf("Alexa closed connections: %.1f%% (median lifetime %s)\n",
+              100.0 *
+                  static_cast<double>(r.alexa_exact.closed_connections) /
+                  static_cast<double>(r.alexa_exact.total_connections),
+              median.has_value() ? util::seconds_str(*median).c_str() : "n/a");
+  const auto cred = r.alexa_exact.by_cause.find(core::Cause::kCred);
+  if (cred != r.alexa_exact.by_cause.end() && cred->second.connections > 0) {
+    std::printf("CRED connections reconnecting to the same domain: %.0f%%\n",
+                100.0 *
+                    static_cast<double>(
+                        r.alexa_exact.cred_same_domain_connections) /
+                    static_cast<double>(cred->second.connections));
+  }
+  const double with_fetch =
+      static_cast<double>(r.alexa_exact.redundant_connections);
+  const double without_fetch =
+      static_cast<double>(r.nofetch_exact.redundant_connections);
+  if (with_fetch > 0) {
+    std::printf("disabling the Fetch credentials flag reduces redundancy by "
+                "%.0f%% (paper: ~25%%)\n",
+                100.0 * (with_fetch - without_fetch) / with_fetch);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Regenerates the paper's Table 2: top origins, their redundant
+// connections, rank and reusable previous connections for cause IP.
+//
+// Expected shape (paper): www.google-analytics.com #1 in both datasets
+// (prev: www.googletagmanager.com), www.facebook.com high (prev:
+// connect.facebook.net), the Google ads pair
+// googleads.g.doubleclick.net <-> pagead2.googlesyndication.com, and the
+// geo split: www.google.de ranks #2 on the EU-vantage Alexa crawl but is
+// irrelevant in the US-vantage HTTP Archive data.
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_ip_origin_table(
+      "Table 2: top origins for cause IP (with reusable previous origins)",
+      r.har_endless, "HAR", r.alexa_exact, "Alexa", 4);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates the paper's Table 3: top certificate issuers w.r.t.
+// redundant connections of cause CERT and unique domains.
+//
+// Expected shape (paper): Let's Encrypt and Google Trust Services lead;
+// GTS concentrates many connections on FEW domains (the Google ad domains
+// — heavy hitters), Let's Encrypt spreads over MANY small domains
+// (certbot-per-subdomain operators).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_cert_issuer_table(
+      "Table 3: top certificate issuers for cause CERT", r.har_endless, "HAR",
+      r.alexa_exact, "Alexa", 7);
+
+  // The concentration claim: connections per domain for GTS vs LE.
+  for (const char* issuer : {"Google Trust Services", "Let's Encrypt"}) {
+    const auto it = r.har_endless.cert_issuers.find(issuer);
+    if (it == r.har_endless.cert_issuers.end() || it->second.domains.empty()) {
+      continue;
+    }
+    std::printf("%s: %.1f redundant connections per unique domain (HAR)\n",
+                issuer,
+                static_cast<double>(it->second.connections) /
+                    static_cast<double>(it->second.domains.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates the paper's Table 4: top domains encountered for redundant
+// connections to the same IPs due to absent SAN entries (cause CERT).
+//
+// Expected shape (paper): fast.a.klaviyo.com (prev static.klaviyo.com,
+// Let's Encrypt) as the single biggest domain; the Google ad constellation
+// (adservice.google.com / googleads.g.doubleclick.net /
+// pagead2.googlesyndication.com — Google Trust Services) dominating the
+// rest; squarespace / unruly (DigiCert) in the tail.
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_cert_domain_table(
+      "Table 4: top domains for cause CERT (same IP, absent SAN)",
+      r.har_endless, "HAR", r.alexa_exact, "Alexa", 5);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates the paper's Table 5 (Appendix A.1): top certificate issuers
+// by issuer organization over ALL connections and their original / SNI
+// domains — the baseline against which the CERT-redundancy issuer ranking
+// (Table 3) is compared.
+//
+// Expected shape (paper): Google Trust Services leads by connections
+// (every Google property connection), Let's Encrypt leads by domains
+// (the long tail of small sites); Yandex-style issuers show extreme
+// connection-per-domain concentration.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+using namespace h2r;
+
+namespace {
+
+void print_share(const char* name, const core::AggregateReport& report) {
+  stats::Table table({"Certificate Issuer", "rank", "Conns", "Domains"},
+                     {stats::Align::kLeft});
+  std::size_t rank = 1;
+  for (const auto& [issuer, tally] : core::top_k(report.all_issuers, 11)) {
+    table.add_row({issuer, std::to_string(rank++),
+                   util::human_count(tally->connections),
+                   util::human_count(tally->domains.size())});
+  }
+  std::printf("%s\n",
+              table.render(std::string("Table 5: issuer share over all "
+                                       "connections — ") +
+                           name)
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  print_share("HTTP Archive", r.har_endless);
+  print_share("Alexa 100k", r.alexa_exact);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates the paper's Table 6 (Appendix A.2): top ASNs for redundant
+// connections of cause IP.
+//
+// Expected shape (paper): GOOGLE first by a wide margin, AMAZON-02
+// (CloudFront — e.g. Hotjar) second, FACEBOOK third with very few
+// domains, AUTOMATTIC (wp.com) with few domains, CLOUDFLARENET with many
+// domains (the first-party long tail), then FASTLY / AMAZON-AES /
+// EDGECAST / AKAMAI.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+using namespace h2r;
+
+namespace {
+
+void print_as_table(const char* name, const core::AggregateReport& report) {
+  stats::Table table({"AS", "rank", "Conns", "Domains"},
+                     {stats::Align::kLeft});
+  std::size_t rank = 1;
+  for (const auto& [as_name, tally] : core::top_k(report.ip_ases, 10)) {
+    table.add_row({as_name, std::to_string(rank++),
+                   util::human_count(tally->connections),
+                   util::human_count(tally->domains.size())});
+  }
+  std::printf("%s\n",
+              table.render(std::string("Table 6: top ASNs for cause IP — ") +
+                           name)
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  print_as_table("HTTP Archive", r.har_endless);
+  print_as_table("Alexa 100k", r.alexa_exact);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates the paper's Table 8 (Appendix A.3): top origins for cause IP
+// on the overlap / intersection of both datasets.
+//
+// Expected shape (paper): matches Table 2 "surprisingly well" — GA on top
+// in both, Facebook close behind — except for the geolocation split
+// (www.google.de appears only on the EU-vantage side).
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_ip_origin_table(
+      "Table 8: top origins for cause IP on the dataset intersection",
+      r.overlap_har_endless, "HAR", r.overlap_alexa_endless, "Alexa", 5);
+  return 0;
+}

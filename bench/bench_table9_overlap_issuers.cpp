@@ -1,0 +1,16 @@
+// Regenerates the paper's Table 9 (Appendix A.3): top certificate issuers
+// for cause CERT on the overlap / intersection of both datasets.
+//
+// Expected shape (paper): GTS and Let's Encrypt on top on both sides,
+// connection counts of the same order, domain counts within a factor of 2.
+#include "common.hpp"
+
+using namespace h2r;
+
+int main() {
+  const experiments::StudyResults& r = benchcommon::study();
+  benchcommon::print_cert_issuer_table(
+      "Table 9: top CERT issuers on the dataset intersection",
+      r.overlap_har_endless, "HAR", r.overlap_alexa_endless, "Alexa", 5);
+  return 0;
+}

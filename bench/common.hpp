@@ -1,0 +1,44 @@
+// Shared table-printing helpers for the bench binaries that regenerate the
+// paper's tables and figures. Every binary runs the same study
+// (experiments::run_study) at the H2R_* env-configured scale and prints
+// its table; absolute counts are simulation-scale, percentages and
+// rankings are the reproduction target.
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+#include "experiments/study.hpp"
+#include "stats/table.hpp"
+
+namespace h2r::benchcommon {
+
+/// Runs (or reuses) the study at env scale and prints a scale banner.
+const experiments::StudyResults& study();
+
+/// Adds the paper's Table 1 block for one dataset.
+void add_cause_rows(stats::Table& table, const std::string& label,
+                    const core::AggregateReport& report);
+
+/// Prints a Table 2/8/12-style origin table for cause IP.
+void print_ip_origin_table(const std::string& title,
+                           const core::AggregateReport& a,
+                           const std::string& name_a,
+                           const core::AggregateReport& b,
+                           const std::string& name_b, std::size_t top_n);
+
+/// Prints a Table 3/9-style issuer table for cause CERT.
+void print_cert_issuer_table(const std::string& title,
+                             const core::AggregateReport& a,
+                             const std::string& name_a,
+                             const core::AggregateReport& b,
+                             const std::string& name_b, std::size_t top_n);
+
+/// Prints a Table 4/10-style domain table for cause CERT.
+void print_cert_domain_table(const std::string& title,
+                             const core::AggregateReport& a,
+                             const std::string& name_a,
+                             const core::AggregateReport& b,
+                             const std::string& name_b, std::size_t top_n);
+
+}  // namespace h2r::benchcommon

@@ -1,0 +1,49 @@
+// DNS load-balancing overlap demo (the Figure 3 methodology, condensed):
+// resolve pairs of one operator's domains from 14 vantage points over a
+// simulated day and report how often the answers overlap — i.e. how often
+// HTTP/2 Connection Reuse even gets a chance.
+//
+//   $ ./dns_loadbalance
+#include <cstdio>
+
+#include "core/dns_study.hpp"
+#include "dns/vantage.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+
+using namespace h2r;
+
+int main() {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"www.google-analytics.com", "www.googletagmanager.com"},
+      {"fonts.gstatic.com", "www.gstatic.com"},
+      {"connect.facebook.net", "www.facebook.com"},
+      {"static.hotjar.com", "script.hotjar.com"},
+      {"c0.wp.com", "stats.wp.com"},
+      {"static.klaviyo.com", "fast.a.klaviyo.com"},
+  };
+
+  core::DnsOverlapConfig config;
+  config.start = util::days(1);
+  config.duration = util::days(1);
+  config.step = util::minutes(6);
+
+  const auto series = core::run_dns_overlap_study(
+      eco.authority(), pairs, dns::standard_vantage_points(), config);
+
+  std::printf("%-28s %-28s %9s %9s\n", "domain A", "domain B",
+              "overlap%%", "mean#res");
+  for (const core::DnsOverlapSeries& s : series) {
+    std::printf("%-28s %-28s %8.1f%% %9.2f\n", s.domain_a.c_str(),
+                s.domain_b.c_str(), 100.0 * s.any_overlap_share(),
+                s.mean_overlap());
+  }
+  std::printf(
+      "\nReading: pairs on one static pool overlap always; pairs with\n"
+      "independent per-resolver rotation overlap rarely — exactly when\n"
+      "Connection Reuse would have worked.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "asdb/asdb.hpp"
+
+namespace h2r::asdb {
+
+struct AsDatabase::Node {
+  std::optional<AsInfo> info;
+  std::optional<net::Prefix> prefix;
+  std::unique_ptr<Node> child[2];
+};
+
+AsDatabase::AsDatabase()
+    : root_v4_(std::make_unique<Node>()), root_v6_(std::make_unique<Node>()) {}
+AsDatabase::~AsDatabase() = default;
+AsDatabase::AsDatabase(AsDatabase&&) noexcept = default;
+AsDatabase& AsDatabase::operator=(AsDatabase&&) noexcept = default;
+
+void AsDatabase::add(const net::Prefix& prefix, AsInfo info) {
+  Node* node =
+      prefix.base().is_v4() ? root_v4_.get() : root_v6_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int b = prefix.base().bit(depth) ? 1 : 0;
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->info.has_value()) ++size_;
+  node->info = std::move(info);
+  node->prefix = prefix;
+}
+
+std::optional<AsInfo> AsDatabase::lookup(const net::IpAddress& addr) const {
+  const Node* node = addr.is_v4() ? root_v4_.get() : root_v6_.get();
+  std::optional<AsInfo> best = node->info;
+  for (int depth = 0; depth < addr.bit_length(); ++depth) {
+    const int b = addr.bit(depth) ? 1 : 0;
+    if (!node->child[b]) break;
+    node = node->child[b].get();
+    if (node->info.has_value()) best = node->info;
+  }
+  return best;
+}
+
+std::vector<net::Prefix> AsDatabase::prefixes() const {
+  std::vector<net::Prefix> out;
+  // Depth-first walk of both tries.
+  struct Walker {
+    static void walk(const Node* node, std::vector<net::Prefix>& out) {
+      if (node == nullptr) return;
+      if (node->prefix.has_value()) out.push_back(*node->prefix);
+      walk(node->child[0].get(), out);
+      walk(node->child[1].get(), out);
+    }
+  };
+  Walker::walk(root_v4_.get(), out);
+  Walker::walk(root_v6_.get(), out);
+  return out;
+}
+
+}  // namespace h2r::asdb

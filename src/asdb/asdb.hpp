@@ -1,0 +1,55 @@
+// Autonomous-system database: prefix -> AS mapping with longest-prefix match.
+//
+// Substrate for the paper's Table 6 ("Top 10 ASNs for connections of cause
+// IP"): every redundant connection's destination IP is attributed to the AS
+// announcing its longest matching prefix. Implemented as a binary trie over
+// address bits, the textbook structure for IP route lookup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace h2r::asdb {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;  // e.g. "GOOGLE", "AMAZON-02"
+
+  friend bool operator==(const AsInfo&, const AsInfo&) = default;
+};
+
+/// Prefix trie mapping CIDR prefixes to AS records.
+class AsDatabase {
+ public:
+  AsDatabase();
+  ~AsDatabase();
+  AsDatabase(AsDatabase&&) noexcept;
+  AsDatabase& operator=(AsDatabase&&) noexcept;
+  AsDatabase(const AsDatabase&) = delete;
+  AsDatabase& operator=(const AsDatabase&) = delete;
+
+  /// Registers `prefix` as announced by `info`. Later insertions of the
+  /// exact same prefix overwrite earlier ones.
+  void add(const net::Prefix& prefix, AsInfo info);
+
+  /// Longest-prefix-match lookup. Empty when no covering prefix exists.
+  std::optional<AsInfo> lookup(const net::IpAddress& addr) const;
+
+  /// All registered prefixes (for diagnostics / tests).
+  std::vector<net::Prefix> prefixes() const;
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_v4_;
+  std::unique_ptr<Node> root_v6_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace h2r::asdb

@@ -1,0 +1,501 @@
+#include "browser/browser.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <tuple>
+
+#include "fetch/request.hpp"
+#include "netlog/stitch.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::browser {
+
+namespace {
+
+std::string join_list(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out.push_back(',');
+    out += item;
+  }
+  return out;
+}
+
+/// Strips "https://" from an ASCII origin for NetLog params.
+std::string origin_to_host(const std::string& origin) {
+  const std::size_t pos = origin.find("://");
+  return pos == std::string::npos ? origin : origin.substr(pos + 3);
+}
+
+}  // namespace
+
+Browser::Browser(const web::Ecosystem& eco, dns::RecursiveResolver& resolver,
+                 BrowserOptions options, std::uint64_t seed)
+    : eco_(eco), resolver_(resolver), options_(std::move(options)),
+      seed_(seed) {}
+
+util::SimTime Browser::rtt_to(const net::IpAddress& address) const {
+  // Deterministic per-/24 RTT: base + [0, 40) ms.
+  const std::uint64_t h =
+      util::hash_seed(0x5157, address.slash24().to_string());
+  return options_.base_rtt + static_cast<util::SimTime>(h % 40);
+}
+
+dns::Resolution Browser::resolve(PageState& page, const std::string& host,
+                                 util::SimTime now) {
+  dns::Resolution res = resolver_.resolve(host, now);
+  std::vector<std::string> addresses;
+  addresses.reserve(res.addresses.size());
+  for (const net::IpAddress& ip : res.addresses) {
+    addresses.push_back(ip.to_string());
+  }
+  page.log.record(netlog::EventType::kDnsResolved, now, 0,
+                  {{"host", host},
+                   {"addresses", join_list(addresses)},
+                   {"from_cache", res.from_cache ? "1" : "0"}});
+  return res;
+}
+
+std::size_t Browser::acquire_session(PageState& page, const std::string& host,
+                                     bool privacy, util::SimTime now,
+                                     bool allow_pooling, bool& ok) {
+  ok = true;
+  const GroupKey key{host, 443, privacy};
+
+  // 1. Group hit: an existing (possibly still connecting) session for this
+  //    exact host and privacy mode.
+  if (const auto it = page.groups.find(key); it != page.groups.end()) {
+    SessionEntry& entry = page.sessions[it->second];
+    if (entry.session->is_open() && !entry.session->is_rejected(host)) {
+      ++page.result.group_reuses;
+      return it->second;
+    }
+  }
+
+  // 2. Resolve.
+  const dns::Resolution res = resolve(page, host, now);
+  if (!res.ok || res.addresses.empty()) {
+    ok = false;
+    return 0;
+  }
+
+  // 3. IP-based pooling (SpdySessionPool alias match): newest first, same
+  //    privacy mode, same destination, certificate covering the host, not
+  //    421-rejected, origin set permitting. In-flight sessions match too:
+  //    Chromium parks the request until the handshake confirms the
+  //    certificate — below this model's time resolution.
+  if (allow_pooling && options_.enable_ip_pooling) {
+    for (std::size_t i = page.sessions.size(); i-- > 0;) {
+      SessionEntry& entry = page.sessions[i];
+      http2::Session& session = *entry.session;
+      if (!session.is_open() || session.privacy_mode() != privacy) continue;
+      const bool ip_match =
+          std::find(res.addresses.begin(), res.addresses.end(),
+                    session.peer().address) != res.addresses.end() &&
+          session.peer().port == 443;
+      if (!ip_match || !session.allows_authority(host)) continue;
+      page.log.record(netlog::EventType::kSessionAliasReused, now,
+                      session.id(), {{"host", host}});
+      ++page.result.alias_reuses;
+      page.groups[key] = i;  // register the alias for future group hits
+      return i;
+    }
+  }
+
+  // 4. RFC 8336: an announced origin set lifts the same-IP requirement.
+  if (allow_pooling && options_.support_origin_frame) {
+    for (std::size_t i = page.sessions.size(); i-- > 0;) {
+      SessionEntry& entry = page.sessions[i];
+      http2::Session& session = *entry.session;
+      if (!session.is_open() || session.privacy_mode() != privacy) continue;
+      if (!session.has_origin_set()) continue;
+      if (!session.allows_authority(host)) continue;
+      page.log.record(netlog::EventType::kSessionAliasReused, now,
+                      session.id(), {{"host", host}, {"via", "origin"}});
+      ++page.result.origin_frame_reuses;
+      page.groups[key] = i;
+      return i;
+    }
+  }
+
+  // 5. New connection. Address choice: first announced address; when the
+  //    domain already has connections (a privacy-split reconnect), rotate
+  //    through the answer list — Chromium's connect jobs do not pin the
+  //    previous socket's address, so multi-IP answers surface here (the
+  //    paper's same-domain-different-IP corner case).
+  const std::size_t existing = page.conns_per_domain[host];
+  const net::IpAddress address =
+      res.addresses[existing % res.addresses.size()];
+  const web::Server* server = eco_.server_at(address);
+  if (server == nullptr) {
+    ok = false;
+    return 0;
+  }
+  if (!server->h2_enabled()) {
+    ok = false;  // caller falls back to HTTP/1.1
+    return 0;
+  }
+  tls::CertificatePtr cert = server->certificate_for(host);
+  if (cert == nullptr || !cert->valid_at(now)) {
+    ok = false;  // TLS handshake failure (certificate errors not ignored)
+    return 0;
+  }
+
+  const bool use_h3 = options_.enable_http3 && server->h3_enabled();
+  const util::SimTime rtt = rtt_to(address);
+  // QUIC saves one handshake round trip.
+  const util::SimTime handshake =
+      (use_h3 ? 1 : 2) * rtt + static_cast<util::SimTime>(page.rng.uniform(0, 8));
+
+  http2::Session::Params params;
+  params.id = next_session_id_++;
+  params.peer = net::Endpoint{address, 443};
+  params.initial_authority = host;
+  params.certificate = cert;
+  params.privacy_mode = privacy;
+  params.opened_at = now;
+  params.peer_settings = options_.settings;
+  params.local_settings = options_.settings;
+
+  SessionEntry entry;
+  entry.session = std::make_unique<http2::Session>(std::move(params));
+  entry.available_at = now + handshake;
+  entry.last_activity = now;
+
+  page.log.record(
+      netlog::EventType::kSessionCreated, now, entry.session->id(),
+      {{"ip", address.to_string()},
+       {"port", "443"},
+       {"domain", host},
+       {"protocol", use_h3 ? "h3" : "h2"},
+       {"privacy", privacy ? "1" : "0"},
+       {"cert_sans", join_list(cert->san_dns_names())},
+       {"cert_issuer", cert->issuer_organization()},
+       {"cert_serial", std::to_string(cert->serial())}});
+  page.log.record(netlog::EventType::kSessionAvailable, entry.available_at,
+                  entry.session->id(), {});
+
+  if (options_.support_origin_frame && server->origin_frame().has_value()) {
+    entry.session->receive_origin_frame(*server->origin_frame());
+    std::vector<std::string> hosts;
+    for (const std::string& origin : server->origin_frame()->origins) {
+      hosts.push_back(origin_to_host(origin));
+    }
+    page.log.record(netlog::EventType::kOriginFrame, entry.available_at,
+                    entry.session->id(), {{"origins", join_list(hosts)}});
+  }
+
+  page.sessions.push_back(std::move(entry));
+  const std::size_t index = page.sessions.size() - 1;
+  page.groups[key] = index;
+  ++page.conns_per_domain[host];
+  ++page.result.connections_opened;
+  return index;
+}
+
+Browser::FetchOutcome Browser::fetch_h1(PageState& page,
+                                        const std::string& host,
+                                        const std::string& path, int status,
+                                        std::uint32_t size_bytes,
+                                        util::SimTime now) {
+  // Minimal HTTP/1.1 model: one persistent connection per (host, privacy);
+  // enough to emit HAR entries that the importer must filter out.
+  auto [it, inserted] =
+      page.h1_conns.emplace(std::make_pair(host, false),
+                            -static_cast<std::int64_t>(page.h1_conns.size()) -
+                                1000);
+  (void)inserted;
+  har::Entry e;
+  e.started = now;
+  e.time_ms = 40.0 + static_cast<double>(size_bytes) / options_.bytes_per_ms;
+  e.url = "https://" + host + path;
+  e.http_version = "http/1.1";
+  e.status = status;
+  e.connection_id = -it->second;  // positive, distinct from h2 ids
+  e.request_id = "h1-" + std::to_string(page.result.h1_entries.size() + 1);
+  const dns::Resolution res = resolver_.resolve(host, now);
+  if (res.ok && !res.addresses.empty()) {
+    e.server_ip = res.addresses.front().to_string();
+  }
+  page.result.h1_entries.push_back(std::move(e));
+  FetchOutcome outcome;
+  outcome.ok = true;
+  outcome.finished_at =
+      now + static_cast<util::SimTime>(
+                40.0 + static_cast<double>(size_bytes) / options_.bytes_per_ms);
+  return outcome;
+}
+
+Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
+                                     const std::string& path,
+                                     fetch::Destination destination,
+                                     bool privacy, bool with_cookie,
+                                     std::uint32_t size_bytes,
+                                     util::SimTime now, bool is_retry) {
+  (void)destination;
+  bool ok = false;
+  const std::size_t index =
+      acquire_session(page, host, privacy, now, /*allow_pooling=*/!is_retry,
+                      ok);
+  if (!ok) {
+    // HTTP/1.1-only server? Serve over h1 so the HAR contains the entry.
+    const dns::Resolution res = resolver_.resolve(host, now);
+    if (res.ok && !res.addresses.empty()) {
+      const web::Server* server = eco_.server_at(res.addresses.front());
+      if (server != nullptr && !server->h2_enabled() &&
+          server->certificate_for(host) != nullptr) {
+        return fetch_h1(page, host, path, server->respond(host), size_bytes,
+                        now);
+      }
+    }
+    ++page.result.failed_fetches;
+    return {};
+  }
+
+  SessionEntry& entry = page.sessions[index];
+  http2::Session& session = *entry.session;
+  const web::Server* server = eco_.server_at(session.peer().address);
+  const int status = server != nullptr ? server->respond(host) : 200;
+
+  http2::RequestEntry request;
+  request.authority = host;
+  request.path = path;
+  request.included_credentials = with_cookie;
+  request.started_at = now;
+  const http2::StreamId stream = session.submit_request(request);
+  page.log.record(netlog::EventType::kRequestStarted, now, session.id(),
+                  {{"domain", host},
+                   {"method", "GET"},
+                   {"stream", std::to_string(stream)}});
+
+  const util::SimTime rtt = rtt_to(session.peer().address);
+  const util::SimTime start = std::max(now, entry.available_at);
+  // Flow control: responses larger than the advertised window stall for
+  // a round trip per window epoch until WINDOW_UPDATEs catch up.
+  const int stalls = session.receive_response_data(stream, size_bytes);
+  const util::SimTime finish =
+      start + rtt * (1 + stalls) +
+      static_cast<util::SimTime>(static_cast<double>(size_bytes) /
+                                 options_.bytes_per_ms) +
+      static_cast<util::SimTime>(page.rng.uniform(0, 12));
+  session.complete_request(stream, status, finish);
+  page.log.record(netlog::EventType::kRequestFinished, finish, session.id(),
+                  {{"stream", std::to_string(stream)},
+                   {"status", std::to_string(status)}});
+  entry.last_activity = finish;
+
+  if (status == 421) {
+    // Server refuses the coalesced authority: mark and retry once on a
+    // dedicated connection (RFC 7540 §9.1.2).
+    page.log.record(netlog::EventType::kMisdirected, finish, session.id(),
+                    {{"domain", host}});
+    ++page.result.misdirected_retries;
+    if (!is_retry) {
+      return fetch(page, host, path, destination, privacy, with_cookie,
+                   size_bytes, finish, /*is_retry=*/true);
+    }
+    return {};
+  }
+
+  FetchOutcome outcome;
+  outcome.ok = true;
+  outcome.finished_at = finish;
+  return outcome;
+}
+
+void Browser::preconnect(PageState& page, const std::string& host,
+                         bool privacy, util::SimTime now) {
+  const GroupKey key{host, 443, privacy};
+  if (page.groups.find(key) != page.groups.end()) return;
+  bool ok = false;
+  const std::size_t index =
+      acquire_session(page, host, privacy, now, /*allow_pooling=*/true, ok);
+  if (ok) {
+    page.log.record(netlog::EventType::kPreconnect, now,
+                    page.sessions[index].session->id(), {{"host", host}});
+  }
+}
+
+util::SimTime Browser::run_page(PageState& page,
+                                const std::string& landing_domain,
+                                const std::string& document_path,
+                                const std::vector<web::Resource>& resources,
+                                util::SimTime start_time) {
+  struct Pending {
+    util::SimTime time = 0;
+    const web::Resource* resource = nullptr;
+    std::size_t seq = 0;
+
+    bool operator>(const Pending& other) const noexcept {
+      return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  std::size_t seq = 0;
+
+  const fetch::Origin document_origin = fetch::Origin::https(landing_domain);
+
+  auto fetch_resource = [&](const web::Resource& resource,
+                            util::SimTime now) -> FetchOutcome {
+    const std::string host = util::to_lower(
+        resource.domain_for(options_.vantage_region));
+    if (resource.preconnect) {
+      const fetch::RequestInit init = fetch::default_init_for(
+          fetch::Destination::kXhr, resource.crossorigin_anonymous);
+      fetch::FetchRequest freq;
+      freq.url_origin = fetch::Origin::https(host);
+      freq.mode = init.mode;
+      freq.credentials = resource.crossorigin_anonymous
+                             ? fetch::CredentialsMode::kSameOrigin
+                             : fetch::CredentialsMode::kInclude;
+      freq.document_origin = document_origin;
+      const bool privacy = options_.follow_fetch_credentials &&
+                           fetch::privacy_mode_enabled(freq);
+      preconnect(page, host, privacy, now);
+      return {};
+    }
+    const fetch::RequestInit init = fetch::default_init_for(
+        resource.destination, resource.crossorigin_anonymous);
+    fetch::FetchRequest freq;
+    freq.url_origin = fetch::Origin::https(host);
+    freq.path = resource.path;
+    freq.destination = resource.destination;
+    freq.mode = init.mode;
+    freq.credentials = resource.credentials_override.value_or(init.credentials);
+    freq.document_origin = document_origin;
+    const bool with_cookie = fetch::include_credentials(freq);
+    const bool privacy =
+        options_.follow_fetch_credentials && !with_cookie;
+    return fetch(page, host, resource.path, resource.destination, privacy,
+                 with_cookie, resource.size_bytes, now, /*is_retry=*/false);
+  };
+
+  // The document itself.
+  web::Resource document;
+  document.domain = landing_domain;
+  document.path = document_path;
+  document.destination = fetch::Destination::kDocument;
+  document.size_bytes = 60 * 1024;
+  const FetchOutcome doc = fetch_resource(document, start_time);
+  page.document_ok = doc.ok;
+  const util::SimTime dom_ready =
+      doc.ok ? doc.finished_at
+             : start_time + util::milliseconds(150);  // h1 fallback timing
+
+  for (const web::Resource& r : resources) {
+    queue.push(Pending{dom_ready + r.start_delay, &r, seq++});
+  }
+
+  util::SimTime load_end = dom_ready;
+  while (!queue.empty()) {
+    const Pending pending = queue.top();
+    queue.pop();
+    const FetchOutcome outcome = fetch_resource(*pending.resource,
+                                                pending.time);
+    if (!outcome.ok) continue;
+    load_end = std::max(load_end, outcome.finished_at);
+    for (const web::Resource& child : pending.resource->children) {
+      queue.push(
+          Pending{outcome.finished_at + child.start_delay, &child, seq++});
+    }
+  }
+  return load_end;
+}
+
+void Browser::close_idle_sessions(PageState& page, util::SimTime until) {
+  for (SessionEntry& entry : page.sessions) {
+    if (!entry.session->is_open()) continue;
+    const web::Server* server = eco_.server_at(entry.session->peer().address);
+    if (server == nullptr || !server->idle_timeout().has_value()) continue;
+    const util::SimTime close_at =
+        entry.last_activity + *server->idle_timeout();
+    if (close_at <= until) {
+      page.log.record(netlog::EventType::kSessionGoaway, close_at,
+                      entry.session->id(), {});
+      page.log.record(netlog::EventType::kSessionClosed, close_at,
+                      entry.session->id(), {});
+      entry.session->receive_goaway(http2::ErrorCode::kNoError);
+      entry.session->close(close_at);
+    }
+  }
+}
+
+PageLoadResult Browser::load(const web::Website& site,
+                             util::SimTime start_time) {
+  PageState page;
+  page.rng = util::Rng{util::hash_seed(seed_, site.url)};
+  page.result.started_at = start_time;
+
+  const util::SimTime load_end =
+      run_page(page, site.landing_domain, "/", site.resources, start_time);
+  page.result.finished_at = load_end;
+
+  // Post-load observation window: idle servers close their connections.
+  close_idle_sessions(page, load_end + options_.post_load_wait);
+
+  page.result.observation = netlog::stitch_site(site.url, page.log);
+  // A failed document fetch (TLS error, no route) aborts the crawl of the
+  // site, like Browsertime recording a navigation failure.
+  page.result.reachable = page.document_ok;
+  page.result.log = std::move(page.log);
+  return page.result;
+}
+
+VisitResult Browser::visit(
+    const web::Website& site,
+    const std::vector<std::vector<web::Resource>>& internal_pages,
+    util::SimTime start_time, util::SimTime dwell) {
+  PageState page;
+  page.rng = util::Rng{util::hash_seed(seed_, site.url)};
+  page.result.started_at = start_time;
+
+  VisitResult result;
+  util::SimTime now = start_time;
+
+  auto snapshot = [&page]() {
+    VisitPageStats s;
+    s.connections_opened = page.result.connections_opened;
+    s.group_reuses = page.result.group_reuses;
+    s.alias_reuses = page.result.alias_reuses;
+    return s;
+  };
+  auto count_requests = [&page]() {
+    std::uint64_t total = 0;
+    for (const SessionEntry& entry : page.sessions) {
+      total += entry.session->requests().size();
+    }
+    return total + page.result.h1_entries.size();
+  };
+
+  for (std::size_t i = 0; i <= internal_pages.size(); ++i) {
+    const VisitPageStats before = snapshot();
+    const std::uint64_t requests_before = count_requests();
+    const std::string path =
+        i == 0 ? "/" : "/page" + std::to_string(i);
+    const auto& resources = i == 0 ? site.resources : internal_pages[i - 1];
+
+    const util::SimTime load_end =
+        run_page(page, site.landing_domain, path, resources, now);
+
+    VisitPageStats stats = snapshot();
+    stats.connections_opened -= before.connections_opened;
+    stats.group_reuses -= before.group_reuses;
+    stats.alias_reuses -= before.alias_reuses;
+    stats.requests = count_requests() - requests_before;
+    stats.started_at = now;
+    stats.finished_at = load_end;
+    result.pages.push_back(stats);
+
+    now = load_end + dwell;
+    // Think time between pages: idle servers may close in the gap.
+    close_idle_sessions(page, now);
+  }
+
+  close_idle_sessions(page, now + options_.post_load_wait);
+  result.observation = netlog::stitch_site(site.url, page.log);
+  result.log = std::move(page.log);
+  return result;
+}
+
+}  // namespace h2r::browser

@@ -1,0 +1,199 @@
+// A Chromium-model browser network stack.
+//
+// What matters for the paper is Chromium's connection handling, modeled
+// here faithfully at the decision level:
+//
+//   * socket-pool groups keyed by (host, port, privacy_mode) — the Fetch
+//     Standard's credentials flag partitions the pool (the CRED cause);
+//   * SpdySessionPool IP-based pooling ("connection coalescing"): a request
+//     with no group session may ride an existing session when DNS resolves
+//     to that session's IP, the session's certificate covers the host, and
+//     the privacy mode matches (RFC 7540 §9.1.1);
+//   * HTTP 421 handling: the server refuses a coalesced authority, the
+//     browser marks it and retries on a dedicated connection;
+//   * optional RFC 8336 ORIGIN-frame support (off by default — Chromium
+//     never implemented it, paper §4.3) which removes the DNS dependency;
+//   * optional "patched" mode ignoring privacy_mode, the paper's modified
+//     Chromium run (§5.3.3).
+//
+// Everything the stack does is emitted as NetLog events; the page-level
+// result is stitched from those events, exactly like the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/connection.hpp"
+#include "dns/resolver.hpp"
+#include "har/har.hpp"
+#include "http2/session.hpp"
+#include "netlog/netlog.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "web/ecosystem.hpp"
+#include "web/resource.hpp"
+
+namespace h2r::browser {
+
+struct BrowserOptions {
+  /// Follow the Fetch Standard's credentials flag (Chromium default).
+  /// false = the paper's patched build ("Alexa w/o Fetch").
+  bool follow_fetch_credentials = true;
+  /// SpdySessionPool IP-based pooling (Chromium: on).
+  bool enable_ip_pooling = true;
+  /// Honor RFC 8336 ORIGIN frames (Chromium: off; our extension benches
+  /// turn it on).
+  bool support_origin_frame = false;
+  /// Use HTTP/3 where servers advertise it via Alt-Svc. The paper's own
+  /// crawls DISABLE QUIC ("to focus on HTTP/2"); the h3 ablation turns it
+  /// on and shows the same redundancy emerges over QUIC.
+  bool enable_http3 = false;
+  /// Vantage region, drives geo DNS and geo-variant resources
+  /// ("eu" = the paper's Aachen vantage; "us" = the HTTP Archive crawler).
+  std::string vantage_region = "eu";
+  /// Base RTT floor; per-destination RTTs add a deterministic offset.
+  util::SimTime base_rtt = util::milliseconds(8);
+  /// Download bandwidth.
+  double bytes_per_ms = 2000.0;
+  /// How long the measurement keeps observing after the load finishes
+  /// (idle servers may close connections in this window).
+  util::SimTime post_load_wait = util::seconds(180);
+  http2::Settings settings;
+};
+
+struct PageLoadResult {
+  bool reachable = true;
+  /// Exact connection records, stitched from the NetLog.
+  core::SiteObservation observation;
+  netlog::NetLog log;
+  /// Requests served over HTTP/1.1 (h2-less servers) — visible in HAR,
+  /// invisible to the HTTP/2 analysis.
+  std::vector<har::Entry> h1_entries;
+
+  std::uint64_t connections_opened = 0;
+  std::uint64_t group_reuses = 0;
+  std::uint64_t alias_reuses = 0;         // IP-pooling hits
+  std::uint64_t origin_frame_reuses = 0;  // RFC 8336 hits
+  std::uint64_t misdirected_retries = 0;  // 421s
+  std::uint64_t failed_fetches = 0;
+  util::SimTime started_at = 0;
+  util::SimTime finished_at = 0;
+};
+
+/// Per-page counters of a multi-page visit.
+struct VisitPageStats {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t group_reuses = 0;
+  std::uint64_t alias_reuses = 0;
+  std::uint64_t requests = 0;
+  util::SimTime started_at = 0;
+  util::SimTime finished_at = 0;
+};
+
+/// Result of a multi-page visit: per-page counters plus ONE cumulative
+/// observation (connections persist across the pages of a visit).
+struct VisitResult {
+  std::vector<VisitPageStats> pages;
+  core::SiteObservation observation;
+  netlog::NetLog log;
+};
+
+class Browser {
+ public:
+  Browser(const web::Ecosystem& eco, dns::RecursiveResolver& resolver,
+          BrowserOptions options, std::uint64_t seed);
+
+  /// Loads `site` starting at `start_time`. Browser state (socket pools)
+  /// is fresh per load, like the paper's per-site browser restart; the
+  /// recursive resolver's cache persists across loads.
+  PageLoadResult load(const web::Website& site, util::SimTime start_time);
+
+  /// Loads the landing page and then `internal_pages` (resource sets of
+  /// internal pages on the same site), keeping the connection pools warm
+  /// across pages — the behaviour the paper could NOT measure (it only
+  /// saw landing pages, §4.3). `dwell` is the think time between pages;
+  /// servers with idle timeouts shorter than it close their connections
+  /// in between.
+  VisitResult visit(const web::Website& site,
+                    const std::vector<std::vector<web::Resource>>&
+                        internal_pages,
+                    util::SimTime start_time,
+                    util::SimTime dwell = util::seconds(30));
+
+  const BrowserOptions& options() const noexcept { return options_; }
+
+ private:
+  struct SessionEntry {
+    std::unique_ptr<http2::Session> session;
+    util::SimTime available_at = 0;  // TLS handshake completion
+    util::SimTime last_activity = 0;
+  };
+
+  struct GroupKey {
+    std::string host;
+    std::uint16_t port = 443;
+    bool privacy_mode = false;
+
+    auto operator<=>(const GroupKey&) const = default;
+  };
+
+  struct FetchOutcome {
+    bool ok = false;
+    util::SimTime finished_at = 0;
+  };
+
+  struct PageState {
+    std::vector<SessionEntry> sessions;
+    std::map<GroupKey, std::size_t> groups;
+    std::map<std::string, std::size_t> conns_per_domain;
+    std::map<std::pair<std::string, bool>, std::int64_t> h1_conns;
+    bool document_ok = true;
+    netlog::NetLog log;
+    PageLoadResult result;
+    util::Rng rng{0};
+  };
+
+  util::SimTime rtt_to(const net::IpAddress& address) const;
+
+  dns::Resolution resolve(PageState& page, const std::string& host,
+                          util::SimTime now);
+
+  /// Finds or creates the session for (host, privacy); nullptr index on
+  /// failure. `allow_pooling` is disabled for 421 retries.
+  std::size_t acquire_session(PageState& page, const std::string& host,
+                              bool privacy, util::SimTime now,
+                              bool allow_pooling, bool& ok);
+
+  FetchOutcome fetch(PageState& page, const std::string& host,
+                     const std::string& path, fetch::Destination destination,
+                     bool privacy, bool with_cookie, std::uint32_t size_bytes,
+                     util::SimTime now, bool is_retry);
+
+  void preconnect(PageState& page, const std::string& host, bool privacy,
+                  util::SimTime now);
+
+  FetchOutcome fetch_h1(PageState& page, const std::string& host,
+                        const std::string& path, int status,
+                        std::uint32_t size_bytes, util::SimTime now);
+
+  /// Runs one page (document + resource tree) against `state`, returning
+  /// the load-finish time.
+  util::SimTime run_page(PageState& state, const std::string& landing_domain,
+                         const std::string& document_path,
+                         const std::vector<web::Resource>& resources,
+                         util::SimTime start_time);
+
+  /// Closes sessions whose server-side idle timeout fires before `until`.
+  void close_idle_sessions(PageState& state, util::SimTime until);
+
+  const web::Ecosystem& eco_;
+  dns::RecursiveResolver& resolver_;
+  BrowserOptions options_;
+  std::uint64_t seed_;
+  std::uint64_t next_session_id_ = 1;
+};
+
+}  // namespace h2r::browser

@@ -1,0 +1,128 @@
+#include "browser/crawl.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace h2r::browser {
+
+namespace {
+
+/// Shared crawl state for one worker: a browser behind its own resolver.
+struct Worker {
+  explicit Worker(web::SiteUniverse& universe, const CrawlOptions& options,
+                  const dns::ResolverProfile& profile, std::uint64_t seed)
+      : resolver(profile, &universe.ecosystem().authority()),
+        browser(universe.ecosystem(), resolver, options.browser, seed),
+        quirk_rng(util::combine_seed(seed, 0x4a52)) {}
+
+  dns::RecursiveResolver resolver;
+  Browser browser;
+  util::Rng quirk_rng;
+};
+
+void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
+                  Worker& worker, std::size_t rank, util::SimTime when,
+                  SiteResult& result) {
+  result.rank = rank;
+  if (universe.unreachable(rank)) {
+    result.reachable = false;
+    return;
+  }
+  const web::Website& site = universe.site(rank);
+  result.page = worker.browser.load(site, when);
+  result.reachable = result.page.reachable;
+  result.netlog_observation = result.page.observation;
+  if (options.har_path) {
+    const har::Log har_log =
+        har::export_site(result.page.observation, result.page.h1_entries,
+                         options.har_quirks, worker.quirk_rng);
+    har::ImportStats stats;
+    result.har_observation = har::import_site(har_log, &stats);
+    result.har_stats = stats;
+  }
+}
+
+}  // namespace
+
+CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
+                         std::size_t count, const CrawlOptions& options,
+                         const std::function<void(const SiteResult&)>& sink) {
+  const auto vantage_points = dns::standard_vantage_points();
+  if (options.vantage_index >= vantage_points.size()) {
+    throw std::out_of_range("vantage index");
+  }
+  const dns::ResolverProfile& profile = vantage_points[options.vantage_index];
+
+  CrawlSummary summary;
+  auto account = [&summary](const SiteResult& result) {
+    if (!result.reachable) {
+      ++summary.sites_unreachable;
+      return;
+    }
+    ++summary.sites_visited;
+    summary.connections_opened += result.page.connections_opened;
+    summary.group_reuses += result.page.group_reuses;
+    summary.alias_reuses += result.page.alias_reuses;
+    summary.origin_frame_reuses += result.page.origin_frame_reuses;
+    summary.misdirected_retries += result.page.misdirected_retries;
+    summary.har_stats.add(result.har_stats);
+  };
+
+  const unsigned threads =
+      options.threads > 1 ? std::min<unsigned>(options.threads,
+                                               static_cast<unsigned>(count))
+                          : 1;
+
+  if (threads <= 1) {
+    Worker worker{universe, options, profile, options.seed};
+    util::SimTime now = options.start_time;
+    for (std::size_t i = 0; i < count; ++i, now += options.site_interval) {
+      SiteResult result;
+      process_site(universe, options, worker, first_rank + i, now, result);
+      account(result);
+      sink(result);
+    }
+    return summary;
+  }
+
+  // Parallel mode: generating a site mutates the shared ecosystem, so
+  // materialize the whole range sequentially first (cheap), then load
+  // pages concurrently against the now-immutable ecosystem.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!universe.unreachable(first_rank + i)) {
+      (void)universe.site(first_rank + i);
+    }
+  }
+
+  std::vector<SiteResult> results(count);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    // Contiguous block per worker: resolver caches warm up the same way
+    // they would sequentially within each block.
+    const std::size_t begin = count * t / threads;
+    const std::size_t end = count * (t + 1) / threads;
+    pool.emplace_back([&, begin, end]() {
+      // Same browser seed as the sequential path: per-page randomness is
+      // derived from (seed, site url), so results do not depend on which
+      // worker loads which site.
+      Worker worker{universe, options, profile, options.seed};
+      for (std::size_t i = begin; i < end; ++i) {
+        process_site(universe, options, worker, first_rank + i,
+                     options.start_time +
+                         static_cast<util::SimTime>(i) * options.site_interval,
+                     results[i]);
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+
+  for (const SiteResult& result : results) {
+    account(result);
+    sink(result);
+  }
+  return summary;
+}
+
+}  // namespace h2r::browser

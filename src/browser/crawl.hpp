@@ -1,0 +1,74 @@
+// Crawl driver: visits a rank range of the site universe with one browser
+// and one recursive resolver, producing per-site observations for both
+// measurement paths:
+//   * the NetLog path (exact lifecycles, the paper's own measurements),
+//   * the HAR path (export with HTTP-Archive-grade noise, import through
+//     the §4.3 filters — the paper's HTTP Archive analysis).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "browser/browser.hpp"
+#include "dns/vantage.hpp"
+#include "har/export.hpp"
+#include "har/import.hpp"
+#include "web/sitegen.hpp"
+
+namespace h2r::browser {
+
+struct CrawlOptions {
+  BrowserOptions browser;
+  /// Resolver vantage point (index into dns::standard_vantage_points();
+  /// 0 = the university resolver).
+  std::size_t vantage_index = 0;
+  /// Simulated time of the first page load.
+  util::SimTime start_time = util::days(1);
+  /// Pacing between page loads — spreads the crawl across DNS LB slots.
+  util::SimTime site_interval = util::seconds(15);
+  /// Build the HAR-path observation as well.
+  bool har_path = false;
+  har::ExportQuirks har_quirks;
+  std::uint64_t seed = 1234;
+  /// Worker threads for page loads. 1 = fully sequential. With N > 1 the
+  /// sites are pre-generated sequentially (the universe mutates the shared
+  /// ecosystem lazily), then loaded by N workers, each with its own
+  /// browser and recursive resolver; `sink` still runs in rank order on
+  /// the calling thread. Results are deterministic except for resolver
+  /// cache warmth (each worker has its own cache, like N measurement
+  /// machines behind N resolvers).
+  unsigned threads = 1;
+};
+
+struct SiteResult {
+  std::size_t rank = 0;
+  bool reachable = true;
+  /// Exact (NetLog) observation.
+  core::SiteObservation netlog_observation;
+  /// HAR-path observation (empty unless CrawlOptions::har_path).
+  core::SiteObservation har_observation;
+  /// Filter counts for this site's HAR import.
+  har::ImportStats har_stats;
+  PageLoadResult page;
+};
+
+struct CrawlSummary {
+  std::uint64_t sites_visited = 0;
+  std::uint64_t sites_unreachable = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t group_reuses = 0;
+  std::uint64_t alias_reuses = 0;
+  std::uint64_t origin_frame_reuses = 0;
+  std::uint64_t misdirected_retries = 0;
+  har::ImportStats har_stats;
+};
+
+/// Visits ranks [first_rank, first_rank + count) in order, invoking
+/// `sink` per reachable site. Returns aggregate counters.
+CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
+                         std::size_t count, const CrawlOptions& options,
+                         const std::function<void(const SiteResult&)>& sink);
+
+}  // namespace h2r::browser

@@ -1,0 +1,133 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/strings.hpp"
+
+namespace h2r::core {
+
+std::string to_string(RemedyKind kind) {
+  switch (kind) {
+    case RemedyKind::kSyncDnsLoadBalancing:
+      return "synchronize DNS load balancing (shared CNAME / anycast)";
+    case RemedyKind::kDeployOriginFrame:
+      return "deploy HTTP ORIGIN frames (RFC 8336)";
+    case RemedyKind::kMergeCertificates:
+      return "merge the domains into one certificate (SAN list / wildcard)";
+    case RemedyKind::kAlignCrossoriginUsage:
+      return "align crossorigin attributes (credentialed vs anonymous "
+             "fetches to one host force a second connection)";
+    case RemedyKind::kRelaxFetchCredentials:
+      return "browser-side: relax the Fetch credentials pool key "
+             "(privacy benefit is disputed)";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Key {
+  Cause cause;
+  std::string domain;
+  std::string reusable;
+
+  bool operator<(const Key& other) const {
+    return std::tie(cause, domain, reusable) <
+           std::tie(other.cause, other.domain, other.reusable);
+  }
+};
+
+}  // namespace
+
+AuditReport audit_site(const SiteObservation& site,
+                       const SiteClassification& classification) {
+  AuditReport report;
+  report.site_url = site.site_url;
+  report.total_connections = site.connections.size();
+  report.redundant_connections = classification.redundant_connections();
+
+  std::map<Key, std::uint64_t> grouped;
+  for (const ConnectionFinding& finding : classification.findings) {
+    const ConnectionRecord& conn = site.connections[finding.connection_index];
+    const std::string domain = util::to_lower(conn.initial_domain);
+    bool ip_only = finding.causes.count(Cause::kIp) > 0 &&
+                   finding.causes.size() == 1;
+    if (!ip_only) ++report.non_ip_redundant;
+    for (Cause cause : finding.causes) {
+      const auto it = finding.reusable_previous_domains.find(cause);
+      const std::string reusable =
+          it != finding.reusable_previous_domains.end() && !it->second.empty()
+              ? *it->second.begin()
+              : "";
+      ++grouped[Key{cause, domain, reusable}];
+    }
+  }
+
+  for (const auto& [key, count] : grouped) {
+    Advice advice;
+    advice.cause = key.cause;
+    advice.domain = key.domain;
+    advice.reusable_domain = key.reusable;
+    advice.connections = count;
+    switch (key.cause) {
+      case Cause::kIp:
+        // Same registrable domain -> almost certainly one operator whose
+        // LB is unsynchronized; otherwise suggest the protocol fix.
+        advice.remedy =
+            util::base_domain(key.domain) == util::base_domain(key.reusable)
+                ? RemedyKind::kSyncDnsLoadBalancing
+                : RemedyKind::kDeployOriginFrame;
+        advice.message = key.domain + " resolved away from the live " +
+                         key.reusable + " connection";
+        break;
+      case Cause::kCert:
+        advice.remedy = RemedyKind::kMergeCertificates;
+        advice.message = "certificate of " + key.reusable +
+                         " does not include " + key.domain;
+        break;
+      case Cause::kCred:
+        advice.remedy = key.domain == key.reusable
+                            ? RemedyKind::kAlignCrossoriginUsage
+                            : RemedyKind::kRelaxFetchCredentials;
+        advice.message =
+            "credentials-mode mismatch forced a second connection to " +
+            key.domain;
+        break;
+    }
+    report.advice.push_back(std::move(advice));
+  }
+
+  std::sort(report.advice.begin(), report.advice.end(),
+            [](const Advice& a, const Advice& b) {
+              if (a.connections != b.connections) {
+                return a.connections > b.connections;
+              }
+              return a.domain < b.domain;
+            });
+  return report;
+}
+
+AuditReport audit_site(const SiteObservation& site) {
+  return audit_site(site, classify_site(site, {DurationModel::kExact}));
+}
+
+std::string render(const AuditReport& report) {
+  std::string out = "coalescing audit of " + report.site_url + "\n";
+  out += "  " + std::to_string(report.redundant_connections) + " of " +
+         std::to_string(report.total_connections) +
+         " HTTP/2 connections were redundant\n";
+  if (report.advice.empty()) {
+    out += "  connection reuse works here — nothing to do.\n";
+    return out;
+  }
+  for (const Advice& advice : report.advice) {
+    out += "  [" + to_string(advice.cause) + " x" +
+           std::to_string(advice.connections) + "] " + advice.message +
+           "\n      fix: " + to_string(advice.remedy) + "\n";
+  }
+  return out;
+}
+
+}  // namespace h2r::core

@@ -1,0 +1,65 @@
+// Remediation advisor: turns a site's classification into actionable
+// advice — the operator-facing half of a coalescing audit.
+//
+// The mapping follows the paper's §5.3 discussion:
+//   IP   -> synchronize DNS load balancing (common CNAME, anycast) or
+//           deploy RFC 8336 ORIGIN frames,
+//   CERT -> merge the SAN lists / use a wildcard certificate,
+//   CRED -> browser-side Fetch adaptation; site-side: align crossorigin
+//           attributes (e.g. credentialed preconnect + anonymous font).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/connection.hpp"
+
+namespace h2r::core {
+
+enum class RemedyKind : std::uint8_t {
+  kSyncDnsLoadBalancing,   // cause IP, same operator, interchangeable IPs
+  kDeployOriginFrame,      // cause IP, any
+  kMergeCertificates,      // cause CERT
+  kAlignCrossoriginUsage,  // cause CRED, same domain again
+  kRelaxFetchCredentials,  // cause CRED, browser-side
+};
+
+std::string to_string(RemedyKind kind);
+
+struct Advice {
+  Cause cause = Cause::kIp;
+  RemedyKind remedy = RemedyKind::kDeployOriginFrame;
+  /// The redundant connection's domain.
+  std::string domain;
+  /// The earlier connection that could have been reused.
+  std::string reusable_domain;
+  /// How many of the site's redundant connections this item covers.
+  std::uint64_t connections = 0;
+  /// Human-readable one-liner.
+  std::string message;
+};
+
+struct AuditReport {
+  std::string site_url;
+  std::size_t total_connections = 0;
+  std::size_t redundant_connections = 0;
+  std::vector<Advice> advice;  // deduplicated, most-connections first
+
+  /// Connections that would remain redundant if all IP-cause advice were
+  /// followed (i.e. CERT + CRED leftovers).
+  std::uint64_t non_ip_redundant = 0;
+};
+
+/// Builds the audit for one site from its observation + classification.
+AuditReport audit_site(const SiteObservation& site,
+                       const SiteClassification& classification);
+
+/// Convenience: classify (exact durations) and audit in one step.
+AuditReport audit_site(const SiteObservation& site);
+
+/// Renders the report as human-readable text.
+std::string render(const AuditReport& report);
+
+}  // namespace h2r::core

@@ -1,0 +1,166 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tls/certificate.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::core {
+
+bool ConnectionRecord::certificate_covers(
+    std::string_view host) const noexcept {
+  if (!has_certificate) return false;
+  for (const std::string& san : san_dns_names) {
+    if (tls::matches_dns_name(san, host)) return true;
+  }
+  return false;
+}
+
+bool ConnectionRecord::excludes(std::string_view host) const noexcept {
+  const std::string needle = util::to_lower(host);
+  for (const std::string& d : excluded_domains) {
+    if (d == needle) return true;
+  }
+  if (origin_set.has_value()) {
+    for (const std::string& d : *origin_set) {
+      if (d == needle) return false;
+    }
+    return true;  // origin set announced and host not in it
+  }
+  return false;
+}
+
+util::SimTime ConnectionRecord::first_request_time() const noexcept {
+  if (requests.empty()) return opened_at;
+  util::SimTime t = requests.front().started_at;
+  for (const RequestRecord& r : requests) t = std::min(t, r.started_at);
+  return t;
+}
+
+util::SimTime ConnectionRecord::last_request_end() const noexcept {
+  util::SimTime t = opened_at;
+  for (const RequestRecord& r : requests) {
+    t = std::max(t, std::max(r.started_at, r.finished_at));
+  }
+  return t;
+}
+
+std::string to_string(DurationModel model) {
+  switch (model) {
+    case DurationModel::kEndless: return "endless";
+    case DurationModel::kImmediate: return "immediate";
+    case DurationModel::kExact: return "exact";
+  }
+  return "?";
+}
+
+Interval availability(const ConnectionRecord& conn,
+                      DurationModel model) noexcept {
+  switch (model) {
+    case DurationModel::kEndless:
+      return {conn.opened_at, util::kSimTimeMax};
+    case DurationModel::kImmediate:
+      // Closed right after the last request finished. The half-open end
+      // (+1) keeps a connection usable at the exact instant its last
+      // request ends.
+      return {conn.opened_at, conn.last_request_end() + 1};
+    case DurationModel::kExact:
+      return {conn.opened_at,
+              conn.closed_at.has_value() ? *conn.closed_at
+                                         : util::kSimTimeMax};
+  }
+  return {};
+}
+
+std::string to_string(Cause cause) {
+  switch (cause) {
+    case Cause::kCert: return "CERT";
+    case Cause::kIp: return "IP";
+    case Cause::kCred: return "CRED";
+  }
+  return "?";
+}
+
+bool SiteClassification::has_cause(Cause cause) const noexcept {
+  return std::any_of(findings.begin(), findings.end(),
+                     [cause](const ConnectionFinding& f) {
+                       return f.causes.count(cause) > 0;
+                     });
+}
+
+std::size_t SiteClassification::count_cause(Cause cause) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [cause](const ConnectionFinding& f) {
+                      return f.causes.count(cause) > 0;
+                    }));
+}
+
+SiteClassification classify_site(const SiteObservation& site,
+                                 const ClassifyOptions& options) {
+  SiteClassification result;
+  result.site_url = site.site_url;
+  result.total_connections = site.connections.size();
+
+  const auto& conns = site.connections;
+  for (std::size_t i = 1; i < conns.size(); ++i) {
+    assert(conns[i].opened_at >= conns[i - 1].opened_at &&
+           "connections must be sorted by open time");
+  }
+
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    const ConnectionRecord& current = conns[i];
+    const std::string domain = util::to_lower(current.initial_domain);
+
+    ConnectionFinding finding;
+    finding.connection_index = i;
+
+    for (std::size_t j = 0; j < i; ++j) {
+      const ConnectionRecord& prev = conns[j];
+      // The previous connection must have been available when `current`
+      // was opened.
+      if (!availability(prev, options.duration).contains(current.opened_at)) {
+        continue;
+      }
+      // Explicitly excluded domains are ignored (§4.1).
+      if (prev.excludes(domain)) continue;
+
+      const bool same_endpoint = prev.endpoint == current.endpoint;
+      const bool covers = prev.certificate_covers(domain);
+      const bool same_initial_domain =
+          util::to_lower(prev.initial_domain) == domain;
+
+      if (same_endpoint) {
+        if (covers) {
+          finding.causes.insert(Cause::kCred);
+          finding.reusable_previous_domains[Cause::kCred].insert(
+              util::to_lower(prev.initial_domain));
+        } else {
+          finding.causes.insert(Cause::kCert);
+          finding.reusable_previous_domains[Cause::kCert].insert(
+              util::to_lower(prev.initial_domain));
+        }
+      } else if (same_initial_domain) {
+        // Corner case (§4.1): same initial domain on different IPs only
+        // happens when CRED forbids reuse and DNS announces several IPs.
+        finding.causes.insert(Cause::kCred);
+        finding.reusable_previous_domains[Cause::kCred].insert(
+            util::to_lower(prev.initial_domain));
+      } else if (covers) {
+        finding.causes.insert(Cause::kIp);
+        finding.reusable_previous_domains[Cause::kIp].insert(
+            util::to_lower(prev.initial_domain));
+      }
+      // No match: `prev` could not have served this request — an unknown
+      // third party relative to `prev`.
+    }
+
+    if (!finding.causes.empty()) {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+}  // namespace h2r::core

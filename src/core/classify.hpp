@@ -1,0 +1,70 @@
+// The redundancy classifier (paper §4.1).
+//
+// For every connection C of a site, every *previous* connection P (opened
+// earlier and still available at C's open time under the duration model) is
+// examined:
+//
+//   P excluded C's domain (421/ORIGIN)         -> P is skipped entirely
+//   same endpoint, P's cert covers C's domain  -> cause CRED
+//   same endpoint, cert does not cover         -> cause CERT
+//   different IP, same initial domain          -> cause CRED  (corner case:
+//        only happens when the credentials flag forbade reuse and DNS
+//        announced several IPs — would otherwise misclassify as IP)
+//   different IP, P's cert covers C's domain   -> cause IP
+//   nothing matches for any P                  -> unknown third party
+//                                                 (not redundant)
+//
+// A connection's causes are the SET over all P (the paper's four-connection
+// example yields 3x CERT + 2x CRED), so per-cause sums may exceed the
+// number of redundant connections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/connection.hpp"
+
+namespace h2r::core {
+
+enum class Cause : std::uint8_t { kCert, kIp, kCred };
+
+std::string to_string(Cause cause);
+
+inline constexpr Cause kAllCauses[] = {Cause::kCert, Cause::kIp, Cause::kCred};
+
+/// Why one connection was deemed redundant, with the attribution details
+/// the paper's tables need.
+struct ConnectionFinding {
+  std::size_t connection_index = 0;  // into SiteObservation::connections
+  std::set<Cause> causes;
+  /// Per cause: the distinct initial domains of the previous connections
+  /// that could have been reused ("prev:" rows of Tables 2/4/8/10/12).
+  std::map<Cause, std::set<std::string>> reusable_previous_domains;
+};
+
+struct SiteClassification {
+  std::string site_url;
+  std::size_t total_connections = 0;
+  std::vector<ConnectionFinding> findings;  // redundant connections only
+
+  bool has_cause(Cause cause) const noexcept;
+  std::size_t count_cause(Cause cause) const noexcept;
+  std::size_t redundant_connections() const noexcept {
+    return findings.size();
+  }
+};
+
+struct ClassifyOptions {
+  DurationModel duration = DurationModel::kExact;
+};
+
+/// Classifies one site's connections. `connections` must be in open order
+/// (ties broken by record order); the classifier asserts monotonicity.
+SiteClassification classify_site(const SiteObservation& site,
+                                 const ClassifyOptions& options = {});
+
+}  // namespace h2r::core

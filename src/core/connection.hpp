@@ -1,0 +1,105 @@
+// The classifier's input model: what one observed HTTP/2 connection looked
+// like. Both measurement paths produce this —
+//   * the HAR path (request-level only: open time = first request, no close
+//     time -> duration models "endless"/"immediate"),
+//   * the NetLog path (exact socket open/close events).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::core {
+
+struct RequestRecord {
+  util::SimTime started_at = 0;
+  util::SimTime finished_at = 0;
+  std::string domain;  // the :authority requested
+  std::string method = "GET";
+  int status = 200;
+};
+
+struct ConnectionRecord {
+  std::uint64_t id = 0;
+  net::Endpoint endpoint;          // destination IP + port
+  std::string initial_domain;      // SNI / first :authority
+  bool has_certificate = true;
+  std::vector<std::string> san_dns_names;
+  std::string issuer_organization;
+  std::uint64_t certificate_serial = 0;
+
+  /// "h2" or "h3". HTTP/3 inherits the same Connection Reuse mechanism,
+  /// so the classifier treats both identically (paper §6).
+  std::string protocol = "h2";
+
+  util::SimTime opened_at = 0;
+  /// Exact close time when known (NetLog path); nullopt when the connection
+  /// was still open at measurement end or the source lacks close events
+  /// (HAR path).
+  std::optional<util::SimTime> closed_at;
+
+  std::vector<RequestRecord> requests;
+
+  /// Domains this server refused on this connection (HTTP 421) — reuse
+  /// must not be expected for them.
+  std::vector<std::string> excluded_domains;
+
+  /// RFC 8336 origin set, when the server announced one and the browser
+  /// honors ORIGIN frames. Domains outside the set count as excluded.
+  /// (Chromium — and hence the paper — never sees these; our extension
+  /// benches do.)
+  std::optional<std::vector<std::string>> origin_set;
+
+  /// True if any SAN covers `host` (wildcard-aware); false without a cert.
+  bool certificate_covers(std::string_view host) const noexcept;
+
+  /// True if `host` was explicitly excluded (421 / ORIGIN).
+  bool excludes(std::string_view host) const noexcept;
+
+  util::SimTime first_request_time() const noexcept;
+  util::SimTime last_request_end() const noexcept;
+};
+
+/// How to bound a connection's lifetime when deciding whether it was still
+/// available at the moment a later connection opened (paper §4.2.1).
+enum class DurationModel {
+  /// Connections never close (upper bound on redundancy). Used for HAR and
+  /// as a sensitivity check on the NetLog data.
+  kEndless,
+  /// Connections close right after their last request (lower bound).
+  kImmediate,
+  /// Use the recorded close times (NetLog path).
+  kExact,
+};
+
+std::string to_string(DurationModel model);
+
+/// Half-open availability interval [start, end) of `conn` under `model`.
+/// `end` is util::kSimTimeMax when unbounded.
+struct Interval {
+  util::SimTime start = 0;
+  util::SimTime end = util::kSimTimeMax;
+
+  bool contains(util::SimTime t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+Interval availability(const ConnectionRecord& conn,
+                      DurationModel model) noexcept;
+
+/// One website's observation: the landing-page URL plus every HTTP/2
+/// connection the browser opened while loading it, in open order.
+struct SiteObservation {
+  std::string site_url;
+  bool reachable = true;
+  std::vector<ConnectionRecord> connections;
+  /// Requests that had to be dropped for consistency reasons (§4.3).
+  std::uint64_t filtered_requests = 0;
+};
+
+}  // namespace h2r::core

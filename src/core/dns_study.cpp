@@ -1,0 +1,61 @@
+#include "core/dns_study.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace h2r::core {
+
+double DnsOverlapSeries::any_overlap_share() const noexcept {
+  if (slots.empty()) return 0.0;
+  const auto overlapping =
+      std::count_if(slots.begin(), slots.end(), [](const DnsOverlapSlot& s) {
+        return s.overlapping_resolvers > 0;
+      });
+  return static_cast<double>(overlapping) / static_cast<double>(slots.size());
+}
+
+double DnsOverlapSeries::mean_overlap() const noexcept {
+  if (slots.empty()) return 0.0;
+  double sum = 0.0;
+  for (const DnsOverlapSlot& s : slots) sum += s.overlapping_resolvers;
+  return sum / static_cast<double>(slots.size());
+}
+
+std::vector<DnsOverlapSeries> run_dns_overlap_study(
+    const dns::AuthoritativeServer& authority,
+    std::span<const std::pair<std::string, std::string>> domain_pairs,
+    const std::vector<dns::ResolverProfile>& vantage_points,
+    const DnsOverlapConfig& config) {
+  std::vector<DnsOverlapSeries> out;
+  out.reserve(domain_pairs.size());
+  for (const auto& [a, b] : domain_pairs) {
+    DnsOverlapSeries series;
+    series.domain_a = a;
+    series.domain_b = b;
+    for (util::SimTime t = config.start; t < config.start + config.duration;
+         t += config.step) {
+      DnsOverlapSlot slot;
+      slot.time = t;
+      for (const dns::ResolverProfile& vantage : vantage_points) {
+        dns::QueryContext ctx;
+        ctx.resolver_id = vantage.id;
+        ctx.region = vantage.region;
+        ctx.now = t;
+        const dns::Answer answer_a = authority.query(a, ctx);
+        const dns::Answer answer_b = authority.query(b, ctx);
+        if (!answer_a.ok || !answer_b.ok) continue;  // filtered slot entry
+        const std::set<net::IpAddress> set_a(answer_a.addresses.begin(),
+                                             answer_a.addresses.end());
+        const bool overlap = std::any_of(
+            answer_b.addresses.begin(), answer_b.addresses.end(),
+            [&set_a](const net::IpAddress& ip) { return set_a.count(ip) > 0; });
+        if (overlap) ++slot.overlapping_resolvers;
+      }
+      series.slots.push_back(slot);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace h2r::core

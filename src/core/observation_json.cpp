@@ -1,0 +1,167 @@
+#include "core/observation_json.hpp"
+
+namespace h2r::core {
+
+namespace {
+
+json::Value request_to_json(const RequestRecord& req) {
+  json::Object obj;
+  obj.set("started_at", static_cast<std::int64_t>(req.started_at));
+  obj.set("finished_at", static_cast<std::int64_t>(req.finished_at));
+  obj.set("domain", req.domain);
+  obj.set("method", req.method);
+  obj.set("status", static_cast<std::int64_t>(req.status));
+  return json::Value{std::move(obj)};
+}
+
+util::Expected<RequestRecord> request_from_json(const json::Value& value) {
+  RequestRecord req;
+  req.started_at = value["started_at"].as_int();
+  req.finished_at = value["finished_at"].as_int();
+  req.domain = value["domain"].as_string();
+  req.method = value["method"].as_string();
+  req.status = static_cast<int>(value["status"].as_int());
+  if (req.domain.empty()) {
+    return util::unexpected(util::Error{"request without domain"});
+  }
+  return req;
+}
+
+json::Value connection_to_json(const ConnectionRecord& conn) {
+  json::Object obj;
+  obj.set("id", static_cast<std::int64_t>(conn.id));
+  obj.set("ip", conn.endpoint.address.to_string());
+  obj.set("port", static_cast<std::int64_t>(conn.endpoint.port));
+  obj.set("initial_domain", conn.initial_domain);
+  obj.set("protocol", conn.protocol);
+  obj.set("has_certificate", conn.has_certificate);
+  json::Array sans;
+  for (const std::string& san : conn.san_dns_names) sans.emplace_back(san);
+  obj.set("san_dns_names", std::move(sans));
+  obj.set("issuer", conn.issuer_organization);
+  obj.set("certificate_serial",
+          static_cast<std::int64_t>(conn.certificate_serial));
+  obj.set("opened_at", static_cast<std::int64_t>(conn.opened_at));
+  if (conn.closed_at.has_value()) {
+    obj.set("closed_at", static_cast<std::int64_t>(*conn.closed_at));
+  }
+  json::Array requests;
+  for (const RequestRecord& req : conn.requests) {
+    requests.emplace_back(request_to_json(req));
+  }
+  obj.set("requests", std::move(requests));
+  json::Array excluded;
+  for (const std::string& domain : conn.excluded_domains) {
+    excluded.emplace_back(domain);
+  }
+  obj.set("excluded_domains", std::move(excluded));
+  if (conn.origin_set.has_value()) {
+    json::Array origins;
+    for (const std::string& origin : *conn.origin_set) {
+      origins.emplace_back(origin);
+    }
+    obj.set("origin_set", std::move(origins));
+  }
+  return json::Value{std::move(obj)};
+}
+
+util::Expected<ConnectionRecord> connection_from_json(
+    const json::Value& value) {
+  ConnectionRecord conn;
+  conn.id = static_cast<std::uint64_t>(value["id"].as_int());
+  const auto ip = net::IpAddress::parse(value["ip"].as_string());
+  if (!ip.has_value()) {
+    return util::unexpected(util::Error{"bad connection ip"});
+  }
+  conn.endpoint.address = ip.value();
+  conn.endpoint.port = static_cast<std::uint16_t>(value["port"].as_int(443));
+  conn.initial_domain = value["initial_domain"].as_string();
+  if (value["protocol"].is_string()) {
+    conn.protocol = value["protocol"].as_string();
+  }
+  conn.has_certificate = value["has_certificate"].as_bool(true);
+  for (const json::Value& san : value["san_dns_names"].as_array()) {
+    conn.san_dns_names.push_back(san.as_string());
+  }
+  conn.issuer_organization = value["issuer"].as_string();
+  conn.certificate_serial =
+      static_cast<std::uint64_t>(value["certificate_serial"].as_int());
+  conn.opened_at = value["opened_at"].as_int();
+  if (value["closed_at"].is_number()) {
+    conn.closed_at = value["closed_at"].as_int();
+  }
+  for (const json::Value& req : value["requests"].as_array()) {
+    auto parsed = request_from_json(req);
+    if (!parsed) return util::unexpected(parsed.error());
+    conn.requests.push_back(std::move(parsed.value()));
+  }
+  for (const json::Value& domain : value["excluded_domains"].as_array()) {
+    conn.excluded_domains.push_back(domain.as_string());
+  }
+  if (value["origin_set"].is_array()) {
+    std::vector<std::string> origins;
+    for (const json::Value& origin : value["origin_set"].as_array()) {
+      origins.push_back(origin.as_string());
+    }
+    conn.origin_set = std::move(origins);
+  }
+  return conn;
+}
+
+}  // namespace
+
+json::Value to_json(const SiteObservation& site) {
+  json::Object obj;
+  obj.set("site", site.site_url);
+  obj.set("reachable", site.reachable);
+  obj.set("filtered_requests",
+          static_cast<std::int64_t>(site.filtered_requests));
+  json::Array connections;
+  for (const ConnectionRecord& conn : site.connections) {
+    connections.emplace_back(connection_to_json(conn));
+  }
+  obj.set("connections", std::move(connections));
+  return json::Value{std::move(obj)};
+}
+
+util::Expected<SiteObservation> observation_from_json(
+    const json::Value& value) {
+  SiteObservation site;
+  site.site_url = value["site"].as_string();
+  site.reachable = value["reachable"].as_bool(true);
+  site.filtered_requests =
+      static_cast<std::uint64_t>(value["filtered_requests"].as_int());
+  for (const json::Value& conn : value["connections"].as_array()) {
+    auto parsed = connection_from_json(conn);
+    if (!parsed) return util::unexpected(parsed.error());
+    site.connections.push_back(std::move(parsed.value()));
+  }
+  return site;
+}
+
+json::Value dataset_to_json(const std::vector<SiteObservation>& sites) {
+  json::Array array;
+  array.reserve(sites.size());
+  for (const SiteObservation& site : sites) {
+    array.emplace_back(to_json(site));
+  }
+  json::Object root;
+  root.set("sites", std::move(array));
+  return json::Value{std::move(root)};
+}
+
+util::Expected<std::vector<SiteObservation>> dataset_from_json(
+    const json::Value& value) {
+  if (!value["sites"].is_array()) {
+    return util::unexpected(util::Error{"missing sites array"});
+  }
+  std::vector<SiteObservation> out;
+  for (const json::Value& site : value["sites"].as_array()) {
+    auto parsed = observation_from_json(site);
+    if (!parsed) return util::unexpected(parsed.error());
+    out.push_back(std::move(parsed.value()));
+  }
+  return out;
+}
+
+}  // namespace h2r::core

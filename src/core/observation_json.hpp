@@ -1,0 +1,26 @@
+// Dataset snapshots: (de)serialize SiteObservations to JSON.
+//
+// The paper keeps its datasets as HAR/NetLog dumps; this is the exact-
+// record equivalent for our pipeline — crawl once, snapshot, re-analyze
+// under different duration models or classifier versions without
+// re-simulating.
+#pragma once
+
+#include <vector>
+
+#include "core/connection.hpp"
+#include "json/json.hpp"
+#include "util/expected.hpp"
+
+namespace h2r::core {
+
+json::Value to_json(const SiteObservation& site);
+util::Expected<SiteObservation> observation_from_json(
+    const json::Value& value);
+
+/// A whole dataset ({"sites": [...]}).
+json::Value dataset_to_json(const std::vector<SiteObservation>& sites);
+util::Expected<std::vector<SiteObservation>> dataset_from_json(
+    const json::Value& value);
+
+}  // namespace h2r::core

@@ -1,0 +1,160 @@
+// Aggregation across sites: everything the paper's tables and figures are
+// computed from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asdb/asdb.hpp"
+#include "core/classify.hpp"
+#include "core/connection.hpp"
+
+namespace h2r::core {
+
+struct CauseTally {
+  std::uint64_t sites = 0;
+  std::uint64_t connections = 0;
+};
+
+/// Per-origin attribution: how many redundant connections had this origin,
+/// and which previous-connection origins could have been reused (Tables
+/// 2/4/8/10/12's "prev:" rows).
+struct OriginTally {
+  std::uint64_t connections = 0;
+  std::map<std::string, std::uint64_t> previous_origins;
+  std::string issuer;  // only filled for CERT attribution (Table 4)
+};
+
+struct IssuerTally {
+  std::uint64_t connections = 0;
+  std::set<std::string> domains;
+};
+
+struct AsTally {
+  std::uint64_t connections = 0;
+  std::set<std::string> domains;
+};
+
+struct AggregateReport {
+  // Site-level headline numbers (§5.1).
+  std::uint64_t analyzed_sites = 0;       // reachable sites
+  std::uint64_t h2_sites = 0;             // >= 1 HTTP/2 connection
+  std::uint64_t redundant_sites = 0;      // >= 1 redundant connection
+  std::uint64_t total_connections = 0;
+  std::uint64_t redundant_connections = 0;
+  std::uint64_t filtered_requests = 0;
+
+  std::map<Cause, CauseTally> by_cause;
+
+  /// redundant-connection count -> number of sites (Figure 2 histogram).
+  std::map<std::size_t, std::uint64_t> redundant_per_site_histogram;
+
+  /// Cause IP origin attribution (Tables 2, 8, 12).
+  std::map<std::string, OriginTally> ip_origins;
+
+  /// Cause CERT domain attribution (Tables 4, 10).
+  std::map<std::string, OriginTally> cert_domains;
+
+  /// Cause CERT issuer attribution (Tables 3, 9).
+  std::map<std::string, IssuerTally> cert_issuers;
+
+  /// Issuer share over ALL connections (Table 5).
+  std::map<std::string, IssuerTally> all_issuers;
+
+  /// Cause IP AS attribution (Table 6). Empty without an AS database.
+  std::map<std::string, AsTally> ip_ases;
+
+  // Connection lifetime stats (exact-duration runs; §5.1's "median
+  // lifetime 122.2s for the 3.5% that closed").
+  std::uint64_t closed_connections = 0;
+  std::vector<util::SimTime> closed_lifetimes_ms;
+
+  // CRED detail (§5.3.3): redundant CRED connections whose own domain was
+  // already connected ("connect to the same domain again").
+  std::uint64_t cred_same_domain_connections = 0;
+
+  /// Extension analysis (not in the paper): when during the page load do
+  /// redundant connections open? Offsets (ms since the site's first
+  /// connection) per cause — late openers explain most of the
+  /// endless-vs-immediate gap (the reusable connection has gone idle).
+  std::map<Cause, std::vector<util::SimTime>> redundant_open_offsets;
+
+  /// Median open offset for a cause; nullopt when unseen.
+  std::optional<util::SimTime> median_open_offset(Cause cause) const;
+
+  /// Fraction helpers.
+  double redundant_site_share() const noexcept;
+  std::optional<util::SimTime> median_closed_lifetime() const;
+
+  /// Number of sites with at least `n` redundant connections (Figure 2 is
+  /// the complementary cumulative distribution of this).
+  std::uint64_t sites_with_at_least(std::size_t n) const noexcept;
+};
+
+/// Streaming aggregator: feed (observation, classification) pairs, read the
+/// report at the end. The AS database is optional; without it the AS table
+/// stays empty.
+class Aggregator {
+ public:
+  explicit Aggregator(const asdb::AsDatabase* as_database = nullptr)
+      : as_database_(as_database) {}
+
+  void add_site(const SiteObservation& site, const SiteClassification& cls);
+
+  const AggregateReport& report() const noexcept { return report_; }
+
+ private:
+  const asdb::AsDatabase* as_database_;
+  AggregateReport report_;
+};
+
+/// Sorted top-k view of an attribution map, by connection count descending
+/// (ties broken by key for determinism).
+template <typename Tally>
+std::vector<std::pair<std::string, const Tally*>> top_k(
+    const std::map<std::string, Tally>& table, std::size_t k) {
+  std::vector<std::pair<std::string, const Tally*>> rows;
+  rows.reserve(table.size());
+  for (const auto& [key, tally] : table) rows.emplace_back(key, &tally);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->connections != b.second->connections) {
+      return a.second->connections > b.second->connections;
+    }
+    return a.first < b.first;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+/// 1-based rank of `key` in `table` by connection count (paper's "↑"
+/// column); nullopt when absent.
+template <typename Tally>
+std::optional<std::size_t> rank_of(const std::map<std::string, Tally>& table,
+                                   const std::string& key) {
+  const auto it = table.find(key);
+  if (it == table.end()) return std::nullopt;
+  std::size_t rank = 1;
+  for (const auto& [other_key, tally] : table) {
+    if (tally.connections > it->second.connections ||
+        (tally.connections == it->second.connections && other_key < key)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+/// The most frequent previous origin of a tally (the "prev:" row).
+std::optional<std::pair<std::string, std::uint64_t>> top_previous(
+    const OriginTally& tally);
+
+/// Restricts observations to the sites named in `keep` (overlap analysis,
+/// Tables 7-10).
+std::vector<SiteObservation> filter_sites(
+    const std::vector<SiteObservation>& sites,
+    const std::set<std::string>& keep);
+
+}  // namespace h2r::core

@@ -1,0 +1,159 @@
+#include "core/report_json.hpp"
+
+namespace h2r::core {
+
+namespace {
+
+json::Value cause_tally_json(const AggregateReport& report, Cause cause) {
+  json::Object obj;
+  const auto it = report.by_cause.find(cause);
+  obj.set("sites", it == report.by_cause.end()
+                       ? std::int64_t{0}
+                       : static_cast<std::int64_t>(it->second.sites));
+  obj.set("connections",
+          it == report.by_cause.end()
+              ? std::int64_t{0}
+              : static_cast<std::int64_t>(it->second.connections));
+  return json::Value{std::move(obj)};
+}
+
+json::Value origin_table_json(const std::map<std::string, OriginTally>& table,
+                              std::size_t top_n) {
+  json::Array rows;
+  for (const auto& [origin, tally] : top_k(table, top_n)) {
+    json::Object row;
+    row.set("origin", origin);
+    row.set("connections", static_cast<std::int64_t>(tally->connections));
+    if (!tally->issuer.empty()) row.set("issuer", tally->issuer);
+    if (const auto prev = top_previous(*tally)) {
+      json::Object prev_obj;
+      prev_obj.set("origin", prev->first);
+      prev_obj.set("connections", static_cast<std::int64_t>(prev->second));
+      row.set("top_previous", std::move(prev_obj));
+    }
+    rows.emplace_back(std::move(row));
+  }
+  return json::Value{std::move(rows)};
+}
+
+json::Value issuer_table_json(const std::map<std::string, IssuerTally>& table,
+                              std::size_t top_n) {
+  json::Array rows;
+  for (const auto& [issuer, tally] : top_k(table, top_n)) {
+    json::Object row;
+    row.set("issuer", issuer);
+    row.set("connections", static_cast<std::int64_t>(tally->connections));
+    row.set("domains", static_cast<std::int64_t>(tally->domains.size()));
+    rows.emplace_back(std::move(row));
+  }
+  return json::Value{std::move(rows)};
+}
+
+}  // namespace
+
+json::Value to_json(const AggregateReport& report, std::size_t top_n) {
+  json::Object root;
+  root.set("analyzed_sites", static_cast<std::int64_t>(report.analyzed_sites));
+  root.set("h2_sites", static_cast<std::int64_t>(report.h2_sites));
+  root.set("redundant_sites",
+           static_cast<std::int64_t>(report.redundant_sites));
+  root.set("total_connections",
+           static_cast<std::int64_t>(report.total_connections));
+  root.set("redundant_connections",
+           static_cast<std::int64_t>(report.redundant_connections));
+  root.set("filtered_requests",
+           static_cast<std::int64_t>(report.filtered_requests));
+
+  json::Object causes;
+  causes.set("CERT", cause_tally_json(report, Cause::kCert));
+  causes.set("IP", cause_tally_json(report, Cause::kIp));
+  causes.set("CRED", cause_tally_json(report, Cause::kCred));
+  root.set("causes", std::move(causes));
+
+  json::Array histogram;
+  for (const auto& [count, sites] : report.redundant_per_site_histogram) {
+    json::Object bucket;
+    bucket.set("redundant_connections", static_cast<std::int64_t>(count));
+    bucket.set("sites", static_cast<std::int64_t>(sites));
+    histogram.emplace_back(std::move(bucket));
+  }
+  root.set("redundant_per_site", std::move(histogram));
+
+  root.set("ip_origins", origin_table_json(report.ip_origins, top_n));
+  root.set("cert_domains", origin_table_json(report.cert_domains, top_n));
+  root.set("cert_issuers", issuer_table_json(report.cert_issuers, top_n));
+  root.set("all_issuers", issuer_table_json(report.all_issuers, top_n));
+
+  json::Array ases;
+  for (const auto& [as_name, tally] : top_k(report.ip_ases, top_n)) {
+    json::Object row;
+    row.set("as", as_name);
+    row.set("connections", static_cast<std::int64_t>(tally->connections));
+    row.set("domains", static_cast<std::int64_t>(tally->domains.size()));
+    ases.emplace_back(std::move(row));
+  }
+  root.set("ip_ases", std::move(ases));
+
+  root.set("closed_connections",
+           static_cast<std::int64_t>(report.closed_connections));
+  if (const auto median = report.median_closed_lifetime()) {
+    root.set("median_closed_lifetime_ms", static_cast<std::int64_t>(*median));
+  }
+  root.set("cred_same_domain_connections",
+           static_cast<std::int64_t>(report.cred_same_domain_connections));
+  return json::Value{std::move(root)};
+}
+
+json::Value to_json(const SiteClassification& classification) {
+  json::Object root;
+  root.set("site", classification.site_url);
+  root.set("total_connections",
+           static_cast<std::int64_t>(classification.total_connections));
+  root.set("redundant_connections",
+           static_cast<std::int64_t>(classification.redundant_connections()));
+  json::Array findings;
+  for (const ConnectionFinding& finding : classification.findings) {
+    json::Object item;
+    item.set("connection_index",
+             static_cast<std::int64_t>(finding.connection_index));
+    json::Array causes;
+    for (Cause cause : finding.causes) causes.emplace_back(to_string(cause));
+    item.set("causes", std::move(causes));
+    json::Object prevs;
+    for (const auto& [cause, domains] : finding.reusable_previous_domains) {
+      json::Array list;
+      for (const std::string& domain : domains) list.emplace_back(domain);
+      prevs.set(to_string(cause), std::move(list));
+    }
+    item.set("reusable_previous", std::move(prevs));
+    findings.emplace_back(std::move(item));
+  }
+  root.set("findings", std::move(findings));
+  return json::Value{std::move(root)};
+}
+
+json::Value to_json(const AuditReport& report) {
+  json::Object root;
+  root.set("site", report.site_url);
+  root.set("total_connections",
+           static_cast<std::int64_t>(report.total_connections));
+  root.set("redundant_connections",
+           static_cast<std::int64_t>(report.redundant_connections));
+  root.set("non_ip_redundant",
+           static_cast<std::int64_t>(report.non_ip_redundant));
+  json::Array advice;
+  for (const Advice& item : report.advice) {
+    json::Object obj;
+    obj.set("cause", to_string(item.cause));
+    obj.set("remedy", to_string(item.remedy));
+    obj.set("domain", item.domain);
+    obj.set("reusable_domain", item.reusable_domain);
+    obj.set("connections", static_cast<std::int64_t>(item.connections));
+    obj.set("message", item.message);
+    advice.emplace_back(std::move(obj));
+  }
+  root.set("advice", std::move(advice));
+  return json::Value{std::move(root)};
+}
+
+}  // namespace h2r::core

@@ -1,0 +1,23 @@
+// JSON serialization of analysis results — the machine-readable side of
+// the toolkit (the `h2r` CLI's --json mode, CI pipelines diffing audits).
+#pragma once
+
+#include "core/advisor.hpp"
+#include "core/classify.hpp"
+#include "core/report.hpp"
+#include "json/json.hpp"
+
+namespace h2r::core {
+
+/// Aggregate report -> JSON: headline counts, per-cause tallies, the
+/// Figure 2 histogram and the attribution tables (top `top_n` rows each).
+json::Value to_json(const AggregateReport& report, std::size_t top_n = 20);
+
+/// One site's classification -> JSON (per-connection findings with causes
+/// and reusable previous origins).
+json::Value to_json(const SiteClassification& classification);
+
+/// Audit report -> JSON (advice items with cause/remedy/volume).
+json::Value to_json(const AuditReport& report);
+
+}  // namespace h2r::core

@@ -1,0 +1,145 @@
+#include "dns/authoritative.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::dns {
+
+void Zone::add_addresses(std::string name, std::vector<net::IpAddress> pool,
+                         LbConfig lb, std::uint32_t ttl_seconds) {
+  RecordSet rs;
+  rs.name = util::to_lower(name);
+  rs.type = !pool.empty() && pool.front().is_v6() ? RecordType::kAAAA
+                                                  : RecordType::kA;
+  rs.ttl_seconds = ttl_seconds;
+  rs.pool = std::move(pool);
+  rs.lb = lb;
+  records_[rs.name] = std::move(rs);
+}
+
+void Zone::add_cname(std::string name, std::string target,
+                     std::uint32_t ttl_seconds) {
+  RecordSet rs;
+  rs.name = util::to_lower(name);
+  rs.type = RecordType::kCNAME;
+  rs.ttl_seconds = ttl_seconds;
+  rs.cname_target = util::to_lower(target);
+  records_[rs.name] = std::move(rs);
+}
+
+const RecordSet* Zone::find(std::string_view name) const noexcept {
+  const auto it = records_.find(name);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void AuthoritativeServer::add_zone(Zone zone) {
+  // Zones are a construction convenience; the server stores a flat map.
+  for (const auto& [name, rs] : zone.records()) {
+    (void)name;
+    add_record_set(rs);
+  }
+}
+
+void AuthoritativeServer::add_record_set(RecordSet rs) {
+  rs.name = util::to_lower(rs.name);
+  if (rs.type == RecordType::kCNAME) {
+    rs.cname_target = util::to_lower(rs.cname_target);
+  }
+  records_[rs.name] = std::move(rs);
+}
+
+const RecordSet* AuthoritativeServer::find(
+    std::string_view name) const noexcept {
+  const auto it = records_.find(name);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::IpAddress> AuthoritativeServer::select_addresses(
+    const RecordSet& rs, const QueryContext& ctx) const {
+  if (rs.pool.empty()) return {};
+  const std::size_t n = rs.pool.size();
+  const std::size_t want = std::min(std::max<std::size_t>(rs.lb.answer_count, 1), n);
+
+  const std::int64_t slot =
+      rs.lb.slot_duration > 0 ? ctx.now / rs.lb.slot_duration : 0;
+
+  switch (rs.lb.policy) {
+    case LbPolicy::kStatic: {
+      return {rs.pool.begin(), rs.pool.begin() + static_cast<std::ptrdiff_t>(want)};
+    }
+    case LbPolicy::kRoundRobin: {
+      // Same rotation for everyone: start index advances once per slot.
+      std::vector<net::IpAddress> out;
+      out.reserve(want);
+      const std::size_t start = static_cast<std::size_t>(slot) % n;
+      for (std::size_t i = 0; i < want; ++i) {
+        out.push_back(rs.pool[(start + i) % n]);
+      }
+      return out;
+    }
+    case LbPolicy::kPerResolverShuffle: {
+      // Deterministic shuffle keyed by (name salt, resolver, slot).
+      std::uint64_t key = util::combine_seed(seed_, rs.lb.seed_salt);
+      key = util::combine_seed(key, ctx.resolver_id);
+      key = util::combine_seed(key, static_cast<std::uint64_t>(slot));
+      key = util::hash_seed(key, rs.name);
+      util::Rng rng{key};
+      std::vector<std::size_t> order(n);
+      for (std::size_t i = 0; i < n; ++i) order[i] = i;
+      rng.shuffle(order);
+      std::vector<net::IpAddress> out;
+      out.reserve(want);
+      for (std::size_t i = 0; i < want; ++i) out.push_back(rs.pool[order[i]]);
+      return out;
+    }
+    case LbPolicy::kGeo: {
+      // Stable per region: region hash selects a window into the pool.
+      // ECS-forwarded client regions take precedence (RFC 7871).
+      const std::string& region = ctx.ecs_client_region.empty()
+                                      ? ctx.region
+                                      : ctx.ecs_client_region;
+      const std::uint64_t key =
+          util::hash_seed(util::combine_seed(seed_, rs.lb.seed_salt),
+                          region);
+      const std::size_t start = static_cast<std::size_t>(key % n);
+      std::vector<net::IpAddress> out;
+      out.reserve(want);
+      for (std::size_t i = 0; i < want; ++i) {
+        out.push_back(rs.pool[(start + i) % n]);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+Answer AuthoritativeServer::query(std::string_view name,
+                                  const QueryContext& ctx) const {
+  Answer answer;
+  std::string current = util::to_lower(name);
+  constexpr int kMaxChain = 8;
+  for (int depth = 0; depth <= kMaxChain; ++depth) {
+    const RecordSet* rs = find(current);
+    if (rs == nullptr) return answer;  // NXDOMAIN
+    if (rs->type == RecordType::kCNAME) {
+      answer.cname_chain.push_back(rs->cname_target);
+      answer.ttl_seconds =
+          answer.ttl_seconds == 0
+              ? rs->ttl_seconds
+              : std::min(answer.ttl_seconds, rs->ttl_seconds);
+      current = rs->cname_target;
+      continue;
+    }
+    answer.addresses = select_addresses(*rs, ctx);
+    answer.ttl_seconds = answer.ttl_seconds == 0
+                             ? rs->ttl_seconds
+                             : std::min(answer.ttl_seconds, rs->ttl_seconds);
+    answer.ok = !answer.addresses.empty();
+    return answer;
+  }
+  return answer;  // Chain too long -> SERVFAIL-ish.
+}
+
+}  // namespace h2r::dns

@@ -1,0 +1,89 @@
+// Authoritative DNS: zones plus the query-time load-balancing logic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/records.hpp"
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::dns {
+
+/// Identity of the querying resolver, as far as the authority can tell.
+/// `region` feeds geo policies; `id` feeds per-resolver shuffles.
+struct QueryContext {
+  std::uint64_t resolver_id = 0;
+  std::string region;  // e.g. "eu", "us", "apac"
+  /// RFC 7871 EDNS Client Subnet: the client's region as forwarded by an
+  /// ECS-enabled resolver (empty = not forwarded; the paper verified its
+  /// 14 resolvers do NOT support ECS, so geo answers follow the RESOLVER).
+  std::string ecs_client_region;
+  util::SimTime now = 0;
+};
+
+/// A zone holds record sets for names under one apex.
+class Zone {
+ public:
+  explicit Zone(std::string apex) : apex_(std::move(apex)) {}
+
+  const std::string& apex() const noexcept { return apex_; }
+
+  /// Adds an address record set with a backend pool and LB config.
+  void add_addresses(std::string name, std::vector<net::IpAddress> pool,
+                     LbConfig lb, std::uint32_t ttl_seconds = 60);
+
+  /// Adds a CNAME.
+  void add_cname(std::string name, std::string target,
+                 std::uint32_t ttl_seconds = 300);
+
+  const RecordSet* find(std::string_view name) const noexcept;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  const std::map<std::string, RecordSet, std::less<>>& records()
+      const noexcept {
+    return records_;
+  }
+
+ private:
+  std::string apex_;
+  std::map<std::string, RecordSet, std::less<>> records_;
+};
+
+/// The union of all zones in the simulated Internet, with deterministic
+/// load-balanced answer selection.
+class AuthoritativeServer {
+ public:
+  explicit AuthoritativeServer(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Moves `zone` into the server. Zone apexes must be unique.
+  void add_zone(Zone zone);
+
+  /// Convenience: registers a record set directly.
+  void add_record_set(RecordSet rs);
+
+  /// Resolves `name`, following CNAME chains (depth-capped), applying the
+  /// terminal record set's LB policy under `ctx`.
+  Answer query(std::string_view name, const QueryContext& ctx) const;
+
+  /// Answer selection for one record set under `ctx` — exposed for tests
+  /// and for the Figure 3 study which inspects raw answer sets.
+  std::vector<net::IpAddress> select_addresses(const RecordSet& rs,
+                                               const QueryContext& ctx) const;
+
+  bool has_name(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+ private:
+  const RecordSet* find(std::string_view name) const noexcept;
+
+  std::uint64_t seed_;
+  std::map<std::string, RecordSet, std::less<>> records_;
+};
+
+}  // namespace h2r::dns

@@ -1,0 +1,17 @@
+#include "dns/records.hpp"
+
+namespace h2r::dns {
+
+std::string to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kA:
+      return "A";
+    case RecordType::kAAAA:
+      return "AAAA";
+    case RecordType::kCNAME:
+      return "CNAME";
+  }
+  return "?";
+}
+
+}  // namespace h2r::dns

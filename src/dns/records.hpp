@@ -1,0 +1,76 @@
+// DNS resource records and load-balancing configuration.
+//
+// The paper identifies *unsynchronized DNS load balancing* as the leading
+// cause of redundant connections (cause IP): two domains of one operator
+// (www.googletagmanager.com / www.google-analytics.com) are load-balanced
+// independently, so a client usually receives different IPs for them even
+// though either IP serves both. The LbConfig below is the model of that
+// behaviour: which subset of a backend pool a given resolver sees in a given
+// time slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::dns {
+
+enum class RecordType : std::uint8_t { kA, kAAAA, kCNAME };
+
+std::string to_string(RecordType type);
+
+/// How an authoritative server rotates answers for a name.
+enum class LbPolicy : std::uint8_t {
+  /// Always the same answer set, in pool order. (No load balancing —
+  /// aids connection reuse.)
+  kStatic,
+  /// The answer window rotates through the pool over time; all resolvers
+  /// see the same rotation (synchronized round robin).
+  kRoundRobin,
+  /// Deterministic shuffle per (resolver, time slot): different resolvers
+  /// see different, changing subsets — the paper's "unsynchronized"
+  /// behaviour that defeats connection reuse.
+  kPerResolverShuffle,
+  /// Answer depends on the resolver's region only (geo DNS / anycast-like):
+  /// stable over time, differs across vantage points.
+  kGeo,
+};
+
+struct LbConfig {
+  LbPolicy policy = LbPolicy::kStatic;
+  /// Number of addresses returned per query (clamped to pool size).
+  std::size_t answer_count = 1;
+  /// Length of one rotation slot.
+  util::SimTime slot_duration = util::minutes(5);
+  /// Extra seed material so two names with identical pools still rotate
+  /// independently (the "unsynchronized" part).
+  std::uint64_t seed_salt = 0;
+};
+
+/// Authoritative data for one name.
+struct RecordSet {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint32_t ttl_seconds = 60;
+
+  /// For kA / kAAAA: the full backend pool the LB policy selects from.
+  std::vector<net::IpAddress> pool;
+  LbConfig lb;
+
+  /// For kCNAME: the canonical name.
+  std::string cname_target;
+};
+
+/// The answer to one query as seen by a resolver.
+struct Answer {
+  bool ok = false;
+  /// CNAME chain followed, excluding the query name.
+  std::vector<std::string> cname_chain;
+  std::vector<net::IpAddress> addresses;
+  std::uint32_t ttl_seconds = 0;
+};
+
+}  // namespace h2r::dns

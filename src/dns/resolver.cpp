@@ -1,0 +1,42 @@
+#include "dns/resolver.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::dns {
+
+Resolution RecursiveResolver::resolve(std::string_view name,
+                                      util::SimTime now,
+                                      std::string_view client_region) {
+  const std::string key = util::to_lower(name);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it->second.resolution.expires_at > now) {
+      ++cache_hits_;
+      Resolution r = it->second.resolution;
+      r.from_cache = true;
+      return r;
+    }
+    cache_.erase(it);
+  }
+
+  ++upstream_queries_;
+  QueryContext ctx;
+  ctx.resolver_id = profile_.id;
+  ctx.region = profile_.region;
+  if (profile_.ecs_supported) {
+    ctx.ecs_client_region = std::string(client_region);
+  }
+  ctx.now = now;
+  const Answer answer = authority_->query(key, ctx);
+
+  Resolution r;
+  r.ok = answer.ok;
+  r.addresses = answer.addresses;
+  r.cname_chain = answer.cname_chain;
+  r.expires_at = now + util::seconds(answer.ttl_seconds);
+  if (r.ok) {
+    cache_[key] = CacheEntry{r};
+  }
+  return r;
+}
+
+}  // namespace h2r::dns

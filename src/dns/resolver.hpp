@@ -1,0 +1,76 @@
+// Recursive resolver model with a TTL-bounded cache.
+//
+// The browser resolves through exactly one recursive resolver (like the
+// paper's measurement host using the university resolver); the Figure 3
+// study queries 14 of them. Caching matters: the paper notes that
+// "load-balanced resolvers with differing caches can also cause this
+// effect" — a cached answer can disagree with a fresh one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/authoritative.hpp"
+#include "dns/records.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::dns {
+
+/// Where a resolver sits and how it identifies itself (Table 11 analogue).
+struct ResolverProfile {
+  std::string name;          // e.g. "RWTH Aachen University"
+  std::string country;       // e.g. "Germany"
+  std::string region;        // coarse geo bucket for geo LB, e.g. "eu"
+  std::uint64_t id = 0;      // feeds per-resolver LB shuffles
+  bool ecs_supported = false;  // EDNS Client Subnet (paper checked: none)
+};
+
+/// The result the stub (browser) receives.
+struct Resolution {
+  bool ok = false;
+  bool from_cache = false;
+  std::vector<net::IpAddress> addresses;
+  std::vector<std::string> cname_chain;
+  util::SimTime expires_at = 0;
+};
+
+class RecursiveResolver {
+ public:
+  RecursiveResolver(ResolverProfile profile,
+                    const AuthoritativeServer* authority)
+      : profile_(std::move(profile)), authority_(authority) {}
+
+  const ResolverProfile& profile() const noexcept { return profile_; }
+
+  /// Resolves `name` at simulated time `now`, serving unexpired cache
+  /// entries first. `client_region` is forwarded upstream as EDNS Client
+  /// Subnet only if this resolver supports ECS (none of the paper's 14
+  /// do) — otherwise geo answers follow the resolver's own location.
+  Resolution resolve(std::string_view name, util::SimTime now,
+                     std::string_view client_region = {});
+
+  /// Drops every cached entry (the paper resets browser state per site;
+  /// resolver caches persist unless explicitly flushed).
+  void flush_cache() noexcept { cache_.clear(); }
+
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+
+  std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+
+ private:
+  struct CacheEntry {
+    Resolution resolution;
+  };
+
+  ResolverProfile profile_;
+  const AuthoritativeServer* authority_;
+  std::map<std::string, CacheEntry, std::less<>> cache_;
+  std::uint64_t upstream_queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace h2r::dns

@@ -1,0 +1,27 @@
+#include "dns/vantage.hpp"
+
+namespace h2r::dns {
+
+std::vector<ResolverProfile> standard_vantage_points() {
+  // Mirrors Table 11 of the paper. The internal university resolver comes
+  // first: it is the one the simulated browser uses.
+  std::vector<ResolverProfile> out = {
+      {"RWTH Aachen University", "Germany", "eu", 0, false},
+      {"KT Corporation", "South Korea", "apac", 1, false},
+      {"FreeDNS Germany", "Germany", "eu", 2, false},
+      {"FreeDNS Singapore", "Singapore", "apac", 3, false},
+      {"Ver Tv Comunicacoes S/A", "Brazil", "sa", 4, false},
+      {"MAXEN TECHNOLOGIES, S.L.", "Spain", "eu", 5, false},
+      {"MSK-IX", "Russia", "eu", 6, false},
+      {"Telstra Corporation Limited", "Australia", "apac", 7, false},
+      {"HKT Limited", "Hong Kong", "apac", 8, false},
+      {"Infoserve GmbH", "Germany", "eu", 9, false},
+      {"Marss Japan Co., Ltd", "Japan", "apac", 10, false},
+      {"Level 3 Communications UK", "United Kingdom", "eu", 11, false},
+      {"Level 3 Communications US", "USA", "us", 12, false},
+      {"French Data Network (FDN)", "France", "eu", 13, false},
+  };
+  return out;
+}
+
+}  // namespace h2r::dns

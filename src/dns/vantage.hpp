@@ -1,0 +1,15 @@
+// The 14 DNS vantage points of the paper's Table 11, as synthetic
+// ResolverProfiles. Used by the Figure 3 load-balancing overlap study.
+#pragma once
+
+#include <vector>
+
+#include "dns/resolver.hpp"
+
+namespace h2r::dns {
+
+/// Returns the paper's resolver list (operator, country) mapped onto
+/// deterministic ids and coarse regions.
+std::vector<ResolverProfile> standard_vantage_points();
+
+}  // namespace h2r::dns

@@ -1,0 +1,226 @@
+#include "experiments/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "http2/priority.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::experiments {
+
+double page_fetch_time_ms(std::uint64_t total_bytes, int connections,
+                          const PerfParams& params) {
+  if (connections < 1) connections = 1;
+  struct Conn {
+    double cwnd = 0;              // in segments
+    double w_max = 0;             // window before the last loss (CUBIC)
+    std::uint64_t remaining = 0;  // bytes
+    int start_round = 0;          // discovery stagger
+  };
+  util::Rng rng{params.seed};
+  std::vector<Conn> conns(static_cast<std::size_t>(connections));
+  const std::uint64_t share =
+      total_bytes / static_cast<std::uint64_t>(connections);
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    conns[i].cwnd = params.initial_cwnd_segments;
+    conns[i].remaining =
+        i == 0 ? total_bytes - share * (conns.size() - 1) : share;
+    conns[i].start_round = static_cast<int>(
+        static_cast<double>(i) * params.stagger_rtts + 0.5);
+  }
+
+  // The first connection pays the handshake up front; later connections
+  // hide part of theirs behind the transfer but start staggered rounds
+  // later (see Conn::start_round).
+  double time_ms = params.handshake_rtts * params.rtt_ms;
+
+  const double link_bytes_per_rtt =
+      params.bandwidth_bytes_per_ms * params.rtt_ms;
+
+  bool done = false;
+  int round = 0;
+  while (!done && round < 100000) {
+    // Offered load this round.
+    double offered = 0;
+    for (const Conn& c : conns) {
+      if (c.remaining > 0 && round >= c.start_round) {
+        offered += c.cwnd * params.mss_bytes;
+      }
+    }
+    done = true;
+    for (Conn& c : conns) {
+      if (c.remaining == 0) continue;
+      done = false;
+      if (round < c.start_round) continue;
+      const double scale =
+          offered > 0 ? std::min(1.0, link_bytes_per_rtt / offered) : 1.0;
+      // Per-segment loss: a round is hit with probability
+      // 1 - (1-p)^cwnd, so large windows are hit more often.
+      const double round_loss =
+          1.0 - std::pow(1.0 - params.loss_rate, c.cwnd);
+      double deliver = c.cwnd * params.mss_bytes * scale;
+      if (rng.chance(round_loss)) {
+        // Loss event: the whole HTTP/2 connection stalls on the
+        // retransmit (TCP head-of-line blocking) and the window shrinks.
+        deliver *= 0.5;
+        c.w_max = c.cwnd;
+        c.cwnd = std::max(
+            c.cwnd * (params.algorithm == CcAlgorithm::kCubicLike ? 0.7
+                                                                  : 0.5),
+            2.0);
+      } else if (scale >= 1.0 && c.w_max == 0) {
+        c.cwnd *= 2.0;  // slow start while the link is uncontended
+      } else if (params.algorithm == CcAlgorithm::kCubicLike &&
+                 c.cwnd < c.w_max) {
+        // Concave recovery: close a large fraction of the gap to the
+        // pre-loss window each round trip.
+        c.cwnd += std::max(0.4 * (c.w_max - c.cwnd), 1.0);
+      } else {
+        c.cwnd += 1.0;  // congestion avoidance
+      }
+      const std::uint64_t bytes =
+          std::min(c.remaining, static_cast<std::uint64_t>(deliver));
+      c.remaining -= bytes;
+    }
+    if (!done) time_ms += params.rtt_ms;
+    ++round;
+  }
+  return time_ms;
+}
+
+std::uint64_t hpack_bytes(const std::vector<http2::HeaderList>& requests,
+                          int connections) {
+  if (connections < 1) connections = 1;
+  std::vector<http2::HpackEncoder> encoders(
+      static_cast<std::size_t>(connections));
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    total += encoders[i % encoders.size()].encode(requests[i]).size();
+  }
+  return total;
+}
+
+std::vector<http2::HeaderList> make_header_workload(std::size_t count,
+                                                    std::size_t domains) {
+  std::vector<http2::HeaderList> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string domain =
+        "shard" + std::to_string(i % domains) + ".example.com";
+    const std::string path = "/assets/resource-" + std::to_string(i % 7) +
+                             "?v=" + std::to_string(i % 3);
+    out.push_back(
+        http2::make_request_headers("GET", domain, path, /*with_cookie=*/true));
+  }
+  return out;
+}
+
+PrioritySimResult schedule_prioritized(
+    const std::vector<PrioritizedResource>& resources, int connections,
+    std::uint64_t bytes_per_round) {
+  if (connections < 1) connections = 1;
+  const std::size_t n = resources.size();
+  PrioritySimResult result;
+  result.completion_round.assign(n, 0);
+  if (n == 0) return result;
+
+  // Round-robin assignment, one priority tree + pending map per conn.
+  std::vector<http2::PriorityTree> trees(
+      static_cast<std::size_t>(connections));
+  std::vector<std::map<http2::StreamId, std::uint64_t>> pending(
+      static_cast<std::size_t>(connections));
+  // Stream id encodes the resource index (odd client ids).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t conn = i % static_cast<std::size_t>(connections);
+    const http2::StreamId id = static_cast<http2::StreamId>(2 * i + 1);
+    trees[conn].declare(id, 0, resources[i].weight);
+    pending[conn][id] = std::max<std::uint64_t>(resources[i].bytes, 1);
+  }
+
+  const std::uint64_t per_conn =
+      std::max<std::uint64_t>(bytes_per_round /
+                                  static_cast<std::uint64_t>(connections),
+                              1);
+  int round = 0;
+  bool work_left = true;
+  while (work_left && round < 100000) {
+    ++round;
+    work_left = false;
+    for (std::size_t conn = 0; conn < pending.size(); ++conn) {
+      if (pending[conn].empty()) continue;
+      const auto granted = trees[conn].distribute(pending[conn], per_conn);
+      for (const auto& [stream, bytes] : granted) {
+        auto it = pending[conn].find(stream);
+        if (it == pending[conn].end()) continue;
+        it->second -= std::min(it->second, bytes);
+        if (it->second == 0) {
+          const std::size_t index = (stream - 1) / 2;
+          result.completion_round[index] = round;
+          pending[conn].erase(it);
+        }
+      }
+      if (!pending[conn].empty()) work_left = true;
+    }
+  }
+  for (std::size_t conn = 0; conn < pending.size(); ++conn) {
+    for (const auto& [stream, bytes] : pending[conn]) {
+      (void)bytes;
+      result.completion_round[(stream - 1) / 2] = round + 1;
+    }
+  }
+
+  // Inversions: low-weight resource strictly before a >=2x-heavier one.
+  std::uint64_t pairs = 0;
+  std::uint64_t inverted = 0;
+  double high_sum = 0;
+  std::size_t high_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (resources[i].weight >= 128) {
+      high_sum += result.completion_round[i];
+      ++high_count;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (resources[i].weight >= 2 * resources[j].weight) {
+        ++pairs;
+        if (result.completion_round[j] < result.completion_round[i]) {
+          ++inverted;
+        }
+      }
+    }
+  }
+  result.inversion_share =
+      pairs > 0 ? static_cast<double>(inverted) / static_cast<double>(pairs)
+                : 0.0;
+  result.mean_high_priority_round =
+      high_count > 0 ? high_sum / static_cast<double>(high_count) : 0.0;
+  return result;
+}
+
+std::vector<PrioritizedResource> make_priority_workload(std::size_t count,
+                                                        std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<PrioritizedResource> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PrioritizedResource r;
+    const double roll = rng.uniform01();
+    if (roll < 0.2) {
+      r.name = "css-" + std::to_string(i);
+      r.weight = 256;  // render blocking
+      r.bytes = 8 * 1024 + rng.uniform(0, 30 * 1024);
+    } else if (roll < 0.4) {
+      r.name = "script-" + std::to_string(i);
+      r.weight = 183;
+      r.bytes = 20 * 1024 + rng.uniform(0, 80 * 1024);
+    } else {
+      r.name = "img-" + std::to_string(i);
+      r.weight = 32;
+      r.bytes = 15 * 1024 + rng.uniform(0, 200 * 1024);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace h2r::experiments

@@ -1,0 +1,104 @@
+// Performance model for the cost of redundant connections — the paper's
+// §2 arguments and §6 "future work" (the exact performance impact of the
+// findings):
+//
+//   * every extra connection pays handshake RTTs (TCP + TLS) and restarts
+//     congestion-control slow start,
+//   * header compression suffers because each connection bootstraps its
+//     own HPACK dictionary,
+//   * but under loss, multiple connections can win (cumulative cwnd, no
+//     cross-stream HOL blocking) — the crossover reported by Goel/Manzoor/
+//     Marx et al., which we reproduce with a small deterministic
+//     congestion-control simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "http2/hpack.hpp"
+
+namespace h2r::experiments {
+
+enum class CcAlgorithm {
+  /// NewReno-style: +1 segment per RTT in congestion avoidance.
+  kReno,
+  /// CUBIC-like: concave fast recovery towards the pre-loss window, then
+  /// slow probing — the "easily tunable CC" the paper expects QUIC to
+  /// bring, which shrinks the multi-connection advantage under loss.
+  kCubicLike,
+};
+
+struct PerfParams {
+  CcAlgorithm algorithm = CcAlgorithm::kReno;
+  double rtt_ms = 50.0;
+  double bandwidth_bytes_per_ms = 1250.0;  // 10 Mbit/s shared link
+  int initial_cwnd_segments = 10;
+  int mss_bytes = 1460;
+  /// Per-SEGMENT loss probability. A round's loss chance grows with the
+  /// connection's cwnd, so one big window is hit (and halved) far more
+  /// often than several small ones — the cumulative-cwnd advantage the
+  /// literature reports for lossy paths.
+  double loss_rate = 0.0;
+  /// Handshake cost in RTTs before the first byte (TCP 1 + TLS1.3 1 = 2).
+  double handshake_rtts = 2.0;
+  /// Extra connections are discovered while the page loads (sharded
+  /// resources appear later): connection i starts `i * stagger_rtts`
+  /// RTTs after the first — the setup cost redundant connections pay.
+  double stagger_rtts = 1.5;
+  std::uint64_t seed = 1;
+};
+
+/// Simulated time (ms) to fetch `total_bytes` split evenly across
+/// `connections` parallel HTTP/2 connections sharing one bottleneck link.
+/// Deterministic for a given seed.
+double page_fetch_time_ms(std::uint64_t total_bytes, int connections,
+                          const PerfParams& params);
+
+/// Total HPACK-encoded header bytes when `requests` are distributed
+/// round-robin over `connections` connections (each with its own encoder
+/// and dynamic table). More connections -> more dictionary bootstraps ->
+/// more bytes (the Marx et al. effect).
+std::uint64_t hpack_bytes(const std::vector<http2::HeaderList>& requests,
+                          int connections);
+
+/// A realistic request-header workload: `count` requests spread over
+/// `domains` distinct authorities with per-domain cookies and rotating
+/// paths.
+std::vector<http2::HeaderList> make_header_workload(std::size_t count,
+                                                    std::size_t domains);
+
+// ---------------------------------------------------------- prioritization
+
+/// One page resource with its RFC 7540 priority weight (Chromium-style:
+/// render-blocking CSS/JS high, images low).
+struct PrioritizedResource {
+  std::string name;
+  int weight = 16;
+  std::uint64_t bytes = 0;
+};
+
+struct PrioritySimResult {
+  /// Round in which each resource finished (parallel to the input).
+  std::vector<int> completion_round;
+  /// Share of (high, low)-weight pairs where the LOW-priority resource
+  /// finished strictly before the high-priority one — §2.2.1's
+  /// "priorities lose their meaning" across connections.
+  double inversion_share = 0.0;
+  /// Mean completion round of resources with weight >= 128.
+  double mean_high_priority_round = 0.0;
+};
+
+/// Delivers `resources` over `connections` HTTP/2 connections sharing one
+/// link of `bytes_per_round` capacity. Resources are assigned round-robin;
+/// WITHIN a connection the RFC 7540 priority tree schedules perfectly,
+/// ACROSS connections capacity is split evenly (no cross-connection
+/// priorities exist). connections=1 is the ideal case.
+PrioritySimResult schedule_prioritized(
+    const std::vector<PrioritizedResource>& resources, int connections,
+    std::uint64_t bytes_per_round);
+
+/// A typical page: render-blocking CSS/JS (high weight), async scripts
+/// (medium), images/beacons (low).
+std::vector<PrioritizedResource> make_priority_workload(std::size_t count,
+                                                        std::uint64_t seed);
+
+}  // namespace h2r::experiments

@@ -1,0 +1,179 @@
+#include "experiments/study.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "core/classify.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+#include "web/sitegen.hpp"
+
+namespace h2r::experiments {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+StudyConfig StudyConfig::from_env() {
+  StudyConfig config;
+  config.har_sites = env_size("H2R_HAR_SITES", config.har_sites);
+  config.alexa_sites = env_size("H2R_ALEXA_SITES", config.alexa_sites);
+  config.har_first_rank =
+      env_size("H2R_HAR_FIRST_RANK", config.har_first_rank);
+  config.seed = env_size("H2R_SEED", config.seed);
+  config.threads =
+      static_cast<unsigned>(env_size("H2R_THREADS", config.threads));
+  return config;
+}
+
+StudyResults run_study(const StudyConfig& config) {
+  StudyResults results;
+  results.config = config;
+
+  web::Ecosystem eco{config.seed};
+  web::ServiceCatalog catalog{eco, config.seed};
+  web::UniverseConfig universe_config = web::UniverseConfig::defaults();
+  universe_config.seed = config.seed;
+  universe_config.top_rank = std::max<std::size_t>(config.alexa_sites / 2, 1);
+  universe_config.tail_rank =
+      std::max<std::size_t>(config.har_first_rank + config.har_sites, 2);
+  web::SiteUniverse universe{eco, catalog, universe_config};
+
+  const asdb::AsDatabase* as_db = &eco.as_database();
+
+  // Overlap bounds (ranks present in both populations).
+  const std::size_t overlap_begin = config.har_first_rank;
+  const std::size_t overlap_end =
+      std::min(config.alexa_sites,
+               config.har_first_rank + config.har_sites);
+  auto in_overlap = [&](std::size_t rank) {
+    return rank >= overlap_begin && rank < overlap_end;
+  };
+
+  // ---------------------------------------------- Alexa-like crawl (EU)
+  {
+    core::Aggregator exact{as_db};
+    core::Aggregator endless{as_db};
+    core::Aggregator overlap{as_db};
+
+    browser::CrawlOptions crawl;
+    crawl.browser.follow_fetch_credentials = true;
+    crawl.browser.vantage_region = "eu";
+    crawl.vantage_index = 0;  // the university resolver
+    crawl.seed = config.seed + 1;
+    crawl.threads = config.threads;
+    crawl.start_time = util::days(1);
+    crawl.har_path = false;
+
+    results.alexa_summary = browser::crawl_range(
+        universe, 0, config.alexa_sites, crawl,
+        [&](const browser::SiteResult& site) {
+          if (!site.reachable) return;
+          const auto& obs = site.netlog_observation;
+          const auto cls_exact = core::classify_site(
+              obs, {core::DurationModel::kExact});
+          exact.add_site(obs, cls_exact);
+          endless.add_site(
+              obs, core::classify_site(obs, {core::DurationModel::kEndless}));
+          if (in_overlap(site.rank)) {
+            // The paper's overlap tables use the endless model on both
+            // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
+            overlap.add_site(obs, core::classify_site(
+                                      obs, {core::DurationModel::kEndless}));
+          }
+        });
+    results.alexa_exact = exact.report();
+    results.alexa_endless = endless.report();
+    results.overlap_alexa_endless = overlap.report();
+  }
+
+  // ------------------------------------- Alexa-like crawl, w/o Fetch
+  if (config.run_no_fetch) {
+    core::Aggregator exact{as_db};
+
+    browser::CrawlOptions crawl;
+    crawl.browser.follow_fetch_credentials = false;  // patched Chromium
+    crawl.browser.vantage_region = "eu";
+    crawl.vantage_index = 0;
+    crawl.seed = config.seed + 2;
+    crawl.threads = config.threads;
+    // The paper measured the patched run ~days later; different LB slots.
+    crawl.start_time = util::days(4);
+    crawl.har_path = false;
+
+    results.nofetch_summary = browser::crawl_range(
+        universe, 0, config.alexa_sites, crawl,
+        [&](const browser::SiteResult& site) {
+          if (!site.reachable) return;
+          const auto& obs = site.netlog_observation;
+          exact.add_site(
+              obs, core::classify_site(obs, {core::DurationModel::kExact}));
+        });
+    results.nofetch_exact = exact.report();
+  }
+
+  // --------------------------------- HTTP-Archive-like crawl (US, HAR)
+  if (config.run_har) {
+    core::Aggregator endless{as_db};
+    core::Aggregator immediate{as_db};
+    core::Aggregator overlap{as_db};
+    std::uint64_t overlap_sites = 0;
+
+    browser::CrawlOptions crawl;
+    crawl.browser.follow_fetch_credentials = true;
+    crawl.browser.vantage_region = "us";
+    crawl.vantage_index = 12;  // the US vantage point
+    crawl.seed = config.seed + 3;
+    crawl.threads = config.threads;
+    crawl.start_time = util::days(8);
+    crawl.har_path = true;  // export + filtered re-import
+
+    results.har_summary = browser::crawl_range(
+        universe, config.har_first_rank, config.har_sites, crawl,
+        [&](const browser::SiteResult& site) {
+          if (!site.reachable) return;
+          const auto& obs = site.har_observation;
+          endless.add_site(
+              obs, core::classify_site(obs, {core::DurationModel::kEndless}));
+          immediate.add_site(
+              obs,
+              core::classify_site(obs, {core::DurationModel::kImmediate}));
+          if (in_overlap(site.rank)) {
+            ++overlap_sites;
+            overlap.add_site(obs, core::classify_site(
+                                      obs, {core::DurationModel::kEndless}));
+          }
+        });
+    results.har_endless = endless.report();
+    results.har_immediate = immediate.report();
+    results.overlap_har_endless = overlap.report();
+    results.overlap_sites = overlap_sites;
+  }
+
+  return results;
+}
+
+const StudyResults& shared_study(const StudyConfig& config) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<StudyResults>> cache;
+  const std::string key = std::to_string(config.har_sites) + "/" +
+                          std::to_string(config.alexa_sites) + "/" +
+                          std::to_string(config.har_first_rank) + "/" +
+                          std::to_string(config.seed);
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<StudyResults>(run_study(config));
+  }
+  return *slot;
+}
+
+}  // namespace h2r::experiments

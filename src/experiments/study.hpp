@@ -1,0 +1,78 @@
+// The full measurement study, reproducing the paper's three campaigns:
+//
+//   1. the HTTP-Archive-like crawl (US vantage, HAR path with §4.3
+//      filtering, endless + immediate duration models),
+//   2. the Alexa-like crawl (EU/Aachen vantage, NetLog path, exact +
+//      endless durations, Fetch credentials honored),
+//   3. the same Alexa crawl with the Fetch credentials flag ignored
+//      (the paper's patched Chromium, "Alexa w/o Fetch").
+//
+// All three run against ONE shared synthetic web universe, so the site
+// intersection (Tables 7-10) is meaningful. Every bench binary calls
+// run_study() and prints its table from the returned aggregates; scale the
+// populations via H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "browser/crawl.hpp"
+#include "core/report.hpp"
+#include "har/import.hpp"
+
+namespace h2r::experiments {
+
+struct StudyConfig {
+  /// Number of sites in the HTTP-Archive-like population.
+  std::size_t har_sites = 8000;
+  /// Number of sites in the Alexa-like population (ranks 0..alexa_sites).
+  std::size_t alexa_sites = 3000;
+  /// First rank of the HAR population; the overlap with the Alexa range
+  /// models the partially-intersecting site sets of the paper (§A.3).
+  std::size_t har_first_rank = 2000;
+  std::uint64_t seed = 42;
+  /// Worker threads per crawl (H2R_THREADS; see CrawlOptions::threads).
+  unsigned threads = 1;
+  /// Run the patched (ignore Fetch credentials) Alexa crawl as well.
+  bool run_no_fetch = true;
+  /// Run the HAR crawl as well.
+  bool run_har = true;
+
+  /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED overrides.
+  static StudyConfig from_env();
+};
+
+struct StudyResults {
+  StudyConfig config;
+
+  // HTTP-Archive-like crawl (HAR path).
+  core::AggregateReport har_endless;
+  core::AggregateReport har_immediate;
+  browser::CrawlSummary har_summary;
+
+  // Alexa-like crawl (NetLog path).
+  core::AggregateReport alexa_exact;
+  core::AggregateReport alexa_endless;
+  browser::CrawlSummary alexa_summary;
+
+  // Patched crawl (privacy mode ignored).
+  core::AggregateReport nofetch_exact;
+  browser::CrawlSummary nofetch_summary;
+
+  // Intersection of the two site sets (Tables 7-10).
+  core::AggregateReport overlap_har_endless;
+  core::AggregateReport overlap_alexa_endless;
+  std::uint64_t overlap_sites = 0;
+};
+
+/// Runs the full study. Expensive (three crawls); bench binaries call it
+/// once and print their tables from the result.
+StudyResults run_study(const StudyConfig& config);
+
+/// Returns a process-wide cached study for the given config (first call
+/// runs it). Bench binaries registering several google-benchmark cases
+/// share one run this way.
+const StudyResults& shared_study(const StudyConfig& config);
+
+}  // namespace h2r::experiments

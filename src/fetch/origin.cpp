@@ -1,0 +1,29 @@
+#include "fetch/origin.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::fetch {
+
+Origin Origin::https(std::string_view host, std::uint16_t port) {
+  Origin o;
+  o.scheme = "https";
+  o.host = util::to_lower(host);
+  o.port = port;
+  return o;
+}
+
+std::string Origin::serialize() const {
+  std::string out = scheme + "://" + host;
+  const bool default_port =
+      (scheme == "https" && port == 443) || (scheme == "http" && port == 80);
+  if (!default_port) {
+    out += ":" + std::to_string(port);
+  }
+  return out;
+}
+
+bool Origin::same_origin(const Origin& other) const noexcept {
+  return scheme == other.scheme && host == other.host && port == other.port;
+}
+
+}  // namespace h2r::fetch

@@ -1,0 +1,28 @@
+// RFC 6454 origins, as the Fetch Standard uses them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace h2r::fetch {
+
+struct Origin {
+  std::string scheme = "https";
+  std::string host;
+  std::uint16_t port = 443;
+
+  static Origin https(std::string_view host, std::uint16_t port = 443);
+
+  /// "https://host" (default port elided) — ASCII serialization.
+  std::string serialize() const;
+
+  bool same_origin(const Origin& other) const noexcept;
+
+  friend std::strong_ordering operator<=>(const Origin&,
+                                          const Origin&) noexcept = default;
+  friend bool operator==(const Origin&, const Origin&) noexcept = default;
+};
+
+}  // namespace h2r::fetch

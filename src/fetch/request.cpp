@@ -1,0 +1,91 @@
+#include "fetch/request.hpp"
+
+namespace h2r::fetch {
+
+std::string to_string(RequestMode mode) {
+  switch (mode) {
+    case RequestMode::kSameOrigin: return "same-origin";
+    case RequestMode::kCors: return "cors";
+    case RequestMode::kNoCors: return "no-cors";
+    case RequestMode::kNavigate: return "navigate";
+  }
+  return "?";
+}
+
+std::string to_string(CredentialsMode mode) {
+  switch (mode) {
+    case CredentialsMode::kOmit: return "omit";
+    case CredentialsMode::kSameOrigin: return "same-origin";
+    case CredentialsMode::kInclude: return "include";
+  }
+  return "?";
+}
+
+std::string to_string(Destination dest) {
+  switch (dest) {
+    case Destination::kDocument: return "document";
+    case Destination::kScript: return "script";
+    case Destination::kStyle: return "style";
+    case Destination::kImage: return "image";
+    case Destination::kFont: return "font";
+    case Destination::kXhr: return "xhr";
+    case Destination::kIframe: return "iframe";
+    case Destination::kMedia: return "media";
+    case Destination::kBeacon: return "beacon";
+  }
+  return "?";
+}
+
+RequestInit default_init_for(Destination dest, bool crossorigin_anonymous) {
+  switch (dest) {
+    case Destination::kDocument:
+    case Destination::kIframe:
+      // Navigations always carry credentials.
+      return {RequestMode::kNavigate, CredentialsMode::kInclude};
+    case Destination::kFont:
+      // CSS font fetching always uses CORS with same-origin credentials
+      // (the canonical cross-origin CRED trigger the paper names).
+      return {RequestMode::kCors, CredentialsMode::kSameOrigin};
+    case Destination::kXhr:
+      return {RequestMode::kCors, CredentialsMode::kSameOrigin};
+    case Destination::kScript:
+    case Destination::kStyle:
+    case Destination::kImage:
+    case Destination::kMedia:
+    case Destination::kBeacon:
+      if (crossorigin_anonymous) {
+        return {RequestMode::kCors, CredentialsMode::kSameOrigin};
+      }
+      // Classic elements: no-cors, credentials included.
+      return {RequestMode::kNoCors, CredentialsMode::kInclude};
+  }
+  return {RequestMode::kNoCors, CredentialsMode::kInclude};
+}
+
+ResponseTainting response_tainting(const FetchRequest& request) noexcept {
+  if (request.url_origin.same_origin(request.document_origin) ||
+      request.mode == RequestMode::kNavigate) {
+    return ResponseTainting::kBasic;
+  }
+  if (request.mode == RequestMode::kNoCors) return ResponseTainting::kOpaque;
+  return ResponseTainting::kCors;
+}
+
+bool include_credentials(const FetchRequest& request) noexcept {
+  switch (request.credentials) {
+    case CredentialsMode::kInclude:
+      return true;
+    case CredentialsMode::kOmit:
+      return false;
+    case CredentialsMode::kSameOrigin:
+      return request.url_origin.same_origin(request.document_origin) ||
+             request.mode == RequestMode::kNavigate;
+  }
+  return false;
+}
+
+bool privacy_mode_enabled(const FetchRequest& request) noexcept {
+  return !include_credentials(request);
+}
+
+}  // namespace h2r::fetch

@@ -1,0 +1,80 @@
+// The WHATWG Fetch Standard pieces that govern connection reuse.
+//
+// Fetch §2.5 ("connections") keys the connection pool on a *credentials*
+// flag: a connection created for a credentialed request must not serve an
+// uncredentialed one and vice versa. Chromium implements this as
+// `privacy_mode` on its socket-pool group key. The paper shows this single
+// flag is the entire CRED cause of redundant connections (§5.3.3): patching
+// Chromium to ignore it makes CRED vanish.
+//
+// Whether a request carries credentials follows Fetch §4.6/§4.7: the
+// request's credentials mode, and for "same-origin" mode, whether the
+// request is same-origin with the document. Element defaults (classic
+// scripts/images are no-cors + include; cross-origin fonts and module
+// scripts are cors + same-origin) are modeled in `default_init_for`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fetch/origin.hpp"
+
+namespace h2r::fetch {
+
+enum class RequestMode { kSameOrigin, kCors, kNoCors, kNavigate };
+enum class CredentialsMode { kOmit, kSameOrigin, kInclude };
+
+/// What kind of resource the request fetches (Fetch "destination").
+enum class Destination {
+  kDocument,
+  kScript,
+  kStyle,
+  kImage,
+  kFont,
+  kXhr,     // fetch()/XMLHttpRequest
+  kIframe,
+  kMedia,
+  kBeacon,
+};
+
+std::string to_string(RequestMode mode);
+std::string to_string(CredentialsMode mode);
+std::string to_string(Destination dest);
+
+/// Response tainting (Fetch §3.1). Determined by mode + origin relation:
+/// basic (same-origin), cors (cross-origin CORS), opaque (cross-origin
+/// no-cors).
+enum class ResponseTainting { kBasic, kCors, kOpaque };
+
+struct FetchRequest {
+  Origin url_origin;             // origin of the request URL
+  std::string path = "/";
+  Destination destination = Destination::kImage;
+  RequestMode mode = RequestMode::kNoCors;
+  CredentialsMode credentials = CredentialsMode::kInclude;
+  Origin document_origin;        // the environment settings object's origin
+};
+
+/// How an HTML element/context fetches by default. `crossorigin_anonymous`
+/// models the crossorigin="anonymous" attribute (and the CSS font-fetching
+/// rule, which always uses CORS + same-origin credentials).
+struct RequestInit {
+  RequestMode mode;
+  CredentialsMode credentials;
+};
+
+RequestInit default_init_for(Destination dest, bool crossorigin_anonymous);
+
+/// Fetch §3.1 response tainting for `request`.
+ResponseTainting response_tainting(const FetchRequest& request) noexcept;
+
+/// Fetch §4.6 "includeCredentials": true iff the request's credentials mode
+/// is "include", or "same-origin" and the request is same-origin.
+bool include_credentials(const FetchRequest& request) noexcept;
+
+/// Chromium's socket-pool privacy mode: enabled exactly when credentials
+/// are NOT included. Connections with differing privacy modes never share
+/// a pool group — the CRED cause.
+bool privacy_mode_enabled(const FetchRequest& request) noexcept;
+
+}  // namespace h2r::fetch

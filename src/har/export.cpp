@@ -1,0 +1,72 @@
+#include "har/export.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace h2r::har {
+
+Log export_site(const core::SiteObservation& site,
+                std::span<const Entry> h1_entries, const ExportQuirks& quirks,
+                util::Rng& rng) {
+  Log log;
+  log.page.id = "page_1";
+  log.page.url = site.site_url;
+  log.page.started =
+      site.connections.empty() ? 0 : site.connections.front().opened_at;
+
+  std::uint64_t request_counter = 0;
+  for (const core::ConnectionRecord& conn : site.connections) {
+    for (const core::RequestRecord& req : conn.requests) {
+      Entry e;
+      e.pageref = "page_1";
+      e.request_id = std::to_string(++request_counter);
+      e.started = req.started_at;
+      e.time_ms = static_cast<double>(
+          std::max<util::SimTime>(req.finished_at - req.started_at, 0));
+      e.method = req.method;
+      e.url = "https://" + req.domain + "/";
+      e.http_version = conn.protocol.empty() ? "h2" : conn.protocol;
+      e.status = req.status;
+      e.server_ip = conn.endpoint.address.to_string();
+      // Chrome logs every QUIC request with socket id 0 — the exact
+      // inconsistency that forces the paper to exclude HTTP/3 (§4.2.1).
+      e.connection_id = conn.protocol == "h3"
+                            ? 0
+                            : static_cast<std::int64_t>(conn.id) + 10;
+      if (conn.has_certificate) {
+        e.has_security_details = true;
+        e.san_list = conn.san_dns_names;
+        e.issuer = conn.issuer_organization;
+        e.cert_serial = conn.certificate_serial;
+      }
+
+      // HTTP-Archive-grade logging noise.
+      if (rng.chance(quirks.p_invalid_method)) e.method = "0";
+      if (rng.chance(quirks.p_missing_cert)) {
+        e.has_security_details = false;
+        e.san_list.clear();
+      }
+      if (rng.chance(quirks.p_h3)) {
+        e.http_version = "h3";
+        e.connection_id = 0;  // QUIC sockets all log as 0
+      }
+      if (rng.chance(quirks.p_socket_zero)) e.connection_id = 0;
+      if (rng.chance(quirks.p_invalid_version)) e.http_version = "unknown";
+      if (rng.chance(quirks.p_invalid_status)) e.status = 0;
+      if (rng.chance(quirks.p_missing_ip)) e.server_ip.clear();
+      if (rng.chance(quirks.p_missing_request_id)) e.request_id.clear();
+
+      log.entries.push_back(std::move(e));
+    }
+  }
+
+  log.entries.insert(log.entries.end(), h1_entries.begin(), h1_entries.end());
+  std::stable_sort(log.entries.begin(), log.entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.started < b.started;
+                   });
+  return log;
+}
+
+}  // namespace h2r::har

@@ -1,0 +1,46 @@
+// SiteObservation -> HAR, with HTTP-Archive-grade logging noise.
+//
+// The HTTP Archive's HARs are imperfect (paper §4.3): a share of requests
+// carry unusable methods, socket id 0, missing certificates, etc. The
+// exporter can inject that noise at the paper's observed rates so the
+// HAR-path pipeline (export -> import-with-filters -> classify) exhibits
+// the same information loss as the real dataset.
+#pragma once
+
+#include <span>
+
+#include "core/connection.hpp"
+#include "har/har.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::har {
+
+struct ExportQuirks {
+  /// Per-request probabilities, defaults scaled from §4.3's counts
+  /// (fractions of the 401.63 M logged HTTP/2 requests).
+  double p_invalid_method = 0.166;   // 66.75 M
+  double p_missing_cert = 0.0055;    // 2.22 M
+  double p_h3 = 0.028;               // 11.12 M — logged as h3, socket 0
+  double p_socket_zero = 0.00007;    // 26.93 k non-h3 zero sockets
+  double p_invalid_version = 0.00068;
+  double p_invalid_status = 0.00031;
+  double p_missing_ip = 0.0000032;
+  double p_missing_request_id = 0.0000005;
+
+  static ExportQuirks none() {
+    ExportQuirks q;
+    q.p_invalid_method = q.p_missing_cert = q.p_h3 = q.p_socket_zero = 0;
+    q.p_invalid_version = q.p_invalid_status = q.p_missing_ip = 0;
+    q.p_missing_request_id = 0;
+    return q;
+  }
+};
+
+/// Serializes one site's connections as HAR entries. `h1_entries` are
+/// extra request entries from HTTP/1.1-only servers (present in HAR but
+/// invisible to the HTTP/2 analysis). Quirk injection uses `rng`.
+Log export_site(const core::SiteObservation& site,
+                std::span<const Entry> h1_entries, const ExportQuirks& quirks,
+                util::Rng& rng);
+
+}  // namespace h2r::har

@@ -1,0 +1,193 @@
+#include "har/har.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::har {
+
+std::string_view url_host(std::string_view url) noexcept {
+  const std::size_t scheme = url.find("://");
+  std::string_view rest =
+      scheme == std::string_view::npos ? url : url.substr(scheme + 3);
+  const std::size_t slash = rest.find('/');
+  if (slash != std::string_view::npos) rest = rest.substr(0, slash);
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) rest = rest.substr(0, colon);
+  return rest;
+}
+
+std::string_view url_path(std::string_view url) noexcept {
+  const std::size_t scheme = url.find("://");
+  const std::string_view rest =
+      scheme == std::string_view::npos ? url : url.substr(scheme + 3);
+  const std::size_t slash = rest.find('/');
+  return slash == std::string_view::npos ? std::string_view{"/"}
+                                         : rest.substr(slash);
+}
+
+std::vector<Page> Log::all_pages() const {
+  std::vector<Page> out;
+  out.reserve(1 + extra_pages.size());
+  out.push_back(page);
+  out.insert(out.end(), extra_pages.begin(), extra_pages.end());
+  return out;
+}
+
+std::vector<Log> split_pages(const Log& log) {
+  std::vector<Log> out;
+  for (const Page& page : log.all_pages()) {
+    Log single;
+    single.page = page;
+    out.push_back(std::move(single));
+  }
+  for (const Entry& entry : log.entries) {
+    bool assigned = false;
+    for (Log& single : out) {
+      if (single.page.id == entry.pageref) {
+        single.entries.push_back(entry);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned && !out.empty()) {
+      out.front().entries.push_back(entry);  // wrong pageref: filtered later
+    }
+  }
+  return out;
+}
+
+namespace {
+json::Value page_to_json(const Page& page) {
+  json::Object obj;
+  obj.set("id", page.id);
+  obj.set("title", page.url);
+  obj.set("startedDateTime", static_cast<std::int64_t>(page.started));
+  return json::Value{std::move(obj)};
+}
+}  // namespace
+
+json::Value to_json(const Log& log) {
+
+  json::Array entries;
+  entries.reserve(log.entries.size());
+  for (const Entry& e : log.entries) {
+    json::Object request;
+    request.set("method", e.method);
+    request.set("url", e.url);
+    request.set("httpVersion", e.http_version);
+
+    json::Object response;
+    response.set("status", static_cast<std::int64_t>(e.status));
+    response.set("httpVersion", e.http_version);
+
+    json::Object entry;
+    entry.set("pageref", e.pageref);
+    if (!e.request_id.empty()) entry.set("_request_id", e.request_id);
+    entry.set("startedDateTime", static_cast<std::int64_t>(e.started));
+    entry.set("time", e.time_ms);
+    entry.set("request", std::move(request));
+    entry.set("response", std::move(response));
+    if (!e.server_ip.empty()) entry.set("serverIPAddress", e.server_ip);
+    if (e.connection_id >= 0) {
+      entry.set("connection", std::to_string(e.connection_id));
+    }
+    if (e.has_security_details) {
+      json::Object sec;
+      json::Array sans;
+      for (const std::string& san : e.san_list) sans.emplace_back(san);
+      sec.set("sanList", std::move(sans));
+      sec.set("issuer", e.issuer);
+      sec.set("serialNumber", std::to_string(e.cert_serial));
+      entry.set("_securityDetails", std::move(sec));
+    }
+    entries.emplace_back(std::move(entry));
+  }
+
+  json::Object log_obj;
+  log_obj.set("version", "1.2");
+  json::Object creator;
+  creator.set("name", "h2reuse");
+  creator.set("version", "1.0");
+  log_obj.set("creator", std::move(creator));
+  json::Array pages;
+  pages.emplace_back(page_to_json(log.page));
+  for (const Page& extra : log.extra_pages) {
+    pages.emplace_back(page_to_json(extra));
+  }
+  log_obj.set("pages", std::move(pages));
+  log_obj.set("entries", std::move(entries));
+
+  json::Object root;
+  root.set("log", std::move(log_obj));
+  return json::Value{std::move(root)};
+}
+
+util::Expected<Log> from_json(const json::Value& value) {
+  const json::Value& log_value = value["log"];
+  if (!log_value.is_object()) {
+    return util::unexpected(util::Error{"missing log object"});
+  }
+  Log log;
+  const json::Value& pages = log_value["pages"];
+  if (pages.is_array() && !pages.as_array().empty()) {
+    const json::Value& page = pages.at(0);
+    log.page.id = page["id"].as_string();
+    log.page.url = page["title"].as_string();
+    log.page.started = page["startedDateTime"].as_int();
+    for (std::size_t i = 1; i < pages.as_array().size(); ++i) {
+      Page extra;
+      extra.id = pages.at(i)["id"].as_string();
+      extra.url = pages.at(i)["title"].as_string();
+      extra.started = pages.at(i)["startedDateTime"].as_int();
+      log.extra_pages.push_back(std::move(extra));
+    }
+  }
+  const json::Value& entries = log_value["entries"];
+  if (!entries.is_array()) {
+    return util::unexpected(util::Error{"missing entries array"});
+  }
+  log.entries.reserve(entries.as_array().size());
+  for (const json::Value& v : entries.as_array()) {
+    Entry e;
+    e.pageref = v["pageref"].as_string();
+    e.request_id = v["_request_id"].as_string();
+    e.started = v["startedDateTime"].as_int();
+    e.time_ms = v["time"].as_double();
+    e.method = v["request"]["method"].as_string();
+    e.url = v["request"]["url"].as_string();
+    e.http_version = v["request"]["httpVersion"].as_string();
+    e.status = static_cast<int>(v["response"]["status"].as_int());
+    e.server_ip = v["serverIPAddress"].as_string();
+    if (v["connection"].is_string()) {
+      e.connection_id = std::strtoll(v["connection"].as_string().c_str(),
+                                     nullptr, 10);
+    } else if (v["connection"].is_number()) {
+      e.connection_id = v["connection"].as_int();
+    }
+    const json::Value& sec = v["_securityDetails"];
+    if (sec.is_object()) {
+      e.has_security_details = true;
+      for (const json::Value& san : sec["sanList"].as_array()) {
+        e.san_list.push_back(san.as_string());
+      }
+      e.issuer = sec["issuer"].as_string();
+      e.cert_serial = static_cast<std::uint64_t>(
+          std::strtoull(sec["serialNumber"].as_string().c_str(), nullptr, 10));
+    }
+    log.entries.push_back(std::move(e));
+  }
+  return log;
+}
+
+std::string to_string(const Log& log, bool pretty) {
+  json::WriteOptions opts;
+  opts.pretty = pretty;
+  return json::write(to_json(log), opts);
+}
+
+util::Expected<Log> parse(std::string_view text) {
+  auto value = json::parse(text);
+  if (!value) return util::unexpected(value.error());
+  return from_json(value.value());
+}
+
+}  // namespace h2r::har

@@ -1,0 +1,76 @@
+// HAR (HTTP Archive format) data model.
+//
+// The HTTP Archive publishes one HAR per page load. HAR is request-level:
+// it knows socket/connection ids and server IPs per request, but no
+// connection close events — which is exactly why the paper has to bound
+// connection lifetimes with the "endless" and "immediate" models. Chrome
+// additionally embeds certificate details (_securityDetails) that the
+// paper uses for SAN extraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/clock.hpp"
+#include "util/expected.hpp"
+
+namespace h2r::har {
+
+struct Page {
+  std::string id = "page_1";
+  std::string url;
+  util::SimTime started = 0;
+};
+
+struct Entry {
+  std::string pageref = "page_1";
+  std::string request_id;  // empty = the "no request IDs" inconsistency
+  util::SimTime started = 0;
+  double time_ms = 0;  // total entry duration
+  std::string method = "GET";
+  std::string url;           // https://host/path
+  std::string http_version;  // "h2", "http/1.1", "h3"
+  int status = 200;
+  std::string server_ip;     // textual; may be empty or inconsistent
+  /// Chrome's `connection` field (socket id). 0 is the HTTP/3 quirk the
+  /// paper had to exclude; -1 marks a missing field.
+  std::int64_t connection_id = -1;
+  bool has_security_details = false;
+  std::vector<std::string> san_list;
+  std::string issuer;
+  std::uint64_t cert_serial = 0;
+};
+
+struct Log {
+  /// The primary (first) page.
+  Page page;
+  /// Further navigations recorded in the same HAR (DevTools keeps logging
+  /// across page loads; the HTTP Archive's HARs are single-page).
+  std::vector<Page> extra_pages;
+  std::vector<Entry> entries;
+
+  std::vector<Page> all_pages() const;
+};
+
+/// Splits a multi-page HAR into one single-page Log per recorded page;
+/// entries are assigned by pageref. Entries referencing an unknown page
+/// stay with the primary page (the §4.3 wrong-pageref filter drops them
+/// there).
+std::vector<Log> split_pages(const Log& log);
+
+/// Extracts the lowercase host from "https://host/path".
+std::string_view url_host(std::string_view url) noexcept;
+/// Extracts the path ("/..." or "/").
+std::string_view url_path(std::string_view url) noexcept;
+
+json::Value to_json(const Log& log);
+util::Expected<Log> from_json(const json::Value& value);
+
+/// Round-trip convenience.
+std::string to_string(const Log& log, bool pretty = false);
+util::Expected<Log> parse(std::string_view text);
+
+}  // namespace h2r::har

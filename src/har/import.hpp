@@ -1,0 +1,49 @@
+// HAR -> SiteObservation with the paper's §4.3 consistency filters.
+//
+// The HTTP Archive's HAR files are noisy; the paper conservatively drops
+// requests with socket id 0 (indistinguishable HTTP/3 sockets), missing or
+// inconsistent IPs, invalid methods/versions/statuses, wrong page
+// references, missing request ids and missing certificates, and all
+// HTTP/1.x / HTTP/3 requests. Each drop category is counted so the bench
+// can print the paper's inconsistency inventory.
+#pragma once
+
+#include <cstdint>
+
+#include "core/connection.hpp"
+#include "har/har.hpp"
+
+namespace h2r::har {
+
+struct ImportStats {
+  std::uint64_t total_entries = 0;
+  std::uint64_t h2_entries = 0;        // entries claiming HTTP/2
+  std::uint64_t used_entries = 0;      // surviving all filters
+
+  std::uint64_t socket_zero = 0;
+  std::uint64_t missing_ip = 0;
+  std::uint64_t inconsistent_ip = 0;
+  std::uint64_t invalid_method = 0;
+  std::uint64_t invalid_version = 0;
+  std::uint64_t invalid_status = 0;
+  std::uint64_t wrong_pageref = 0;
+  std::uint64_t missing_request_id = 0;
+  std::uint64_t missing_certificate = 0;
+  std::uint64_t h1_entries = 0;
+  std::uint64_t h3_entries = 0;
+
+  std::uint64_t dropped() const noexcept {
+    return socket_zero + missing_ip + inconsistent_ip + invalid_method +
+           invalid_version + invalid_status + wrong_pageref +
+           missing_request_id + missing_certificate;
+  }
+
+  void add(const ImportStats& other) noexcept;
+};
+
+/// Parses one site's HAR into connection records (request-level only: no
+/// close times; a connection opens at its first request). `stats`
+/// accumulates filter counts when non-null.
+core::SiteObservation import_site(const Log& log, ImportStats* stats);
+
+}  // namespace h2r::har

@@ -1,0 +1,187 @@
+#include "http2/frame.hpp"
+
+#include <algorithm>
+
+namespace h2r::http2 {
+
+std::string to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kHeaders: return "HEADERS";
+    case FrameType::kPriority: return "PRIORITY";
+    case FrameType::kRstStream: return "RST_STREAM";
+    case FrameType::kSettings: return "SETTINGS";
+    case FrameType::kPushPromise: return "PUSH_PROMISE";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoaway: return "GOAWAY";
+    case FrameType::kWindowUpdate: return "WINDOW_UPDATE";
+    case FrameType::kContinuation: return "CONTINUATION";
+    case FrameType::kAltSvc: return "ALTSVC";
+    case FrameType::kOrigin: return "ORIGIN";
+  }
+  return "UNKNOWN";
+}
+
+void FrameHeader::encode(std::vector<std::uint8_t>& out) const {
+  out.push_back(static_cast<std::uint8_t>((length >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((length >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(length & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(flags);
+  out.push_back(static_cast<std::uint8_t>((stream_id >> 24) & 0x7F));
+  out.push_back(static_cast<std::uint8_t>((stream_id >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((stream_id >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(stream_id & 0xFF));
+}
+
+std::optional<FrameHeader> FrameHeader::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() < kWireSize) return std::nullopt;
+  FrameHeader h;
+  h.length = (static_cast<std::uint32_t>(in[0]) << 16) |
+             (static_cast<std::uint32_t>(in[1]) << 8) | in[2];
+  h.type = static_cast<FrameType>(in[3]);
+  h.flags = in[4];
+  h.stream_id = (static_cast<std::uint32_t>(in[5] & 0x7F) << 24) |
+                (static_cast<std::uint32_t>(in[6]) << 16) |
+                (static_cast<std::uint32_t>(in[7]) << 8) | in[8];
+  return h;
+}
+
+std::vector<std::uint8_t> OriginFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  for (const std::string& origin : origins) {
+    const std::size_t len = origin.size() & 0xFFFF;
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    out.insert(out.end(), origin.begin(), origin.begin() +
+                              static_cast<std::ptrdiff_t>(len));
+  }
+  return out;
+}
+
+std::optional<OriginFrame> OriginFrame::decode(
+    std::span<const std::uint8_t> in) {
+  OriginFrame frame;
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    if (pos + 2 > in.size()) return std::nullopt;
+    const std::size_t len =
+        (static_cast<std::size_t>(in[pos]) << 8) | in[pos + 1];
+    pos += 2;
+    if (pos + len > in.size()) return std::nullopt;
+    frame.origins.emplace_back(reinterpret_cast<const char*>(&in[pos]), len);
+    pos += len;
+  }
+  return frame;
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  return (static_cast<std::uint32_t>(in[pos]) << 24) |
+         (static_cast<std::uint32_t>(in[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[pos + 2]) << 8) | in[pos + 3];
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SettingsFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(entries.size() * 6);
+  for (const auto& [id, value] : entries) {
+    out.push_back(static_cast<std::uint8_t>(id >> 8));
+    out.push_back(static_cast<std::uint8_t>(id));
+    put_u32(out, value);
+  }
+  return out;
+}
+
+std::optional<SettingsFrame> SettingsFrame::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() % 6 != 0) return std::nullopt;  // §6.5: FRAME_SIZE_ERROR
+  SettingsFrame frame;
+  for (std::size_t pos = 0; pos < in.size(); pos += 6) {
+    const std::uint16_t id =
+        static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
+    frame.entries.emplace_back(id, get_u32(in, pos + 2));
+  }
+  return frame;
+}
+
+void SettingsFrame::apply_to(Settings& settings) const {
+  for (const auto& [id, value] : entries) {
+    switch (static_cast<SettingId>(id)) {
+      case SettingId::kHeaderTableSize:
+        settings.header_table_size = value;
+        break;
+      case SettingId::kEnablePush:
+        settings.enable_push = value != 0;
+        break;
+      case SettingId::kMaxConcurrentStreams:
+        settings.max_concurrent_streams = value;
+        break;
+      case SettingId::kInitialWindowSize:
+        settings.initial_window_size = value;
+        break;
+      case SettingId::kMaxFrameSize:
+        settings.max_frame_size = value;
+        break;
+      case SettingId::kMaxHeaderListSize:
+        break;  // advisory only in this model
+      default:
+        break;  // §6.5.2: unknown identifiers are ignored
+    }
+  }
+}
+
+std::vector<std::uint8_t> GoawayFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, last_stream_id & 0x7FFFFFFF);
+  put_u32(out, error_code);
+  out.insert(out.end(), debug_data.begin(), debug_data.end());
+  return out;
+}
+
+std::optional<GoawayFrame> GoawayFrame::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() < 8) return std::nullopt;
+  GoawayFrame frame;
+  frame.last_stream_id = get_u32(in, 0) & 0x7FFFFFFF;
+  frame.error_code = get_u32(in, 4);
+  frame.debug_data.assign(reinterpret_cast<const char*>(in.data()) + 8,
+                          in.size() - 8);
+  return frame;
+}
+
+std::vector<std::uint8_t> RstStreamFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, error_code);
+  return out;
+}
+
+std::optional<RstStreamFrame> RstStreamFrame::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() != 4) return std::nullopt;  // §6.4: FRAME_SIZE_ERROR
+  return RstStreamFrame{get_u32(in, 0)};
+}
+
+std::vector<std::uint8_t> PingFrame::encode() const {
+  return {opaque.begin(), opaque.end()};
+}
+
+std::optional<PingFrame> PingFrame::decode(std::span<const std::uint8_t> in) {
+  if (in.size() != 8) return std::nullopt;  // §6.7: FRAME_SIZE_ERROR
+  PingFrame frame;
+  std::copy(in.begin(), in.end(), frame.opaque.begin());
+  return frame;
+}
+
+}  // namespace h2r::http2

@@ -1,0 +1,159 @@
+// HTTP/2 frame-layer types (RFC 7540 §4, §6) plus the ORIGIN frame
+// (RFC 8336).
+//
+// The simulator does not push bytes through real sockets, but the frame
+// header codec is implemented faithfully (9-octet header: 24-bit length,
+// type, flags, R + 31-bit stream id) so protocol-level tests and the ORIGIN
+// frame payload codec operate on real wire images.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace h2r::http2 {
+
+enum class FrameType : std::uint8_t {
+  kData = 0x0,
+  kHeaders = 0x1,
+  kPriority = 0x2,
+  kRstStream = 0x3,
+  kSettings = 0x4,
+  kPushPromise = 0x5,
+  kPing = 0x6,
+  kGoaway = 0x7,
+  kWindowUpdate = 0x8,
+  kContinuation = 0x9,
+  kAltSvc = 0xa,
+  kOrigin = 0xc,  // RFC 8336
+};
+
+std::string to_string(FrameType type);
+
+// Frame flags (per-type meaning; RFC 7540 §6).
+inline constexpr std::uint8_t kFlagEndStream = 0x1;
+inline constexpr std::uint8_t kFlagAck = 0x1;
+inline constexpr std::uint8_t kFlagEndHeaders = 0x4;
+inline constexpr std::uint8_t kFlagPadded = 0x8;
+inline constexpr std::uint8_t kFlagPriority = 0x20;
+
+/// The 9-octet frame header.
+struct FrameHeader {
+  std::uint32_t length = 0;  // 24 bits on the wire
+  FrameType type = FrameType::kData;
+  std::uint8_t flags = 0;
+  std::uint32_t stream_id = 0;  // 31 bits on the wire
+
+  static constexpr std::size_t kWireSize = 9;
+
+  /// Serializes to exactly kWireSize bytes.
+  void encode(std::vector<std::uint8_t>& out) const;
+
+  /// Decodes from the first kWireSize bytes; empty on short/invalid input
+  /// (length must fit 24 bits by construction of the wire format).
+  static std::optional<FrameHeader> decode(std::span<const std::uint8_t> in);
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+/// RFC 8336 ORIGIN frame payload: a list of ASCII origins
+/// ("https://example.com") each prefixed by a 16-bit length.
+struct OriginFrame {
+  std::vector<std::string> origins;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<OriginFrame> decode(std::span<const std::uint8_t> in);
+
+  friend bool operator==(const OriginFrame&, const OriginFrame&) = default;
+};
+
+/// SETTINGS frame payload: a list of (id, value) pairs (§6.5).
+struct SettingsFrame {
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> entries;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<SettingsFrame> decode(
+      std::span<const std::uint8_t> in);
+
+  /// Folds recognized identifiers into a Settings struct (unknown ids are
+  /// ignored per §6.5.2).
+  void apply_to(struct Settings& settings) const;
+
+  friend bool operator==(const SettingsFrame&,
+                         const SettingsFrame&) = default;
+};
+
+/// GOAWAY frame payload (§6.8): last stream id, error code, debug data.
+struct GoawayFrame {
+  std::uint32_t last_stream_id = 0;
+  std::uint32_t error_code = 0;
+  std::string debug_data;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<GoawayFrame> decode(std::span<const std::uint8_t> in);
+
+  friend bool operator==(const GoawayFrame&, const GoawayFrame&) = default;
+};
+
+/// RST_STREAM frame payload (§6.4): a single error code.
+struct RstStreamFrame {
+  std::uint32_t error_code = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<RstStreamFrame> decode(
+      std::span<const std::uint8_t> in);
+
+  friend bool operator==(const RstStreamFrame&,
+                         const RstStreamFrame&) = default;
+};
+
+/// PING frame payload (§6.7): 8 opaque octets.
+struct PingFrame {
+  std::array<std::uint8_t, 8> opaque{};
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<PingFrame> decode(std::span<const std::uint8_t> in);
+
+  friend bool operator==(const PingFrame&, const PingFrame&) = default;
+};
+
+/// HTTP/2 error codes (RFC 7540 §7) — used by GOAWAY/RST_STREAM models.
+enum class ErrorCode : std::uint32_t {
+  kNoError = 0x0,
+  kProtocolError = 0x1,
+  kInternalError = 0x2,
+  kFlowControlError = 0x3,
+  kSettingsTimeout = 0x4,
+  kStreamClosed = 0x5,
+  kFrameSizeError = 0x6,
+  kRefusedStream = 0x7,
+  kCancel = 0x8,
+  kCompressionError = 0x9,
+  kConnectError = 0xa,
+  kEnhanceYourCalm = 0xb,
+  kInadequateSecurity = 0xc,
+  kHttp11Required = 0xd,
+};
+
+/// SETTINGS identifiers (RFC 7540 §6.5.2).
+enum class SettingId : std::uint16_t {
+  kHeaderTableSize = 0x1,
+  kEnablePush = 0x2,
+  kMaxConcurrentStreams = 0x3,
+  kInitialWindowSize = 0x4,
+  kMaxFrameSize = 0x5,
+  kMaxHeaderListSize = 0x6,
+};
+
+struct Settings {
+  std::uint32_t header_table_size = 4096;
+  bool enable_push = true;
+  std::uint32_t max_concurrent_streams = 100;  // Chromium default advertise
+  std::uint32_t initial_window_size = 65535;
+  std::uint32_t max_frame_size = 16384;
+};
+
+}  // namespace h2r::http2

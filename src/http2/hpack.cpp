@@ -1,0 +1,353 @@
+#include "http2/hpack.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace h2r::http2 {
+
+std::size_t hpack_entry_size(const HeaderField& field) noexcept {
+  return field.name.size() + field.value.size() + 32;
+}
+
+namespace {
+
+// RFC 7541 Appendix A, indices 1..61.
+const std::array<HeaderField, kHpackStaticTableSize>& static_table() {
+  static const std::array<HeaderField, kHpackStaticTableSize> kTable = {{
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  }};
+  return kTable;
+}
+
+std::optional<std::size_t> static_find(const HeaderField& field) noexcept {
+  const auto& table = static_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == field) return i + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> static_find_name(std::string_view name) noexcept {
+  const auto& table = static_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == name) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const HeaderField& hpack_static_entry(std::size_t index_1based) noexcept {
+  assert(index_1based >= 1 && index_1based <= kHpackStaticTableSize);
+  return static_table()[index_1based - 1];
+}
+
+// ------------------------------------------------------------ dynamic table
+
+void HpackDynamicTable::set_max_size(std::size_t max_size) {
+  max_size_ = max_size;
+  evict();
+}
+
+void HpackDynamicTable::insert(HeaderField field) {
+  const std::size_t entry = hpack_entry_size(field);
+  if (entry > max_size_) {
+    // RFC 7541 §4.4: an oversized entry empties the table.
+    entries_.clear();
+    size_ = 0;
+    return;
+  }
+  entries_.push_front(std::move(field));
+  size_ += entry;
+  evict();
+}
+
+void HpackDynamicTable::evict() {
+  while (size_ > max_size_ && !entries_.empty()) {
+    size_ -= hpack_entry_size(entries_.back());
+    entries_.pop_back();
+  }
+}
+
+std::optional<std::size_t> HpackDynamicTable::find(
+    const HeaderField& field) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] == field) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> HpackDynamicTable::find_name(
+    std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ encoder
+
+void HpackEncoder::resize_table(std::size_t max_size) {
+  pending_resize_ = max_size;
+}
+
+void HpackEncoder::add_sensitive_name(std::string name) {
+  sensitive_names_.push_back(std::move(name));
+}
+
+void HpackEncoder::encode_integer(std::vector<std::uint8_t>& out,
+                                  std::uint8_t prefix_bits,
+                                  std::uint8_t pattern,
+                                  std::uint64_t value) const {
+  const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<std::uint8_t>(pattern | value));
+    return;
+  }
+  out.push_back(static_cast<std::uint8_t>(pattern | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<std::uint8_t>(0x80 | (value & 0x7F)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void HpackEncoder::encode_string(std::vector<std::uint8_t>& out,
+                                 std::string_view s) const {
+  // H bit 0: raw octets (no Huffman).
+  encode_integer(out, 7, 0x00, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> HpackEncoder::encode(const HeaderList& headers) {
+  std::vector<std::uint8_t> out;
+  if (pending_resize_.has_value()) {
+    // §6.3 dynamic table size update: pattern 001xxxxx, 5-bit prefix.
+    encode_integer(out, 5, 0x20, *pending_resize_);
+    table_.set_max_size(*pending_resize_);
+    pending_resize_.reset();
+  }
+  for (const HeaderField& field : headers) {
+    const bool sensitive =
+        std::find(sensitive_names_.begin(), sensitive_names_.end(),
+                  field.name) != sensitive_names_.end();
+    if (sensitive) {
+      // §6.2.3 literal never indexed: 0001xxxx, 4-bit prefix.
+      if (auto name_idx = static_find_name(field.name)) {
+        encode_integer(out, 4, 0x10, *name_idx);
+      } else if (auto dyn_name = table_.find_name(field.name)) {
+        encode_integer(out, 4, 0x10,
+                       kHpackStaticTableSize + 1 + *dyn_name);
+      } else {
+        encode_integer(out, 4, 0x10, 0);
+        encode_string(out, field.name);
+      }
+      encode_string(out, field.value);
+      continue;
+    }
+
+    if (auto idx = static_find(field)) {
+      // §6.1 indexed field: 1xxxxxxx, 7-bit prefix.
+      encode_integer(out, 7, 0x80, *idx);
+      continue;
+    }
+    if (auto dyn = table_.find(field)) {
+      encode_integer(out, 7, 0x80, kHpackStaticTableSize + 1 + *dyn);
+      continue;
+    }
+    // §6.2.1 literal with incremental indexing: 01xxxxxx, 6-bit prefix.
+    if (auto name_idx = static_find_name(field.name)) {
+      encode_integer(out, 6, 0x40, *name_idx);
+    } else if (auto dyn_name = table_.find_name(field.name)) {
+      encode_integer(out, 6, 0x40, kHpackStaticTableSize + 1 + *dyn_name);
+    } else {
+      encode_integer(out, 6, 0x40, 0);
+      encode_string(out, field.name);
+    }
+    encode_string(out, field.value);
+    table_.insert(field);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ decoder
+
+std::optional<std::uint64_t> HpackDecoder::decode_integer(
+    std::span<const std::uint8_t>& in, std::uint8_t prefix_bits) const {
+  if (in.empty()) return std::nullopt;
+  const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
+  std::uint64_t value = in[0] & max_prefix;
+  in = in.subspan(1);
+  if (value < max_prefix) return value;
+  std::uint64_t shift = 0;
+  while (true) {
+    if (in.empty() || shift > 56) return std::nullopt;
+    const std::uint8_t byte = in[0];
+    in = in.subspan(1);
+    value += static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::optional<std::string> HpackDecoder::decode_string(
+    std::span<const std::uint8_t>& in) const {
+  if (in.empty()) return std::nullopt;
+  const bool huffman = (in[0] & 0x80) != 0;
+  auto len = decode_integer(in, 7);
+  if (!len.has_value() || huffman) {
+    // Huffman is deliberately unsupported (our encoder never emits it).
+    return std::nullopt;
+  }
+  if (in.size() < *len) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(in.data()),
+                static_cast<std::size_t>(*len));
+  in = in.subspan(static_cast<std::size_t>(*len));
+  return s;
+}
+
+std::optional<HeaderField> HpackDecoder::field_at(
+    std::uint64_t wire_index) const {
+  if (wire_index == 0) return std::nullopt;
+  if (wire_index <= kHpackStaticTableSize) {
+    return hpack_static_entry(static_cast<std::size_t>(wire_index));
+  }
+  const std::uint64_t dyn = wire_index - kHpackStaticTableSize - 1;
+  if (dyn >= table_.entry_count()) return std::nullopt;
+  return table_.at(static_cast<std::size_t>(dyn));
+}
+
+std::optional<HeaderList> HpackDecoder::decode(
+    std::span<const std::uint8_t> block) {
+  HeaderList out;
+  while (!block.empty()) {
+    const std::uint8_t first = block[0];
+    if ((first & 0x80) != 0) {
+      // Indexed field.
+      auto idx = decode_integer(block, 7);
+      if (!idx) return std::nullopt;
+      auto field = field_at(*idx);
+      if (!field) return std::nullopt;
+      out.push_back(std::move(*field));
+      continue;
+    }
+    if ((first & 0xE0) == 0x20) {
+      // Dynamic table size update.
+      auto size = decode_integer(block, 5);
+      if (!size) return std::nullopt;
+      table_.set_max_size(static_cast<std::size_t>(*size));
+      continue;
+    }
+
+    bool incremental = false;
+    std::uint8_t prefix_bits = 4;
+    if ((first & 0xC0) == 0x40) {
+      incremental = true;
+      prefix_bits = 6;
+    }
+    auto name_index = decode_integer(block, prefix_bits);
+    if (!name_index) return std::nullopt;
+
+    HeaderField field;
+    if (*name_index == 0) {
+      auto name = decode_string(block);
+      if (!name) return std::nullopt;
+      field.name = std::move(*name);
+    } else {
+      auto ref = field_at(*name_index);
+      if (!ref) return std::nullopt;
+      field.name = ref->name;
+    }
+    auto value = decode_string(block);
+    if (!value) return std::nullopt;
+    field.value = std::move(*value);
+
+    if (incremental) table_.insert(field);
+    out.push_back(std::move(field));
+  }
+  return out;
+}
+
+HeaderList make_request_headers(std::string_view method,
+                                std::string_view authority,
+                                std::string_view path, bool with_cookie) {
+  HeaderList headers = {
+      {":method", std::string(method)},
+      {":scheme", "https"},
+      {":authority", std::string(authority)},
+      {":path", std::string(path)},
+      {"accept", "*/*"},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", "en-US,en;q=0.9"},
+      {"user-agent", "Mozilla/5.0 (X11; Linux x86_64) Chromium/87.0.4280.88"},
+  };
+  if (with_cookie) {
+    headers.push_back(
+        {"cookie", "uid=" + std::string(authority) + "-0123456789abcdef"});
+  }
+  return headers;
+}
+
+}  // namespace h2r::http2

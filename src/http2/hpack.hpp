@@ -1,0 +1,131 @@
+// HPACK header compression (RFC 7541), without Huffman string coding.
+//
+// Why it is here: the paper argues (§2.2.1, citing Marx et al.) that
+// spreading requests over redundant connections hurts header compression
+// because "the compression dictionary has to be bootstrapped again" per
+// connection. The ablation bench `bench_ablation_perf` quantifies exactly
+// that with this implementation: encode the same request stream over 1 vs N
+// connections and compare emitted bytes.
+//
+// Coverage: full static table (61 entries), dynamic table with size-based
+// eviction (entry size = name + value + 32), integer prefix coding (§5.1),
+// plain string literals (§5.2, H bit 0), indexed / literal-with-indexing /
+// literal-without-indexing / never-indexed representations and dynamic
+// table size updates (§6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace h2r::http2 {
+
+struct HeaderField {
+  std::string name;   // lowercase by HTTP/2 convention
+  std::string value;
+
+  friend bool operator==(const HeaderField&, const HeaderField&) = default;
+};
+
+using HeaderList = std::vector<HeaderField>;
+
+/// RFC 7541 §4.1: entry size = len(name) + len(value) + 32.
+std::size_t hpack_entry_size(const HeaderField& field) noexcept;
+
+/// The 61-entry static table (Appendix A). Index is 1-based per spec.
+const HeaderField& hpack_static_entry(std::size_t index_1based) noexcept;
+inline constexpr std::size_t kHpackStaticTableSize = 61;
+
+/// Dynamic table shared in structure by encoder and decoder.
+class HpackDynamicTable {
+ public:
+  explicit HpackDynamicTable(std::size_t max_size = 4096)
+      : max_size_(max_size) {}
+
+  void set_max_size(std::size_t max_size);
+  std::size_t max_size() const noexcept { return max_size_; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  /// Newest entry gets index 0 here (spec index 62 at the wire layer).
+  const HeaderField& at(std::size_t i) const noexcept { return entries_[i]; }
+
+  void insert(HeaderField field);
+
+  /// Finds a full match; returns 0-based dynamic index.
+  std::optional<std::size_t> find(const HeaderField& field) const noexcept;
+
+  /// Finds a name-only match.
+  std::optional<std::size_t> find_name(std::string_view name) const noexcept;
+
+ private:
+  void evict();
+
+  std::deque<HeaderField> entries_;
+  std::size_t size_ = 0;
+  std::size_t max_size_;
+};
+
+/// Streaming encoder. One encoder per HTTP/2 connection direction.
+class HpackEncoder {
+ public:
+  explicit HpackEncoder(std::size_t max_table_size = 4096)
+      : table_(max_table_size) {}
+
+  /// Encodes one header block.
+  std::vector<std::uint8_t> encode(const HeaderList& headers);
+
+  /// Emits a dynamic-table-size update in the next block.
+  void resize_table(std::size_t max_size);
+
+  const HpackDynamicTable& table() const noexcept { return table_; }
+
+  /// Marks a header as sensitive: encoded never-indexed (§6.2.3).
+  void add_sensitive_name(std::string name);
+
+ private:
+  void encode_integer(std::vector<std::uint8_t>& out, std::uint8_t prefix_bits,
+                      std::uint8_t pattern, std::uint64_t value) const;
+  void encode_string(std::vector<std::uint8_t>& out,
+                     std::string_view s) const;
+
+  HpackDynamicTable table_;
+  std::optional<std::size_t> pending_resize_;
+  std::vector<std::string> sensitive_names_;
+};
+
+/// Streaming decoder.
+class HpackDecoder {
+ public:
+  explicit HpackDecoder(std::size_t max_table_size = 4096)
+      : table_(max_table_size) {}
+
+  /// Decodes one header block; nullopt on malformed input.
+  std::optional<HeaderList> decode(std::span<const std::uint8_t> block);
+
+  const HpackDynamicTable& table() const noexcept { return table_; }
+
+ private:
+  std::optional<std::uint64_t> decode_integer(
+      std::span<const std::uint8_t>& in, std::uint8_t prefix_bits) const;
+  std::optional<std::string> decode_string(
+      std::span<const std::uint8_t>& in) const;
+  std::optional<HeaderField> field_at(std::uint64_t wire_index) const;
+
+  HpackDynamicTable table_;
+};
+
+/// Builds the canonical request header block for the simulator:
+/// :method/:scheme/:authority/:path plus common browser headers, with an
+/// optional cookie (credentialed requests carry one — this is what makes
+/// the CRED privacy argument concrete).
+HeaderList make_request_headers(std::string_view method,
+                                std::string_view authority,
+                                std::string_view path, bool with_cookie);
+
+}  // namespace h2r::http2

@@ -1,0 +1,146 @@
+#include "http2/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2r::http2 {
+
+namespace {
+int clamp_weight(int weight) {
+  return weight < 1 ? 1 : (weight > 256 ? 256 : weight);
+}
+}  // namespace
+
+void PriorityTree::declare(StreamId id, StreamId parent, int weight,
+                           bool exclusive) {
+  if (id == 0) return;
+  // A dependency on an unknown parent degrades to the root (§5.3.1).
+  if (parent != 0 && nodes_.find(parent) == nodes_.end()) parent = 0;
+  // A stream must not depend on itself.
+  if (parent == id) parent = 0;
+
+  auto& children_list =
+      parent == 0 ? roots_ : nodes_[parent].children;
+
+  const auto existing = nodes_.find(id);
+  if (existing != nodes_.end()) {
+    // Re-prioritization: detach from the old parent first.
+    auto& old_list = existing->second.parent == 0
+                         ? roots_
+                         : nodes_[existing->second.parent].children;
+    old_list.erase(std::remove(old_list.begin(), old_list.end(), id),
+                   old_list.end());
+  }
+
+  Node& node = nodes_[id];
+  node.parent = parent;
+  node.weight = clamp_weight(weight);
+
+  if (exclusive) {
+    // Adopt the parent's current children.
+    for (StreamId child : children_list) {
+      if (child == id) continue;
+      nodes_[child].parent = id;
+      node.children.push_back(child);
+    }
+    children_list.clear();
+  }
+  children_list.push_back(id);
+}
+
+void PriorityTree::remove(StreamId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  const StreamId parent = it->second.parent;
+  auto& parent_list = parent == 0 ? roots_ : nodes_[parent].children;
+  parent_list.erase(std::remove(parent_list.begin(), parent_list.end(), id),
+                    parent_list.end());
+  // Children are re-parented to the removed stream's parent (§5.3.4).
+  for (StreamId child : it->second.children) {
+    nodes_[child].parent = parent;
+    parent_list.push_back(child);
+  }
+  nodes_.erase(it);
+}
+
+int PriorityTree::weight_of(StreamId id) const noexcept {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? kDefaultWeight : it->second.weight;
+}
+
+StreamId PriorityTree::parent_of(StreamId id) const noexcept {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.parent;
+}
+
+std::vector<StreamId> PriorityTree::children_of(StreamId parent) const {
+  if (parent == 0) return roots_;
+  const auto it = nodes_.find(parent);
+  return it == nodes_.end() ? std::vector<StreamId>{} : it->second.children;
+}
+
+void PriorityTree::distribute_at(
+    StreamId node, double share,
+    const std::map<StreamId, std::uint64_t>& pending,
+    std::map<StreamId, double>& out) const {
+  if (node != 0) {
+    const auto pending_it = pending.find(node);
+    if (pending_it != pending.end() && pending_it->second > 0) {
+      // A node with data to send consumes its whole share; its children
+      // are blocked behind it (§5.3.1).
+      out[node] += share;
+      return;
+    }
+  }
+  const std::vector<StreamId> children = children_of(node);
+  // Weight sum over children that have pending data anywhere below them.
+  std::vector<std::pair<StreamId, int>> active;
+  for (StreamId child : children) {
+    // Cheap subtree-activity test: recurse only when needed.
+    std::map<StreamId, double> probe;
+    distribute_at(child, 1.0, pending, probe);
+    if (!probe.empty()) {
+      active.emplace_back(child, weight_of(child));
+    }
+  }
+  if (active.empty()) return;
+  double weight_sum = 0;
+  for (const auto& [child, weight] : active) {
+    (void)child;
+    weight_sum += weight;
+  }
+  for (const auto& [child, weight] : active) {
+    distribute_at(child, share * (weight / weight_sum), pending, out);
+  }
+}
+
+std::map<StreamId, std::uint64_t> PriorityTree::distribute(
+    const std::map<StreamId, std::uint64_t>& pending,
+    std::uint64_t quantum) const {
+  std::map<StreamId, std::uint64_t> granted;
+  std::map<StreamId, std::uint64_t> remaining = pending;
+  std::uint64_t budget = quantum;
+  // Repeat until the quantum is used or nothing is pending: a stream that
+  // drains mid-quantum releases its share to the rest.
+  for (int guard = 0; budget > 0 && guard < 64; ++guard) {
+    std::map<StreamId, double> shares;
+    distribute_at(0, 1.0, remaining, shares);
+    if (shares.empty()) break;
+    std::uint64_t used = 0;
+    for (const auto& [stream, share] : shares) {
+      const std::uint64_t want = remaining[stream];
+      const std::uint64_t give = std::min<std::uint64_t>(
+          want, static_cast<std::uint64_t>(
+                    std::ceil(share * static_cast<double>(budget))));
+      granted[stream] += give;
+      remaining[stream] -= give;
+      used += give;
+      if (remaining[stream] == 0) remaining.erase(stream);
+    }
+    if (used == 0) break;
+    budget -= std::min(budget, used);
+  }
+  return granted;
+}
+
+}  // namespace h2r::http2

@@ -1,0 +1,154 @@
+#include "http2/session.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace h2r::http2 {
+
+namespace {
+
+/// Extracts the host from an RFC 6454 ASCII origin ("https://host[:port]").
+std::string_view origin_host(std::string_view origin) noexcept {
+  const std::size_t scheme_end = origin.find("://");
+  std::string_view rest = scheme_end == std::string_view::npos
+                              ? origin
+                              : origin.substr(scheme_end + 3);
+  const std::size_t colon = rest.rfind(':');
+  if (colon != std::string_view::npos &&
+      rest.find(']', colon) == std::string_view::npos) {
+    rest = rest.substr(0, colon);
+  }
+  return rest;
+}
+
+}  // namespace
+
+Session::Session(Params params)
+    : params_(std::move(params)),
+      connection_recv_window_(params_.local_settings.initial_window_size) {}
+
+int Session::receive_response_data(StreamId id, std::uint64_t bytes) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return 0;
+
+  const std::int64_t initial = params_.local_settings.initial_window_size;
+  // The receiver tops a window back up once half of it is consumed. With
+  // the update taking one RTT to reach the sender, the sender effectively
+  // streams `initial` bytes per window epoch and stalls whenever a
+  // response exceeds it. Stream and connection windows replenish the same
+  // way; the connection window is shared, so we track its level across
+  // responses and count a stall whenever either window would have hit 0.
+  int stalls = 0;
+  std::int64_t stream_window = initial;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::int64_t grant =
+        std::min<std::int64_t>(std::min(stream_window,
+                                        connection_recv_window_),
+                               static_cast<std::int64_t>(remaining));
+    if (grant <= 0) {
+      // Window exhausted: WINDOW_UPDATEs restore both windows after one
+      // round trip.
+      ++stalls;
+      window_updates_sent_ += 2;  // stream + connection update
+      stream_window = initial;
+      connection_recv_window_ = initial;
+      continue;
+    }
+    stream_window -= grant;
+    connection_recv_window_ -= grant;
+    remaining -= static_cast<std::uint64_t>(grant);
+  }
+  // Replenish lazily at the half mark, like Chromium's session window.
+  if (connection_recv_window_ < initial / 2) {
+    connection_recv_window_ = initial;
+    ++window_updates_sent_;
+  }
+  return stalls;
+}
+
+bool Session::certificate_covers(std::string_view host) const noexcept {
+  return params_.certificate != nullptr && params_.certificate->covers(host);
+}
+
+bool Session::is_rejected(std::string_view host) const noexcept {
+  return rejected_authorities_.count(util::to_lower(host)) > 0;
+}
+
+void Session::mark_rejected(std::string host) {
+  rejected_authorities_.insert(util::to_lower(host));
+}
+
+void Session::receive_origin_frame(const OriginFrame& frame) {
+  origin_set_received_ = true;
+  for (const std::string& origin : frame.origins) {
+    origin_set_.insert(util::to_lower(origin_host(origin)));
+  }
+}
+
+bool Session::allows_authority(std::string_view host) const noexcept {
+  if (is_rejected(host)) return false;
+  if (!certificate_covers(host)) return false;
+  if (origin_set_received_) {
+    return origin_set_.count(util::to_lower(host)) > 0;
+  }
+  return true;
+}
+
+StreamId Session::submit_request(RequestEntry entry) {
+  if (!is_open()) return 0;
+  if (active_streams_ >= params_.peer_settings.max_concurrent_streams) {
+    return 0;
+  }
+  const StreamId id = next_stream_id_;
+  next_stream_id_ += 2;
+
+  Stream stream{id, entry.started_at};
+  // GET: HEADERS with END_STREAM — open then immediately half-close local.
+  stream.end_local(entry.started_at);
+  streams_.emplace(id, stream);
+  ++active_streams_;
+  max_observed_concurrency_ =
+      std::max(max_observed_concurrency_, active_streams_);
+
+  entry.stream_id = id;
+  entry.authority = util::to_lower(entry.authority);
+  request_index_[id] = requests_.size();
+  requests_.push_back(std::move(entry));
+  return id;
+}
+
+bool Session::complete_request(StreamId id, int status, util::SimTime now) {
+  const auto sit = streams_.find(id);
+  const auto rit = request_index_.find(id);
+  if (sit == streams_.end() || rit == request_index_.end()) return false;
+  if (sit->second.is_closed()) return false;
+  sit->second.end_remote(now);
+  if (active_streams_ > 0) --active_streams_;
+  RequestEntry& entry = requests_[rit->second];
+  entry.status = status;
+  entry.finished_at = now;
+  if (status == 421) {
+    mark_rejected(entry.authority);
+  }
+  return true;
+}
+
+void Session::receive_goaway(ErrorCode code) noexcept {
+  going_away_ = true;
+  goaway_code_ = code;
+}
+
+void Session::close(util::SimTime now) noexcept {
+  if (closed_) return;
+  closed_ = true;
+  closed_at_ = now;
+  for (auto& [id, stream] : streams_) {
+    (void)id;
+    stream.reset(now);
+  }
+  active_streams_ = 0;
+}
+
+}  // namespace h2r::http2

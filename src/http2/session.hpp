@@ -1,0 +1,168 @@
+// Client-side HTTP/2 session (one TLS/TCP connection carrying multiplexed
+// streams), with the pieces Connection Reuse depends on:
+//
+//   * the peer endpoint (IP + port must match for reuse, RFC 7540 §9.1.1),
+//   * the presented certificate (must cover the new domain),
+//   * 421 Misdirected Request bookkeeping (server refuses an authority on
+//     this connection -> never route it here again),
+//   * the RFC 8336 ORIGIN frame origin set (when received, it bounds which
+//     authorities may be coalesced onto this session).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http2/frame.hpp"
+#include "http2/stream.hpp"
+#include "net/ip.hpp"
+#include "tls/certificate.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::http2 {
+
+/// One request carried on a session, as later exported to HAR / NetLog.
+struct RequestEntry {
+  StreamId stream_id = 0;
+  std::string authority;  // :authority pseudo-header
+  std::string path = "/";
+  std::string method = "GET";
+  int status = 200;
+  bool included_credentials = false;
+  util::SimTime started_at = 0;
+  util::SimTime finished_at = 0;
+};
+
+class Session {
+ public:
+  struct Params {
+    std::uint64_t id = 0;
+    net::Endpoint peer;
+    std::string initial_authority;  // the SNI / first :authority
+    tls::CertificatePtr certificate;
+    bool privacy_mode = false;  // Fetch credentials decision at creation
+    util::SimTime opened_at = 0;
+    Settings peer_settings;
+    /// Our advertised settings (receive-side flow-control windows).
+    Settings local_settings;
+  };
+
+  explicit Session(Params params);
+
+  std::uint64_t id() const noexcept { return params_.id; }
+  const net::Endpoint& peer() const noexcept { return params_.peer; }
+  const std::string& initial_authority() const noexcept {
+    return params_.initial_authority;
+  }
+  const tls::CertificatePtr& certificate() const noexcept {
+    return params_.certificate;
+  }
+  bool privacy_mode() const noexcept { return params_.privacy_mode; }
+  util::SimTime opened_at() const noexcept { return params_.opened_at; }
+
+  /// Close time; only meaningful when is_closed().
+  util::SimTime closed_at() const noexcept { return closed_at_; }
+  bool is_closed() const noexcept { return closed_; }
+  bool is_open() const noexcept { return !closed_ && !going_away_; }
+
+  // ------------------------------------------------------------ reuse
+
+  /// True if the presented certificate covers `host` (SAN match).
+  bool certificate_covers(std::string_view host) const noexcept;
+
+  /// True if the server sent HTTP 421 for `host` on this session.
+  bool is_rejected(std::string_view host) const noexcept;
+
+  /// Records an HTTP 421 Misdirected Request for `host`.
+  void mark_rejected(std::string host);
+
+  /// RFC 8336: installs (or extends) the origin set. The first ORIGIN frame
+  /// replaces the implicit cert-based set; later frames add to it.
+  void receive_origin_frame(const OriginFrame& frame);
+
+  bool has_origin_set() const noexcept { return origin_set_received_; }
+
+  /// The full RFC 8336 / RFC 7540 §9.1.1 client-side decision: may this
+  /// session carry a request for https://`host` — certificate valid for the
+  /// host, host not 421-rejected, and (if an origin set was received) host
+  /// contained in the origin set. The *IP equality* half of Connection
+  /// Reuse lives in the pool, which decides which sessions to probe.
+  bool allows_authority(std::string_view host) const noexcept;
+
+  // --------------------------------------------------------- requests
+
+  /// Opens a new stream for a request; returns its id (client ids are odd,
+  /// monotonically increasing). Returns 0 when the session cannot accept
+  /// streams (going away / concurrency limit reached).
+  StreamId submit_request(RequestEntry entry);
+
+  /// Completes the stream: records status and end time.
+  bool complete_request(StreamId id, int status, util::SimTime now);
+
+  std::size_t active_streams() const noexcept { return active_streams_; }
+  std::size_t max_observed_concurrency() const noexcept {
+    return max_observed_concurrency_;
+  }
+
+  // ----------------------------------------------------- flow control
+
+  /// Accounts `bytes` of response DATA against the stream's and the
+  /// connection's receive windows (RFC 7540 §5.2). The receiver
+  /// replenishes a window with WINDOW_UPDATE once half of it is consumed
+  /// (the common implementation strategy); every time the SENDER would
+  /// have hit a zero window before the update arrived, the transfer
+  /// stalls for one round trip. Returns the number of such stalls for
+  /// this response (0 for anything smaller than the initial window).
+  int receive_response_data(StreamId id, std::uint64_t bytes);
+
+  /// Total WINDOW_UPDATE frames this session sent (stream + connection).
+  std::uint64_t window_updates_sent() const noexcept {
+    return window_updates_sent_;
+  }
+
+  /// Remaining connection-level receive window.
+  std::int64_t connection_receive_window() const noexcept {
+    return connection_recv_window_;
+  }
+
+  const std::vector<RequestEntry>& requests() const noexcept {
+    return requests_;
+  }
+
+  // --------------------------------------------------------- shutdown
+
+  /// Server GOAWAY: no new streams, existing ones may finish.
+  void receive_goaway(ErrorCode code) noexcept;
+
+  ErrorCode goaway_code() const noexcept { return goaway_code_; }
+
+  /// Closes the connection.
+  void close(util::SimTime now) noexcept;
+
+ private:
+  Params params_;
+  util::SimTime closed_at_ = 0;
+  bool closed_ = false;
+  bool going_away_ = false;
+  ErrorCode goaway_code_ = ErrorCode::kNoError;
+
+  StreamId next_stream_id_ = 1;  // client-initiated ids are odd
+  std::map<StreamId, Stream> streams_;
+  std::size_t active_streams_ = 0;
+  std::size_t max_observed_concurrency_ = 0;
+
+  std::vector<RequestEntry> requests_;
+  std::map<StreamId, std::size_t> request_index_;
+
+  std::set<std::string, std::less<>> rejected_authorities_;
+  bool origin_set_received_ = false;
+  std::set<std::string, std::less<>> origin_set_;
+
+  std::int64_t connection_recv_window_ = 65535;
+  std::uint64_t window_updates_sent_ = 0;
+};
+
+}  // namespace h2r::http2

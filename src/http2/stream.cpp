@@ -1,0 +1,59 @@
+#include "http2/stream.hpp"
+
+namespace h2r::http2 {
+
+std::string to_string(StreamState state) {
+  switch (state) {
+    case StreamState::kIdle: return "idle";
+    case StreamState::kOpen: return "open";
+    case StreamState::kHalfClosedLocal: return "half-closed(local)";
+    case StreamState::kHalfClosedRemote: return "half-closed(remote)";
+    case StreamState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+bool Stream::send_headers() noexcept {
+  if (state_ != StreamState::kIdle) return false;
+  state_ = StreamState::kOpen;
+  return true;
+}
+
+bool Stream::end_local(util::SimTime now) noexcept {
+  if (state_ != StreamState::kIdle && state_ != StreamState::kOpen &&
+      state_ != StreamState::kHalfClosedRemote) {
+    return false;
+  }
+  if (state_ == StreamState::kIdle) {
+    // HEADERS with END_STREAM: open and immediately half-close.
+    state_ = StreamState::kOpen;
+  }
+  local_done_ = true;
+  state_ = remote_done_ ? StreamState::kClosed : StreamState::kHalfClosedLocal;
+  maybe_close(now);
+  return true;
+}
+
+bool Stream::end_remote(util::SimTime now) noexcept {
+  if (state_ != StreamState::kOpen && state_ != StreamState::kHalfClosedLocal) {
+    return false;
+  }
+  remote_done_ = true;
+  state_ = local_done_ ? StreamState::kClosed : StreamState::kHalfClosedRemote;
+  maybe_close(now);
+  return true;
+}
+
+void Stream::reset(util::SimTime now) noexcept {
+  if (state_ == StreamState::kClosed) return;
+  state_ = StreamState::kClosed;
+  closed_at_ = now;
+}
+
+void Stream::maybe_close(util::SimTime now) noexcept {
+  if (state_ == StreamState::kClosed && closed_at_ == 0) {
+    closed_at_ = now;
+  }
+}
+
+}  // namespace h2r::http2

@@ -1,0 +1,64 @@
+// HTTP/2 stream state machine (RFC 7540 §5.1), client-side view.
+//
+// The simulator opens one stream per request; the state machine enforces
+// the legal transitions so session-level invariants (concurrent stream
+// accounting, no reuse of closed ids) hold by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.hpp"
+
+namespace h2r::http2 {
+
+using StreamId = std::uint32_t;
+
+enum class StreamState : std::uint8_t {
+  kIdle,
+  kOpen,
+  kHalfClosedLocal,   // client sent END_STREAM, awaiting response
+  kHalfClosedRemote,  // server finished, client still sending
+  kClosed,
+};
+
+std::string to_string(StreamState state);
+
+class Stream {
+ public:
+  Stream(StreamId id, util::SimTime opened_at) noexcept
+      : id_(id), opened_at_(opened_at) {}
+
+  StreamId id() const noexcept { return id_; }
+  StreamState state() const noexcept { return state_; }
+  util::SimTime opened_at() const noexcept { return opened_at_; }
+  util::SimTime closed_at() const noexcept { return closed_at_; }
+
+  bool is_closed() const noexcept { return state_ == StreamState::kClosed; }
+
+  /// idle -> open (HEADERS sent without END_STREAM) — returns false on an
+  /// illegal transition.
+  bool send_headers() noexcept;
+
+  /// idle -> half-closed(local), or open -> half-closed(local):
+  /// HEADERS/DATA with END_STREAM sent by the client.
+  bool end_local(util::SimTime now) noexcept;
+
+  /// Server finished (END_STREAM received).
+  bool end_remote(util::SimTime now) noexcept;
+
+  /// RST_STREAM in either direction.
+  void reset(util::SimTime now) noexcept;
+
+ private:
+  void maybe_close(util::SimTime now) noexcept;
+
+  StreamId id_;
+  StreamState state_ = StreamState::kIdle;
+  bool local_done_ = false;
+  bool remote_done_ = false;
+  util::SimTime opened_at_ = 0;
+  util::SimTime closed_at_ = 0;
+};
+
+}  // namespace h2r::http2

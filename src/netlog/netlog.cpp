@@ -1,0 +1,96 @@
+#include "netlog/netlog.hpp"
+
+namespace h2r::netlog {
+
+std::string to_string(EventType type) {
+  switch (type) {
+    case EventType::kDnsResolved: return "DNS_RESOLVED";
+    case EventType::kSessionCreated: return "HTTP2_SESSION_CREATED";
+    case EventType::kSessionAvailable: return "HTTP2_SESSION_AVAILABLE";
+    case EventType::kSessionClosed: return "HTTP2_SESSION_CLOSED";
+    case EventType::kSessionGoaway: return "HTTP2_SESSION_GOAWAY";
+    case EventType::kSessionAliasReused: return "HTTP2_SESSION_POOL_ALIAS";
+    case EventType::kOriginFrame: return "HTTP2_SESSION_ORIGIN_FRAME";
+    case EventType::kRequestStarted: return "HTTP2_STREAM_STARTED";
+    case EventType::kRequestFinished: return "HTTP2_STREAM_FINISHED";
+    case EventType::kMisdirected: return "HTTP2_SESSION_MISDIRECTED";
+    case EventType::kPreconnect: return "HTTP2_SESSION_PRECONNECT";
+  }
+  return "UNKNOWN";
+}
+
+const std::string& Event::param(std::string_view key) const noexcept {
+  static const std::string kEmpty;
+  const auto it = params.find(std::string(key));
+  return it == params.end() ? kEmpty : it->second;
+}
+
+void NetLog::record(EventType type, util::SimTime time,
+                    std::uint64_t source_id,
+                    std::map<std::string, std::string> params) {
+  Event e;
+  e.type = type;
+  e.time = time;
+  e.source_id = source_id;
+  e.params = std::move(params);
+  events_.push_back(std::move(e));
+}
+
+std::vector<const Event*> NetLog::for_source(std::uint64_t source_id) const {
+  std::vector<const Event*> out;
+  for (const Event& e : events_) {
+    if (e.source_id == source_id) out.push_back(&e);
+  }
+  return out;
+}
+
+json::Value NetLog::to_json() const {
+  json::Array events;
+  events.reserve(events_.size());
+  for (const Event& e : events_) {
+    json::Object obj;
+    obj.set("type", to_string(e.type));
+    obj.set("time", static_cast<std::int64_t>(e.time));
+    obj.set("source", static_cast<std::int64_t>(e.source_id));
+    json::Object params;
+    for (const auto& [key, value] : e.params) params.set(key, value);
+    obj.set("params", std::move(params));
+    events.emplace_back(std::move(obj));
+  }
+  json::Object root;
+  root.set("events", std::move(events));
+  return json::Value{std::move(root)};
+}
+
+util::Expected<NetLog> NetLog::from_json(const json::Value& value) {
+  const json::Value& events = value["events"];
+  if (!events.is_array()) {
+    return util::unexpected(util::Error{"missing events array"});
+  }
+  NetLog log;
+  for (const json::Value& item : events.as_array()) {
+    const std::string& type_name = item["type"].as_string();
+    bool found = false;
+    Event e;
+    for (int t = 0; t <= static_cast<int>(EventType::kPreconnect); ++t) {
+      if (to_string(static_cast<EventType>(t)) == type_name) {
+        e.type = static_cast<EventType>(t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return util::unexpected(
+          util::Error{"unknown event type: " + type_name});
+    }
+    e.time = item["time"].as_int();
+    e.source_id = static_cast<std::uint64_t>(item["source"].as_int());
+    for (const auto& [key, param] : item["params"].as_object()) {
+      e.params[key] = param.as_string();
+    }
+    log.events_.push_back(std::move(e));
+  }
+  return log;
+}
+
+}  // namespace h2r::netlog

@@ -1,0 +1,72 @@
+// A Chromium-NetLog-like event stream.
+//
+// The browser emits one flat, time-ordered list of typed events with a
+// source id (the HTTP/2 session). The paper's own-measurement pipeline
+// "stitches these events together to gather a precise view of the session
+// lifecycle" — stitch.hpp does exactly that, reconstructing
+// core::ConnectionRecords from nothing but the event stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/expected.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::netlog {
+
+enum class EventType : std::uint8_t {
+  kDnsResolved,        // host, addresses, from_cache
+  kSessionCreated,     // ip, port, domain, privacy, cert_*
+  kSessionAvailable,   // TLS handshake done
+  kSessionClosed,      // end of socket
+  kSessionGoaway,      // server GOAWAY
+  kSessionAliasReused, // IP-pooling hit: request coalesced onto session
+  kOriginFrame,        // RFC 8336 origin set received
+  kRequestStarted,     // stream opened
+  kRequestFinished,    // response complete (status)
+  kMisdirected,        // HTTP 421 for a domain on this session
+  kPreconnect,         // speculative connection (no request)
+};
+
+std::string to_string(EventType type);
+
+struct Event {
+  EventType type = EventType::kSessionCreated;
+  util::SimTime time = 0;
+  /// Session id the event belongs to (0 = no session, e.g. DNS).
+  std::uint64_t source_id = 0;
+  /// Free-form parameters, mirroring NetLog's JSON params.
+  std::map<std::string, std::string> params;
+
+  const std::string& param(std::string_view key) const noexcept;
+};
+
+class NetLog {
+ public:
+  void record(EventType type, util::SimTime time, std::uint64_t source_id,
+              std::map<std::string, std::string> params = {});
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Events of one session, in order.
+  std::vector<const Event*> for_source(std::uint64_t source_id) const;
+
+  /// NetLog-style JSON dump ({"events": [...]}).
+  json::Value to_json() const;
+
+  /// Parses a dump produced by to_json(). Unknown event-type strings are
+  /// an error (the dump format is ours).
+  static util::Expected<NetLog> from_json(const json::Value& value);
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace h2r::netlog

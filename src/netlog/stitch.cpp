@@ -1,0 +1,127 @@
+#include "netlog/stitch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "net/ip.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::netlog {
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& joined) {
+  std::vector<std::string> out;
+  if (joined.empty()) return out;
+  for (std::string_view part : util::split(joined, ',')) {
+    if (!part.empty()) out.emplace_back(part);
+  }
+  return out;
+}
+
+}  // namespace
+
+core::SiteObservation stitch_site(const std::string& site_url,
+                                  const NetLog& log) {
+  core::SiteObservation site;
+  site.site_url = site_url;
+
+  std::map<std::uint64_t, core::ConnectionRecord> sessions;
+  // (session, stream) -> index into the record's request list.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> streams;
+
+  for (const Event& e : log.events()) {
+    switch (e.type) {
+      case EventType::kSessionCreated: {
+        core::ConnectionRecord rec;
+        rec.id = e.source_id;
+        auto ip = net::IpAddress::parse(e.param("ip"));
+        if (ip.has_value()) rec.endpoint.address = ip.value();
+        rec.endpoint.port = static_cast<std::uint16_t>(
+            std::strtoul(e.param("port").c_str(), nullptr, 10));
+        rec.initial_domain = util::to_lower(e.param("domain"));
+        rec.opened_at = e.time;
+        rec.san_dns_names = split_list(e.param("cert_sans"));
+        rec.issuer_organization = e.param("cert_issuer");
+        rec.certificate_serial =
+            std::strtoull(e.param("cert_serial").c_str(), nullptr, 10);
+        rec.has_certificate = !rec.san_dns_names.empty();
+        if (!e.param("protocol").empty()) rec.protocol = e.param("protocol");
+        sessions[e.source_id] = std::move(rec);
+        break;
+      }
+      case EventType::kSessionClosed: {
+        const auto it = sessions.find(e.source_id);
+        if (it != sessions.end()) it->second.closed_at = e.time;
+        break;
+      }
+      case EventType::kOriginFrame: {
+        const auto it = sessions.find(e.source_id);
+        if (it != sessions.end()) {
+          it->second.origin_set = split_list(e.param("origins"));
+        }
+        break;
+      }
+      case EventType::kMisdirected: {
+        const auto it = sessions.find(e.source_id);
+        if (it != sessions.end()) {
+          it->second.excluded_domains.push_back(
+              util::to_lower(e.param("domain")));
+        }
+        break;
+      }
+      case EventType::kRequestStarted: {
+        const auto it = sessions.find(e.source_id);
+        if (it == sessions.end()) break;
+        core::RequestRecord req;
+        req.started_at = e.time;
+        req.domain = util::to_lower(e.param("domain"));
+        req.method = e.param("method").empty() ? "GET" : e.param("method");
+        const std::uint64_t stream =
+            std::strtoull(e.param("stream").c_str(), nullptr, 10);
+        streams[{e.source_id, stream}] = it->second.requests.size();
+        it->second.requests.push_back(std::move(req));
+        break;
+      }
+      case EventType::kRequestFinished: {
+        const auto session_it = sessions.find(e.source_id);
+        if (session_it == sessions.end()) break;
+        const std::uint64_t stream =
+            std::strtoull(e.param("stream").c_str(), nullptr, 10);
+        const auto idx_it = streams.find({e.source_id, stream});
+        if (idx_it == streams.end()) break;
+        core::RequestRecord& req =
+            session_it->second.requests[idx_it->second];
+        req.finished_at = e.time;
+        req.status =
+            static_cast<int>(std::strtol(e.param("status").c_str(), nullptr,
+                                         10));
+        break;
+      }
+      case EventType::kDnsResolved:
+      case EventType::kSessionAvailable:
+      case EventType::kSessionGoaway:
+      case EventType::kSessionAliasReused:
+      case EventType::kPreconnect:
+        break;  // informational only
+    }
+  }
+
+  site.connections.reserve(sessions.size());
+  for (auto& [id, rec] : sessions) {
+    (void)id;
+    site.connections.push_back(std::move(rec));
+  }
+  std::stable_sort(site.connections.begin(), site.connections.end(),
+                   [](const core::ConnectionRecord& a,
+                      const core::ConnectionRecord& b) {
+                     if (a.opened_at != b.opened_at) {
+                       return a.opened_at < b.opened_at;
+                     }
+                     return a.id < b.id;
+                   });
+  return site;
+}
+
+}  // namespace h2r::netlog

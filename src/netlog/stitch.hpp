@@ -1,0 +1,20 @@
+// Reconstructs connection records from a raw NetLog event stream
+// ("stitch these events together to gather a precise view of the session
+// lifecycle", paper §4.2.2).
+#pragma once
+
+#include <string>
+
+#include "core/connection.hpp"
+#include "netlog/netlog.hpp"
+
+namespace h2r::netlog {
+
+/// Builds the per-site observation from the event stream of one page load.
+/// Connections are ordered by creation time; requests carry exact start
+/// and finish times; 421 responses populate the exclusion lists; origin
+/// sets are attached when ORIGIN frames were logged.
+core::SiteObservation stitch_site(const std::string& site_url,
+                                  const NetLog& log);
+
+}  // namespace h2r::netlog

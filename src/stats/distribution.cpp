@@ -1,0 +1,106 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace h2r::stats {
+
+std::vector<CcdfPoint> ccdf(
+    const std::map<std::size_t, std::uint64_t>& histogram) {
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : histogram) total += count;
+  std::vector<CcdfPoint> out;
+  if (total == 0) return out;
+
+  // Walk values in increasing order; at each distinct value emit the count
+  // of sites with >= that value.
+  std::uint64_t remaining = total;
+  std::size_t last_value = 0;
+  bool first = true;
+  for (const auto& [value, count] : histogram) {
+    if (first || value != last_value) {
+      CcdfPoint p;
+      p.value = value;
+      p.count = remaining;
+      p.share = static_cast<double>(remaining) / static_cast<double>(total);
+      out.push_back(p);
+    }
+    remaining -= count;
+    last_value = value;
+    first = false;
+  }
+  return out;
+}
+
+std::size_t value_at_share(
+    const std::map<std::size_t, std::uint64_t>& histogram, double share) {
+  std::size_t best = 0;
+  for (const CcdfPoint& p : ccdf(histogram)) {
+    if (p.share >= share) best = p.value;
+  }
+  return best;
+}
+
+std::string ccdf_to_csv(
+    const std::map<std::size_t, std::uint64_t>& histogram) {
+  std::string out = "value,share,count\n";
+  for (const CcdfPoint& p : ccdf(histogram)) {
+    out += std::to_string(p.value) + "," + std::to_string(p.share) + "," +
+           std::to_string(p.count) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> average_ranks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const std::vector<double> ra =
+      average_ranks(std::vector<double>(a.begin(), a.begin() + static_cast<long>(n)));
+  const std::vector<double> rb =
+      average_ranks(std::vector<double>(b.begin(), b.begin() + static_cast<long>(n)));
+  double mean_a = 0;
+  double mean_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0;
+  double var_a = 0;
+  double var_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - mean_a) * (rb[i] - mean_b);
+    var_a += (ra[i] - mean_a) * (ra[i] - mean_a);
+    var_b += (rb[i] - mean_b) * (rb[i] - mean_b);
+  }
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace h2r::stats

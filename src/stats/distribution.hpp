@@ -1,0 +1,50 @@
+// Distribution helpers for Figure 2 (complementary cumulative distribution
+// of redundant connections per site) and the lifetime statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace h2r::stats {
+
+/// A point of a complementary cumulative distribution: the share of sites
+/// with at least `value` occurrences.
+struct CcdfPoint {
+  std::size_t value = 0;
+  double share = 0.0;  // in [0, 1]
+  std::uint64_t count = 0;
+};
+
+/// Builds the CCDF ("share of sites with >= k redundant connections") from
+/// a histogram value -> number of sites. Includes value 0 (share 1.0).
+std::vector<CcdfPoint> ccdf(
+    const std::map<std::size_t, std::uint64_t>& histogram);
+
+/// Smallest value whose CCDF share is still >= `share` (e.g. the paper's
+/// "around 50% of all sites open at least two redundant connections" is
+/// value_at_share(h, 0.5) == 2).
+std::size_t value_at_share(const std::map<std::size_t, std::uint64_t>& histogram,
+                           double share);
+
+/// Renders a CCDF as CSV ("value,share,count\n...") for external plotting.
+std::string ccdf_to_csv(const std::map<std::size_t, std::uint64_t>& histogram);
+
+/// Spearman rank correlation between two paired samples (values are
+/// ranked with average ranks for ties). Returns a value in [-1, 1];
+/// 0 when fewer than two pairs. Used to score how well the simulated
+/// attribution rankings reproduce the paper's published orderings.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Exact quantile of a sample (nearest-rank).
+template <typename T>
+T quantile(std::vector<T> sorted_values, double q) {
+  if (sorted_values.empty()) return T{};
+  const std::size_t idx = std::min(
+      sorted_values.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_values.size())));
+  return sorted_values[idx];
+}
+
+}  // namespace h2r::stats

@@ -1,0 +1,75 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+
+namespace h2r::stats {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  alignments_.resize(headers_.size(), Align::kRight);
+  if (!alignments_.empty()) alignments_[0] = alignments_[0];
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t width, Align align) {
+    std::string out;
+    const std::size_t fill = width > s.size() ? width - s.size() : 0;
+    if (align == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::size_t total = headers_.empty() ? 0 : (headers_.size() - 1) * 3;
+  for (std::size_t w : widths) total += w;
+
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out += '\n';
+    out.append(std::min(title.size(), total), '=');
+    out += '\n';
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(headers_[c], widths[c],
+               c == 0 ? Align::kLeft : alignments_[c]);
+  }
+  out += '\n';
+  out.append(total, '-');
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out.append(total, '-');
+      out += '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(row.cells[c], widths[c],
+                 c == 0 ? Align::kLeft : alignments_[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace h2r::stats

@@ -1,0 +1,39 @@
+// ASCII table rendering for the bench binaries that regenerate the paper's
+// tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2r::stats {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> alignments = {});
+
+  /// Adds one row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line.
+  void add_separator();
+
+  /// Renders with column padding, a header rule, and `title` on top.
+  std::string render(const std::string& title = {}) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace h2r::stats

@@ -1,0 +1,42 @@
+#include "tls/certificate.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::tls {
+
+bool matches_dns_name(std::string_view pattern,
+                      std::string_view host) noexcept {
+  if (pattern.empty() || host.empty()) return false;
+  const std::string p = util::to_lower(pattern);
+  const std::string h = util::to_lower(host);
+  if (!util::starts_with(p, "*.")) return p == h;
+  // Wildcard: "*.suffix" must match exactly one extra label, and the
+  // suffix must contain at least one label itself ("*." matches nothing).
+  const std::string_view suffix = std::string_view(p).substr(1);  // ".suffix"
+  if (suffix.size() <= 1) return false;
+  if (!util::ends_with(h, suffix)) return false;
+  const std::string_view label =
+      std::string_view(h).substr(0, h.size() - suffix.size());
+  return !label.empty() && label.find('.') == std::string_view::npos;
+}
+
+CertificatePtr Certificate::make(Spec spec) {
+  return CertificatePtr(new Certificate(std::move(spec)));
+}
+
+bool Certificate::covers(std::string_view host) const noexcept {
+  if (spec_.san_dns_names.empty()) {
+    return matches_dns_name(spec_.subject_common_name, host);
+  }
+  for (const std::string& san : spec_.san_dns_names) {
+    if (matches_dns_name(san, host)) return true;
+  }
+  return false;
+}
+
+std::string Certificate::fingerprint() const {
+  return spec_.issuer_organization + "/" + std::to_string(spec_.serial) + "/" +
+         spec_.subject_common_name;
+}
+
+}  // namespace h2r::tls

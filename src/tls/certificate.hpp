@@ -1,0 +1,71 @@
+// TLS certificate model.
+//
+// HTTP/2 Connection Reuse (RFC 7540 §9.1.1) allows reusing a connection for
+// a new domain only if the connection's certificate "is valid for" that
+// domain — in practice, if a dNSName Subject Alternative Name matches it.
+// We model exactly the fields the paper's analysis needs: SAN list, issuer
+// organization (Tables 3/4/5/9/10 group by issuer) and validity window.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace h2r::tls {
+
+/// RFC 6125-style host matching for a single dNSName pattern:
+///   - case-insensitive exact match, or
+///   - a wildcard in the left-most label only ("*.example.com"), matching
+///     exactly one label (not "example.com", not "a.b.example.com").
+bool matches_dns_name(std::string_view pattern, std::string_view host) noexcept;
+
+class Certificate;
+using CertificatePtr = std::shared_ptr<const Certificate>;
+
+/// An immutable leaf certificate. Shared by reference between the servers
+/// presenting it and every connection record that captured it.
+class Certificate {
+ public:
+  struct Spec {
+    std::string subject_common_name;
+    std::vector<std::string> san_dns_names;
+    std::string issuer_organization;  // e.g. "Let's Encrypt"
+    util::SimTime not_before = 0;
+    util::SimTime not_after = util::kSimTimeMax;
+    std::uint64_t serial = 0;
+  };
+
+  static CertificatePtr make(Spec spec);
+
+  const std::string& subject_common_name() const noexcept {
+    return spec_.subject_common_name;
+  }
+  const std::vector<std::string>& san_dns_names() const noexcept {
+    return spec_.san_dns_names;
+  }
+  const std::string& issuer_organization() const noexcept {
+    return spec_.issuer_organization;
+  }
+  std::uint64_t serial() const noexcept { return spec_.serial; }
+
+  bool valid_at(util::SimTime t) const noexcept {
+    return t >= spec_.not_before && t <= spec_.not_after;
+  }
+
+  /// True if any SAN (or, absent SANs, the CN — legacy behaviour) covers
+  /// `host`.
+  bool covers(std::string_view host) const noexcept;
+
+  /// Stable identity for grouping ("issuer/serial/CN").
+  std::string fingerprint() const;
+
+ private:
+  explicit Certificate(Spec spec) : spec_(std::move(spec)) {}
+  Spec spec_;
+};
+
+}  // namespace h2r::tls

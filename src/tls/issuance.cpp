@@ -1,0 +1,59 @@
+#include "tls/issuance.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::tls {
+
+CertificatePtr CertificateAuthority::issue(
+    const std::vector<std::string>& dns_names, util::SimTime not_before,
+    util::SimTime not_after) {
+  Certificate::Spec spec;
+  spec.subject_common_name = dns_names.empty() ? "" : dns_names.front();
+  spec.san_dns_names = dns_names;
+  spec.issuer_organization = issuer_;
+  spec.not_before = not_before;
+  spec.not_after = not_after;
+  spec.serial = next_serial_++;
+  return Certificate::make(std::move(spec));
+}
+
+std::vector<CertificatePtr> CertificateAuthority::issue_for(
+    IssuancePolicy policy, const std::vector<std::string>& domains,
+    const std::string& wildcard_base) {
+  std::vector<CertificatePtr> out;
+  switch (policy) {
+    case IssuancePolicy::kMergedSan: {
+      if (!domains.empty()) out.push_back(issue(domains));
+      break;
+    }
+    case IssuancePolicy::kPerDomain: {
+      out.reserve(domains.size());
+      for (const std::string& d : domains) {
+        out.push_back(issue({d}));
+      }
+      break;
+    }
+    case IssuancePolicy::kWildcard: {
+      std::vector<std::string> leftover;
+      bool wildcard_needed = false;
+      const std::string wildcard = "*." + wildcard_base;
+      for (const std::string& d : domains) {
+        if (d == wildcard_base || matches_dns_name(wildcard, d)) {
+          wildcard_needed = true;
+        } else {
+          leftover.push_back(d);
+        }
+      }
+      if (wildcard_needed) {
+        out.push_back(issue({wildcard_base, wildcard}));
+      }
+      for (const std::string& d : leftover) {
+        out.push_back(issue({d}));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2r::tls

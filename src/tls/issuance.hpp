@@ -1,0 +1,60 @@
+// Certificate issuance policies.
+//
+// The paper's CERT cause exists because operators obtain *disjunct*
+// certificates for domains served from the same hosts (e.g. separate
+// certbot-issued Let's Encrypt certs per subdomain), while others merge all
+// their domains into one SAN list or use wildcards. The issuance policy is
+// the knob the synthetic ecosystem turns to create (or avoid) CERT
+// redundancy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tls/certificate.hpp"
+
+namespace h2r::tls {
+
+enum class IssuancePolicy {
+  /// One certificate whose SAN list contains every domain of the operator.
+  kMergedSan,
+  /// One certificate per domain (certbot default — disjunct certs).
+  kPerDomain,
+  /// One wildcard certificate "*.base" plus the base domain.
+  kWildcard,
+};
+
+/// A toy CA that hands out certificates under a fixed issuer organization,
+/// with monotonically increasing serials.
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string issuer_organization)
+      : issuer_(std::move(issuer_organization)) {}
+
+  const std::string& issuer() const noexcept { return issuer_; }
+
+  /// Issues one certificate covering exactly `dns_names`, valid in
+  /// [not_before, not_after].
+  CertificatePtr issue(const std::vector<std::string>& dns_names,
+                       util::SimTime not_before = 0,
+                       util::SimTime not_after = util::kSimTimeMax);
+
+  /// Applies `policy` to `domains` (all belonging to one operator) and
+  /// returns one certificate per resulting SAN group, in `domains` order of
+  /// first appearance.
+  ///
+  /// For kWildcard, `wildcard_base` names the registrable domain; domains
+  /// not directly under it fall back to per-domain certificates.
+  std::vector<CertificatePtr> issue_for(
+      IssuancePolicy policy, const std::vector<std::string>& domains,
+      const std::string& wildcard_base = {});
+
+  std::uint64_t issued_count() const noexcept { return next_serial_; }
+
+ private:
+  std::string issuer_;
+  std::uint64_t next_serial_ = 0;
+};
+
+}  // namespace h2r::tls

@@ -1,0 +1,42 @@
+// Simulated time.
+//
+// All timestamps in the simulator are SimTime: milliseconds since the start
+// of the simulated epoch. Connection lifecycles, DNS TTLs and load-balancing
+// slots all share this clock, which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace h2r::util {
+
+/// Milliseconds since the simulated epoch.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime milliseconds(std::int64_t n) noexcept { return n; }
+constexpr SimTime seconds(std::int64_t n) noexcept { return n * 1000; }
+constexpr SimTime minutes(std::int64_t n) noexcept { return n * 60 * 1000; }
+constexpr SimTime hours(std::int64_t n) noexcept { return n * 3600 * 1000; }
+constexpr SimTime days(std::int64_t n) noexcept { return n * 86400 * 1000; }
+
+/// A manually advanced clock. Components take a `const SimClock&` when they
+/// only read time and a `SimClock&` when they drive it forward.
+class SimClock {
+ public:
+  constexpr SimClock() noexcept = default;
+  constexpr explicit SimClock(SimTime start) noexcept : now_(start) {}
+
+  constexpr SimTime now() const noexcept { return now_; }
+
+  constexpr void advance(SimTime delta) noexcept { now_ += delta; }
+  constexpr void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace h2r::util

@@ -1,0 +1,74 @@
+// A minimal std::expected stand-in (we target C++20; std::expected is C++23).
+//
+// Used by parsers (JSON, IP addresses, HAR) to report recoverable input
+// errors without exceptions on the hot path.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace h2r::util {
+
+/// Error payload: a human-readable message plus an optional input offset.
+struct Error {
+  std::string message;
+  std::size_t offset = 0;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> unexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+/// Either a value of type T or an Error-like E.
+template <typename T, typename E = Error>
+class Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> e)
+      : data_(std::in_place_index<1>, std::move(e.error)) {}
+
+  bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(data_));
+  }
+
+  const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(data_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& {
+    return has_value() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+}  // namespace h2r::util

@@ -1,0 +1,34 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace h2r::util {
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string human_count(std::uint64_t n) {
+  if (n >= 1000000) {
+    return fixed(static_cast<double>(n) / 1e6, 2) + " M";
+  }
+  if (n >= 1000) {
+    return fixed(static_cast<double>(n) / 1e3, 2) + " k";
+  }
+  return std::to_string(n);
+}
+
+std::string percent(double numerator, double denominator) {
+  if (denominator <= 0.0) return "- %";
+  const double pct = 100.0 * numerator / denominator;
+  return std::to_string(static_cast<long long>(std::llround(pct))) + " %";
+}
+
+std::string seconds_str(std::int64_t millis) {
+  return fixed(static_cast<double>(millis) / 1000.0, 1) + "s";
+}
+
+}  // namespace h2r::util

@@ -1,0 +1,23 @@
+// Human-readable number formatting matching the paper's table style
+// ("2.25 M", "52.31 k", "885.40 k") plus percentage helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace h2r::util {
+
+/// Formats a count the way the paper prints it: values >= 1e6 as "x.yz M",
+/// >= 1e3 as "x.yz k", otherwise as a plain integer.
+std::string human_count(std::uint64_t n);
+
+/// Formats a ratio as an integer percentage ("76 %"), the paper's rounding.
+std::string percent(double numerator, double denominator);
+
+/// Fixed-point formatting with `digits` decimals.
+std::string fixed(double value, int digits);
+
+/// Formats a SimTime-style millisecond duration as seconds ("122.2s").
+std::string seconds_str(std::int64_t millis);
+
+}  // namespace h2r::util

@@ -1,0 +1,131 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace h2r::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_seed(std::uint64_t base, std::string_view name) noexcept {
+  std::uint64_t state = base;
+  for (unsigned char c : name) {
+    state ^= c;
+    (void)splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
+std::uint64_t combine_seed(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+  return splitmix64(state);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+Rng Rng::fork(std::string_view name) const noexcept {
+  return Rng{hash_seed(seed_, name)};
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo;
+  if (range == ~0ull) return next();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = range + 1;
+  const std::uint64_t limit = ~0ull - (~0ull % bound);
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return lo + x % bound;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0.0;
+  assert(total > 0.0);
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::escalating(std::size_t min_count, double p,
+                            std::size_t max_count) noexcept {
+  std::size_t k = min_count;
+  while (k < max_count && chance(p)) ++k;
+  return k;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double x = rng.uniform01();
+  // Binary search for the first CDF entry >= x.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace h2r::util

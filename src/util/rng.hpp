@@ -1,0 +1,104 @@
+// Deterministic random number generation.
+//
+// All simulation randomness flows through Rng so that every experiment is
+// reproducible from a single 64-bit seed. The generator is xoshiro256**,
+// seeded via SplitMix64 (the construction recommended by its authors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace h2r::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for cheap stateless hashing of seed material.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Mixes a string into a 64-bit value; used to derive per-entity seeds
+/// (e.g. per-domain, per-resolver) from a run seed plus a name.
+std::uint64_t hash_seed(std::uint64_t base, std::string_view name) noexcept;
+
+/// Combines two 64-bit seeds into one (order-sensitive).
+std::uint64_t combine_seed(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Derives an independent generator for a named sub-component.
+  [[nodiscard]] Rng fork(std::string_view name) const noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Uniformly picks an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[index(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[index(items.size())];
+  }
+
+  /// Samples an index according to non-negative weights (linear scan).
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+  /// Geometric-ish count: returns k >= min_count, continuing while chance(p).
+  /// Capped at max_count to keep workloads bounded.
+  std::size_t escalating(std::size_t min_count, double p,
+                         std::size_t max_count) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Zipf(s, n) sampler over ranks 1..n, via precomputed CDF.
+/// Models heavy-tailed popularity (site traffic, service embed frequency).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace h2r::util

@@ -1,0 +1,36 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2r::util {
+
+/// Splits `s` on `sep`, keeping empty fields ("a..b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` ends with `suffix` (case-sensitive).
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Registrable-domain heuristic: returns the last two labels of a host name
+/// ("www.google-analytics.com" -> "google-analytics.com"). Good enough for a
+/// synthetic ecosystem where we control the names; a full public-suffix list
+/// is out of scope.
+std::string_view base_domain(std::string_view host) noexcept;
+
+}  // namespace h2r::util

@@ -1,0 +1,913 @@
+#include "web/catalog.hpp"
+
+#include <cassert>
+
+namespace h2r::web {
+
+namespace {
+
+net::Prefix prefix(const char* text) {
+  auto p = net::Prefix::parse(text);
+  assert(p.has_value());
+  return p.value();
+}
+
+Resource script(std::string domain, std::string path,
+                util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kScript;
+  r.start_delay = delay;
+  r.size_bytes = 40 * 1024;
+  return r;
+}
+
+Resource image(std::string domain, std::string path,
+               util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kImage;
+  r.start_delay = delay;
+  r.size_bytes = 4 * 1024;
+  return r;
+}
+
+Resource xhr(std::string domain, std::string path, bool anonymous,
+             util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kXhr;
+  r.crossorigin_anonymous = anonymous;
+  // Cross-origin XHR defaults to anonymous (credentials "same-origin");
+  // anonymous=false models `withCredentials = true`.
+  if (!anonymous) {
+    r.credentials_override = fetch::CredentialsMode::kInclude;
+  }
+  r.start_delay = delay;
+  r.size_bytes = 1024;
+  return r;
+}
+
+Resource style(std::string domain, std::string path,
+               util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kStyle;
+  r.start_delay = delay;
+  r.size_bytes = 8 * 1024;
+  return r;
+}
+
+Resource font(std::string domain, std::string path,
+              util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kFont;
+  r.start_delay = delay;
+  r.size_bytes = 25 * 1024;
+  return r;
+}
+
+Resource iframe(std::string domain, std::string path,
+                util::SimTime delay = 0) {
+  Resource r;
+  r.domain = std::move(domain);
+  r.path = std::move(path);
+  r.destination = fetch::Destination::kIframe;
+  r.start_delay = delay;
+  r.size_bytes = 30 * 1024;
+  return r;
+}
+
+dns::LbConfig unsync_lb(std::size_t answers = 2) {
+  dns::LbConfig lb;
+  lb.policy = dns::LbPolicy::kPerResolverShuffle;
+  lb.answer_count = answers;
+  lb.slot_duration = util::minutes(5);
+  return lb;
+}
+
+dns::LbConfig static_lb(std::size_t answers = 1) {
+  dns::LbConfig lb;
+  lb.policy = dns::LbPolicy::kStatic;
+  lb.answer_count = answers;
+  return lb;
+}
+
+dns::LbConfig rr_lb(std::size_t answers = 1) {
+  dns::LbConfig lb;
+  lb.policy = dns::LbPolicy::kRoundRobin;
+  lb.answer_count = answers;
+  lb.slot_duration = util::minutes(10);
+  return lb;
+}
+
+}  // namespace
+
+util::SimTime jitter(util::Rng& rng, util::SimTime lo, util::SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<util::SimTime>(rng.uniform(
+                  0, static_cast<std::uint64_t>(hi - lo)));
+}
+
+ServiceCatalog::ServiceCatalog(Ecosystem& eco, std::uint64_t seed,
+                               std::size_t generic_service_count,
+                               bool announce_origin_frames)
+    : announce_origin_frames_(announce_origin_frames) {
+  install_ases(eco);
+  install_google(eco);
+  install_facebook(eco);
+  install_misc(eco);
+  install_generics(eco, seed, generic_service_count);
+}
+
+void ServiceCatalog::install_ases(Ecosystem& eco) {
+  // Address space assignments are synthetic but AS names/numbers mirror
+  // the paper's Table 6.
+  eco.register_as("GOOGLE", 15169, prefix("142.250.0.0/15"));
+  eco.register_as("AMAZON-02", 16509, prefix("13.32.0.0/14"));
+  eco.register_as("FACEBOOK", 32934, prefix("157.240.0.0/16"));
+  eco.register_as("AUTOMATTIC", 2635, prefix("192.0.64.0/18"));
+  eco.register_as("CLOUDFLARENET", 13335, prefix("104.16.0.0/13"));
+  eco.register_as("FASTLY", 54113, prefix("151.101.0.0/16"));
+  eco.register_as("AMAZON-AES", 14618, prefix("54.144.0.0/14"));
+  eco.register_as("EDGECAST", 15133, prefix("152.195.0.0/16"));
+  eco.register_as("AKAMAI-ASN1", 20940, prefix("23.32.0.0/13"));
+  eco.register_as("AKAMAI-AS", 16625, prefix("104.64.0.0/13"));
+  eco.register_as("YANDEX", 13238, prefix("77.88.0.0/18"));
+  eco.register_as("MICROSOFT-CORP", 8075, prefix("20.40.0.0/13"));
+  // Hosting providers for first-party sites.
+  eco.register_as("OVH", 16276, prefix("51.68.0.0/14"));
+  eco.register_as("HETZNER-AS", 24940, prefix("88.198.0.0/15"));
+  eco.register_as("DIGITALOCEAN-ASN", 14061, prefix("164.90.0.0/15"));
+  eco.register_as("UNIFIEDLAYER-AS-1", 46606, prefix("162.144.0.0/14"));
+}
+
+void ServiceCatalog::install_google(Ecosystem& eco) {
+  ClusterSpec spec;
+  spec.operator_name = "Google";
+  spec.as_name = "GOOGLE";
+  spec.h3_enabled = true;  // Google advertised h3/QUIC in 2021
+  spec.ip_count = 33;  // one Google-frontend pool inside a single /24
+
+  // Google's certificate landscape, as the paper's reuse data implies it:
+  // the analytics pair shares one cert (GT's connection is reusable for
+  // GA), the ads constellation shares another, www/apis/ogs/youtube share
+  // the *.google.com cert, and the gstatic cert ALSO covers *.google.com
+  // (Table 12: www.google.de / apis.google.com reusable on the
+  // www.gstatic.com connection) — while *.googleapis.com is separate from
+  // *.gstatic.com (a fonts.googleapis.com connection is NOT reusable for
+  // fonts.gstatic.com). adservice.google.com sits on the www cert, which
+  // makes it a CERT case against same-IP ads-cert connections (Table 4).
+  spec.certs = {
+      {"Google Trust Services",
+       {"*.google-analytics.com", "*.googletagmanager.com"}},
+      {"Google Trust Services",
+       {"*.doubleclick.net", "*.g.doubleclick.net", "*.googlesyndication.com",
+        "*.googletagservices.com", "*.googleadservices.com"}},
+      {"Google Trust Services",
+       {"*.google.com", "*.google.de", "apis.google.com", "ogs.google.com",
+        "*.youtube.com", "*.ytimg.com"}},
+      {"Google Trust Services",
+       {"*.gstatic.com", "*.google.com", "*.google.de"}},
+      {"Google Trust Services", {"*.googleapis.com"}},
+      // fonts.gstatic.com presents a bare *.gstatic.com certificate: its
+      // connections are NOT reusable for google.com properties.
+      {"Google Trust Services", {"*.gstatic.com"}},
+      // Two ads domains carry NARROW certificates (Table 4: googleads is
+      // CERT-redundant to www.googleadservices.com connections and vice
+      // versa, while the broad ads cert still covers both -> Table 2's
+      // googleads-prev-pagead2 IP pairs).
+      {"Google Trust Services", {"*.g.doubleclick.net"}},
+      {"Google Trust Services",
+       {"www.googleadservices.com", "googleadservices.com"}},
+  };
+
+  // Per-domain DNS pool windows into the 16-IP frontend. Windows encode
+  // the paper's observations: GT and GA *never* share an IP from one
+  // vantage (Figure 3: no overlap) although either IP serves both;
+  // fonts.gstatic.com / www.gstatic.com overlap sometimes; the ad domains
+  // share a window, so adservice.google.com (infra cert) regularly lands
+  // on an IP already carrying an ads-cert connection -> cause CERT.
+  struct GoogleDomain {
+    const char* name;
+    std::size_t pool_start;
+    std::size_t pool_len;
+    int cert_group = -1;  // -1 = first covering group
+  };
+  // Pool regions: 0..5 gstatic | 6..9 analytics | 10..13 googleapis |
+  // 14..17 www/apis | 18..25 ads | 26..28 youtube. Regions of different
+  // certificate groups are disjoint — with ONE exception: the adservice
+  // domains (www cert) also rotate into the ads region, where they land
+  // on IPs already carrying ads-cert connections (cause CERT, Table 4).
+  const GoogleDomain domains[] = {
+      // gstatic cert (also covers *.google.com/.de -> Table 12 prevs);
+      // fonts.gstatic's window only half-overlaps www.gstatic's, so their
+      // answers overlap *sometimes* (Figure 3's fluctuating pair).
+      {"www.gstatic.com", 0, 4},
+      {"fonts.gstatic.com", 2, 4, 5},
+      // analytics cert: GT and GA never share an IP (Figure 3)
+      {"www.googletagmanager.com", 6, 2},
+      {"www.google-analytics.com", 8, 2},
+      // googleapis cert
+      {"fonts.googleapis.com", 10, 4},
+      {"ajax.googleapis.com", 10, 4},
+      {"maps.googleapis.com", 11, 3},
+      // www cert
+      {"apis.google.com", 14, 4},
+      {"ogs.google.com", 14, 4},
+      {"www.google.com", 14, 4},
+      {"www.google.de", 14, 4},
+      {"adservice.google.com", 14, 10},  // straddles into the ads region
+      {"adservice.google.de", 14, 10},
+      {"www.youtube.com", 30, 3},
+      {"i.ytimg.com", 31, 2},
+      // ads cert — a wider 18..29 region keeps same-IP collisions (and
+      // with them spurious CERT findings) at the paper's incidence
+      {"googleads.g.doubleclick.net", 21, 6, 6},
+      {"stats.g.doubleclick.net", 20, 6},
+      {"cm.g.doubleclick.net", 26, 4},
+      {"securepubads.g.doubleclick.net", 22, 6},
+      {"pagead2.googlesyndication.com", 18, 6},
+      {"tpc.googlesyndication.com", 24, 6},
+      {"www.googletagservices.com", 18, 6},
+      {"partner.googleadservices.com", 19, 6},
+      {"www.googleadservices.com", 25, 5, 7},
+  };
+  for (const GoogleDomain& d : domains) {
+    DomainSpec ds;
+    ds.name = d.name;
+    ds.dns_pool.reserve(d.pool_len);
+    for (std::size_t i = 0; i < d.pool_len; ++i) {
+      ds.dns_pool.push_back((d.pool_start + i) % spec.ip_count);
+    }
+    if (d.cert_group >= 0) {
+      ds.cert_group = static_cast<std::size_t>(d.cert_group);
+    }
+    ds.lb = unsync_lb(2);  // independent per-domain rotation
+    ds.ttl_seconds = 300;
+    spec.domains.push_back(std::move(ds));
+  }
+  spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+}
+
+void ServiceCatalog::install_facebook(Ecosystem& eco) {
+  ClusterSpec spec;
+  spec.operator_name = "Facebook";
+  spec.as_name = "FACEBOOK";
+  spec.h3_enabled = true;
+  spec.ip_count = 8;
+  spec.certs = {
+      {"DigiCert Inc", {"*.facebook.com", "*.facebook.net", "*.fbcdn.net"}},
+  };
+  // connect.facebook.net: announced on the upper pool half, but the script
+  // is served everywhere. www.facebook.com: announced and served on the
+  // lower half only — requesting WFB content on a CFB IP fails (421),
+  // matching the paper's asymmetric finding.
+  DomainSpec cfb;
+  cfb.name = "connect.facebook.net";
+  cfb.dns_pool = {4, 5, 6, 7};
+  cfb.serves_on = {};  // all
+  cfb.lb = unsync_lb(2);
+  DomainSpec wfb;
+  wfb.name = "www.facebook.com";
+  wfb.dns_pool = {0, 1, 2, 3};
+  wfb.serves_on = {0, 1, 2, 3};
+  wfb.lb = unsync_lb(2);
+  spec.domains = {cfb, wfb};
+  spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+}
+
+void ServiceCatalog::install_misc(Ecosystem& eco) {
+  {  // Hotjar on CloudFront: one distribution (= pool) per subdomain.
+    ClusterSpec spec;
+    spec.operator_name = "Hotjar";
+    spec.as_name = "AMAZON-02";
+    spec.ip_count = 8;
+    spec.certs = {{"DigiCert Inc", {"*.hotjar.com"}}};
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>>
+        distributions = {
+            {"static.hotjar.com", {0, 1}},
+            {"script.hotjar.com", {2, 3}},
+            {"vars.hotjar.com", {4, 5}},
+            {"in.hotjar.com", {6, 7}},
+        };
+    for (const auto& [name, pool] : distributions) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.dns_pool = pool;
+      ds.lb = rr_lb(1);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // wp.com: pools in different /24s, NOT interchangeable (§5.3.1).
+    ClusterSpec spec;
+    spec.operator_name = "Automattic";
+    spec.as_name = "AUTOMATTIC";
+    spec.ip_count = 6;
+    spec.spread_slash24 = true;
+    spec.certs = {{"Sectigo Limited", {"*.wp.com", "wp.com"}}};
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>>
+        pools = {
+            {"c0.wp.com", {0, 1}},
+            {"stats.wp.com", {2, 3}},
+            {"s0.wp.com", {4}},
+            {"s1.wp.com", {5}},
+        };
+    for (const auto& [name, pool] : pools) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.dns_pool = pool;
+      ds.serves_on = pool;  // genuinely distributed content
+      ds.lb = static_lb(pool.size());
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Klaviyo: same host, two separate Let's Encrypt certs (Table 4 #1).
+    ClusterSpec spec;
+    spec.operator_name = "Klaviyo";
+    spec.as_name = "AMAZON-AES";
+    spec.ip_count = 2;
+    spec.certs = {
+        {"Let's Encrypt", {"static.klaviyo.com"}},
+        {"Let's Encrypt", {"fast.a.klaviyo.com", "fast.klaviyo.com"}},
+    };
+    for (const char* name : {"static.klaviyo.com", "fast.a.klaviyo.com"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = static_lb(2);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Squarespace: same host, disjunct DigiCert certs.
+    ClusterSpec spec;
+    spec.operator_name = "Squarespace";
+    spec.as_name = "AMAZON-02";
+    spec.ip_count = 2;
+    spec.certs = {
+        {"DigiCert Inc", {"static1.squarespace.com", "*.squarespace.com"}},
+        {"DigiCert Inc", {"images.squarespace-cdn.com"}},
+    };
+    for (const char* name :
+         {"static1.squarespace.com", "images.squarespace-cdn.com"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = static_lb(2);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Unruly ad sync: same host, disjunct certs.
+    ClusterSpec spec;
+    spec.operator_name = "Unruly";
+    spec.as_name = "EDGECAST";
+    spec.ip_count = 1;
+    spec.certs = {
+        {"DigiCert Inc", {"sync.1rx.io", "*.1rx.io"}},
+        {"DigiCert Inc", {"sync.targeting.unrulymedia.com"}},
+    };
+    for (const char* name :
+         {"sync.1rx.io", "sync.targeting.unrulymedia.com"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = static_lb(1);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Reddit widget assets on Fastly: disjunct certs, same host.
+    ClusterSpec spec;
+    spec.operator_name = "Reddit";
+    spec.as_name = "FASTLY";
+    spec.ip_count = 2;
+    spec.certs = {
+        {"DigiCert Inc", {"www.redditstatic.com", "*.redditstatic.com"}},
+        {"DigiCert Inc", {"alb.reddit.com"}},
+    };
+    for (const char* name : {"www.redditstatic.com", "alb.reddit.com"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = static_lb(2);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Yandex Metrica: few domains, very many connections (Table 5).
+    ClusterSpec spec;
+    spec.operator_name = "Yandex";
+    spec.as_name = "YANDEX";
+    spec.ip_count = 4;
+    spec.certs = {{"Yandex LLC", {"mc.yandex.ru", "yastatic.net", "*.yandex.ru"}}};
+    for (const char* name : {"mc.yandex.ru", "yastatic.net"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = unsync_lb(2);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+  {  // Clean utility CDNs: per-domain single clusters, never redundant.
+    const struct {
+      const char* domain;
+      const char* issuer;
+      const char* as_name;
+    } utilities[] = {
+        {"cdnjs.cloudflare.com", "Cloudflare, Inc.", "CLOUDFLARENET"},
+        {"cdn.jsdelivr.net", "Sectigo Limited", "FASTLY"},
+        {"code.jquery.com", "Sectigo Limited", "FASTLY"},
+        {"cdn.cookielaw.org", "DigiCert Inc", "AMAZON-02"},
+        {"static.cloudflareinsights.com", "Cloudflare, Inc.",
+         "CLOUDFLARENET"},
+    };
+    for (const auto& u : utilities) {
+      ClusterSpec spec;
+      spec.operator_name = u.domain;
+      spec.as_name = u.as_name;
+      spec.ip_count = 2;
+      spec.h3_enabled = true;
+      spec.certs = {{u.issuer, {u.domain}}};
+      DomainSpec ds;
+      ds.name = u.domain;
+      ds.lb = static_lb(2);
+      spec.domains.push_back(std::move(ds));
+      spec.announce_origin_frame = announce_origin_frames_;
+      eco.add_cluster(spec);
+    }
+  }
+  {  // Microsoft Clarity.
+    ClusterSpec spec;
+    spec.operator_name = "Microsoft";
+    spec.as_name = "MICROSOFT-CORP";
+    spec.ip_count = 4;
+    spec.certs = {{"Microsoft Corporation",
+                   {"www.clarity.ms", "*.clarity.ms", "c.bing.com"}}};
+    for (const char* name : {"www.clarity.ms", "c.bing.com"}) {
+      DomainSpec ds;
+      ds.name = name;
+      ds.lb = unsync_lb(1);
+      spec.domains.push_back(std::move(ds));
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+  }
+}
+
+void ServiceCatalog::install_generics(Ecosystem& eco, std::uint64_t seed,
+                                      std::size_t count) {
+  util::Rng rng{util::combine_seed(seed, 0x9e37)};
+  // Hosting and issuance mixes for the long tail; weights roughly follow
+  // the paper's Tables 5/6 shares.
+  const std::vector<std::string> as_names = {
+      "AMAZON-02",   "CLOUDFLARENET", "FASTLY",    "AMAZON-AES",
+      "EDGECAST",    "AKAMAI-ASN1",   "AKAMAI-AS", "GOOGLE",
+  };
+  const std::vector<double> as_weights = {30, 18, 10, 9, 7, 7, 6, 4};
+  const std::vector<std::string> issuers = {
+      "Let's Encrypt",   "DigiCert Inc", "Cloudflare, Inc.",
+      "Sectigo Limited", "Amazon",       "GlobalSign nv-sa",
+      "GoDaddy.com, Inc.", "COMODO CA Limited",
+  };
+  const std::vector<double> issuer_weights = {34, 14, 14, 10, 12, 6, 6, 4};
+
+  generics_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    GenericService service;
+    service.name = "svc" + std::to_string(i);
+    const std::string base = service.name + ".example-cdn.net";
+    service.issuer = issuers[rng.weighted(issuer_weights)];
+    const std::string as_name = as_names[rng.weighted(as_weights)];
+
+    // Pattern mix: most generic third parties are clean; the redundant
+    // tail mirrors the cause mix (IP >> CRED > CERT).
+    const double roll = rng.uniform01();
+    if (roll < 0.74) {
+      service.pattern = GenericPattern::kClean;
+    } else if (roll < 0.86) {
+      service.pattern = GenericPattern::kUnsyncLb;
+    } else if (roll < 0.96) {
+      service.pattern = GenericPattern::kCredMix;
+    } else {
+      service.pattern = GenericPattern::kCertSharded;
+    }
+    // The most popular services (low index = high zipf weight) are run by
+    // bigger operators whose certificates cover their shards: keep the
+    // CERT long tail in the tail, as the paper finds for Let's Encrypt.
+    if (i < 64 && service.pattern == GenericPattern::kCertSharded) {
+      service.pattern = GenericPattern::kUnsyncLb;
+    }
+
+    ClusterSpec spec;
+    spec.operator_name = service.name;
+    spec.as_name = as_name;
+    // CDN-hosted services often advertise HTTP/3.
+    spec.h3_enabled =
+        (as_name == "CLOUDFLARENET" || as_name == "FASTLY") || rng.chance(0.2);
+    // Some operators close idle connections — together with the
+    // idle-closing first-party servers this yields the small share of
+    // connections the paper saw ending before the test did (§5.1).
+    if (rng.chance(0.18)) {
+      spec.idle_timeout = util::seconds(
+          90 + static_cast<std::int64_t>(rng.uniform(0, 150)));
+    }
+    switch (service.pattern) {
+      case GenericPattern::kClean: {
+        service.domains = {"cdn." + base};
+        spec.ip_count = 2;
+        spec.certs = {{service.issuer, {"cdn." + base, "*." + base}}};
+        DomainSpec ds;
+        ds.name = service.domains[0];
+        ds.lb = static_lb(1);
+        spec.domains.push_back(ds);
+        break;
+      }
+      case GenericPattern::kUnsyncLb: {
+        service.domains = {"cdn." + base, "app." + base};
+        spec.ip_count = 4;
+        spec.certs = {{service.issuer, {"*." + base, base}}};
+        for (const std::string& d : service.domains) {
+          DomainSpec ds;
+          ds.name = d;
+          ds.lb = unsync_lb(1);
+          spec.domains.push_back(ds);
+        }
+        break;
+      }
+      case GenericPattern::kCertSharded: {
+        service.domains = {"cdn." + base, "app." + base};
+        spec.ip_count = 1;
+        spec.certs = {
+            {service.issuer, {"cdn." + base}},
+            {service.issuer, {"app." + base}},
+        };
+        for (const std::string& d : service.domains) {
+          DomainSpec ds;
+          ds.name = d;
+          ds.lb = static_lb(1);
+          spec.domains.push_back(ds);
+        }
+        break;
+      }
+      case GenericPattern::kCredMix: {
+        service.domains = {"track." + base};
+        spec.ip_count = 2;
+        spec.certs = {{service.issuer, {"track." + base, "*." + base}}};
+        DomainSpec ds;
+        ds.name = service.domains[0];
+        ds.lb = static_lb(2);
+        spec.domains.push_back(ds);
+        break;
+      }
+    }
+    spec.announce_origin_frame = announce_origin_frames_;
+  eco.add_cluster(spec);
+    generics_.push_back(std::move(service));
+  }
+}
+
+// ------------------------------------------------------------ embeds
+
+Resource ServiceCatalog::google_tag_manager(util::Rng& rng) const {
+  Resource ga = script("www.google-analytics.com", "/analytics.js",
+                       jitter(rng, 30, 120));
+  Resource collect = image("www.google-analytics.com", "/collect",
+                           jitter(rng, 400, 2500));
+  if (rng.chance(0.4)) {
+    // GA's linker beacon to stats.g.doubleclick.net.
+    ga.children.push_back(image("stats.g.doubleclick.net", "/j/collect",
+                                jitter(rng, 500, 3000)));
+  }
+  ga.children.push_back(std::move(collect));
+
+  // A good share of sites include analytics.js directly — a single GA
+  // connection, nothing to reuse. The rest load it through Tag Manager:
+  // GT's and GA's pools never overlap, so the GA connection is always
+  // redundant (cause IP, prev www.googletagmanager.com — Table 2 #1).
+  if (rng.chance(0.35)) {
+    ga.start_delay = jitter(rng, 50, 400);
+    return ga;
+  }
+  Resource gtm = script("www.googletagmanager.com", "/gtm.js",
+                        jitter(rng, 50, 400));
+  gtm.children.push_back(std::move(ga));
+  return gtm;
+}
+
+Resource ServiceCatalog::google_ads(util::Rng& rng) const {
+  // Entry point varies in the wild; both orders appear in Table 2's
+  // "prev:" rows (pagead2 <-> googleads in either direction).
+  const bool via_gtservices = rng.chance(0.35);
+  Resource entry =
+      via_gtservices
+          ? script("www.googletagservices.com", "/tag/js/gpt.js",
+                   jitter(rng, 80, 500))
+          : script("pagead2.googlesyndication.com", "/pagead/js/adsbygoogle.js",
+                   jitter(rng, 80, 500));
+
+  Resource ads = script("googleads.g.doubleclick.net", "/pagead/ads",
+                        jitter(rng, 60, 200));
+  if (via_gtservices) {
+    Resource pagead = script("pagead2.googlesyndication.com",
+                             "/pagead/js/adsbygoogle.js", jitter(rng, 40, 150));
+    pagead.children.push_back(std::move(ads));
+    entry.children.push_back(std::move(pagead));
+  } else {
+    entry.children.push_back(std::move(ads));
+  }
+
+  Resource* leaf = &entry.children.back();
+  while (!leaf->children.empty()) leaf = &leaf->children.back();
+
+  leaf->children.push_back(
+      iframe("tpc.googlesyndication.com", "/safeframe", jitter(rng, 50, 250)));
+  if (rng.chance(0.5)) {
+    leaf->children.push_back(image("adservice.google.com", "/adsid/google",
+                                   jitter(rng, 30, 150)));
+  }
+  if (rng.chance(0.4)) {
+    leaf->children.push_back(script("securepubads.g.doubleclick.net",
+                                    "/gpt/pubads_impl.js",
+                                    jitter(rng, 40, 200)));
+  }
+  if (rng.chance(0.4)) {
+    leaf->children.push_back(
+        image("cm.g.doubleclick.net", "/pixel", jitter(rng, 100, 600)));
+  }
+  if (rng.chance(0.35)) {
+    Resource conv = script("www.googleadservices.com", "/pagead/conversion.js",
+                           jitter(rng, 80, 400));
+    conv.children.push_back(image("googleads.g.doubleclick.net",
+                                  "/pagead/viewthroughconversion",
+                                  jitter(rng, 60, 250)));
+    leaf->children.push_back(std::move(conv));
+  }
+  if (rng.chance(0.3)) {
+    leaf->children.push_back(image("partner.googleadservices.com", "/gampad",
+                                   jitter(rng, 60, 300)));
+  }
+  if (rng.chance(0.3)) {
+    leaf->children.push_back(image("stats.g.doubleclick.net", "/r/collect",
+                                   jitter(rng, 300, 2000)));
+  }
+  return entry;
+}
+
+std::vector<Resource> ServiceCatalog::google_fonts(
+    util::Rng& rng, bool faulty_preconnect) const {
+  std::vector<Resource> out;
+  if (faulty_preconnect) {
+    // <link rel="preconnect" href="https://fonts.gstatic.com"> WITHOUT
+    // crossorigin: opens a credentialed connection the anonymous font
+    // fetch below cannot use.
+    Resource pre;
+    pre.domain = "fonts.gstatic.com";
+    pre.preconnect = true;
+    pre.crossorigin_anonymous = false;
+    pre.start_delay = jitter(rng, 0, 30);
+    out.push_back(std::move(pre));
+  }
+  Resource css =
+      style("fonts.googleapis.com", "/css?family=Roboto", jitter(rng, 20, 150));
+  Resource woff =
+      font("fonts.gstatic.com", "/s/roboto/v30/font.woff2", jitter(rng, 20, 80));
+  woff.crossorigin_anonymous = true;  // CSS fonts always fetch anonymously
+  css.children.push_back(std::move(woff));
+  if (rng.chance(0.25)) {
+    Resource extra = font("fonts.gstatic.com", "/s/opensans/v34/font.woff2",
+                          jitter(rng, 30, 120));
+    extra.crossorigin_anonymous = true;
+    css.children.push_back(std::move(extra));
+  }
+  out.push_back(std::move(css));
+  if (rng.chance(0.3)) {
+    Resource ajax = script("ajax.googleapis.com", "/ajax/libs/jquery.min.js",
+                           jitter(rng, 10, 100));
+    out.insert(out.begin(), std::move(ajax));
+  }
+  if (rng.chance(0.15)) {
+    Resource maps = script("maps.googleapis.com", "/maps/api/js",
+                           jitter(rng, 100, 600));
+    out.push_back(std::move(maps));
+  }
+  return out;
+}
+
+Resource ServiceCatalog::gstatic_widget(util::Rng& rng) const {
+  // reCAPTCHA-style widget.
+  Resource r = script("www.gstatic.com", "/recaptcha/releases/main.js",
+                      jitter(rng, 100, 500));
+  if (rng.chance(0.5)) {
+    r.children.push_back(
+        image("www.gstatic.com", "/recaptcha/api2/logo.png",
+              jitter(rng, 30, 100)));
+  }
+  if (rng.chance(0.5)) {
+    // The reCAPTCHA verification ping hits the geo-local Google domain.
+    Resource ping = image("www.google.com", "/recaptcha/api2/userverify",
+                          jitter(rng, 200, 900));
+    ping.geo_variants["eu"] = "www.google.de";
+    r.children.push_back(std::move(ping));
+  }
+  return r;
+}
+
+Resource ServiceCatalog::google_apis(util::Rng& rng) const {
+  Resource api = script("apis.google.com", "/js/platform.js",
+                        jitter(rng, 100, 600));
+  if (rng.chance(0.7)) {
+    api.children.push_back(
+        iframe("ogs.google.com", "/widget/app", jitter(rng, 50, 300)));
+  }
+  // Geo-dependent hostname: German vantage points get www.google.de.
+  Resource ping = image("www.google.com", "/gen_204", jitter(rng, 80, 400));
+  ping.geo_variants["eu"] = "www.google.de";
+  api.children.push_back(std::move(ping));
+  return api;
+}
+
+Resource ServiceCatalog::youtube_embed(util::Rng& rng) const {
+  Resource yt = iframe("www.youtube.com", "/embed/video",
+                       jitter(rng, 200, 1200));
+  yt.children.push_back(
+      image("i.ytimg.com", "/vi/thumb/hqdefault.jpg", jitter(rng, 50, 200)));
+  if (rng.chance(0.5)) {
+    Resource ping = image("www.google.com", "/pagead/lvz",
+                          jitter(rng, 100, 500));
+    ping.geo_variants["eu"] = "www.google.de";
+    yt.children.push_back(std::move(ping));
+  }
+  return yt;
+}
+
+Resource ServiceCatalog::facebook_pixel(util::Rng& rng) const {
+  Resource cfb = script("connect.facebook.net", "/en_US/fbevents.js",
+                        jitter(rng, 100, 500));
+  cfb.children.push_back(
+      image("www.facebook.com", "/tr?id=pixel", jitter(rng, 50, 250)));
+  if (rng.chance(0.4)) {
+    // fbevents fetches its config anonymously — a second, uncredentialed
+    // connection to the host that just served the credentialed script
+    // (cause CRED, same domain again).
+    cfb.children.push_back(xhr("connect.facebook.net", "/signals/config",
+                               /*anonymous=*/true, jitter(rng, 60, 300)));
+  }
+  return cfb;
+}
+
+Resource ServiceCatalog::hotjar(util::Rng& rng) const {
+  Resource loader = script("static.hotjar.com", "/c/hotjar.js",
+                           jitter(rng, 150, 700));
+  Resource modules =
+      script("script.hotjar.com", "/modules.js", jitter(rng, 40, 150));
+  modules.children.push_back(
+      xhr("vars.hotjar.com", "/box", /*anonymous=*/false, jitter(rng, 30, 120)));
+  modules.children.push_back(
+      xhr("in.hotjar.com", "/api/v2/client", /*anonymous=*/false,
+          jitter(rng, 200, 1500)));
+  loader.children.push_back(std::move(modules));
+  return loader;
+}
+
+Resource ServiceCatalog::wordpress_stats(util::Rng& rng) const {
+  Resource c0 = script("c0.wp.com", "/c/jetpack.js", jitter(rng, 80, 400));
+  c0.children.push_back(
+      image("stats.wp.com", "/g.gif", jitter(rng, 300, 1500)));
+  if (rng.chance(0.5)) {
+    c0.children.push_back(
+        image("s0.wp.com", "/i/logo.png", jitter(rng, 50, 250)));
+  }
+  if (rng.chance(0.3)) {
+    c0.children.push_back(
+        style("s1.wp.com", "/wp-content/themes/style.css",
+              jitter(rng, 50, 250)));
+  }
+  return c0;
+}
+
+Resource ServiceCatalog::klaviyo(util::Rng& rng) const {
+  Resource loader = script("static.klaviyo.com", "/onsite/js/klaviyo.js",
+                           jitter(rng, 150, 700));
+  loader.children.push_back(script("fast.a.klaviyo.com", "/media/js/onsite.js",
+                                   jitter(rng, 40, 150)));
+  return loader;
+}
+
+Resource ServiceCatalog::squarespace_assets(util::Rng& rng) const {
+  Resource common = script("static1.squarespace.com", "/static/common.js",
+                           jitter(rng, 50, 300));
+  common.children.push_back(image("images.squarespace-cdn.com",
+                                  "/content/hero.jpg", jitter(rng, 30, 150)));
+  common.children.push_back(image("images.squarespace-cdn.com",
+                                  "/content/gallery1.jpg",
+                                  jitter(rng, 60, 250)));
+  return common;
+}
+
+Resource ServiceCatalog::unruly_sync(util::Rng& rng) const {
+  Resource rx = image("sync.1rx.io", "/usersync", jitter(rng, 300, 1800));
+  rx.children.push_back(image("sync.targeting.unrulymedia.com", "/match",
+                              jitter(rng, 50, 250)));
+  return rx;
+}
+
+Resource ServiceCatalog::reddit_widget(util::Rng& rng) const {
+  Resource stat = script("www.redditstatic.com", "/ads/pixel.js",
+                         jitter(rng, 200, 900));
+  stat.children.push_back(
+      xhr("alb.reddit.com", "/rp.gif", /*anonymous=*/false,
+          jitter(rng, 50, 250)));
+  return stat;
+}
+
+Resource ServiceCatalog::yandex_metrica(util::Rng& rng) const {
+  Resource tag = script("mc.yandex.ru", "/metrika/tag.js",
+                        jitter(rng, 100, 500));
+  tag.children.push_back(
+      image("mc.yandex.ru", "/watch/12345", jitter(rng, 300, 1500)));
+  if (rng.chance(0.5)) {
+    tag.children.push_back(
+        script("yastatic.net", "/es5-shims.min.js", jitter(rng, 40, 150)));
+  }
+  return tag;
+}
+
+Resource ServiceCatalog::ms_clarity(util::Rng& rng) const {
+  Resource tag = script("www.clarity.ms", "/tag/abcdef", jitter(rng, 150, 700));
+  tag.children.push_back(
+      image("c.bing.com", "/c.gif", jitter(rng, 100, 500)));
+  return tag;
+}
+
+Resource ServiceCatalog::js_cdn(util::Rng& rng) const {
+  static const char* kDomains[] = {"cdnjs.cloudflare.com", "cdn.jsdelivr.net",
+                                   "code.jquery.com"};
+  Resource r = script(kDomains[rng.index(3)], "/libs/app.min.js",
+                      jitter(rng, 20, 250));
+  return r;
+}
+
+Resource ServiceCatalog::cookie_consent(util::Rng& rng) const {
+  Resource loader = script("cdn.cookielaw.org", "/scripttemplates/otSDKStub.js",
+                           jitter(rng, 30, 200));
+  loader.children.push_back(
+      xhr("cdn.cookielaw.org", "/consent/v2/settings", /*anonymous=*/false,
+          jitter(rng, 40, 150)));
+  return loader;
+}
+
+Resource ServiceCatalog::cloudflare_insights(util::Rng& rng) const {
+  return script("static.cloudflareinsights.com", "/beacon.min.js",
+                jitter(rng, 300, 1500));
+}
+
+std::vector<Resource> ServiceCatalog::generic_embed(
+    const GenericService& service, util::Rng& rng) const {
+  std::vector<Resource> out;
+  switch (service.pattern) {
+    case GenericPattern::kClean: {
+      out.push_back(script(service.domains[0], "/widget.js",
+                           jitter(rng, 100, 800)));
+      break;
+    }
+    case GenericPattern::kUnsyncLb:
+    case GenericPattern::kCertSharded: {
+      Resource loader = script(service.domains[0], "/loader.js",
+                               jitter(rng, 100, 800));
+      loader.children.push_back(
+          xhr(service.domains[1], "/api/config", /*anonymous=*/false,
+              jitter(rng, 30, 150)));
+      out.push_back(std::move(loader));
+      break;
+    }
+    case GenericPattern::kCredMix: {
+      // Credentialed pixel first, anonymous CORS call later — forces a
+      // second connection to the same domain (CRED).
+      Resource pixel =
+          image(service.domains[0], "/p.gif", jitter(rng, 100, 600));
+      Resource api = xhr(service.domains[0], "/api/v1/events",
+                         /*anonymous=*/true, jitter(rng, 200, 1200));
+      pixel.children.push_back(std::move(api));
+      out.push_back(std::move(pixel));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2r::web

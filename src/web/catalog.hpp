@@ -1,0 +1,113 @@
+// The well-known third-party services of the paper's result tables, plus a
+// long tail of generic services. Installing the catalog creates every
+// operator's clusters (IPs, DNS LB, certificates) in the ecosystem;
+// the embed builders then return the resource subtrees a website includes.
+//
+// The cluster configurations encode the paper's findings:
+//   * Google: one frontend pool, per-domain unsynchronized LB; one big
+//     "infra" certificate + one "ads" certificate (adservice.google.com is
+//     on the infra cert -> CERT against ads-cert connections on the same
+//     IP, Table 4); geo-dependent www.google.{com,de} (Table 2 vs 8).
+//   * Facebook: connect.facebook.net / www.facebook.com on disjoint pool
+//     halves; the CFB script is also served on WFB's IPs but not vice
+//     versa (asymmetric distribution, §5.3.1).
+//   * Hotjar on CloudFront (AMAZON-02): per-distribution pools (§A.2).
+//   * wp.com (AUTOMATTIC): pools in different /24s, not interchangeable.
+//   * Klaviyo / Squarespace / Unruly / Reddit: same IPs, disjunct
+//     certificates (the CERT heavy hitters of Table 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "web/ecosystem.hpp"
+#include "web/resource.hpp"
+
+namespace h2r::web {
+
+/// Shape of a generic long-tail third-party service.
+enum class GenericPattern : std::uint8_t {
+  /// Single domain, single IP: never redundant (unknown third party).
+  kClean,
+  /// Two domains, covering cert, unsynchronized LB -> cause IP.
+  kUnsyncLb,
+  /// Two domains, same IP, disjunct certs -> cause CERT.
+  kCertSharded,
+  /// One domain fetched credentialed then anonymously -> cause CRED.
+  kCredMix,
+};
+
+struct GenericService {
+  std::string name;
+  GenericPattern pattern = GenericPattern::kClean;
+  std::vector<std::string> domains;
+  std::string issuer;
+};
+
+/// Installs all named operators into `eco` and exposes embed builders.
+class ServiceCatalog {
+ public:
+  /// `announce_origin_frames`: deploy RFC 8336 ORIGIN frames on every
+  /// installed cluster (the ablation scenario; real operators mostly
+  /// don't, and Chromium would ignore them anyway).
+  ServiceCatalog(Ecosystem& eco, std::uint64_t seed,
+                 std::size_t generic_service_count = 160,
+                 bool announce_origin_frames = false);
+
+  // ------------------------------------------------- named embeds
+  // Each returns one top-level resource (children model the dependent
+  // loads the paper describes, e.g. GT's script pulling the GA script).
+
+  Resource google_tag_manager(util::Rng& rng) const;
+  Resource google_ads(util::Rng& rng) const;
+  /// `faulty_preconnect`: the widespread copy-paste mistake of
+  /// `<link rel=preconnect>` without `crossorigin` — opens a credentialed
+  /// connection that the anonymous font fetch cannot use (cause CRED,
+  /// same domain again).
+  std::vector<Resource> google_fonts(util::Rng& rng,
+                                     bool faulty_preconnect) const;
+  Resource gstatic_widget(util::Rng& rng) const;    // www.gstatic.com et al.
+  Resource google_apis(util::Rng& rng) const;       // apis/ogs/www.google.*
+  Resource youtube_embed(util::Rng& rng) const;
+  Resource facebook_pixel(util::Rng& rng) const;
+  Resource hotjar(util::Rng& rng) const;
+  Resource wordpress_stats(util::Rng& rng) const;
+  Resource klaviyo(util::Rng& rng) const;
+  Resource squarespace_assets(util::Rng& rng) const;
+  Resource unruly_sync(util::Rng& rng) const;
+  Resource reddit_widget(util::Rng& rng) const;
+  Resource yandex_metrica(util::Rng& rng) const;
+  Resource ms_clarity(util::Rng& rng) const;
+  /// Clean one-connection utilities (cdnjs / jsDelivr / code.jquery.com):
+  /// unknown third parties in the paper's terms — they add connections
+  /// but no redundancy.
+  Resource js_cdn(util::Rng& rng) const;
+  Resource cookie_consent(util::Rng& rng) const;  // OneTrust-style CMP
+  Resource cloudflare_insights(util::Rng& rng) const;
+
+  // ------------------------------------------------ generic embeds
+
+  const std::vector<GenericService>& generic_services() const noexcept {
+    return generics_;
+  }
+  std::vector<Resource> generic_embed(const GenericService& service,
+                                      util::Rng& rng) const;
+
+ private:
+  void install_ases(Ecosystem& eco);
+  void install_google(Ecosystem& eco);
+  void install_facebook(Ecosystem& eco);
+  void install_misc(Ecosystem& eco);
+  void install_generics(Ecosystem& eco, std::uint64_t seed,
+                        std::size_t count);
+
+  std::vector<GenericService> generics_;
+  bool announce_origin_frames_ = false;
+};
+
+/// Uniform jitter helper for start delays.
+util::SimTime jitter(util::Rng& rng, util::SimTime lo, util::SimTime hi);
+
+}  // namespace h2r::web

@@ -1,0 +1,125 @@
+#include "web/config.hpp"
+
+#include <stdexcept>
+
+namespace h2r::web {
+
+namespace {
+
+using util::Error;
+using util::unexpected;
+
+util::Expected<dns::LbPolicy> parse_policy(const std::string& text) {
+  if (text.empty() || text == "static") return dns::LbPolicy::kStatic;
+  if (text == "round_robin") return dns::LbPolicy::kRoundRobin;
+  if (text == "shuffle") return dns::LbPolicy::kPerResolverShuffle;
+  if (text == "geo") return dns::LbPolicy::kGeo;
+  return unexpected(Error{"unknown lb policy: " + text});
+}
+
+util::Expected<ClusterSpec> parse_cluster(const json::Value& value) {
+  ClusterSpec spec;
+  spec.operator_name = value["operator"].as_string();
+  spec.as_name = value["as"].as_string();
+  if (spec.operator_name.empty() || spec.as_name.empty()) {
+    return unexpected(Error{"cluster needs 'operator' and 'as'"});
+  }
+  spec.ip_count = static_cast<std::size_t>(value["ips"].as_int(1));
+  spec.spread_slash24 = value["spread_slash24"].as_bool(false);
+  spec.h3_enabled = value["h3"].as_bool(false);
+  spec.h2_enabled = value["h2"].as_bool(true);
+  spec.announce_origin_frame = value["origin_frame"].as_bool(false);
+  if (value["idle_timeout_s"].is_number()) {
+    spec.idle_timeout = util::seconds(value["idle_timeout_s"].as_int());
+  }
+
+  for (const json::Value& cert : value["certs"].as_array()) {
+    CertGroupSpec group;
+    group.issuer = cert["issuer"].as_string();
+    for (const json::Value& san : cert["sans"].as_array()) {
+      group.sans.push_back(san.as_string());
+    }
+    if (group.issuer.empty() || group.sans.empty()) {
+      return unexpected(Error{"cert group needs 'issuer' and 'sans'"});
+    }
+    spec.certs.push_back(std::move(group));
+  }
+  if (spec.certs.empty()) {
+    return unexpected(Error{"cluster needs at least one cert group"});
+  }
+
+  for (const json::Value& domain : value["domains"].as_array()) {
+    DomainSpec ds;
+    ds.name = domain["name"].as_string();
+    if (ds.name.empty()) {
+      return unexpected(Error{"domain needs a 'name'"});
+    }
+    auto policy = parse_policy(domain["lb"].as_string());
+    if (!policy) return unexpected(policy.error());
+    ds.lb.policy = *policy;
+    ds.lb.answer_count =
+        static_cast<std::size_t>(domain["answers"].as_int(1));
+    if (domain["slot_minutes"].is_number()) {
+      ds.lb.slot_duration = util::minutes(domain["slot_minutes"].as_int());
+    }
+    ds.ttl_seconds =
+        static_cast<std::uint32_t>(domain["ttl_s"].as_int(60));
+    for (const json::Value& index : domain["pool"].as_array()) {
+      ds.dns_pool.push_back(static_cast<std::size_t>(index.as_int()));
+    }
+    for (const json::Value& index : domain["serves_on"].as_array()) {
+      ds.serves_on.push_back(static_cast<std::size_t>(index.as_int()));
+    }
+    if (domain["cert_group"].is_number()) {
+      ds.cert_group = static_cast<std::size_t>(domain["cert_group"].as_int());
+    }
+    spec.domains.push_back(std::move(ds));
+  }
+  if (spec.domains.empty()) {
+    return unexpected(Error{"cluster needs at least one domain"});
+  }
+  return spec;
+}
+
+}  // namespace
+
+util::Expected<std::size_t> apply_ecosystem_config(Ecosystem& eco,
+                                                   const json::Value& config) {
+  if (!config.is_object()) {
+    return unexpected(Error{"config must be a JSON object"});
+  }
+  for (const json::Value& as_value : config["ases"].as_array()) {
+    const std::string name = as_value["name"].as_string();
+    const std::string prefix_text = as_value["prefix"].as_string();
+    auto prefix = net::Prefix::parse(prefix_text);
+    if (name.empty() || !prefix.has_value()) {
+      return unexpected(Error{"AS needs 'name' and a valid 'prefix'"});
+    }
+    eco.register_as(name,
+                    static_cast<std::uint32_t>(as_value["asn"].as_int()),
+                    prefix.value());
+  }
+
+  std::size_t created = 0;
+  for (const json::Value& cluster_value : config["clusters"].as_array()) {
+    auto spec = parse_cluster(cluster_value);
+    if (!spec) return unexpected(spec.error());
+    try {
+      eco.add_cluster(spec.value());
+    } catch (const std::exception& e) {
+      return unexpected(Error{std::string("cluster '") +
+                              spec->operator_name + "': " + e.what()});
+    }
+    ++created;
+  }
+  return created;
+}
+
+util::Expected<std::size_t> load_ecosystem(Ecosystem& eco,
+                                           std::string_view json_text) {
+  auto parsed = json::parse(json_text);
+  if (!parsed) return unexpected(parsed.error());
+  return apply_ecosystem_config(eco, parsed.value());
+}
+
+}  // namespace h2r::web

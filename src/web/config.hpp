@@ -1,0 +1,53 @@
+// Declarative ecosystem configuration: build ASes and clusters from JSON.
+//
+// Downstream users audit *their* deployment by describing it once and
+// replaying page loads against it:
+//
+// {
+//   "ases": [
+//     {"name": "MY-AS", "asn": 64500, "prefix": "198.51.100.0/24"}
+//   ],
+//   "clusters": [
+//     {
+//       "operator": "my-cdn",
+//       "as": "MY-AS",
+//       "ips": 4,
+//       "spread_slash24": false,
+//       "h3": true,
+//       "origin_frame": false,
+//       "idle_timeout_s": 120,
+//       "certs": [
+//         {"issuer": "Let's Encrypt", "sans": ["*.cdn.example"]}
+//       ],
+//       "domains": [
+//         {"name": "a.cdn.example", "lb": "shuffle", "answers": 2,
+//          "ttl_s": 60, "pool": [0, 1], "serves_on": [0, 1],
+//          "cert_group": 0}
+//       ]
+//     }
+//   ]
+// }
+//
+// `lb` is one of "static" | "round_robin" | "shuffle" | "geo".
+// Every field except names/certs/domains has a default.
+#pragma once
+
+#include <string_view>
+
+#include "json/json.hpp"
+#include "util/expected.hpp"
+#include "web/ecosystem.hpp"
+
+namespace h2r::web {
+
+/// Applies a parsed configuration document to `eco`. On error, nothing
+/// before the failing entry is rolled back (build a fresh ecosystem per
+/// attempt). Returns the number of clusters created.
+util::Expected<std::size_t> apply_ecosystem_config(Ecosystem& eco,
+                                                   const json::Value& config);
+
+/// Convenience: parse JSON text and apply it.
+util::Expected<std::size_t> load_ecosystem(Ecosystem& eco,
+                                           std::string_view json_text);
+
+}  // namespace h2r::web

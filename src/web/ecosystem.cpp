@@ -1,0 +1,181 @@
+#include "web/ecosystem.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "tls/issuance.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::web {
+
+Ecosystem::Ecosystem(std::uint64_t seed) : seed_(seed), authority_(seed) {}
+
+void Ecosystem::register_as(const std::string& as_name, std::uint32_t asn,
+                            const net::Prefix& prefix) {
+  AsSpace space;
+  space.info = asdb::AsInfo{asn, as_name};
+  space.prefix = prefix;
+  as_db_.add(prefix, space.info);
+  as_spaces_.emplace(as_name, std::move(space));
+}
+
+std::vector<net::IpAddress> Ecosystem::allocate(const std::string& as_name,
+                                                std::size_t count,
+                                                bool spread) {
+  const auto it = as_spaces_.find(as_name);
+  if (it == as_spaces_.end()) {
+    throw std::invalid_argument("unknown AS: " + as_name);
+  }
+  AsSpace& space = it->second;
+  assert(space.prefix.base().is_v4() && "v4 address space expected");
+  const std::uint32_t base = space.prefix.base().v4_value();
+  const std::uint32_t span =
+      space.prefix.length() >= 32 ? 1u : (1u << (32 - space.prefix.length()));
+
+  std::vector<net::IpAddress> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t offset;
+    if (spread) {
+      // One address per /24, carved from the top of the prefix downwards
+      // so spread blocks never collide with sequential allocations.
+      ++space.next_subnet;
+      if ((space.next_subnet << 8) >= span) {
+        throw std::runtime_error("address space of " + as_name + " exhausted");
+      }
+      offset = span - (space.next_subnet << 8) + 1u;  // x.y.(top-k).1
+    } else {
+      offset = space.next_host++;
+      // Skip .0 and .255 within each /24 for realism.
+      while ((offset & 0xFF) == 0 || (offset & 0xFF) == 255) {
+        offset = space.next_host++;
+      }
+    }
+    // Sequential (bottom-up) and spread (top-down) regions must not meet.
+    if (offset >= span || space.next_host > span - (space.next_subnet << 8)) {
+      throw std::runtime_error("address space of " + as_name + " exhausted");
+    }
+    out.push_back(net::IpAddress::v4(base + offset));
+  }
+  return out;
+}
+
+std::vector<net::IpAddress> Ecosystem::add_cluster(const ClusterSpec& spec) {
+  if (spec.ip_count == 0 || spec.domains.empty()) {
+    throw std::invalid_argument("cluster needs ips and domains");
+  }
+  const std::vector<net::IpAddress> ips =
+      allocate(spec.as_name, spec.ip_count, spec.spread_slash24);
+
+  // Issue one certificate per group, through a per-issuer CA so serials
+  // stay unique per issuer organization.
+  std::vector<tls::CertificatePtr> group_certs;
+  group_certs.reserve(spec.certs.size());
+  for (const CertGroupSpec& group : spec.certs) {
+    auto& ca = cas_[group.issuer];
+    if (ca == nullptr) {
+      ca = std::make_unique<tls::CertificateAuthority>(group.issuer);
+    }
+    group_certs.push_back(ca->issue(group.sans, group.not_before, group.not_after));
+  }
+
+  auto cert_for_domain =
+      [&group_certs](const std::string& domain) -> tls::CertificatePtr {
+    for (const tls::CertificatePtr& cert : group_certs) {
+      if (cert->covers(domain)) return cert;
+    }
+    return nullptr;
+  };
+
+  // Create (or extend) the servers.
+  std::vector<Server*> servers;
+  servers.reserve(ips.size());
+  for (const net::IpAddress& ip : ips) {
+    auto& slot = servers_[ip];
+    if (slot == nullptr) {
+      slot = std::make_unique<Server>(ip, spec.operator_name);
+    }
+    if (spec.idle_timeout.has_value()) {
+      slot->set_idle_timeout(*spec.idle_timeout);
+    }
+    slot->set_h2_enabled(spec.h2_enabled);
+    slot->set_h3_enabled(spec.h3_enabled);
+    servers.push_back(slot.get());
+  }
+
+  // Virtual hosts + DNS.
+  for (const DomainSpec& domain : spec.domains) {
+    const std::string name = util::to_lower(domain.name);
+    tls::CertificatePtr cert;
+    if (domain.cert_group.has_value()) {
+      cert = group_certs.at(*domain.cert_group);
+      if (!cert->covers(name)) {
+        throw std::invalid_argument("certificate group does not cover " +
+                                    name);
+      }
+    } else {
+      cert = cert_for_domain(name);
+    }
+    if (cert == nullptr) {
+      throw std::invalid_argument("no certificate group covers " + name);
+    }
+    domain_certs_[name] = cert;
+
+    const auto& serve_idx = domain.serves_on;
+    if (serve_idx.empty()) {
+      for (Server* server : servers) server->add_virtual_host(name, cert);
+    } else {
+      for (std::size_t idx : serve_idx) {
+        servers.at(idx)->add_virtual_host(name, cert);
+      }
+    }
+
+    std::vector<net::IpAddress> pool;
+    if (domain.dns_pool.empty()) {
+      pool = ips;
+    } else {
+      pool.reserve(domain.dns_pool.size());
+      for (std::size_t idx : domain.dns_pool) pool.push_back(ips.at(idx));
+    }
+    dns::LbConfig lb = domain.lb;
+    if (lb.seed_salt == 0) lb.seed_salt = ++lb_salt_counter_;
+
+    dns::RecordSet rs;
+    rs.name = name;
+    rs.type = dns::RecordType::kA;
+    rs.ttl_seconds = domain.ttl_seconds;
+    rs.pool = std::move(pool);
+    rs.lb = lb;
+    authority_.add_record_set(std::move(rs));
+  }
+
+  if (spec.announce_origin_frame) {
+    for (Server* server : servers) {
+      http2::OriginFrame frame;
+      for (const std::string& domain : server->served_domains()) {
+        frame.origins.push_back("https://" + domain);
+      }
+      server->set_origin_frame(std::move(frame));
+    }
+  }
+  return ips;
+}
+
+const Server* Ecosystem::server_at(
+    const net::IpAddress& address) const noexcept {
+  const auto it = servers_.find(address);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+Server* Ecosystem::server_at(const net::IpAddress& address) noexcept {
+  const auto it = servers_.find(address);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+tls::CertificatePtr Ecosystem::certificate_of(
+    std::string_view domain) const noexcept {
+  const auto it = domain_certs_.find(util::to_lower(domain));
+  return it == domain_certs_.end() ? nullptr : it->second;
+}
+
+}  // namespace h2r::web

@@ -1,0 +1,65 @@
+// The website model: a landing page with a tree of subresources.
+//
+// Children of a resource are discovered only after the parent loaded
+// (scripts loading further scripts — the paper's GT->GA and CFB->WFB
+// chains), which is what gives connections their temporal order and makes
+// "previous connection" a meaningful notion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fetch/request.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::web {
+
+struct Resource {
+  /// Host serving the resource. May be overridden per vantage region via
+  /// `geo_variants` (the paper sees www.google.de from Germany where the
+  /// HTTP Archive sees www.google.com).
+  std::string domain;
+  std::string path = "/";
+  fetch::Destination destination = fetch::Destination::kImage;
+  /// crossorigin="anonymous" (or an uncredentialed fetch()) — flips the
+  /// Fetch credentials decision and with it the socket-pool privacy mode.
+  bool crossorigin_anonymous = false;
+  /// <link rel="preconnect">: establish a connection without issuing a
+  /// request. Without `crossorigin_anonymous` the connection is
+  /// credentialed — useless for anonymous fonts (a CRED source).
+  bool preconnect = false;
+  /// Overrides the Fetch credentials mode (e.g. an XHR with
+  /// `withCredentials = true` is kInclude even cross-origin).
+  std::optional<fetch::CredentialsMode> credentials_override;
+  /// Delay after the parent finished before this fetch starts (parse/exec
+  /// time) — drives connection overlap and the endless/immediate gap.
+  util::SimTime start_delay = 0;
+  /// Approximate transfer size; drives response time.
+  std::uint32_t size_bytes = 10 * 1024;
+  /// Subresources requested once this one finished.
+  std::vector<Resource> children;
+  /// Region -> alternative domain (empty = use `domain` everywhere).
+  std::map<std::string, std::string> geo_variants;
+
+  const std::string& domain_for(const std::string& region) const {
+    const auto it = geo_variants.find(region);
+    return it == geo_variants.end() ? domain : it->second;
+  }
+};
+
+struct Website {
+  /// Canonical URL, also the dataset key ("https://example.com").
+  std::string url;
+  /// Host of the landing document.
+  std::string landing_domain;
+  /// Top-level resources referenced by the document.
+  std::vector<Resource> resources;
+};
+
+/// Total number of requests a website will issue (document + all resources).
+std::size_t total_requests(const Website& site);
+
+}  // namespace h2r::web

@@ -1,0 +1,31 @@
+#include "web/server.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2r::web {
+
+void Server::add_virtual_host(std::string domain, tls::CertificatePtr cert) {
+  vhosts_[util::to_lower(domain)] = std::move(cert);
+}
+
+tls::CertificatePtr Server::certificate_for(
+    std::string_view sni) const noexcept {
+  const auto it = vhosts_.find(util::to_lower(sni));
+  return it == vhosts_.end() ? nullptr : it->second;
+}
+
+bool Server::serves(std::string_view domain) const noexcept {
+  return vhosts_.find(util::to_lower(domain)) != vhosts_.end();
+}
+
+std::vector<std::string> Server::served_domains() const {
+  std::vector<std::string> out;
+  out.reserve(vhosts_.size());
+  for (const auto& [domain, cert] : vhosts_) {
+    (void)cert;
+    out.push_back(domain);
+  }
+  return out;
+}
+
+}  // namespace h2r::web

@@ -1,0 +1,89 @@
+// Server-side model: what one IP does when a browser connects and sends
+// requests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http2/frame.hpp"
+#include "net/ip.hpp"
+#include "tls/certificate.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::web {
+
+/// One HTTP/2-capable endpoint. Presents a certificate per SNI, serves a
+/// set of authorities (421 for others), and can announce an RFC 8336
+/// ORIGIN frame or close idle connections.
+class Server {
+ public:
+  Server(net::IpAddress address, std::string operator_name)
+      : address_(address), operator_name_(std::move(operator_name)) {}
+
+  const net::IpAddress& address() const noexcept { return address_; }
+  const std::string& operator_name() const noexcept { return operator_name_; }
+
+  /// Registers `domain` as served here, presented with `cert` when the
+  /// client's SNI is `domain`.
+  void add_virtual_host(std::string domain, tls::CertificatePtr cert);
+
+  /// The certificate presented for `sni`; null when the server has no
+  /// matching virtual host (TLS handshake failure).
+  tls::CertificatePtr certificate_for(std::string_view sni) const noexcept;
+
+  /// True if requests with :authority `domain` are answered 200 here.
+  bool serves(std::string_view domain) const noexcept;
+
+  /// Response status for a request: 200 when served, 421 Misdirected
+  /// Request otherwise (RFC 7540 §9.1.2).
+  int respond(std::string_view authority) const noexcept {
+    return serves(authority) ? 200 : 421;
+  }
+
+  /// RFC 8336: the ORIGIN frame sent right after session establishment,
+  /// if the operator deploys it.
+  const std::optional<http2::OriginFrame>& origin_frame() const noexcept {
+    return origin_frame_;
+  }
+  void set_origin_frame(http2::OriginFrame frame) {
+    origin_frame_ = std::move(frame);
+  }
+
+  /// Idle timeout after which the server closes a connection (GOAWAY +
+  /// close); nullopt = keeps connections open.
+  std::optional<util::SimTime> idle_timeout() const noexcept {
+    return idle_timeout_;
+  }
+  void set_idle_timeout(util::SimTime timeout) noexcept {
+    idle_timeout_ = timeout;
+  }
+
+  /// True when this server only speaks HTTP/1.1 (no ALPN h2) — its
+  /// traffic is invisible to the HTTP/2 analysis.
+  bool h2_enabled() const noexcept { return h2_enabled_; }
+  void set_h2_enabled(bool enabled) noexcept { h2_enabled_ = enabled; }
+
+  /// True when the server advertises HTTP/3 via Alt-Svc. QUIC inherits
+  /// RFC 7540 §9.1.1 connection reuse verbatim (the paper's §6 point that
+  /// HTTP/3 "will also encounter" redundant connections).
+  bool h3_enabled() const noexcept { return h3_enabled_; }
+  void set_h3_enabled(bool enabled) noexcept { h3_enabled_ = enabled; }
+
+  std::vector<std::string> served_domains() const;
+
+ private:
+  net::IpAddress address_;
+  std::string operator_name_;
+  std::map<std::string, tls::CertificatePtr, std::less<>> vhosts_;
+  std::optional<http2::OriginFrame> origin_frame_;
+  std::optional<util::SimTime> idle_timeout_;
+  bool h2_enabled_ = true;
+  bool h3_enabled_ = false;
+};
+
+}  // namespace h2r::web

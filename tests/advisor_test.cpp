@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+
+namespace h2r::core {
+namespace {
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s).value(); }
+
+ConnectionRecord conn(std::uint64_t id, const char* address,
+                      const char* domain, std::vector<std::string> sans,
+                      util::SimTime opened_at) {
+  ConnectionRecord rec;
+  rec.id = id;
+  rec.endpoint = net::Endpoint{ip(address), 443};
+  rec.initial_domain = domain;
+  rec.san_dns_names = std::move(sans);
+  rec.issuer_organization = "CA";
+  rec.has_certificate = !rec.san_dns_names.empty();
+  rec.opened_at = opened_at;
+  RequestRecord req;
+  req.started_at = opened_at;
+  req.finished_at = opened_at + 40;
+  req.domain = domain;
+  rec.requests.push_back(req);
+  return rec;
+}
+
+SiteObservation site(std::vector<ConnectionRecord> conns) {
+  SiteObservation s;
+  s.site_url = "https://audit.example";
+  s.connections = std::move(conns);
+  return s;
+}
+
+TEST(Advisor, CleanSiteHasNoAdvice) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "a.one.example", {"a.one.example"}, 0),
+      conn(2, "10.0.0.2", "b.two.example", {"b.two.example"}, 50),
+  }));
+  EXPECT_TRUE(report.advice.empty());
+  EXPECT_EQ(report.redundant_connections, 0u);
+  EXPECT_NE(render(report).find("nothing to do"), std::string::npos);
+}
+
+TEST(Advisor, IpWithinOneOperatorSuggestsDnsSync) {
+  // Same registrable domain -> the GT/GA pattern -> DNS sync advice.
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "tag.metrics.example", {"*.metrics.example"}, 0),
+      conn(2, "10.0.0.2", "collect.metrics.example", {"*.metrics.example"},
+           50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].cause, Cause::kIp);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kSyncDnsLoadBalancing);
+  EXPECT_EQ(report.advice[0].domain, "collect.metrics.example");
+  EXPECT_EQ(report.advice[0].reusable_domain, "tag.metrics.example");
+}
+
+TEST(Advisor, IpAcrossOperatorsSuggestsOriginFrame) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "cdn.one.example", {"*.one.example", "*.two.example"},
+           0),
+      conn(2, "10.0.0.2", "app.two.example", {"*.two.example"}, 50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kDeployOriginFrame);
+}
+
+TEST(Advisor, CertSuggestsMerge) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "static.shop.example", {"static.shop.example"}, 0),
+      conn(2, "10.0.0.1", "img.shop.example", {"img.shop.example"}, 50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].cause, Cause::kCert);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kMergeCertificates);
+  EXPECT_EQ(report.non_ip_redundant, 1u);
+}
+
+TEST(Advisor, CredSameDomainSuggestsCrossoriginFix) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "fonts.cdn.example", {"*.cdn.example"}, 0),
+      conn(2, "10.0.0.1", "fonts.cdn.example", {"*.cdn.example"}, 50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].cause, Cause::kCred);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kAlignCrossoriginUsage);
+}
+
+TEST(Advisor, CredCrossDomainSuggestsFetchRelaxation) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "a.cdn.example", {"*.cdn.example"}, 0),
+      conn(2, "10.0.0.1", "b.cdn.example", {"*.cdn.example"}, 50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kRelaxFetchCredentials);
+}
+
+TEST(Advisor, GroupsAndSortsByVolume) {
+  // Three klaviyo-style CERT conns vs one IP conn: CERT item first.
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "static.shop.example", {"static.shop.example"}, 0),
+      conn(2, "10.0.0.1", "fast.shop.example", {"fast.shop.example"}, 10),
+      conn(3, "10.0.0.1", "fast.shop.example", {"fast.shop.example"}, 20),
+      conn(4, "10.0.0.1", "fast.shop.example", {"fast.shop.example"}, 30),
+  }));
+  ASSERT_GE(report.advice.size(), 2u);
+  EXPECT_EQ(report.advice[0].domain, "fast.shop.example");
+  EXPECT_GE(report.advice[0].connections, 2u);
+}
+
+TEST(Advisor, RenderMentionsEveryAdviceLine) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "static.shop.example", {"static.shop.example"}, 0),
+      conn(2, "10.0.0.1", "img.shop.example", {"img.shop.example"}, 50),
+  }));
+  const std::string text = render(report);
+  EXPECT_NE(text.find("CERT"), std::string::npos);
+  EXPECT_NE(text.find("img.shop.example"), std::string::npos);
+  EXPECT_NE(text.find("merge the domains"), std::string::npos);
+}
+
+TEST(Advisor, RemedyNames) {
+  EXPECT_FALSE(to_string(RemedyKind::kSyncDnsLoadBalancing).empty());
+  EXPECT_FALSE(to_string(RemedyKind::kDeployOriginFrame).empty());
+  EXPECT_FALSE(to_string(RemedyKind::kMergeCertificates).empty());
+  EXPECT_FALSE(to_string(RemedyKind::kAlignCrossoriginUsage).empty());
+  EXPECT_FALSE(to_string(RemedyKind::kRelaxFetchCredentials).empty());
+}
+
+}  // namespace
+}  // namespace h2r::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "asdb/asdb.hpp"
+
+namespace h2r::asdb {
+namespace {
+
+net::Prefix pfx(const char* s) { return net::Prefix::parse(s).value(); }
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s).value(); }
+
+TEST(AsDatabase, EmptyLookupIsNull) {
+  AsDatabase db;
+  EXPECT_FALSE(db.lookup(ip("8.8.8.8")).has_value());
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(AsDatabase, ExactPrefixMatch) {
+  AsDatabase db;
+  db.add(pfx("15.0.0.0/8"), {15169, "GOOGLE"});
+  const auto hit = db.lookup(ip("15.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->asn, 15169u);
+  EXPECT_EQ(hit->name, "GOOGLE");
+  EXPECT_FALSE(db.lookup(ip("16.0.0.1")).has_value());
+}
+
+TEST(AsDatabase, LongestPrefixWins) {
+  AsDatabase db;
+  db.add(pfx("10.0.0.0/8"), {1, "BIG"});
+  db.add(pfx("10.128.0.0/9"), {2, "MID"});
+  db.add(pfx("10.128.64.0/18"), {3, "SMALL"});
+  EXPECT_EQ(db.lookup(ip("10.1.1.1"))->name, "BIG");
+  EXPECT_EQ(db.lookup(ip("10.200.1.1"))->name, "MID");
+  EXPECT_EQ(db.lookup(ip("10.128.65.1"))->name, "SMALL");
+}
+
+TEST(AsDatabase, OverwriteSamePrefix) {
+  AsDatabase db;
+  db.add(pfx("10.0.0.0/8"), {1, "OLD"});
+  db.add(pfx("10.0.0.0/8"), {2, "NEW"});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.lookup(ip("10.0.0.1"))->name, "NEW");
+}
+
+TEST(AsDatabase, DefaultRouteMatchesEverythingV4) {
+  AsDatabase db;
+  db.add(pfx("0.0.0.0/0"), {64512, "DEFAULT"});
+  EXPECT_EQ(db.lookup(ip("1.1.1.1"))->name, "DEFAULT");
+  EXPECT_EQ(db.lookup(ip("255.255.255.255"))->name, "DEFAULT");
+  // v6 addresses do not match the v4 default route.
+  EXPECT_FALSE(db.lookup(ip("::1")).has_value());
+}
+
+TEST(AsDatabase, V6Prefixes) {
+  AsDatabase db;
+  db.add(pfx("2001:db8::/32"), {64496, "DOC"});
+  EXPECT_EQ(db.lookup(ip("2001:db8::1234"))->name, "DOC");
+  EXPECT_FALSE(db.lookup(ip("2001:db9::1")).has_value());
+}
+
+TEST(AsDatabase, HostRoutes) {
+  AsDatabase db;
+  db.add(pfx("10.0.0.0/8"), {1, "NET"});
+  db.add(pfx("10.0.0.7/32"), {2, "HOST"});
+  EXPECT_EQ(db.lookup(ip("10.0.0.7"))->name, "HOST");
+  EXPECT_EQ(db.lookup(ip("10.0.0.8"))->name, "NET");
+}
+
+TEST(AsDatabase, PrefixEnumeration) {
+  AsDatabase db;
+  db.add(pfx("10.0.0.0/8"), {1, "A"});
+  db.add(pfx("192.168.0.0/16"), {2, "B"});
+  db.add(pfx("2001:db8::/32"), {3, "C"});
+  const auto prefixes = db.prefixes();
+  EXPECT_EQ(prefixes.size(), 3u);
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(AsDatabase, PaperTable6Shape) {
+  // The attribution path used by Table 6: every redundant connection's IP
+  // maps to the AS announcing its covering prefix.
+  AsDatabase db;
+  db.add(pfx("142.250.0.0/15"), {15169, "GOOGLE"});
+  db.add(pfx("157.240.0.0/16"), {32934, "FACEBOOK"});
+  db.add(pfx("13.32.0.0/14"), {16509, "AMAZON-02"});
+  EXPECT_EQ(db.lookup(ip("142.251.33.14"))->name, "GOOGLE");
+  EXPECT_EQ(db.lookup(ip("157.240.20.35"))->name, "FACEBOOK");
+  EXPECT_EQ(db.lookup(ip("13.35.7.1"))->name, "AMAZON-02");
+}
+
+}  // namespace
+}  // namespace h2r::asdb

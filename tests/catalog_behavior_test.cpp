@@ -1,0 +1,223 @@
+// End-to-end checks that every named catalog service produces exactly the
+// redundancy cause the paper attributes to it. Each test builds a minimal
+// page embedding ONE service, loads it through the Chromium-model browser
+// from the Aachen vantage, and classifies the result.
+#include <gtest/gtest.h>
+
+#include "browser/browser.hpp"
+#include "core/classify.hpp"
+#include "dns/vantage.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+
+namespace h2r {
+namespace {
+
+class CatalogBehavior : public ::testing::Test {
+ protected:
+  CatalogBehavior() : eco_(42), catalog_(eco_, 42), rng_(12345) {
+    // A neutral first-party site to host the embeds.
+    web::ClusterSpec site;
+    site.operator_name = "host-site";
+    site.as_name = "OVH";
+    site.ip_count = 1;
+    site.certs = {{"Let's Encrypt", {"www.host-site.example"}}};
+    web::DomainSpec www;
+    www.name = "www.host-site.example";
+    site.domains.push_back(www);
+    eco_.add_cluster(site);
+  }
+
+  core::SiteClassification load_and_classify(
+      std::vector<web::Resource> embeds,
+      util::SimTime when = util::days(1)) {
+    web::Website site;
+    site.url = "https://www.host-site.example";
+    site.landing_domain = "www.host-site.example";
+    site.resources = std::move(embeds);
+    dns::RecursiveResolver resolver{dns::standard_vantage_points()[0],
+                                    &eco_.authority()};
+    browser::Browser chrome{eco_, resolver, browser::BrowserOptions{}, 3};
+    last_page_ = chrome.load(site, when);
+    return core::classify_site(last_page_.observation,
+                               {core::DurationModel::kEndless});
+  }
+
+  /// Causes attached to connections whose initial domain is `domain`.
+  std::set<core::Cause> causes_for(const core::SiteClassification& cls,
+                                   std::string_view domain) {
+    std::set<core::Cause> out;
+    for (const auto& finding : cls.findings) {
+      const auto& conn =
+          last_page_.observation.connections[finding.connection_index];
+      if (conn.initial_domain == domain) {
+        out.insert(finding.causes.begin(), finding.causes.end());
+      }
+    }
+    return out;
+  }
+
+  web::Ecosystem eco_;
+  web::ServiceCatalog catalog_;
+  util::Rng rng_;
+  browser::PageLoadResult last_page_;
+};
+
+TEST_F(CatalogBehavior, TagManagerChainIsAlwaysIpRedundant) {
+  // GT and GA pools are disjoint: whenever the chain loads, the GA
+  // connection is IP-redundant to GT's (Table 2 #1). Sample several
+  // builds to cover the direct-GA variant (no redundancy, single conn).
+  int chains = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto cls = load_and_classify({catalog_.google_tag_manager(rng_)},
+                                       util::days(1) + util::minutes(11 * i));
+    const auto causes = causes_for(cls, "www.google-analytics.com");
+    bool had_gtm = false;
+    for (const auto& conn : last_page_.observation.connections) {
+      had_gtm |= conn.initial_domain == "www.googletagmanager.com";
+    }
+    if (!had_gtm) continue;  // direct analytics.js include
+    ++chains;
+    EXPECT_TRUE(causes.count(core::Cause::kIp) > 0);
+  }
+  EXPECT_GT(chains, 5);
+}
+
+TEST_F(CatalogBehavior, FacebookPixelIsIpRedundant) {
+  const auto cls = load_and_classify({catalog_.facebook_pixel(rng_)});
+  const auto causes = causes_for(cls, "www.facebook.com");
+  EXPECT_EQ(causes, std::set<core::Cause>{core::Cause::kIp});
+}
+
+TEST_F(CatalogBehavior, KlaviyoIsCertRedundant) {
+  const auto cls = load_and_classify({catalog_.klaviyo(rng_)});
+  const auto causes = causes_for(cls, "fast.a.klaviyo.com");
+  EXPECT_EQ(causes, std::set<core::Cause>{core::Cause::kCert});
+}
+
+TEST_F(CatalogBehavior, SquarespaceIsCertRedundant) {
+  const auto cls = load_and_classify({catalog_.squarespace_assets(rng_)});
+  EXPECT_EQ(causes_for(cls, "images.squarespace-cdn.com"),
+            std::set<core::Cause>{core::Cause::kCert});
+}
+
+TEST_F(CatalogBehavior, UnrulySyncIsCertRedundant) {
+  const auto cls = load_and_classify({catalog_.unruly_sync(rng_)});
+  EXPECT_EQ(causes_for(cls, "sync.targeting.unrulymedia.com"),
+            std::set<core::Cause>{core::Cause::kCert});
+}
+
+TEST_F(CatalogBehavior, HotjarModulesAreIpRedundant) {
+  const auto cls = load_and_classify({catalog_.hotjar(rng_)});
+  // script/vars/in live on separate CloudFront distributions covered by
+  // one *.hotjar.com certificate.
+  EXPECT_TRUE(causes_for(cls, "script.hotjar.com")
+                  .count(core::Cause::kIp) > 0);
+  EXPECT_TRUE(causes_for(cls, "vars.hotjar.com").count(core::Cause::kIp) >
+              0);
+}
+
+TEST_F(CatalogBehavior, WordpressStatsAreIpRedundant) {
+  const auto cls = load_and_classify({catalog_.wordpress_stats(rng_)});
+  EXPECT_TRUE(causes_for(cls, "stats.wp.com").count(core::Cause::kIp) > 0);
+}
+
+TEST_F(CatalogBehavior, FaultyPreconnectIsCredSameDomain) {
+  // Sample until the faulty-preconnect variant includes the preconnect.
+  const auto embeds = catalog_.google_fonts(rng_, /*faulty_preconnect=*/true);
+  const auto cls = load_and_classify(embeds);
+  const auto causes = causes_for(cls, "fonts.gstatic.com");
+  EXPECT_TRUE(causes.count(core::Cause::kCred) > 0);
+}
+
+TEST_F(CatalogBehavior, CleanUtilitiesAreNeverRedundant) {
+  const auto cls = load_and_classify({
+      catalog_.js_cdn(rng_),
+      catalog_.cookie_consent(rng_),
+      catalog_.cloudflare_insights(rng_),
+  });
+  EXPECT_TRUE(cls.findings.empty());
+}
+
+TEST_F(CatalogBehavior, GenericPatternsMatchTheirDesign) {
+  for (const auto& service : catalog_.generic_services()) {
+    if (service.pattern == web::GenericPattern::kClean) {
+      const auto cls =
+          load_and_classify(catalog_.generic_embed(service, rng_));
+      EXPECT_TRUE(cls.findings.empty()) << service.name;
+      break;
+    }
+  }
+  for (const auto& service : catalog_.generic_services()) {
+    if (service.pattern == web::GenericPattern::kCertSharded) {
+      const auto cls =
+          load_and_classify(catalog_.generic_embed(service, rng_));
+      EXPECT_TRUE(cls.has_cause(core::Cause::kCert)) << service.name;
+      break;
+    }
+  }
+  for (const auto& service : catalog_.generic_services()) {
+    if (service.pattern == web::GenericPattern::kCredMix) {
+      const auto cls =
+          load_and_classify(catalog_.generic_embed(service, rng_));
+      EXPECT_TRUE(cls.has_cause(core::Cause::kCred)) << service.name;
+      break;
+    }
+  }
+}
+
+TEST_F(CatalogBehavior, GoogleAdsChainProducesIpRedundancy) {
+  // The ads constellation always has covering-cert pairs on rotating
+  // pools; over a few variants at least one IP-redundant conn appears.
+  bool any_ip = false;
+  for (int i = 0; i < 5 && !any_ip; ++i) {
+    const auto cls = load_and_classify({catalog_.google_ads(rng_)},
+                                       util::days(1) + util::minutes(7 * i));
+    any_ip = cls.has_cause(core::Cause::kIp);
+  }
+  EXPECT_TRUE(any_ip);
+}
+
+TEST_F(CatalogBehavior, GeoVariantFollowsVantage) {
+  // google_apis pings www.google.com; from the EU vantage it must hit
+  // www.google.de instead (Table 2's rank flip).
+  web::Website site;
+  site.url = "https://www.host-site.example";
+  site.landing_domain = "www.host-site.example";
+  site.resources = {catalog_.google_apis(rng_)};
+
+  dns::RecursiveResolver resolver{dns::standard_vantage_points()[0],
+                                  &eco_.authority()};
+  browser::BrowserOptions eu;
+  eu.vantage_region = "eu";
+  browser::Browser chrome_eu{eco_, resolver, eu, 3};
+  const auto page_eu = chrome_eu.load(site, util::days(1));
+  bool saw_de = false;
+  bool saw_com = false;
+  for (const auto& conn : page_eu.observation.connections) {
+    for (const auto& req : conn.requests) {
+      saw_de |= req.domain == "www.google.de";
+      saw_com |= req.domain == "www.google.com";
+    }
+  }
+  EXPECT_TRUE(saw_de);
+  EXPECT_FALSE(saw_com);
+
+  browser::BrowserOptions us;
+  us.vantage_region = "us";
+  browser::Browser chrome_us{eco_, resolver, us, 3};
+  const auto page_us = chrome_us.load(site, util::days(1));
+  saw_de = false;
+  saw_com = false;
+  for (const auto& conn : page_us.observation.connections) {
+    for (const auto& req : conn.requests) {
+      saw_de |= req.domain == "www.google.de";
+      saw_com |= req.domain == "www.google.com";
+    }
+  }
+  EXPECT_FALSE(saw_de);
+  EXPECT_TRUE(saw_com);
+}
+
+}  // namespace
+}  // namespace h2r

@@ -1,0 +1,195 @@
+// Metamorphic properties of the classifier: invariances that must hold
+// for ANY observation, checked over randomly generated sites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/classify.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::core {
+namespace {
+
+/// Generates a random but valid site observation: a handful of servers,
+/// domains with covering or non-covering certs, randomized open times.
+SiteObservation random_site(util::Rng& rng, std::size_t conn_count) {
+  SiteObservation site;
+  site.site_url = "https://prop.example";
+  util::SimTime t = 0;
+  for (std::size_t i = 0; i < conn_count; ++i) {
+    ConnectionRecord rec;
+    rec.id = i;
+    rec.endpoint.address =
+        net::IpAddress::v4(10, 0, 0, static_cast<std::uint8_t>(1 + rng.index(6)));
+    rec.endpoint.port = 443;
+    const std::size_t op = rng.index(3);
+    rec.initial_domain = "host" + std::to_string(rng.index(4)) + ".op" +
+                         std::to_string(op) + ".example";
+    if (rng.chance(0.7)) {
+      rec.san_dns_names = {"*.op" + std::to_string(op) + ".example"};
+    } else {
+      rec.san_dns_names = {rec.initial_domain};
+    }
+    rec.issuer_organization = "CA" + std::to_string(op);
+    rec.has_certificate = true;
+    t += static_cast<util::SimTime>(rng.uniform(0, 400));
+    rec.opened_at = t;
+    if (rng.chance(0.2)) {
+      rec.closed_at = t + static_cast<util::SimTime>(rng.uniform(100, 5000));
+    }
+    RequestRecord req;
+    req.started_at = t;
+    req.finished_at = t + static_cast<util::SimTime>(rng.uniform(10, 800));
+    req.domain = rec.initial_domain;
+    rec.requests.push_back(req);
+    if (rng.chance(0.1)) {
+      rec.excluded_domains.push_back("host0.op" + std::to_string(op) +
+                                     ".example");
+    }
+    site.connections.push_back(std::move(rec));
+  }
+  return site;
+}
+
+bool same_classification(const SiteClassification& a,
+                         const SiteClassification& b) {
+  if (a.findings.size() != b.findings.size()) return false;
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    if (a.findings[i].connection_index != b.findings[i].connection_index ||
+        a.findings[i].causes != b.findings[i].causes ||
+        a.findings[i].reusable_previous_domains !=
+            b.findings[i].reusable_previous_domains) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ClassifierProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassifierProperties, TimeShiftInvariance) {
+  util::Rng rng{GetParam()};
+  for (int round = 0; round < 30; ++round) {
+    SiteObservation site = random_site(rng, 3 + rng.index(12));
+    SiteObservation shifted = site;
+    const util::SimTime delta = 1000000;
+    for (ConnectionRecord& conn : shifted.connections) {
+      conn.opened_at += delta;
+      if (conn.closed_at.has_value()) *conn.closed_at += delta;
+      for (RequestRecord& req : conn.requests) {
+        req.started_at += delta;
+        req.finished_at += delta;
+      }
+    }
+    for (const DurationModel model :
+         {DurationModel::kExact, DurationModel::kEndless,
+          DurationModel::kImmediate}) {
+      EXPECT_TRUE(same_classification(classify_site(site, {model}),
+                                      classify_site(shifted, {model})));
+    }
+  }
+}
+
+TEST_P(ClassifierProperties, EndlessDominatesExactDominatesNothing) {
+  util::Rng rng{GetParam() ^ 0xABCD};
+  for (int round = 0; round < 30; ++round) {
+    const SiteObservation site = random_site(rng, 4 + rng.index(12));
+    const auto endless = classify_site(site, {DurationModel::kEndless});
+    const auto exact = classify_site(site, {DurationModel::kExact});
+    // Endless availability is a superset of exact availability: every
+    // exact finding must also appear (with a superset of causes) in the
+    // endless classification.
+    EXPECT_GE(endless.redundant_connections(), exact.redundant_connections());
+    for (const ConnectionFinding& finding : exact.findings) {
+      const auto match = std::find_if(
+          endless.findings.begin(), endless.findings.end(),
+          [&finding](const ConnectionFinding& other) {
+            return other.connection_index == finding.connection_index;
+          });
+      ASSERT_NE(match, endless.findings.end());
+      for (Cause cause : finding.causes) {
+        EXPECT_TRUE(match->causes.count(cause) > 0);
+      }
+    }
+  }
+}
+
+TEST_P(ClassifierProperties, AppendingIsolatedConnectionChangesNothing) {
+  util::Rng rng{GetParam() ^ 0x1234};
+  for (int round = 0; round < 30; ++round) {
+    SiteObservation site = random_site(rng, 3 + rng.index(10));
+    const auto before = classify_site(site, {DurationModel::kEndless});
+
+    // A connection to a fresh operator on a fresh IP, later than all
+    // others: an unknown third party — it must neither be redundant nor
+    // disturb earlier findings.
+    ConnectionRecord isolated;
+    isolated.id = 999;
+    isolated.endpoint.address = net::IpAddress::v4(192, 168, 77, 1);
+    isolated.endpoint.port = 443;
+    isolated.initial_domain = "fresh.unrelated.example";
+    isolated.san_dns_names = {"fresh.unrelated.example"};
+    isolated.has_certificate = true;
+    isolated.opened_at = site.connections.back().opened_at + 1000;
+    site.connections.push_back(isolated);
+
+    const auto after = classify_site(site, {DurationModel::kEndless});
+    EXPECT_TRUE(same_classification(before, after));
+  }
+}
+
+TEST_P(ClassifierProperties, FirstConnectionIsNeverRedundant) {
+  util::Rng rng{GetParam() ^ 0x9999};
+  for (int round = 0; round < 50; ++round) {
+    const SiteObservation site = random_site(rng, 1 + rng.index(15));
+    for (const DurationModel model :
+         {DurationModel::kExact, DurationModel::kEndless,
+          DurationModel::kImmediate}) {
+      const auto cls = classify_site(site, {model});
+      for (const ConnectionFinding& finding : cls.findings) {
+        EXPECT_GT(finding.connection_index, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(ClassifierProperties, CausesAreConsistentWithRecords) {
+  // Re-derive every finding from first principles: a CERT/CRED finding
+  // requires SOME earlier same-endpoint connection, an IP finding some
+  // earlier covering connection on a different endpoint.
+  util::Rng rng{GetParam() ^ 0x7777};
+  for (int round = 0; round < 30; ++round) {
+    const SiteObservation site = random_site(rng, 4 + rng.index(12));
+    const auto cls = classify_site(site, {DurationModel::kEndless});
+    for (const ConnectionFinding& finding : cls.findings) {
+      const ConnectionRecord& conn =
+          site.connections[finding.connection_index];
+      bool same_endpoint_exists = false;
+      bool covering_elsewhere_exists = false;
+      for (std::size_t j = 0; j < finding.connection_index; ++j) {
+        const ConnectionRecord& prev = site.connections[j];
+        if (prev.excludes(conn.initial_domain)) continue;
+        if (prev.endpoint == conn.endpoint) same_endpoint_exists = true;
+        if (prev.endpoint != conn.endpoint &&
+            (prev.certificate_covers(conn.initial_domain) ||
+             prev.initial_domain == conn.initial_domain)) {
+          covering_elsewhere_exists = true;
+        }
+      }
+      if (finding.causes.count(Cause::kCert) > 0 ||
+          (finding.causes.count(Cause::kCred) > 0 &&
+           !covering_elsewhere_exists)) {
+        EXPECT_TRUE(same_endpoint_exists);
+      }
+      if (finding.causes.count(Cause::kIp) > 0) {
+        EXPECT_TRUE(covering_elsewhere_exists);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierProperties,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace h2r::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "web/config.hpp"
+
+namespace h2r::web {
+namespace {
+
+constexpr const char* kValidConfig = R"({
+  "ases": [
+    {"name": "MY-AS", "asn": 64500, "prefix": "198.51.100.0/24"}
+  ],
+  "clusters": [
+    {
+      "operator": "my-cdn",
+      "as": "MY-AS",
+      "ips": 4,
+      "h3": true,
+      "idle_timeout_s": 120,
+      "certs": [
+        {"issuer": "Let's Encrypt", "sans": ["*.cdn.example"]},
+        {"issuer": "Let's Encrypt", "sans": ["api.cdn.example"]}
+      ],
+      "domains": [
+        {"name": "a.cdn.example", "lb": "shuffle", "answers": 2,
+         "slot_minutes": 5, "ttl_s": 30, "pool": [0, 1]},
+        {"name": "b.cdn.example", "lb": "static", "pool": [2, 3],
+         "serves_on": [2, 3]},
+        {"name": "api.cdn.example", "lb": "static", "cert_group": 1}
+      ]
+    }
+  ]
+})";
+
+TEST(EcosystemConfig, LoadsValidDocument) {
+  Ecosystem eco{1};
+  const auto created = load_ecosystem(eco, kValidConfig);
+  ASSERT_TRUE(created.has_value()) << created.error().message;
+  EXPECT_EQ(*created, 1u);
+
+  dns::QueryContext ctx;
+  const auto answer_a = eco.authority().query("a.cdn.example", ctx);
+  ASSERT_TRUE(answer_a.ok);
+  EXPECT_EQ(answer_a.addresses.size(), 2u);
+  EXPECT_EQ(answer_a.ttl_seconds, 30u);
+
+  const auto answer_b = eco.authority().query("b.cdn.example", ctx);
+  ASSERT_TRUE(answer_b.ok);
+  const Server* server = eco.server_at(answer_b.addresses[0]);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->operator_name(), "my-cdn");
+  EXPECT_TRUE(server->h3_enabled());
+  EXPECT_EQ(server->idle_timeout(), util::seconds(120));
+  // serves_on [2,3]: b is not a vhost on a's addresses.
+  EXPECT_FALSE(eco.server_at(answer_a.addresses[0])->serves("b.cdn.example"));
+
+  // cert_group override: api gets the narrow cert.
+  const auto api_cert = eco.certificate_of("api.cdn.example");
+  ASSERT_NE(api_cert, nullptr);
+  EXPECT_FALSE(api_cert->covers("a.cdn.example"));
+  const auto as_info = eco.as_database().lookup(answer_a.addresses[0]);
+  ASSERT_TRUE(as_info.has_value());
+  EXPECT_EQ(as_info->asn, 64500u);
+}
+
+TEST(EcosystemConfig, RejectsMalformedJson) {
+  Ecosystem eco{1};
+  EXPECT_FALSE(load_ecosystem(eco, "{not json").has_value());
+  EXPECT_FALSE(load_ecosystem(eco, "[]").has_value());
+}
+
+TEST(EcosystemConfig, RejectsMissingFields) {
+  Ecosystem eco{1};
+  // Cluster without operator.
+  EXPECT_FALSE(load_ecosystem(eco, R"({"clusters":[{"as":"X"}]})")
+                   .has_value());
+  // AS without prefix.
+  EXPECT_FALSE(
+      load_ecosystem(eco, R"({"ases":[{"name":"A","asn":1}]})").has_value());
+  // Cert group without sans.
+  EXPECT_FALSE(load_ecosystem(eco, R"({
+    "ases": [{"name": "A", "asn": 1, "prefix": "10.0.0.0/8"}],
+    "clusters": [{"operator": "x", "as": "A",
+                  "certs": [{"issuer": "CA", "sans": []}],
+                  "domains": [{"name": "d.example"}]}]})")
+                   .has_value());
+}
+
+TEST(EcosystemConfig, RejectsUnknownLbPolicy) {
+  Ecosystem eco{1};
+  const auto result = load_ecosystem(eco, R"({
+    "ases": [{"name": "A", "asn": 1, "prefix": "10.0.0.0/8"}],
+    "clusters": [{"operator": "x", "as": "A",
+                  "certs": [{"issuer": "CA", "sans": ["d.example"]}],
+                  "domains": [{"name": "d.example", "lb": "chaotic"}]}]})");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("lb policy"), std::string::npos);
+}
+
+TEST(EcosystemConfig, SurfacesEcosystemErrors) {
+  Ecosystem eco{1};
+  // Domain not covered by any cert group.
+  const auto result = load_ecosystem(eco, R"({
+    "ases": [{"name": "A", "asn": 1, "prefix": "10.0.0.0/8"}],
+    "clusters": [{"operator": "x", "as": "A",
+                  "certs": [{"issuer": "CA", "sans": ["other.example"]}],
+                  "domains": [{"name": "d.example"}]}]})");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("x"), std::string::npos);
+}
+
+TEST(EcosystemConfig, DefaultsApply) {
+  Ecosystem eco{1};
+  const auto created = load_ecosystem(eco, R"({
+    "ases": [{"name": "A", "asn": 1, "prefix": "10.0.0.0/8"}],
+    "clusters": [{"operator": "x", "as": "A",
+                  "certs": [{"issuer": "CA", "sans": ["d.example"]}],
+                  "domains": [{"name": "d.example"}]}]})");
+  ASSERT_TRUE(created.has_value()) << created.error().message;
+  dns::QueryContext ctx;
+  const auto answer = eco.authority().query("d.example", ctx);
+  ASSERT_TRUE(answer.ok);
+  EXPECT_EQ(answer.addresses.size(), 1u);  // answers default 1
+  EXPECT_EQ(answer.ttl_seconds, 60u);      // ttl default
+  const Server* server = eco.server_at(answer.addresses[0]);
+  EXPECT_TRUE(server->h2_enabled());
+  EXPECT_FALSE(server->h3_enabled());
+  EXPECT_FALSE(server->idle_timeout().has_value());
+}
+
+}  // namespace
+}  // namespace h2r::web

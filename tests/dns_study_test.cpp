@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/dns_study.hpp"
+#include "dns/vantage.hpp"
+
+namespace h2r::core {
+namespace {
+
+dns::RecordSet record(const char* name, int pool_from, int pool_to,
+                      dns::LbPolicy policy, std::size_t answers = 1) {
+  dns::RecordSet rs;
+  rs.name = name;
+  for (int i = pool_from; i <= pool_to; ++i) {
+    rs.pool.push_back(net::IpAddress::v4(10, 0, 0, static_cast<std::uint8_t>(i)));
+  }
+  rs.lb.policy = policy;
+  rs.lb.answer_count = answers;
+  rs.lb.slot_duration = util::minutes(5);
+  rs.lb.seed_salt = static_cast<std::uint64_t>(pool_from) * 131 + 7;
+  return rs;
+}
+
+TEST(DnsOverlapStudy, StaticSamePoolAlwaysOverlaps) {
+  dns::AuthoritativeServer authority;
+  authority.add_record_set(record("a.x", 1, 4, dns::LbPolicy::kStatic, 2));
+  authority.add_record_set(record("b.x", 1, 4, dns::LbPolicy::kStatic, 2));
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"a.x", "b.x"}};
+  DnsOverlapConfig config;
+  config.duration = util::hours(2);
+  const auto series = run_dns_overlap_study(
+      authority, pairs, dns::standard_vantage_points(), config);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].any_overlap_share(), 1.0);
+  EXPECT_EQ(series[0].mean_overlap(), 14.0);  // every vantage point
+}
+
+TEST(DnsOverlapStudy, DisjointPoolsNeverOverlap) {
+  dns::AuthoritativeServer authority;
+  authority.add_record_set(
+      record("gtm.x", 1, 4, dns::LbPolicy::kPerResolverShuffle, 2));
+  authority.add_record_set(
+      record("ga.x", 10, 14, dns::LbPolicy::kPerResolverShuffle, 2));
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"gtm.x", "ga.x"}};
+  DnsOverlapConfig config;
+  config.duration = util::hours(6);
+  const auto series = run_dns_overlap_study(
+      authority, pairs, dns::standard_vantage_points(), config);
+  EXPECT_EQ(series[0].any_overlap_share(), 0.0);
+  EXPECT_EQ(series[0].mean_overlap(), 0.0);
+}
+
+TEST(DnsOverlapStudy, SharedShuffledPoolOverlapsSometimes) {
+  // The paper's "fluctuating" pairs (fonts.gstatic.com / gstatic.com).
+  dns::AuthoritativeServer authority;
+  authority.add_record_set(
+      record("fonts.x", 1, 8, dns::LbPolicy::kPerResolverShuffle, 1));
+  auto other = record("www.x", 1, 8, dns::LbPolicy::kPerResolverShuffle, 1);
+  other.lb.seed_salt = 999;
+  authority.add_record_set(other);
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"fonts.x", "www.x"}};
+  DnsOverlapConfig config;
+  config.duration = util::days(1);
+  const auto series = run_dns_overlap_study(
+      authority, pairs, dns::standard_vantage_points(), config);
+  EXPECT_GT(series[0].mean_overlap(), 0.2);
+  EXPECT_LT(series[0].mean_overlap(), 8.0);
+  EXPECT_GT(series[0].any_overlap_share(), 0.1);
+  EXPECT_LT(series[0].any_overlap_share(), 1.0);
+}
+
+TEST(DnsOverlapStudy, SlotTimingAndCount) {
+  dns::AuthoritativeServer authority;
+  authority.add_record_set(record("a.x", 1, 2, dns::LbPolicy::kStatic));
+  authority.add_record_set(record("b.x", 1, 2, dns::LbPolicy::kStatic));
+  DnsOverlapConfig config;
+  config.start = util::days(2);
+  config.duration = util::hours(1);
+  config.step = util::minutes(6);  // the paper's interval
+  const auto series = run_dns_overlap_study(
+      authority, std::vector<std::pair<std::string, std::string>>{{"a.x", "b.x"}},
+      dns::standard_vantage_points(), config);
+  ASSERT_EQ(series[0].slots.size(), 10u);
+  EXPECT_EQ(series[0].slots[0].time, util::days(2));
+  EXPECT_EQ(series[0].slots[1].time, util::days(2) + util::minutes(6));
+}
+
+TEST(DnsOverlapStudy, UnresolvableDomainsYieldZero) {
+  dns::AuthoritativeServer authority;
+  authority.add_record_set(record("a.x", 1, 2, dns::LbPolicy::kStatic));
+  DnsOverlapConfig config;
+  config.duration = util::hours(1);
+  const auto series = run_dns_overlap_study(
+      authority,
+      std::vector<std::pair<std::string, std::string>>{{"a.x", "missing.x"}},
+      dns::standard_vantage_points(), config);
+  EXPECT_EQ(series[0].mean_overlap(), 0.0);
+}
+
+TEST(DnsOverlapStudy, EmptySeriesStats) {
+  DnsOverlapSeries s;
+  EXPECT_EQ(s.any_overlap_share(), 0.0);
+  EXPECT_EQ(s.mean_overlap(), 0.0);
+}
+
+}  // namespace
+}  // namespace h2r::core

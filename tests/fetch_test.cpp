@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "fetch/origin.hpp"
+#include "fetch/request.hpp"
+
+namespace h2r::fetch {
+namespace {
+
+TEST(Origin, SerializeElidesDefaultPorts) {
+  EXPECT_EQ(Origin::https("example.com").serialize(), "https://example.com");
+  EXPECT_EQ(Origin::https("example.com", 8443).serialize(),
+            "https://example.com:8443");
+}
+
+TEST(Origin, HostIsLowercased) {
+  EXPECT_EQ(Origin::https("WWW.Example.COM").host, "www.example.com");
+}
+
+TEST(Origin, SameOriginRequiresSchemeHostPort) {
+  const Origin a = Origin::https("example.com");
+  EXPECT_TRUE(a.same_origin(Origin::https("example.com")));
+  EXPECT_FALSE(a.same_origin(Origin::https("www.example.com")));
+  EXPECT_FALSE(a.same_origin(Origin::https("example.com", 8443)));
+  Origin http = a;
+  http.scheme = "http";
+  http.port = 80;
+  EXPECT_FALSE(a.same_origin(http));
+}
+
+// ------------------------------------------------- element fetch defaults
+
+TEST(Defaults, NavigationsCarryCredentials) {
+  const RequestInit init = default_init_for(Destination::kDocument, false);
+  EXPECT_EQ(init.mode, RequestMode::kNavigate);
+  EXPECT_EQ(init.credentials, CredentialsMode::kInclude);
+}
+
+TEST(Defaults, ClassicSubresourcesAreNoCorsInclude) {
+  for (Destination d : {Destination::kScript, Destination::kImage,
+                        Destination::kStyle, Destination::kMedia}) {
+    const RequestInit init = default_init_for(d, false);
+    EXPECT_EQ(init.mode, RequestMode::kNoCors);
+    EXPECT_EQ(init.credentials, CredentialsMode::kInclude);
+  }
+}
+
+TEST(Defaults, FontsAlwaysUseCorsSameOrigin) {
+  // The canonical cross-origin CRED trigger the paper names (§3).
+  const RequestInit init = default_init_for(Destination::kFont, false);
+  EXPECT_EQ(init.mode, RequestMode::kCors);
+  EXPECT_EQ(init.credentials, CredentialsMode::kSameOrigin);
+}
+
+TEST(Defaults, CrossoriginAnonymousFlipsClassicElements) {
+  const RequestInit init = default_init_for(Destination::kScript, true);
+  EXPECT_EQ(init.mode, RequestMode::kCors);
+  EXPECT_EQ(init.credentials, CredentialsMode::kSameOrigin);
+}
+
+// ------------------------------------------------------ response tainting
+
+FetchRequest request(Destination dest, RequestMode mode,
+                     CredentialsMode credentials, const char* url_host,
+                     const char* doc_host = "site.example") {
+  FetchRequest r;
+  r.url_origin = Origin::https(url_host);
+  r.destination = dest;
+  r.mode = mode;
+  r.credentials = credentials;
+  r.document_origin = Origin::https(doc_host);
+  return r;
+}
+
+TEST(Tainting, SameOriginIsBasic) {
+  EXPECT_EQ(response_tainting(request(Destination::kImage,
+                                      RequestMode::kNoCors,
+                                      CredentialsMode::kInclude,
+                                      "site.example")),
+            ResponseTainting::kBasic);
+}
+
+TEST(Tainting, CrossOriginNoCorsIsOpaque) {
+  EXPECT_EQ(response_tainting(request(Destination::kImage,
+                                      RequestMode::kNoCors,
+                                      CredentialsMode::kInclude,
+                                      "tracker.example")),
+            ResponseTainting::kOpaque);
+}
+
+TEST(Tainting, CrossOriginCorsIsCors) {
+  EXPECT_EQ(response_tainting(request(Destination::kFont, RequestMode::kCors,
+                                      CredentialsMode::kSameOrigin,
+                                      "fonts.example")),
+            ResponseTainting::kCors);
+}
+
+TEST(Tainting, NavigationIsBasic) {
+  EXPECT_EQ(response_tainting(request(Destination::kDocument,
+                                      RequestMode::kNavigate,
+                                      CredentialsMode::kInclude,
+                                      "other.example")),
+            ResponseTainting::kBasic);
+}
+
+// ------------------------------------------- credentials and privacy mode
+
+TEST(Credentials, IncludeAlwaysSendsCookies) {
+  EXPECT_TRUE(include_credentials(
+      request(Destination::kImage, RequestMode::kNoCors,
+              CredentialsMode::kInclude, "tracker.example")));
+  EXPECT_FALSE(privacy_mode_enabled(
+      request(Destination::kImage, RequestMode::kNoCors,
+              CredentialsMode::kInclude, "tracker.example")));
+}
+
+TEST(Credentials, OmitNeverSendsCookies) {
+  EXPECT_FALSE(include_credentials(
+      request(Destination::kXhr, RequestMode::kCors, CredentialsMode::kOmit,
+              "site.example")));
+}
+
+TEST(Credentials, SameOriginDependsOnOrigins) {
+  // Same-origin request: credentials included.
+  EXPECT_TRUE(include_credentials(
+      request(Destination::kXhr, RequestMode::kCors,
+              CredentialsMode::kSameOrigin, "site.example")));
+  // Cross-origin: anonymous -> privacy mode on (the CRED pool split).
+  const FetchRequest cross = request(Destination::kFont, RequestMode::kCors,
+                                     CredentialsMode::kSameOrigin,
+                                     "fonts.gstatic.example");
+  EXPECT_FALSE(include_credentials(cross));
+  EXPECT_TRUE(privacy_mode_enabled(cross));
+}
+
+TEST(Credentials, CrossOriginFontVsImageDifferInPrivacyMode) {
+  // The exact pair that forces two connections to one host (cause CRED):
+  // a classic image is credentialed, a font is anonymous.
+  const FetchRequest image = request(Destination::kImage, RequestMode::kNoCors,
+                                     CredentialsMode::kInclude,
+                                     "static.site.example");
+  const FetchRequest font = request(Destination::kFont, RequestMode::kCors,
+                                    CredentialsMode::kSameOrigin,
+                                    "static.site.example");
+  EXPECT_NE(privacy_mode_enabled(image), privacy_mode_enabled(font));
+}
+
+TEST(ToString, EnumNames) {
+  EXPECT_EQ(to_string(RequestMode::kNoCors), "no-cors");
+  EXPECT_EQ(to_string(CredentialsMode::kSameOrigin), "same-origin");
+  EXPECT_EQ(to_string(Destination::kFont), "font");
+}
+
+}  // namespace
+}  // namespace h2r::fetch

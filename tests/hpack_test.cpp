@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "http2/hpack.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::http2 {
+namespace {
+
+// ----------------------------------------------------------- static table
+
+TEST(HpackStaticTable, KnownEntries) {
+  EXPECT_EQ(hpack_static_entry(1), (HeaderField{":authority", ""}));
+  EXPECT_EQ(hpack_static_entry(2), (HeaderField{":method", "GET"}));
+  EXPECT_EQ(hpack_static_entry(7), (HeaderField{":scheme", "https"}));
+  EXPECT_EQ(hpack_static_entry(8), (HeaderField{":status", "200"}));
+  EXPECT_EQ(hpack_static_entry(32), (HeaderField{"cookie", ""}));
+  EXPECT_EQ(hpack_static_entry(61), (HeaderField{"www-authenticate", ""}));
+}
+
+TEST(HpackEntrySize, Rfc7541Overhead) {
+  EXPECT_EQ(hpack_entry_size({"custom-key", "custom-value"}),
+            10u + 12u + 32u);
+}
+
+// ---------------------------------------------------------- dynamic table
+
+TEST(HpackDynamicTable, InsertAndFind) {
+  HpackDynamicTable table{4096};
+  table.insert({"a", "1"});
+  table.insert({"b", "2"});
+  // Newest entry has index 0.
+  EXPECT_EQ(table.at(0), (HeaderField{"b", "2"}));
+  EXPECT_EQ(table.at(1), (HeaderField{"a", "1"}));
+  EXPECT_EQ(table.find({"a", "1"}), std::optional<std::size_t>{1});
+  EXPECT_EQ(table.find_name("b"), std::optional<std::size_t>{0});
+  EXPECT_FALSE(table.find({"a", "2"}).has_value());
+}
+
+TEST(HpackDynamicTable, EvictsOldestWhenFull) {
+  // Each {x,y} entry is 1+1+32 = 34 bytes; cap at two entries.
+  HpackDynamicTable table{68};
+  table.insert({"a", "1"});
+  table.insert({"b", "2"});
+  table.insert({"c", "3"});
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_FALSE(table.find({"a", "1"}).has_value());
+  EXPECT_TRUE(table.find({"c", "3"}).has_value());
+}
+
+TEST(HpackDynamicTable, OversizedEntryClearsTable) {
+  HpackDynamicTable table{40};
+  table.insert({"a", "1"});
+  table.insert({"name", std::string(100, 'x')});  // > max -> clears
+  EXPECT_EQ(table.entry_count(), 0u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(HpackDynamicTable, ResizeEvicts) {
+  HpackDynamicTable table{4096};
+  table.insert({"a", "1"});
+  table.insert({"b", "2"});
+  table.set_max_size(34);
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_TRUE(table.find({"b", "2"}).has_value());
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Hpack, StaticIndexedFieldIsOneByte) {
+  HpackEncoder encoder;
+  const auto block = encoder.encode({{":method", "GET"}});
+  ASSERT_EQ(block.size(), 1u);
+  EXPECT_EQ(block[0], 0x82);  // indexed, static index 2
+}
+
+TEST(Hpack, RoundTripBasicRequest) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  const HeaderList headers =
+      make_request_headers("GET", "www.example.com", "/index", true);
+  const auto block = encoder.encode(headers);
+  const auto decoded = decoder.decode(block);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, headers);
+}
+
+TEST(Hpack, SecondEncodingIsSmaller) {
+  // The core compression effect: repeated headers hit the dynamic table.
+  HpackEncoder encoder;
+  const HeaderList headers =
+      make_request_headers("GET", "cdn.example.com", "/a.js", true);
+  const auto first = encoder.encode(headers);
+  const auto second = encoder.encode(headers);
+  EXPECT_LT(second.size(), first.size() / 2);
+}
+
+TEST(Hpack, SeparateEncodersBootstrapSeparately) {
+  // The paper's §2.2.1 point: splitting requests across connections resets
+  // the dictionary.
+  const HeaderList headers =
+      make_request_headers("GET", "cdn.example.com", "/a.js", true);
+  HpackEncoder one;
+  std::size_t single = 0;
+  for (int i = 0; i < 4; ++i) single += one.encode(headers).size();
+
+  std::size_t split = 0;
+  for (int i = 0; i < 4; ++i) {
+    HpackEncoder fresh;
+    split += fresh.encode(headers).size();
+  }
+  EXPECT_LT(single, split);
+}
+
+TEST(Hpack, DecoderTracksDynamicTable) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  const HeaderList headers = {{"x-custom", "value"}};
+  const auto block1 = encoder.encode(headers);
+  ASSERT_TRUE(decoder.decode(block1).has_value());
+  const auto block2 = encoder.encode(headers);
+  EXPECT_LT(block2.size(), block1.size());
+  const auto decoded = decoder.decode(block2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, headers);
+}
+
+TEST(Hpack, TableSizeUpdateRoundTrips) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  encoder.resize_table(128);
+  const auto block = encoder.encode({{"a", "b"}});
+  ASSERT_TRUE(decoder.decode(block).has_value());
+  EXPECT_EQ(decoder.table().max_size(), 128u);
+  EXPECT_EQ(encoder.table().max_size(), 128u);
+}
+
+TEST(Hpack, SensitiveHeadersAreNeverIndexed) {
+  HpackEncoder encoder;
+  encoder.add_sensitive_name("authorization");
+  const HeaderList headers = {{"authorization", "Bearer secret"}};
+  const auto block1 = encoder.encode(headers);
+  const auto block2 = encoder.encode(headers);
+  // Never indexed: no dynamic-table hit, both encodings identical size.
+  EXPECT_EQ(block1.size(), block2.size());
+  EXPECT_EQ(encoder.table().entry_count(), 0u);
+  // First octet of the field must be 0001xxxx (never-indexed).
+  EXPECT_EQ(block1[0] & 0xF0, 0x10);
+  HpackDecoder decoder;
+  const auto decoded = decoder.decode(block1);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, headers);
+}
+
+TEST(Hpack, LongValuesUseMultiByteIntegers) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  const HeaderList headers = {{"x-long", std::string(500, 'v')}};
+  const auto block = encoder.encode(headers);
+  const auto decoded = decoder.decode(block);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, headers);
+}
+
+TEST(HpackDecoder, RejectsTruncatedInput) {
+  HpackEncoder encoder;
+  const auto block =
+      encoder.encode(make_request_headers("GET", "a.example", "/", false));
+  for (std::size_t cut = 1; cut < std::min<std::size_t>(block.size(), 20);
+       ++cut) {
+    HpackDecoder decoder;
+    std::vector<std::uint8_t> truncated(block.begin(),
+                                        block.end() - static_cast<long>(cut));
+    const auto decoded = decoder.decode(truncated);
+    if (decoded.has_value()) {
+      // A truncation can fall on a field boundary; then it decodes fewer
+      // fields but must not invent data.
+      EXPECT_LT(decoded->size(), 8u);
+    }
+  }
+}
+
+TEST(HpackDecoder, RejectsInvalidIndex) {
+  // Indexed field referencing index 0 is invalid.
+  HpackDecoder decoder;
+  EXPECT_FALSE(decoder.decode(std::vector<std::uint8_t>{0x80}).has_value());
+  // Reference far beyond both tables.
+  HpackEncoder enc;
+  std::vector<std::uint8_t> block;
+  // 0xFF 0xE0 0x07 => indexed, value 127 + ... large
+  EXPECT_FALSE(
+      decoder.decode(std::vector<std::uint8_t>{0xFF, 0xE0, 0x07}).has_value());
+}
+
+TEST(HpackDecoder, RejectsHuffmanStrings) {
+  // H-bit set: our decoder deliberately refuses (encoder never emits it).
+  // 0x40 (literal w/ indexing, new name), then H=1 len=1.
+  EXPECT_FALSE(HpackDecoder{}
+                   .decode(std::vector<std::uint8_t>{0x40, 0x81, 0xFF})
+                   .has_value());
+}
+
+// Property-style sweep: random header lists round-trip through a shared
+// encoder/decoder pair in sequence (dynamic tables must stay in sync).
+class HpackRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HpackRandomRoundTrip, SequenceStaysInSync) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  for (int block_i = 0; block_i < 20; ++block_i) {
+    HeaderList headers;
+    const std::size_t n = 1 + rng.index(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.3)) {
+        headers.push_back(hpack_static_entry(1 + rng.index(61)));
+        if (headers.back().value.empty()) {
+          headers.back().value = "v" + std::to_string(rng.index(5));
+        }
+      } else {
+        headers.push_back(
+            {"x-h" + std::to_string(rng.index(6)),
+             std::string(rng.index(40), 'a' + static_cast<char>(rng.index(26)))});
+      }
+    }
+    const auto block = encoder.encode(headers);
+    const auto decoded = decoder.decode(block);
+    ASSERT_TRUE(decoded.has_value()) << "block " << block_i;
+    ASSERT_EQ(*decoded, headers) << "block " << block_i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HpackRandomRoundTrip,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace h2r::http2

@@ -1,0 +1,94 @@
+// Robustness sweep for the JSON parser: pseudo-random byte soup and
+// systematic mutations of valid documents must never crash, hang or
+// produce a value that fails to re-serialize. (Deterministic "fuzzing" —
+// seeds are fixed so failures reproduce.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/json.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::json {
+namespace {
+
+class RandomBytes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBytes, ParserNeverCrashes) {
+  util::Rng rng{GetParam()};
+  for (int doc = 0; doc < 200; ++doc) {
+    std::string text;
+    const std::size_t len = rng.index(128);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.uniform(0, 255)));
+    }
+    const auto parsed = parse(text);
+    if (parsed.has_value()) {
+      // Whatever parsed must re-serialize into parseable JSON.
+      const auto again = parse(write(*parsed));
+      EXPECT_TRUE(again.has_value());
+    }
+  }
+}
+
+TEST_P(RandomBytes, JsonLikeSoup) {
+  // Biased alphabet: structural characters dominate, which reaches much
+  // deeper into the parser than uniform bytes.
+  static const char kAlphabet[] = "{}[]\",:0123456789.eE+-truefalsnl \\/\n";
+  util::Rng rng{GetParam() ^ 0x5eedull};
+  for (int doc = 0; doc < 400; ++doc) {
+    std::string text;
+    const std::size_t len = rng.index(96);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(kAlphabet[rng.index(sizeof(kAlphabet) - 1)]);
+    }
+    const auto parsed = parse(text);
+    if (parsed.has_value()) {
+      EXPECT_TRUE(parse(write(*parsed)).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Mutations, TruncationsOfValidDocument) {
+  const std::string doc =
+      R"({"log":{"pages":[{"id":"p","title":"u"}],"entries":[)"
+      R"({"request":{"url":"https://x/é"},"time":1.5e2,"ok":true}]}})";
+  ASSERT_TRUE(parse(doc).has_value());
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    const auto parsed = parse(doc.substr(0, cut));
+    // Every strict prefix is incomplete -> must be an error, never a crash.
+    EXPECT_FALSE(parsed.has_value()) << cut;
+  }
+}
+
+TEST(Mutations, SingleByteCorruptions) {
+  const std::string doc = R"({"a":[1,2.5,"x\n",null,true],"b":{"c":false}})";
+  ASSERT_TRUE(parse(doc).has_value());
+  util::Rng rng{99};
+  for (std::size_t pos = 0; pos < doc.size(); ++pos) {
+    for (int variant = 0; variant < 3; ++variant) {
+      std::string mutated = doc;
+      mutated[pos] = static_cast<char>(rng.uniform(0, 255));
+      const auto parsed = parse(mutated);
+      if (parsed.has_value()) {
+        EXPECT_TRUE(parse(write(*parsed)).has_value());
+      }
+    }
+  }
+}
+
+TEST(Mutations, DeeplyNestedMixedContainers) {
+  std::string doc;
+  for (int i = 0; i < 120; ++i) doc += R"({"a":[)";
+  doc += "1";
+  for (int i = 0; i < 120; ++i) doc += "]}";
+  const auto parsed = parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parse(write(*parsed)).has_value());
+}
+
+}  // namespace
+}  // namespace h2r::json

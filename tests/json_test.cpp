@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include <limits>
+#include <cmath>
+
+namespace h2r::json {
+namespace {
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(true), false);
+  EXPECT_EQ(parse("42")->as_int(), 42);
+  EXPECT_EQ(parse("-17")->as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.5")->as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerVsDouble) {
+  EXPECT_TRUE(parse("42")->is_int());
+  EXPECT_TRUE(parse("42.0")->is_double());
+  EXPECT_TRUE(parse("4e2")->is_double());
+  // Int64 overflow falls back to double.
+  EXPECT_TRUE(parse("99999999999999999999999")->is_double());
+}
+
+TEST(JsonParse, NegativeZeroAndLeadingZeroRules) {
+  EXPECT_TRUE(parse("0")->is_int());
+  EXPECT_FALSE(parse("01").has_value());
+  EXPECT_FALSE(parse("-").has_value());
+  EXPECT_FALSE(parse(".5").has_value());
+  EXPECT_FALSE(parse("1.").has_value());
+  EXPECT_FALSE(parse("1e").has_value());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")")->as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")")->as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\nb")")->as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("a\tb")")->as_string(), "a\tb");
+  EXPECT_EQ(parse(R"("a\/b")")->as_string(), "a/b");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("€")")->as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, SurrogatePairs) {
+  // U+1F600 as 😀.
+  EXPECT_EQ(parse(R"("😀")")->as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(parse(R"("\uD83D")").has_value());       // lone high
+  EXPECT_FALSE(parse(R"("\uDE00")").has_value());       // lone low
+  EXPECT_FALSE(parse(R"("\uD83Dx")").has_value());      // not followed by \u
+  EXPECT_FALSE(parse(R"("\uD83DA")").has_value()); // invalid low
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_FALSE(parse("\"a\nb\"").has_value());
+  EXPECT_FALSE(parse("\"a\tb\"").has_value());
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const auto v = parse(R"({"a": [1, 2, {"b": null}], "c": "d"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)["a"].at(0).as_int(), 1);
+  EXPECT_EQ((*v)["a"].at(2)["b"].type(), Type::kNull);
+  EXPECT_EQ((*v)["c"].as_string(), "d");
+  EXPECT_TRUE((*v)["missing"].is_null());
+  EXPECT_TRUE((*v)["a"].at(99).is_null());
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]")->as_array().empty());
+  EXPECT_TRUE(parse("{}")->as_object().empty());
+  EXPECT_TRUE(parse("[ ]")->as_array().empty());
+  EXPECT_TRUE(parse("{ }")->as_object().empty());
+}
+
+TEST(JsonParse, TrailingContentIsError) {
+  EXPECT_FALSE(parse("1 2").has_value());
+  EXPECT_FALSE(parse("{} x").has_value());
+  EXPECT_TRUE(parse(" 1 ").has_value());
+}
+
+TEST(JsonParse, MalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "}", "[", "[1,", "[1,]", "{\"a\"}", "{\"a\":}", "{a:1}",
+        "tru", "nul", "\"unterminated", "{\"a\":1,}", "[1 2]",
+        "{\"a\":1 \"b\":2}"}) {
+    EXPECT_FALSE(parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonParse, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(parse(deep).has_value());
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(parse(ok).has_value());
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+  Object obj;
+  obj.set("z", Value{1});
+  obj.set("a", Value{2});
+  obj.set("m", Value{3});
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : obj) {
+    (void)value;
+    keys.push_back(key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonObject, SetOverwritesInPlace) {
+  Object obj;
+  obj.set("a", Value{1});
+  obj.set("b", Value{2});
+  obj.set("a", Value{9});
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.find("a")->as_int(), 9);
+}
+
+TEST(JsonObject, CopyKeepsIndexConsistent) {
+  Object obj;
+  obj.set("a", Value{1});
+  Object copy = obj;
+  copy.set("b", Value{2});
+  EXPECT_EQ(copy.find("b")->as_int(), 2);
+  EXPECT_EQ(obj.find("b"), nullptr);
+}
+
+TEST(JsonWrite, Compact) {
+  Object obj;
+  obj.set("a", Value{1});
+  Array arr;
+  arr.emplace_back(true);
+  arr.emplace_back("x");
+  obj.set("b", Value{std::move(arr)});
+  EXPECT_EQ(write(Value{obj}), R"({"a":1,"b":[true,"x"]})");
+}
+
+TEST(JsonWrite, EscapesSpecials) {
+  EXPECT_EQ(write(Value{"a\"b\\c\nd"}), R"("a\"b\\c\nd")");
+  EXPECT_EQ(write(Value{std::string("\x01", 1)}), "\"\\u0001\"");
+}
+
+TEST(JsonWrite, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(write(Value{std::numeric_limits<double>::infinity()}), "null");
+  EXPECT_EQ(write(Value{std::numeric_limits<double>::quiet_NaN()}), "null");
+}
+
+TEST(JsonWrite, PrettyPrint) {
+  Object obj;
+  obj.set("a", Value{1});
+  WriteOptions opts;
+  opts.pretty = true;
+  const std::string out = write(Value{obj}, opts);
+  EXPECT_NE(out.find("\n"), std::string::npos);
+  EXPECT_NE(out.find("  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonEquality, NumericCrossTypeComparison) {
+  EXPECT_EQ(*parse("1"), *parse("1.0"));
+  EXPECT_EQ(*parse("[1,2]"), *parse("[1,2]"));
+  EXPECT_NE(*parse("[1,2]") == *parse("[2,1]"), true);
+}
+
+// Round-trip property: parse(write(v)) == v for a corpus of documents.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseWriteParse) {
+  const auto v1 = parse(GetParam());
+  ASSERT_TRUE(v1.has_value()) << GetParam();
+  const std::string text = write(*v1);
+  const auto v2 = parse(text);
+  ASSERT_TRUE(v2.has_value()) << text;
+  EXPECT_EQ(*v1, *v2);
+  // Second write must be identical (stable serialization).
+  EXPECT_EQ(write(*v2), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "false", "0", "-1", "123456789", "0.5", "-2.25",
+        "1e-7", R"("")", R"("plain")", R"("es\"caped\\\n")", "[]", "[1]",
+        "[[[]]]", R"([1,"two",3.0,null,true])", "{}", R"({"a":1})",
+        R"({"nested":{"arr":[{"deep":true}]}})",
+        R"({"log":{"entries":[{"request":{"url":"https://x/"}}]}})",
+        R"("é€")"));
+
+}  // namespace
+}  // namespace h2r::json

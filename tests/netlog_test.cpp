@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "netlog/netlog.hpp"
+#include "netlog/stitch.hpp"
+
+namespace h2r::netlog {
+namespace {
+
+TEST(NetLog, RecordsEventsInOrder) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 10, 1, {{"domain", "a"}});
+  log.record(EventType::kRequestStarted, 20, 1, {{"stream", "1"}});
+  log.record(EventType::kSessionCreated, 30, 2, {});
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.events()[0].type, EventType::kSessionCreated);
+  EXPECT_EQ(log.events()[1].time, 20);
+  EXPECT_EQ(log.for_source(1).size(), 2u);
+  EXPECT_EQ(log.for_source(2).size(), 1u);
+  EXPECT_EQ(log.for_source(9).size(), 0u);
+}
+
+TEST(NetLog, ParamAccess) {
+  Event e;
+  e.params["key"] = "value";
+  EXPECT_EQ(e.param("key"), "value");
+  EXPECT_EQ(e.param("missing"), "");
+}
+
+TEST(NetLog, JsonDump) {
+  NetLog log;
+  log.record(EventType::kDnsResolved, 5, 0, {{"host", "x.example"}});
+  const json::Value dump = log.to_json();
+  const json::Value& events = dump["events"];
+  ASSERT_EQ(events.as_array().size(), 1u);
+  EXPECT_EQ(events.at(0)["type"].as_string(), "DNS_RESOLVED");
+  EXPECT_EQ(events.at(0)["params"]["host"].as_string(), "x.example");
+}
+
+TEST(NetLog, EventTypeNames) {
+  EXPECT_EQ(to_string(EventType::kSessionCreated), "HTTP2_SESSION_CREATED");
+  EXPECT_EQ(to_string(EventType::kMisdirected), "HTTP2_SESSION_MISDIRECTED");
+}
+
+// ------------------------------------------------------------- stitching
+
+NetLog session_log() {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 100, 7,
+             {{"ip", "10.0.0.5"},
+              {"port", "443"},
+              {"domain", "WWW.Example.COM"},
+              {"privacy", "0"},
+              {"cert_sans", "*.example.com,example.com"},
+              {"cert_issuer", "Test CA"},
+              {"cert_serial", "42"}});
+  log.record(EventType::kSessionAvailable, 160, 7, {});
+  log.record(EventType::kRequestStarted, 160, 7,
+             {{"domain", "www.example.com"},
+              {"method", "GET"},
+              {"stream", "1"}});
+  log.record(EventType::kRequestFinished, 220, 7,
+             {{"stream", "1"}, {"status", "200"}});
+  log.record(EventType::kRequestStarted, 230, 7,
+             {{"domain", "img.example.com"},
+              {"method", "GET"},
+              {"stream", "3"}});
+  log.record(EventType::kRequestFinished, 300, 7,
+             {{"stream", "3"}, {"status", "421"}});
+  log.record(EventType::kMisdirected, 300, 7,
+             {{"domain", "img.example.com"}});
+  log.record(EventType::kSessionClosed, 5000, 7, {});
+  return log;
+}
+
+TEST(Stitch, ReconstructsConnectionRecord) {
+  const core::SiteObservation site =
+      stitch_site("https://www.example.com", session_log());
+  EXPECT_EQ(site.site_url, "https://www.example.com");
+  ASSERT_EQ(site.connections.size(), 1u);
+  const core::ConnectionRecord& rec = site.connections[0];
+  EXPECT_EQ(rec.id, 7u);
+  EXPECT_EQ(rec.endpoint.address.to_string(), "10.0.0.5");
+  EXPECT_EQ(rec.endpoint.port, 443);
+  EXPECT_EQ(rec.initial_domain, "www.example.com");  // lowercased
+  EXPECT_EQ(rec.opened_at, 100);
+  ASSERT_TRUE(rec.closed_at.has_value());
+  EXPECT_EQ(*rec.closed_at, 5000);
+  EXPECT_EQ(rec.san_dns_names,
+            (std::vector<std::string>{"*.example.com", "example.com"}));
+  EXPECT_EQ(rec.issuer_organization, "Test CA");
+  EXPECT_EQ(rec.certificate_serial, 42u);
+  EXPECT_TRUE(rec.has_certificate);
+}
+
+TEST(Stitch, ReconstructsRequests) {
+  const auto site = stitch_site("https://x", session_log());
+  const core::ConnectionRecord& rec = site.connections[0];
+  ASSERT_EQ(rec.requests.size(), 2u);
+  EXPECT_EQ(rec.requests[0].domain, "www.example.com");
+  EXPECT_EQ(rec.requests[0].started_at, 160);
+  EXPECT_EQ(rec.requests[0].finished_at, 220);
+  EXPECT_EQ(rec.requests[0].status, 200);
+  EXPECT_EQ(rec.requests[1].status, 421);
+}
+
+TEST(Stitch, MisdirectedBecomesExclusion) {
+  const auto site = stitch_site("https://x", session_log());
+  EXPECT_TRUE(site.connections[0].excludes("img.example.com"));
+  EXPECT_FALSE(site.connections[0].excludes("www.example.com"));
+}
+
+TEST(Stitch, ConnectionsSortedByOpenTime) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 500, 2,
+             {{"ip", "10.0.0.2"}, {"port", "443"}, {"domain", "b.example"},
+              {"cert_sans", "b.example"}});
+  log.record(EventType::kSessionCreated, 100, 9,
+             {{"ip", "10.0.0.9"}, {"port", "443"}, {"domain", "a.example"},
+              {"cert_sans", "a.example"}});
+  const auto site = stitch_site("https://x", log);
+  ASSERT_EQ(site.connections.size(), 2u);
+  EXPECT_EQ(site.connections[0].initial_domain, "a.example");
+  EXPECT_EQ(site.connections[1].initial_domain, "b.example");
+}
+
+TEST(Stitch, OriginFrameAttachesOriginSet) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 0, 1,
+             {{"ip", "10.0.0.1"}, {"port", "443"}, {"domain", "a.example"},
+              {"cert_sans", "*.example"}});
+  log.record(EventType::kOriginFrame, 10, 1,
+             {{"origins", "a.example,b.example"}});
+  const auto site = stitch_site("https://x", log);
+  ASSERT_TRUE(site.connections[0].origin_set.has_value());
+  EXPECT_EQ(*site.connections[0].origin_set,
+            (std::vector<std::string>{"a.example", "b.example"}));
+  EXPECT_FALSE(site.connections[0].excludes("b.example"));
+  EXPECT_TRUE(site.connections[0].excludes("c.example"));
+}
+
+TEST(Stitch, SessionWithoutCloseStaysOpen) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 0, 1,
+             {{"ip", "10.0.0.1"}, {"port", "443"}, {"domain", "a.example"},
+              {"cert_sans", "a.example"}});
+  const auto site = stitch_site("https://x", log);
+  EXPECT_FALSE(site.connections[0].closed_at.has_value());
+}
+
+TEST(Stitch, MissingCertSansMeansNoCertificate) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 0, 1,
+             {{"ip", "10.0.0.1"}, {"port", "443"}, {"domain", "a.example"}});
+  const auto site = stitch_site("https://x", log);
+  EXPECT_FALSE(site.connections[0].has_certificate);
+}
+
+TEST(Stitch, OrphanEventsAreIgnored) {
+  NetLog log;
+  // Events for a session that was never created.
+  log.record(EventType::kRequestStarted, 10, 5, {{"stream", "1"}});
+  log.record(EventType::kRequestFinished, 20, 5, {{"stream", "1"}});
+  log.record(EventType::kSessionClosed, 30, 5, {});
+  const auto site = stitch_site("https://x", log);
+  EXPECT_TRUE(site.connections.empty());
+}
+
+TEST(Stitch, PreconnectSessionHasNoRequests) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 0, 1,
+             {{"ip", "10.0.0.1"}, {"port", "443"},
+              {"domain", "fonts.example"}, {"cert_sans", "*.example"}});
+  log.record(EventType::kPreconnect, 0, 1, {{"host", "fonts.example"}});
+  const auto site = stitch_site("https://x", log);
+  ASSERT_EQ(site.connections.size(), 1u);
+  EXPECT_TRUE(site.connections[0].requests.empty());
+}
+
+}  // namespace
+}  // namespace h2r::netlog

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "experiments/perf_model.hpp"
+#include "http2/priority.hpp"
+#include "http2/session.hpp"
+#include "tls/certificate.hpp"
+
+namespace h2r::http2 {
+namespace {
+
+// ----------------------------------------------------------- PriorityTree
+
+TEST(PriorityTree, DeclareAndQuery) {
+  PriorityTree tree;
+  tree.declare(1, 0, 256);
+  tree.declare(3, 1, 32);
+  EXPECT_TRUE(tree.contains(1));
+  EXPECT_EQ(tree.weight_of(1), 256);
+  EXPECT_EQ(tree.parent_of(3), 1u);
+  EXPECT_EQ(tree.children_of(0), std::vector<StreamId>{1});
+  EXPECT_EQ(tree.children_of(1), std::vector<StreamId>{3});
+}
+
+TEST(PriorityTree, UnknownParentDegradesToRoot) {
+  PriorityTree tree;
+  tree.declare(5, 99, 16);
+  EXPECT_EQ(tree.parent_of(5), 0u);
+}
+
+TEST(PriorityTree, SelfDependencyDegradesToRoot) {
+  PriorityTree tree;
+  tree.declare(7, 7, 16);
+  EXPECT_EQ(tree.parent_of(7), 0u);
+}
+
+TEST(PriorityTree, WeightsAreClamped) {
+  PriorityTree tree;
+  tree.declare(1, 0, 0);
+  tree.declare(3, 0, 1000);
+  EXPECT_EQ(tree.weight_of(1), 1);
+  EXPECT_EQ(tree.weight_of(3), 256);
+  EXPECT_EQ(tree.weight_of(999), kDefaultWeight);  // unknown stream
+}
+
+TEST(PriorityTree, ExclusiveInsertionAdoptsSiblings) {
+  PriorityTree tree;
+  tree.declare(1, 0);
+  tree.declare(3, 0);
+  tree.declare(5, 0, 16, /*exclusive=*/true);
+  EXPECT_EQ(tree.children_of(0), std::vector<StreamId>{5});
+  const auto adopted = tree.children_of(5);
+  EXPECT_EQ(adopted.size(), 2u);
+  EXPECT_EQ(tree.parent_of(1), 5u);
+  EXPECT_EQ(tree.parent_of(3), 5u);
+}
+
+TEST(PriorityTree, RemoveReparentsChildren) {
+  PriorityTree tree;
+  tree.declare(1, 0);
+  tree.declare(3, 1);
+  tree.declare(5, 3);
+  tree.remove(3);
+  EXPECT_FALSE(tree.contains(3));
+  EXPECT_EQ(tree.parent_of(5), 1u);
+}
+
+TEST(PriorityTree, DistributeSharesByWeight) {
+  PriorityTree tree;
+  tree.declare(1, 0, 200);
+  tree.declare(3, 0, 100);
+  const std::map<StreamId, std::uint64_t> pending = {{1, 10000}, {3, 10000}};
+  const auto granted = tree.distribute(pending, 3000);
+  // 2:1 split (allow rounding slack).
+  EXPECT_NEAR(static_cast<double>(granted.at(1)) /
+                  static_cast<double>(granted.at(3)),
+              2.0, 0.1);
+}
+
+TEST(PriorityTree, ParentStarvesChildren) {
+  PriorityTree tree;
+  tree.declare(1, 0, 256);
+  tree.declare(3, 1, 256);  // depends on 1
+  const std::map<StreamId, std::uint64_t> pending = {{1, 5000}, {3, 5000}};
+  const auto granted = tree.distribute(pending, 1000);
+  EXPECT_EQ(granted.at(1), 1000u);
+  EXPECT_EQ(granted.count(3), 0u);
+}
+
+TEST(PriorityTree, BlockedParentUnblocksChild) {
+  PriorityTree tree;
+  tree.declare(1, 0, 256);
+  tree.declare(3, 1, 64);
+  // Parent has nothing pending: the child gets the capacity.
+  const std::map<StreamId, std::uint64_t> pending = {{3, 5000}};
+  const auto granted = tree.distribute(pending, 1000);
+  EXPECT_EQ(granted.at(3), 1000u);
+}
+
+TEST(PriorityTree, DrainedStreamReleasesCapacity) {
+  PriorityTree tree;
+  tree.declare(1, 0, 128);
+  tree.declare(3, 0, 128);
+  // Stream 1 only has 100 bytes; stream 3 should get the rest.
+  const std::map<StreamId, std::uint64_t> pending = {{1, 100}, {3, 10000}};
+  const auto granted = tree.distribute(pending, 2000);
+  EXPECT_EQ(granted.at(1), 100u);
+  EXPECT_GE(granted.at(3), 1800u);
+}
+
+TEST(PriorityTree, EmptyPendingGrantsNothing) {
+  PriorityTree tree;
+  tree.declare(1, 0);
+  EXPECT_TRUE(tree.distribute({}, 1000).empty());
+}
+
+// -------------------------------------------------- priority experiment
+
+TEST(PrioritySim, SingleConnectionHasNoInversions) {
+  const auto workload = experiments::make_priority_workload(32, 3);
+  const auto result = experiments::schedule_prioritized(workload, 1, 65536);
+  EXPECT_EQ(result.inversion_share, 0.0);
+}
+
+TEST(PrioritySim, SplittingDelaysHighPriorityResources) {
+  const auto workload = experiments::make_priority_workload(32, 3);
+  const auto one = experiments::schedule_prioritized(workload, 1, 65536);
+  const auto eight = experiments::schedule_prioritized(workload, 8, 65536);
+  EXPECT_GT(eight.mean_high_priority_round, one.mean_high_priority_round);
+  EXPECT_GE(eight.inversion_share, one.inversion_share);
+}
+
+TEST(PrioritySim, AllResourcesComplete) {
+  const auto workload = experiments::make_priority_workload(20, 5);
+  for (int conns : {1, 3, 7}) {
+    const auto result =
+        experiments::schedule_prioritized(workload, conns, 65536);
+    ASSERT_EQ(result.completion_round.size(), workload.size());
+    for (int round : result.completion_round) {
+      EXPECT_GT(round, 0);
+    }
+  }
+}
+
+// --------------------------------------------------------- flow control
+
+Session window_session(std::uint32_t window) {
+  Session::Params params;
+  params.certificate = tls::Certificate::make({"x", {"x"}, "CA"});
+  params.local_settings.initial_window_size = window;
+  return Session{std::move(params)};
+}
+
+TEST(FlowControl, SmallResponsesNeverStall) {
+  Session s = window_session(65535);
+  const StreamId id = s.submit_request({});
+  EXPECT_EQ(s.receive_response_data(id, 30000), 0);
+}
+
+TEST(FlowControl, LargeResponsesStallPerWindowEpoch) {
+  Session s = window_session(65535);
+  const StreamId id = s.submit_request({});
+  // ~4.5 windows worth of data -> 4 stalls.
+  EXPECT_EQ(s.receive_response_data(id, 300000), 4);
+  EXPECT_GT(s.window_updates_sent(), 0u);
+}
+
+TEST(FlowControl, WindowSizeControlsStalls) {
+  Session big = window_session(1024 * 1024);
+  const StreamId id = big.submit_request({});
+  EXPECT_EQ(big.receive_response_data(id, 300000), 0);
+}
+
+TEST(FlowControl, ConnectionWindowSharedAcrossStreams) {
+  Session s = window_session(65535);
+  const StreamId a = s.submit_request({});
+  const StreamId b = s.submit_request({});
+  // First response eats most of the connection window; the lazy top-up
+  // keeps the second response from stalling.
+  EXPECT_EQ(s.receive_response_data(a, 60000), 0);
+  EXPECT_EQ(s.receive_response_data(b, 60000), 0);
+  EXPECT_GE(s.window_updates_sent(), 1u);
+  EXPECT_GT(s.connection_receive_window(), 0);
+}
+
+TEST(FlowControl, UnknownStreamIsIgnored) {
+  Session s = window_session(65535);
+  EXPECT_EQ(s.receive_response_data(77, 1000000), 0);
+}
+
+}  // namespace
+}  // namespace h2r::http2

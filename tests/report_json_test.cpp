@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/observation_json.hpp"
+#include "core/report_json.hpp"
+#include "netlog/netlog.hpp"
+
+namespace h2r::core {
+namespace {
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s).value(); }
+
+ConnectionRecord conn(std::uint64_t id, const char* address,
+                      const char* domain, std::vector<std::string> sans,
+                      util::SimTime opened_at) {
+  ConnectionRecord rec;
+  rec.id = id;
+  rec.endpoint = net::Endpoint{ip(address), 443};
+  rec.initial_domain = domain;
+  rec.san_dns_names = std::move(sans);
+  rec.issuer_organization = "CA";
+  rec.has_certificate = true;
+  rec.opened_at = opened_at;
+  RequestRecord req;
+  req.started_at = opened_at;
+  req.finished_at = opened_at + 40;
+  req.domain = domain;
+  rec.requests.push_back(req);
+  return rec;
+}
+
+SiteObservation redundant_site() {
+  SiteObservation site;
+  site.site_url = "https://x.example";
+  site.connections = {
+      conn(1, "10.0.0.1", "gtm.metrics.example", {"*.metrics.example"}, 0),
+      conn(2, "10.0.0.2", "ga.metrics.example", {"*.metrics.example"}, 100),
+  };
+  return site;
+}
+
+TEST(ReportJson, AggregateReportSerializes) {
+  Aggregator agg;
+  const SiteObservation site = redundant_site();
+  agg.add_site(site, classify_site(site, {DurationModel::kEndless}));
+  const json::Value v = to_json(agg.report());
+  EXPECT_EQ(v["h2_sites"].as_int(), 1);
+  EXPECT_EQ(v["total_connections"].as_int(), 2);
+  EXPECT_EQ(v["redundant_connections"].as_int(), 1);
+  EXPECT_EQ(v["causes"]["IP"]["connections"].as_int(), 1);
+  EXPECT_EQ(v["causes"]["CERT"]["connections"].as_int(), 0);
+  const json::Value& origins = v["ip_origins"];
+  ASSERT_EQ(origins.as_array().size(), 1u);
+  EXPECT_EQ(origins.at(0)["origin"].as_string(), "ga.metrics.example");
+  EXPECT_EQ(origins.at(0)["top_previous"]["origin"].as_string(),
+            "gtm.metrics.example");
+  // Must be valid JSON end-to-end.
+  EXPECT_TRUE(json::parse(json::write(v)).has_value());
+}
+
+TEST(ReportJson, ClassificationSerializes) {
+  const SiteObservation site = redundant_site();
+  const json::Value v =
+      to_json(classify_site(site, {DurationModel::kEndless}));
+  EXPECT_EQ(v["redundant_connections"].as_int(), 1);
+  ASSERT_EQ(v["findings"].as_array().size(), 1u);
+  EXPECT_EQ(v["findings"].at(0)["connection_index"].as_int(), 1);
+  EXPECT_EQ(v["findings"].at(0)["causes"].at(0).as_string(), "IP");
+  EXPECT_EQ(v["findings"]
+                .at(0)["reusable_previous"]["IP"]
+                .at(0)
+                .as_string(),
+            "gtm.metrics.example");
+}
+
+TEST(ReportJson, AuditReportSerializes) {
+  const json::Value v = to_json(audit_site(redundant_site()));
+  EXPECT_EQ(v["site"].as_string(), "https://x.example");
+  ASSERT_EQ(v["advice"].as_array().size(), 1u);
+  EXPECT_EQ(v["advice"].at(0)["cause"].as_string(), "IP");
+  EXPECT_FALSE(v["advice"].at(0)["remedy"].as_string().empty());
+}
+
+TEST(ReportJson, HistogramBucketsAccountForAllSites) {
+  Aggregator agg;
+  const SiteObservation site = redundant_site();
+  agg.add_site(site, classify_site(site, {DurationModel::kEndless}));
+  SiteObservation clean;
+  clean.site_url = "https://clean.example";
+  clean.connections = {conn(1, "10.0.0.9", "a.one", {"a.one"}, 0)};
+  agg.add_site(clean, classify_site(clean, {DurationModel::kEndless}));
+
+  const json::Value v = to_json(agg.report());
+  std::int64_t sites = 0;
+  for (const json::Value& bucket : v["redundant_per_site"].as_array()) {
+    sites += bucket["sites"].as_int();
+  }
+  EXPECT_EQ(sites, v["h2_sites"].as_int());
+}
+
+TEST(ObservationJson, FullRoundTrip) {
+  SiteObservation site = redundant_site();
+  site.connections[0].closed_at = 5000;
+  site.connections[0].excluded_domains.push_back("rejected.example");
+  site.connections[1].origin_set =
+      std::vector<std::string>{"ga.metrics.example"};
+  site.connections[1].protocol = "h3";
+  site.filtered_requests = 3;
+
+  const auto parsed = observation_from_json(to_json(site));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const SiteObservation& round = parsed.value();
+  EXPECT_EQ(round.site_url, site.site_url);
+  EXPECT_EQ(round.filtered_requests, 3u);
+  ASSERT_EQ(round.connections.size(), 2u);
+  EXPECT_EQ(round.connections[0].endpoint, site.connections[0].endpoint);
+  EXPECT_EQ(round.connections[0].closed_at, site.connections[0].closed_at);
+  EXPECT_TRUE(round.connections[0].excludes("rejected.example"));
+  EXPECT_EQ(round.connections[1].protocol, "h3");
+  ASSERT_TRUE(round.connections[1].origin_set.has_value());
+  EXPECT_EQ(round.connections[1].requests.size(), 1u);
+  EXPECT_EQ(round.connections[1].requests[0].status, 200);
+
+  // The classification of the round-tripped observation is identical.
+  const auto cls_a = classify_site(site, {DurationModel::kEndless});
+  const auto cls_b = classify_site(round, {DurationModel::kEndless});
+  EXPECT_EQ(cls_a.redundant_connections(), cls_b.redundant_connections());
+  EXPECT_EQ(cls_a.count_cause(Cause::kIp), cls_b.count_cause(Cause::kIp));
+}
+
+TEST(ObservationJson, DatasetRoundTrip) {
+  std::vector<SiteObservation> sites = {redundant_site(), redundant_site()};
+  sites[1].site_url = "https://y.example";
+  const auto parsed = dataset_from_json(dataset_to_json(sites));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1].site_url, "https://y.example");
+}
+
+TEST(ObservationJson, RejectsGarbage) {
+  EXPECT_FALSE(dataset_from_json(json::parse("{}").value()).has_value());
+  EXPECT_FALSE(observation_from_json(
+                   json::parse(R"({"connections":[{"ip":"junk"}]})").value())
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace h2r::core
+
+namespace h2r::netlog {
+namespace {
+
+TEST(NetLogJson, RoundTrip) {
+  NetLog log;
+  log.record(EventType::kSessionCreated, 100, 7,
+             {{"ip", "10.0.0.5"}, {"domain", "a.example"}});
+  log.record(EventType::kRequestFinished, 200, 7,
+             {{"stream", "1"}, {"status", "200"}});
+  const auto parsed = NetLog::from_json(log.to_json());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->events()[0].type, EventType::kSessionCreated);
+  EXPECT_EQ(parsed->events()[0].time, 100);
+  EXPECT_EQ(parsed->events()[0].source_id, 7u);
+  EXPECT_EQ(parsed->events()[0].param("domain"), "a.example");
+  EXPECT_EQ(parsed->events()[1].param("status"), "200");
+}
+
+TEST(NetLogJson, RejectsUnknownEventTypes) {
+  const auto bad = json::parse(
+      R"({"events":[{"type":"NOT_A_THING","time":1,"source":1,"params":{}}]})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(NetLog::from_json(bad.value()).has_value());
+}
+
+TEST(NetLogJson, RejectsMissingEvents) {
+  EXPECT_FALSE(NetLog::from_json(json::parse("{}").value()).has_value());
+}
+
+}  // namespace
+}  // namespace h2r::netlog

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace h2r::core {
+namespace {
+
+net::IpAddress ip(const char* s) { return net::IpAddress::parse(s).value(); }
+
+ConnectionRecord conn(std::uint64_t id, const char* address,
+                      const char* domain, std::vector<std::string> sans,
+                      util::SimTime opened_at,
+                      const char* issuer = "Test CA") {
+  ConnectionRecord rec;
+  rec.id = id;
+  rec.endpoint = net::Endpoint{ip(address), 443};
+  rec.initial_domain = domain;
+  rec.san_dns_names = std::move(sans);
+  rec.issuer_organization = issuer;
+  rec.has_certificate = !rec.san_dns_names.empty();
+  rec.opened_at = opened_at;
+  RequestRecord req;
+  req.started_at = opened_at;
+  req.finished_at = opened_at + 50;
+  req.domain = domain;
+  rec.requests.push_back(req);
+  return rec;
+}
+
+SiteObservation make_site(const char* url,
+                          std::vector<ConnectionRecord> conns) {
+  SiteObservation s;
+  s.site_url = url;
+  s.connections = std::move(conns);
+  return s;
+}
+
+void feed(Aggregator& agg, const SiteObservation& site,
+          DurationModel model = DurationModel::kEndless) {
+  agg.add_site(site, classify_site(site, {model}));
+}
+
+TEST(Aggregator, CountsSitesAndConnections) {
+  Aggregator agg;
+  feed(agg, make_site("https://a", {
+                          conn(1, "10.0.0.1", "x.example", {"*.example"}, 0),
+                          conn(2, "10.0.0.1", "y.example", {"*.example"}, 10),
+                      }));
+  feed(agg, make_site("https://b",
+                      {conn(1, "10.0.0.9", "solo.example", {"solo.example"}, 0)}));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.analyzed_sites, 2u);
+  EXPECT_EQ(r.h2_sites, 2u);
+  EXPECT_EQ(r.total_connections, 3u);
+  EXPECT_EQ(r.redundant_sites, 1u);
+  EXPECT_EQ(r.redundant_connections, 1u);
+  EXPECT_EQ(r.by_cause.at(Cause::kCred).sites, 1u);
+  EXPECT_EQ(r.by_cause.at(Cause::kCred).connections, 1u);
+  EXPECT_NEAR(r.redundant_site_share(), 0.5, 1e-9);
+}
+
+TEST(Aggregator, UnreachableSitesAreSkipped) {
+  Aggregator agg;
+  SiteObservation site = make_site("https://x", {});
+  site.reachable = false;
+  feed(agg, site);
+  EXPECT_EQ(agg.report().analyzed_sites, 0u);
+}
+
+TEST(Aggregator, SitesWithoutH2ConnectionsCountAsAnalyzedOnly) {
+  Aggregator agg;
+  feed(agg, make_site("https://bare", {}));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.analyzed_sites, 1u);
+  EXPECT_EQ(r.h2_sites, 0u);
+}
+
+TEST(Aggregator, HistogramFeedsFigure2) {
+  Aggregator agg;
+  // site with 0 redundant, site with 2 redundant.
+  feed(agg, make_site("https://clean",
+                      {conn(1, "10.0.0.1", "a.one", {"a.one"}, 0)}));
+  feed(agg, make_site("https://messy", {
+                          conn(1, "10.0.0.2", "b.two", {"*.two"}, 0),
+                          conn(2, "10.0.0.2", "c.two", {"*.two"}, 10),
+                          conn(3, "10.0.0.2", "d.two", {"*.two"}, 20),
+                      }));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.redundant_per_site_histogram.at(0), 1u);
+  EXPECT_EQ(r.redundant_per_site_histogram.at(2), 1u);
+  EXPECT_EQ(r.sites_with_at_least(1), 1u);
+  EXPECT_EQ(r.sites_with_at_least(2), 1u);
+  EXPECT_EQ(r.sites_with_at_least(3), 0u);
+  EXPECT_EQ(r.sites_with_at_least(0), 2u);
+}
+
+TEST(Aggregator, IpOriginAttribution) {
+  Aggregator agg;
+  feed(agg, make_site("https://s", {
+                          conn(1, "10.0.0.1", "gtm.example", {"*.example"}, 0),
+                          conn(2, "10.0.0.2", "ga.example", {"*.example"}, 10),
+                      }));
+  const AggregateReport& r = agg.report();
+  ASSERT_EQ(r.ip_origins.count("ga.example"), 1u);
+  const OriginTally& tally = r.ip_origins.at("ga.example");
+  EXPECT_EQ(tally.connections, 1u);
+  EXPECT_EQ(tally.previous_origins.at("gtm.example"), 1u);
+  const auto prev = top_previous(tally);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(prev->first, "gtm.example");
+}
+
+TEST(Aggregator, CertAttributionWithIssuer) {
+  Aggregator agg;
+  feed(agg, make_site(
+                "https://s",
+                {conn(1, "10.0.0.1", "static.shop", {"static.shop"}, 0, "LE"),
+                 conn(2, "10.0.0.1", "fast.shop", {"fast.shop"}, 10, "LE")}));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.cert_domains.at("fast.shop").connections, 1u);
+  EXPECT_EQ(r.cert_domains.at("fast.shop").issuer, "LE");
+  EXPECT_EQ(r.cert_issuers.at("LE").connections, 1u);
+  EXPECT_EQ(r.cert_issuers.at("LE").domains,
+            std::set<std::string>{"fast.shop"});
+}
+
+TEST(Aggregator, AllIssuerShareCountsEveryConnection) {
+  Aggregator agg;
+  feed(agg, make_site("https://s", {
+                          conn(1, "10.0.0.1", "a.x", {"a.x"}, 0, "CA-1"),
+                          conn(2, "10.0.0.2", "b.y", {"b.y"}, 10, "CA-1"),
+                          conn(3, "10.0.0.3", "c.z", {"c.z"}, 20, "CA-2"),
+                      }));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.all_issuers.at("CA-1").connections, 2u);
+  EXPECT_EQ(r.all_issuers.at("CA-1").domains.size(), 2u);
+  EXPECT_EQ(r.all_issuers.at("CA-2").connections, 1u);
+}
+
+TEST(Aggregator, AsAttributionRequiresDatabase) {
+  asdb::AsDatabase db;
+  db.add(net::Prefix::parse("10.0.0.0/8").value(), {64500, "TEST-AS"});
+  Aggregator with_db{&db};
+  Aggregator without_db;
+  const auto site =
+      make_site("https://s", {
+                                 conn(1, "10.0.0.1", "a.ex", {"*.ex"}, 0),
+                                 conn(2, "10.0.0.2", "b.ex", {"*.ex"}, 10),
+                             });
+  feed(with_db, site);
+  feed(without_db, site);
+  EXPECT_EQ(with_db.report().ip_ases.at("TEST-AS").connections, 1u);
+  EXPECT_TRUE(without_db.report().ip_ases.empty());
+}
+
+TEST(Aggregator, CredSameDomainDetail) {
+  Aggregator agg;
+  // Same domain twice (counts) and cross-domain CRED (does not).
+  feed(agg, make_site("https://s", {
+                          conn(1, "10.0.0.1", "t.ex", {"*.ex"}, 0),
+                          conn(2, "10.0.0.1", "t.ex", {"*.ex"}, 10),
+                          conn(3, "10.0.0.1", "u.ex", {"*.ex"}, 20),
+                      }));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.by_cause.at(Cause::kCred).connections, 2u);
+  EXPECT_EQ(r.cred_same_domain_connections, 1u);
+}
+
+TEST(Aggregator, LifetimeStats) {
+  Aggregator agg;
+  auto open_conn = conn(1, "10.0.0.1", "a.ex", {"a.ex"}, 0);
+  auto closed_conn = conn(2, "10.0.0.2", "b.ex", {"b.ex"}, 100);
+  closed_conn.closed_at = 122300;
+  feed(agg, make_site("https://s", {open_conn, closed_conn}));
+  const AggregateReport& r = agg.report();
+  EXPECT_EQ(r.closed_connections, 1u);
+  ASSERT_TRUE(r.median_closed_lifetime().has_value());
+  EXPECT_EQ(*r.median_closed_lifetime(), 122200);
+}
+
+TEST(Aggregator, MedianLifetimeEmptyWithoutClosures) {
+  Aggregator agg;
+  feed(agg, make_site("https://s", {conn(1, "10.0.0.1", "a.ex", {"a.ex"}, 0)}));
+  EXPECT_FALSE(agg.report().median_closed_lifetime().has_value());
+}
+
+// -------------------------------------------------------------- utilities
+
+TEST(TopK, SortsByConnectionsThenKey) {
+  std::map<std::string, OriginTally> table;
+  table["b"].connections = 5;
+  table["a"].connections = 5;
+  table["c"].connections = 9;
+  const auto top = top_k(table, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "c");
+  EXPECT_EQ(top[1].first, "a");  // tie broken alphabetically
+}
+
+TEST(RankOf, OneBasedRanks) {
+  std::map<std::string, OriginTally> table;
+  table["x"].connections = 10;
+  table["y"].connections = 5;
+  table["z"].connections = 1;
+  EXPECT_EQ(rank_of(table, "x"), std::optional<std::size_t>{1});
+  EXPECT_EQ(rank_of(table, "y"), std::optional<std::size_t>{2});
+  EXPECT_EQ(rank_of(table, "z"), std::optional<std::size_t>{3});
+  EXPECT_FALSE(rank_of(table, "missing").has_value());
+}
+
+TEST(FilterSites, KeepsOnlyNamedSites) {
+  std::vector<SiteObservation> sites;
+  sites.push_back(make_site("https://a", {}));
+  sites.push_back(make_site("https://b", {}));
+  sites.push_back(make_site("https://c", {}));
+  const auto kept = filter_sites(sites, {"https://a", "https://c"});
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].site_url, "https://a");
+  EXPECT_EQ(kept[1].site_url, "https://c");
+}
+
+TEST(TopPrevious, EmptyTally) {
+  EXPECT_FALSE(top_previous(OriginTally{}).has_value());
+}
+
+}  // namespace
+}  // namespace h2r::core

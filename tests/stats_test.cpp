@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hpp"
+#include "stats/table.hpp"
+
+namespace h2r::stats {
+namespace {
+
+TEST(Ccdf, EmptyHistogram) {
+  EXPECT_TRUE(ccdf({}).empty());
+}
+
+TEST(Ccdf, SharesAreComplementaryCumulative) {
+  // 4 sites: 0, 0, 2, 5 redundant connections.
+  std::map<std::size_t, std::uint64_t> hist = {{0, 2}, {2, 1}, {5, 1}};
+  const auto points = ccdf(hist);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].value, 0u);
+  EXPECT_DOUBLE_EQ(points[0].share, 1.0);
+  EXPECT_EQ(points[1].value, 2u);
+  EXPECT_DOUBLE_EQ(points[1].share, 0.5);
+  EXPECT_EQ(points[2].value, 5u);
+  EXPECT_DOUBLE_EQ(points[2].share, 0.25);
+}
+
+TEST(Ccdf, CountsMatchShares) {
+  std::map<std::size_t, std::uint64_t> hist = {{1, 3}, {4, 1}};
+  const auto points = ccdf(hist);
+  EXPECT_EQ(points[0].count, 4u);
+  EXPECT_EQ(points[1].count, 1u);
+}
+
+TEST(ValueAtShare, PaperMedianReadings) {
+  // "around 50% of all sites open at least two redundant connections"
+  std::map<std::size_t, std::uint64_t> hist = {{0, 3}, {1, 2}, {2, 3}, {9, 2}};
+  EXPECT_EQ(value_at_share(hist, 0.5), 2u);
+  EXPECT_EQ(value_at_share(hist, 0.2), 9u);
+  EXPECT_EQ(value_at_share(hist, 1.0), 0u);
+}
+
+TEST(Quantile, NearestRank) {
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(quantile(v, 0.5), 6);
+  EXPECT_EQ(quantile(v, 0.0), 1);
+  EXPECT_EQ(quantile(v, 0.99), 10);
+  EXPECT_EQ(quantile(std::vector<int>{}, 0.5), 0);
+}
+
+TEST(CcdfCsv, RendersHeaderAndRows) {
+  std::map<std::size_t, std::uint64_t> hist = {{0, 2}, {3, 2}};
+  const std::string csv = ccdf_to_csv(hist);
+  EXPECT_NE(csv.find("value,share,count\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,1.000000,4"), std::string::npos);
+  EXPECT_NE(csv.find("3,0.500000,2"), std::string::npos);
+}
+
+TEST(Spearman, PerfectAgreementAndInversion) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {10, 20, 30, 40, 50};
+  const std::vector<double> down = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(spearman(a, up), 1.0, 1e-9);
+  EXPECT_NEAR(spearman(a, down), -1.0, 1e-9);
+}
+
+TEST(Spearman, HandlesTiesAndDegenerateInputs) {
+  EXPECT_EQ(spearman({1}, {2}), 0.0);
+  EXPECT_EQ(spearman({}, {}), 0.0);
+  EXPECT_EQ(spearman({1, 1, 1}, {2, 3, 4}), 0.0);  // zero variance in a
+  const std::vector<double> a = {1, 2, 2, 4};
+  const std::vector<double> b = {1, 3, 3, 9};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);  // monotone with ties
+}
+
+TEST(Spearman, PartialAgreement) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 1, 3, 4};  // one swap
+  const double rho = spearman(a, b);
+  EXPECT_GT(rho, 0.5);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"Name", "Count"});
+  t.add_row({"alpha", "10"});
+  t.add_row({"b", "2"});
+  const std::string out = t.render("Demo");
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned numeric column (width of header "Count" = 5).
+  EXPECT_NE(out.find("|    10"), std::string::npos);
+  EXPECT_NE(out.find("|     2"), std::string::npos);
+}
+
+TEST(Table, MissingAndExtraCells) {
+  Table t({"A", "B"});
+  t.add_row({"only-a"});
+  t.add_row({"a", "b", "dropped"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string out = t.render();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"ABC"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // Header rule + separator -> at least two dashed lines.
+  std::size_t dashes = 0;
+  for (std::size_t pos = out.find("--"); pos != std::string::npos;
+       pos = out.find("--", pos + 2)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(Table, FirstColumnLeftAligned) {
+  Table t({"Origin", "Conns"}, {Align::kLeft});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a          "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2r::stats

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/clock.hpp"
+#include "util/expected.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::util {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversFullRange) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformSingleValue) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng{5};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng base{42};
+  Rng fork1 = base.fork("alpha");
+  Rng fork2 = base.fork("alpha");
+  Rng fork3 = base.fork("beta");
+  EXPECT_EQ(fork1.next(), fork2.next());
+  EXPECT_NE(fork1.next(), fork3.next());
+}
+
+TEST(Rng, WeightedSelectsOnlyPositiveWeights) {
+  Rng rng{9};
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedDistributionRoughlyProportional) {
+  Rng rng{10};
+  const std::vector<double> weights = {1.0, 3.0};
+  int second = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted(weights) == 1) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.02);
+}
+
+TEST(Rng, EscalatingRespectsBounds) {
+  Rng rng{12};
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t k = rng.escalating(2, 0.5, 6);
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 6u);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{13};
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(HashSeed, SensitiveToNameAndBase) {
+  EXPECT_NE(hash_seed(1, "a"), hash_seed(1, "b"));
+  EXPECT_NE(hash_seed(1, "a"), hash_seed(2, "a"));
+  EXPECT_EQ(hash_seed(1, "a"), hash_seed(1, "a"));
+}
+
+TEST(ZipfSampler, HeadIsMoreLikelyThanTail) {
+  ZipfSampler zipf{100, 1.0};
+  Rng rng{14};
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 5 * std::max(counts[99], 1));
+}
+
+TEST(ZipfSampler, AllRanksInRange) {
+  ZipfSampler zipf{10, 0.8};
+  Rng rng{15};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 10u);
+  }
+}
+
+// ----------------------------------------------------------------- clock
+
+TEST(SimClock, AdvanceAndAdvanceTo) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(seconds(3));
+  EXPECT_EQ(clock.now(), 3000);
+  clock.advance_to(2000);  // backwards: no-op
+  EXPECT_EQ(clock.now(), 3000);
+  clock.advance_to(5000);
+  EXPECT_EQ(clock.now(), 5000);
+}
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_EQ(seconds(1), 1000);
+  EXPECT_EQ(minutes(2), 120000);
+  EXPECT_EQ(hours(1), 3600000);
+  EXPECT_EQ(days(1), 86400000);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("WWW.Example.COM"), "www.example.com");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+}
+
+TEST(Strings, BaseDomain) {
+  EXPECT_EQ(base_domain("www.google-analytics.com"), "google-analytics.com");
+  EXPECT_EQ(base_domain("a.b.c.example.org"), "example.org");
+  EXPECT_EQ(base_domain("example.org"), "example.org");
+  EXPECT_EQ(base_domain("localhost"), "localhost");
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(0), "0");
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1000), "1.00 k");
+  EXPECT_EQ(human_count(52310), "52.31 k");
+  EXPECT_EQ(human_count(2250000), "2.25 M");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(76, 100), "76 %");
+  EXPECT_EQ(percent(1, 3), "33 %");
+  EXPECT_EQ(percent(1, 0), "- %");
+}
+
+TEST(Format, SecondsStr) {
+  EXPECT_EQ(seconds_str(122200), "122.2s");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+// -------------------------------------------------------------- Expected
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e{42};
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = unexpected(Error{"boom", 3});
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().message, "boom");
+  EXPECT_EQ(e.error().offset, 3u);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+}  // namespace
+}  // namespace h2r::util

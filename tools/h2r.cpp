@@ -1,0 +1,282 @@
+// h2r — the command-line front end of the library.
+//
+//   h2r audit <page.har> [--json]  audit a HAR file for redundant conns
+//   h2r study [--threads N]      run the full two-population study
+//   h2r crawl <config.json> <landing-domain> [resources...]
+//                                 build an ecosystem from JSON, load a page
+//                                 against it and audit the result
+//   h2r dns-overlap               run the Figure 3 resolver-overlap study
+//   h2r snapshot <out.json> [N]   crawl N universe sites, save the exact
+//                                 connection records as a dataset
+//   h2r analyze <dataset.json>    re-analyze a saved dataset (no crawl)
+//
+// Everything the subcommands do is plain library API — the tool exists so
+// operators can audit a deployment without writing C++.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "browser/crawl.hpp"
+#include "core/advisor.hpp"
+#include "core/observation_json.hpp"
+#include "core/report_json.hpp"
+#include "core/dns_study.hpp"
+#include "experiments/study.hpp"
+#include "har/import.hpp"
+#include "stats/table.hpp"
+#include "util/format.hpp"
+#include "web/catalog.hpp"
+#include "web/config.hpp"
+#include "web/sitegen.hpp"
+
+using namespace h2r;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  h2r audit <page.har> [--json]\n"
+               "  h2r study\n"
+               "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
+               "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
+               "  h2r snapshot <out.json> [site-count]\n"
+               "  h2r analyze <dataset.json>\n"
+               "\nstudy scale: H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / "
+               "H2R_THREADS\n");
+  return 2;
+}
+
+util::Expected<std::string> read_file(const char* path) {
+  std::ifstream file(path);
+  if (!file) {
+    return util::unexpected(util::Error{std::string("cannot open ") + path});
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int cmd_audit(const char* path, bool as_json) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "%s\n", text.error().message.c_str());
+    return 1;
+  }
+  const auto log = har::parse(*text);
+  if (!log) {
+    std::fprintf(stderr, "HAR parse error: %s (offset %zu)\n",
+                 log.error().message.c_str(), log.error().offset);
+    return 1;
+  }
+  har::ImportStats stats;
+  const core::SiteObservation site = har::import_site(log.value(), &stats);
+  const auto cls =
+      core::classify_site(site, {core::DurationModel::kEndless});
+  if (as_json) {
+    json::Object root;
+    root.set("classification", core::to_json(cls));
+    root.set("audit", core::to_json(core::audit_site(site, cls)));
+    json::WriteOptions opts;
+    opts.pretty = true;
+    std::printf("%s\n", json::write(json::Value{std::move(root)}, opts).c_str());
+    return 0;
+  }
+  std::printf("%llu entries, %llu usable HTTP/2 requests (%llu filtered, "
+              "%llu h1, %llu h3)\n\n",
+              static_cast<unsigned long long>(stats.total_entries),
+              static_cast<unsigned long long>(stats.used_entries),
+              static_cast<unsigned long long>(stats.dropped()),
+              static_cast<unsigned long long>(stats.h1_entries),
+              static_cast<unsigned long long>(stats.h3_entries));
+  std::printf("%s", core::render(core::audit_site(site, cls)).c_str());
+  return 0;
+}
+
+int cmd_study() {
+  const experiments::StudyConfig config = experiments::StudyConfig::from_env();
+  std::printf("running study: %zu HAR-like + %zu Alexa-like sites, seed %llu, "
+              "%u thread(s)\n\n",
+              config.har_sites, config.alexa_sites,
+              static_cast<unsigned long long>(config.seed), config.threads);
+  const experiments::StudyResults r = experiments::run_study(config);
+  auto row = [](const char* name, const core::AggregateReport& report) {
+    std::printf("%-18s %7s sites (%s redundant)  %9s conns (%s redundant)\n",
+                name, util::human_count(report.h2_sites).c_str(),
+                util::percent(static_cast<double>(report.redundant_sites),
+                              static_cast<double>(report.h2_sites))
+                    .c_str(),
+                util::human_count(report.total_connections).c_str(),
+                util::percent(
+                    static_cast<double>(report.redundant_connections),
+                    static_cast<double>(report.total_connections))
+                    .c_str());
+  };
+  row("HAR endless", r.har_endless);
+  row("HAR immediate", r.har_immediate);
+  row("Alexa", r.alexa_exact);
+  row("Alexa w/o Fetch", r.nofetch_exact);
+  return 0;
+}
+
+int cmd_crawl(int argc, char** argv) {
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "%s\n", text.error().message.c_str());
+    return 1;
+  }
+  web::Ecosystem eco{1};
+  const auto loaded = web::load_ecosystem(eco, *text);
+  if (!loaded) {
+    std::fprintf(stderr, "config error: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu cluster(s) from %s\n", *loaded, argv[0]);
+
+  web::Website site;
+  site.landing_domain = argv[1];
+  site.url = std::string("https://") + argv[1];
+  util::Rng rng{7};
+  for (int i = 2; i < argc; ++i) {
+    web::Resource r;
+    r.domain = argv[i];
+    r.path = "/";
+    r.destination = fetch::Destination::kScript;
+    r.start_delay = web::jitter(rng, 20, 300);
+    site.resources.push_back(std::move(r));
+  }
+
+  dns::RecursiveResolver resolver{dns::standard_vantage_points()[0],
+                                  &eco.authority()};
+  browser::Browser chrome{eco, resolver, browser::BrowserOptions{}, 1};
+  const browser::PageLoadResult page = chrome.load(site, util::days(1));
+  if (page.failed_fetches > 0) {
+    std::printf("note: %llu fetches failed (unresolvable or TLS mismatch)\n",
+                static_cast<unsigned long long>(page.failed_fetches));
+  }
+  std::printf("%s", core::render(core::audit_site(page.observation)).c_str());
+  return 0;
+}
+
+int cmd_dns_overlap(int argc, char** argv) {
+  (void)argc;
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "%s\n", text.error().message.c_str());
+    return 1;
+  }
+  web::Ecosystem eco{1};
+  const auto loaded = web::load_ecosystem(eco, *text);
+  if (!loaded) {
+    std::fprintf(stderr, "config error: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {argv[1], argv[2]}};
+  core::DnsOverlapConfig config;
+  config.duration = util::days(1);
+  const auto series = core::run_dns_overlap_study(
+      eco.authority(), pairs, dns::standard_vantage_points(), config);
+  std::printf("%s / %s: answers overlap in %.0f%% of 6-minute slots "
+              "(mean %.2f of 14 resolvers)\n",
+              argv[1], argv[2], 100.0 * series[0].any_overlap_share(),
+              series[0].mean_overlap());
+  std::printf(series[0].mean_overlap() > 7
+                  ? "-> connection reuse mostly works for this pair\n"
+                  : "-> expect IP-cause redundant connections for this pair\n");
+  return 0;
+}
+
+int cmd_snapshot(const char* path, std::size_t count) {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  web::SiteUniverse universe{eco, catalog};
+  browser::CrawlOptions options;
+  std::vector<core::SiteObservation> observations;
+  browser::crawl_range(universe, 0, count, options,
+                       [&](const browser::SiteResult& site) {
+                         if (site.reachable) {
+                           observations.push_back(site.netlog_observation);
+                         }
+                       });
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << json::write(core::dataset_to_json(observations));
+  std::printf("wrote %zu site observations to %s\n", observations.size(),
+              path);
+  return 0;
+}
+
+int cmd_analyze(const char* path) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "%s\n", text.error().message.c_str());
+    return 1;
+  }
+  const auto parsed = json::parse(*text);
+  if (!parsed) {
+    std::fprintf(stderr, "JSON error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const auto dataset = core::dataset_from_json(parsed.value());
+  if (!dataset) {
+    std::fprintf(stderr, "dataset error: %s\n",
+                 dataset.error().message.c_str());
+    return 1;
+  }
+  core::Aggregator agg;
+  for (const core::SiteObservation& site : *dataset) {
+    agg.add_site(site,
+                 core::classify_site(site, {core::DurationModel::kExact}));
+  }
+  const core::AggregateReport& r = agg.report();
+  std::printf("%zu sites, %s connections, %s redundant (%s)\n",
+              dataset->size(),
+              util::human_count(r.total_connections).c_str(),
+              util::human_count(r.redundant_connections).c_str(),
+              util::percent(static_cast<double>(r.redundant_connections),
+                            static_cast<double>(r.total_connections))
+                  .c_str());
+  for (core::Cause cause : core::kAllCauses) {
+    const auto it = r.by_cause.find(cause);
+    if (it == r.by_cause.end()) continue;
+    std::printf("  %-5s %6s sites  %8s connections\n",
+                core::to_string(cause).c_str(),
+                util::human_count(it->second.sites).c_str(),
+                util::human_count(it->second.connections).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "audit") == 0 && (argc == 3 || argc == 4)) {
+    const bool as_json = argc == 4 && std::strcmp(argv[3], "--json") == 0;
+    return cmd_audit(argv[2], as_json);
+  }
+  if (std::strcmp(cmd, "study") == 0) return cmd_study();
+  if (std::strcmp(cmd, "crawl") == 0 && argc >= 4) {
+    return cmd_crawl(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "dns-overlap") == 0 && argc == 5) {
+    return cmd_dns_overlap(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "snapshot") == 0 && (argc == 3 || argc == 4)) {
+    const std::size_t count =
+        argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 100;
+    return cmd_snapshot(argv[2], count);
+  }
+  if (std::strcmp(cmd, "analyze") == 0 && argc == 3) {
+    return cmd_analyze(argv[2]);
+  }
+  return usage();
+}
