@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_internal_pages.dir/bench_ablation_internal_pages.cpp.o"
+  "CMakeFiles/bench_ablation_internal_pages.dir/bench_ablation_internal_pages.cpp.o.d"
+  "bench_ablation_internal_pages"
+  "bench_ablation_internal_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_internal_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

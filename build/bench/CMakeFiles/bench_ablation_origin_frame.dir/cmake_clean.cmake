@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_origin_frame.dir/bench_ablation_origin_frame.cpp.o"
+  "CMakeFiles/bench_ablation_origin_frame.dir/bench_ablation_origin_frame.cpp.o.d"
+  "bench_ablation_origin_frame"
+  "bench_ablation_origin_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_origin_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

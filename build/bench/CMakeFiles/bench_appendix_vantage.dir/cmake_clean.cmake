@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_vantage.dir/bench_appendix_vantage.cpp.o"
+  "CMakeFiles/bench_appendix_vantage.dir/bench_appendix_vantage.cpp.o.d"
+  "bench_appendix_vantage"
+  "bench_appendix_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

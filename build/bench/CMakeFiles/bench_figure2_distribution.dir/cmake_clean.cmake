@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_distribution.dir/bench_figure2_distribution.cpp.o"
+  "CMakeFiles/bench_figure2_distribution.dir/bench_figure2_distribution.cpp.o.d"
+  "bench_figure2_distribution"
+  "bench_figure2_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_dns_overlap.dir/bench_figure3_dns_overlap.cpp.o"
+  "CMakeFiles/bench_figure3_dns_overlap.dir/bench_figure3_dns_overlap.cpp.o.d"
+  "bench_figure3_dns_overlap"
+  "bench_figure3_dns_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_dns_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

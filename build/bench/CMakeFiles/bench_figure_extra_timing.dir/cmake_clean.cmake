@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure_extra_timing.dir/bench_figure_extra_timing.cpp.o"
+  "CMakeFiles/bench_figure_extra_timing.dir/bench_figure_extra_timing.cpp.o.d"
+  "bench_figure_extra_timing"
+  "bench_figure_extra_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure_extra_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_classifier.dir/bench_micro_classifier.cpp.o"
+  "CMakeFiles/bench_micro_classifier.dir/bench_micro_classifier.cpp.o.d"
+  "bench_micro_classifier"
+  "bench_micro_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

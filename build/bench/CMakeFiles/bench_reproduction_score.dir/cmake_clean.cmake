@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reproduction_score.dir/bench_reproduction_score.cpp.o"
+  "CMakeFiles/bench_reproduction_score.dir/bench_reproduction_score.cpp.o.d"
+  "bench_reproduction_score"
+  "bench_reproduction_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reproduction_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

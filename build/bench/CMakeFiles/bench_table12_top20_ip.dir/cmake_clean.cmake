@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_top20_ip.dir/bench_table12_top20_ip.cpp.o"
+  "CMakeFiles/bench_table12_top20_ip.dir/bench_table12_top20_ip.cpp.o.d"
+  "bench_table12_top20_ip"
+  "bench_table12_top20_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_top20_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_causes.dir/bench_table1_causes.cpp.o"
+  "CMakeFiles/bench_table1_causes.dir/bench_table1_causes.cpp.o.d"
+  "bench_table1_causes"
+  "bench_table1_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cert_issuers.dir/bench_table3_cert_issuers.cpp.o"
+  "CMakeFiles/bench_table3_cert_issuers.dir/bench_table3_cert_issuers.cpp.o.d"
+  "bench_table3_cert_issuers"
+  "bench_table3_cert_issuers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cert_issuers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_top_domains_cert.dir/bench_table4_top_domains_cert.cpp.o"
+  "CMakeFiles/bench_table4_top_domains_cert.dir/bench_table4_top_domains_cert.cpp.o.d"
+  "bench_table4_top_domains_cert"
+  "bench_table4_top_domains_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_top_domains_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

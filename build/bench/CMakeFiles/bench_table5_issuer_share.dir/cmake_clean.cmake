@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_issuer_share.dir/bench_table5_issuer_share.cpp.o"
+  "CMakeFiles/bench_table5_issuer_share.dir/bench_table5_issuer_share.cpp.o.d"
+  "bench_table5_issuer_share"
+  "bench_table5_issuer_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_issuer_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_issuer_share.
+# This may be replaced when dependencies are built.

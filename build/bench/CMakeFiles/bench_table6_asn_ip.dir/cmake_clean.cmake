@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_asn_ip.dir/bench_table6_asn_ip.cpp.o"
+  "CMakeFiles/bench_table6_asn_ip.dir/bench_table6_asn_ip.cpp.o.d"
+  "bench_table6_asn_ip"
+  "bench_table6_asn_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_asn_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table8_overlap_origins.
+# This may be replaced when dependencies are built.

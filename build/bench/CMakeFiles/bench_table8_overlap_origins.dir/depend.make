@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_overlap_origins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_bench_common.dir/common.cpp.o"
+  "CMakeFiles/h2r_bench_common.dir/common.cpp.o.d"
+  "libh2r_bench_common.a"
+  "libh2r_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_site.dir/audit_site.cpp.o"
+  "CMakeFiles/audit_site.dir/audit_site.cpp.o.d"
+  "audit_site"
+  "audit_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_loadbalance.dir/dns_loadbalance.cpp.o"
+  "CMakeFiles/dns_loadbalance.dir/dns_loadbalance.cpp.o.d"
+  "dns_loadbalance"
+  "dns_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_audit.dir/har_audit.cpp.o"
+  "CMakeFiles/har_audit.dir/har_audit.cpp.o.d"
+  "har_audit"
+  "har_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_crawl_study "/root/repo/build/examples/crawl_study")
+set_tests_properties(smoke_crawl_study PROPERTIES  ENVIRONMENT "H2R_HAR_SITES=250;H2R_ALEXA_SITES=120;H2R_HAR_FIRST_RANK=60" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_audit_site "/root/repo/build/examples/audit_site" "3")
+set_tests_properties(smoke_audit_site PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_dns_loadbalance "/root/repo/build/examples/dns_loadbalance")
+set_tests_properties(smoke_dns_loadbalance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_har_audit "/root/repo/build/examples/har_audit" "--demo")
+set_tests_properties(smoke_har_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("net")
+subdirs("asdb")
+subdirs("dns")
+subdirs("tls")
+subdirs("http2")
+subdirs("fetch")
+subdirs("har")
+subdirs("netlog")
+subdirs("browser")
+subdirs("web")
+subdirs("stats")
+subdirs("core")
+subdirs("experiments")

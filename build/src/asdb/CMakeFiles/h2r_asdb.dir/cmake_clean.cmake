@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_asdb.dir/asdb.cpp.o"
+  "CMakeFiles/h2r_asdb.dir/asdb.cpp.o.d"
+  "libh2r_asdb.a"
+  "libh2r_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

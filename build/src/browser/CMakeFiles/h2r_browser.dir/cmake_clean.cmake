@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_browser.dir/browser.cpp.o"
+  "CMakeFiles/h2r_browser.dir/browser.cpp.o.d"
+  "CMakeFiles/h2r_browser.dir/crawl.cpp.o"
+  "CMakeFiles/h2r_browser.dir/crawl.cpp.o.d"
+  "libh2r_browser.a"
+  "libh2r_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/h2r_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/h2r_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/dns_study.cpp" "src/core/CMakeFiles/h2r_core.dir/dns_study.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/dns_study.cpp.o.d"
+  "/root/repo/src/core/observation_json.cpp" "src/core/CMakeFiles/h2r_core.dir/observation_json.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/observation_json.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/h2r_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/h2r_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/h2r_core.dir/report_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2r_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/h2r_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/h2r_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/h2r_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

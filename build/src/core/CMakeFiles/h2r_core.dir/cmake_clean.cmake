@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_core.dir/advisor.cpp.o"
+  "CMakeFiles/h2r_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/h2r_core.dir/classify.cpp.o"
+  "CMakeFiles/h2r_core.dir/classify.cpp.o.d"
+  "CMakeFiles/h2r_core.dir/dns_study.cpp.o"
+  "CMakeFiles/h2r_core.dir/dns_study.cpp.o.d"
+  "CMakeFiles/h2r_core.dir/observation_json.cpp.o"
+  "CMakeFiles/h2r_core.dir/observation_json.cpp.o.d"
+  "CMakeFiles/h2r_core.dir/report.cpp.o"
+  "CMakeFiles/h2r_core.dir/report.cpp.o.d"
+  "CMakeFiles/h2r_core.dir/report_json.cpp.o"
+  "CMakeFiles/h2r_core.dir/report_json.cpp.o.d"
+  "libh2r_core.a"
+  "libh2r_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

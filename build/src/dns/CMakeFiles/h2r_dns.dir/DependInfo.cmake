@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/authoritative.cpp" "src/dns/CMakeFiles/h2r_dns.dir/authoritative.cpp.o" "gcc" "src/dns/CMakeFiles/h2r_dns.dir/authoritative.cpp.o.d"
+  "/root/repo/src/dns/records.cpp" "src/dns/CMakeFiles/h2r_dns.dir/records.cpp.o" "gcc" "src/dns/CMakeFiles/h2r_dns.dir/records.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/h2r_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/h2r_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/vantage.cpp" "src/dns/CMakeFiles/h2r_dns.dir/vantage.cpp.o" "gcc" "src/dns/CMakeFiles/h2r_dns.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_dns.dir/authoritative.cpp.o"
+  "CMakeFiles/h2r_dns.dir/authoritative.cpp.o.d"
+  "CMakeFiles/h2r_dns.dir/records.cpp.o"
+  "CMakeFiles/h2r_dns.dir/records.cpp.o.d"
+  "CMakeFiles/h2r_dns.dir/resolver.cpp.o"
+  "CMakeFiles/h2r_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/h2r_dns.dir/vantage.cpp.o"
+  "CMakeFiles/h2r_dns.dir/vantage.cpp.o.d"
+  "libh2r_dns.a"
+  "libh2r_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_experiments.dir/perf_model.cpp.o"
+  "CMakeFiles/h2r_experiments.dir/perf_model.cpp.o.d"
+  "CMakeFiles/h2r_experiments.dir/study.cpp.o"
+  "CMakeFiles/h2r_experiments.dir/study.cpp.o.d"
+  "libh2r_experiments.a"
+  "libh2r_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

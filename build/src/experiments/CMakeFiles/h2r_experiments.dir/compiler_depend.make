@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for h2r_experiments.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_fetch.dir/origin.cpp.o"
+  "CMakeFiles/h2r_fetch.dir/origin.cpp.o.d"
+  "CMakeFiles/h2r_fetch.dir/request.cpp.o"
+  "CMakeFiles/h2r_fetch.dir/request.cpp.o.d"
+  "libh2r_fetch.a"
+  "libh2r_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/har/export.cpp" "src/har/CMakeFiles/h2r_har.dir/export.cpp.o" "gcc" "src/har/CMakeFiles/h2r_har.dir/export.cpp.o.d"
+  "/root/repo/src/har/har.cpp" "src/har/CMakeFiles/h2r_har.dir/har.cpp.o" "gcc" "src/har/CMakeFiles/h2r_har.dir/har.cpp.o.d"
+  "/root/repo/src/har/import.cpp" "src/har/CMakeFiles/h2r_har.dir/import.cpp.o" "gcc" "src/har/CMakeFiles/h2r_har.dir/import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/h2r_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/h2r_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2r_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/h2r_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/h2r_asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

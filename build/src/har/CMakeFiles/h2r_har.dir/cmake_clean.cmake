@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_har.dir/export.cpp.o"
+  "CMakeFiles/h2r_har.dir/export.cpp.o.d"
+  "CMakeFiles/h2r_har.dir/har.cpp.o"
+  "CMakeFiles/h2r_har.dir/har.cpp.o.d"
+  "CMakeFiles/h2r_har.dir/import.cpp.o"
+  "CMakeFiles/h2r_har.dir/import.cpp.o.d"
+  "libh2r_har.a"
+  "libh2r_har.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_har.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

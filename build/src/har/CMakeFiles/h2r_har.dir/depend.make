@@ -1,0 +1,2 @@
+# Empty dependencies file for h2r_har.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http2/frame.cpp" "src/http2/CMakeFiles/h2r_http2.dir/frame.cpp.o" "gcc" "src/http2/CMakeFiles/h2r_http2.dir/frame.cpp.o.d"
+  "/root/repo/src/http2/hpack.cpp" "src/http2/CMakeFiles/h2r_http2.dir/hpack.cpp.o" "gcc" "src/http2/CMakeFiles/h2r_http2.dir/hpack.cpp.o.d"
+  "/root/repo/src/http2/priority.cpp" "src/http2/CMakeFiles/h2r_http2.dir/priority.cpp.o" "gcc" "src/http2/CMakeFiles/h2r_http2.dir/priority.cpp.o.d"
+  "/root/repo/src/http2/session.cpp" "src/http2/CMakeFiles/h2r_http2.dir/session.cpp.o" "gcc" "src/http2/CMakeFiles/h2r_http2.dir/session.cpp.o.d"
+  "/root/repo/src/http2/stream.cpp" "src/http2/CMakeFiles/h2r_http2.dir/stream.cpp.o" "gcc" "src/http2/CMakeFiles/h2r_http2.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2r_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_http2.dir/frame.cpp.o"
+  "CMakeFiles/h2r_http2.dir/frame.cpp.o.d"
+  "CMakeFiles/h2r_http2.dir/hpack.cpp.o"
+  "CMakeFiles/h2r_http2.dir/hpack.cpp.o.d"
+  "CMakeFiles/h2r_http2.dir/priority.cpp.o"
+  "CMakeFiles/h2r_http2.dir/priority.cpp.o.d"
+  "CMakeFiles/h2r_http2.dir/session.cpp.o"
+  "CMakeFiles/h2r_http2.dir/session.cpp.o.d"
+  "CMakeFiles/h2r_http2.dir/stream.cpp.o"
+  "CMakeFiles/h2r_http2.dir/stream.cpp.o.d"
+  "libh2r_http2.a"
+  "libh2r_http2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_json.dir/json.cpp.o"
+  "CMakeFiles/h2r_json.dir/json.cpp.o.d"
+  "libh2r_json.a"
+  "libh2r_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

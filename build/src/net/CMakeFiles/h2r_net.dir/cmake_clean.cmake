@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_net.dir/ip.cpp.o"
+  "CMakeFiles/h2r_net.dir/ip.cpp.o.d"
+  "libh2r_net.a"
+  "libh2r_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_netlog.dir/netlog.cpp.o"
+  "CMakeFiles/h2r_netlog.dir/netlog.cpp.o.d"
+  "CMakeFiles/h2r_netlog.dir/stitch.cpp.o"
+  "CMakeFiles/h2r_netlog.dir/stitch.cpp.o.d"
+  "libh2r_netlog.a"
+  "libh2r_netlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_netlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_stats.dir/distribution.cpp.o"
+  "CMakeFiles/h2r_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/h2r_stats.dir/table.cpp.o"
+  "CMakeFiles/h2r_stats.dir/table.cpp.o.d"
+  "libh2r_stats.a"
+  "libh2r_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

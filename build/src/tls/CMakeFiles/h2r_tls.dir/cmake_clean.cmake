@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_tls.dir/certificate.cpp.o"
+  "CMakeFiles/h2r_tls.dir/certificate.cpp.o.d"
+  "CMakeFiles/h2r_tls.dir/issuance.cpp.o"
+  "CMakeFiles/h2r_tls.dir/issuance.cpp.o.d"
+  "libh2r_tls.a"
+  "libh2r_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_util.dir/format.cpp.o"
+  "CMakeFiles/h2r_util.dir/format.cpp.o.d"
+  "CMakeFiles/h2r_util.dir/rng.cpp.o"
+  "CMakeFiles/h2r_util.dir/rng.cpp.o.d"
+  "CMakeFiles/h2r_util.dir/strings.cpp.o"
+  "CMakeFiles/h2r_util.dir/strings.cpp.o.d"
+  "libh2r_util.a"
+  "libh2r_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

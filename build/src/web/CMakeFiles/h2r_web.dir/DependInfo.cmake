@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/catalog.cpp" "src/web/CMakeFiles/h2r_web.dir/catalog.cpp.o" "gcc" "src/web/CMakeFiles/h2r_web.dir/catalog.cpp.o.d"
+  "/root/repo/src/web/config.cpp" "src/web/CMakeFiles/h2r_web.dir/config.cpp.o" "gcc" "src/web/CMakeFiles/h2r_web.dir/config.cpp.o.d"
+  "/root/repo/src/web/ecosystem.cpp" "src/web/CMakeFiles/h2r_web.dir/ecosystem.cpp.o" "gcc" "src/web/CMakeFiles/h2r_web.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/web/server.cpp" "src/web/CMakeFiles/h2r_web.dir/server.cpp.o" "gcc" "src/web/CMakeFiles/h2r_web.dir/server.cpp.o.d"
+  "/root/repo/src/web/sitegen.cpp" "src/web/CMakeFiles/h2r_web.dir/sitegen.cpp.o" "gcc" "src/web/CMakeFiles/h2r_web.dir/sitegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/h2r_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2r_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/h2r_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/fetch/CMakeFiles/h2r_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/h2r_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/h2r_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

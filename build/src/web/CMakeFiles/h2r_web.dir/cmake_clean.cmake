@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r_web.dir/catalog.cpp.o"
+  "CMakeFiles/h2r_web.dir/catalog.cpp.o.d"
+  "CMakeFiles/h2r_web.dir/config.cpp.o"
+  "CMakeFiles/h2r_web.dir/config.cpp.o.d"
+  "CMakeFiles/h2r_web.dir/ecosystem.cpp.o"
+  "CMakeFiles/h2r_web.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/h2r_web.dir/server.cpp.o"
+  "CMakeFiles/h2r_web.dir/server.cpp.o.d"
+  "CMakeFiles/h2r_web.dir/sitegen.cpp.o"
+  "CMakeFiles/h2r_web.dir/sitegen.cpp.o.d"
+  "libh2r_web.a"
+  "libh2r_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

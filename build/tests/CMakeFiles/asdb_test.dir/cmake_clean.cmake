@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdb_test.dir/asdb_test.cpp.o"
+  "CMakeFiles/asdb_test.dir/asdb_test.cpp.o.d"
+  "asdb_test"
+  "asdb_test.pdb"
+  "asdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_behavior_test.dir/catalog_behavior_test.cpp.o"
+  "CMakeFiles/catalog_behavior_test.dir/catalog_behavior_test.cpp.o.d"
+  "catalog_behavior_test"
+  "catalog_behavior_test.pdb"
+  "catalog_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

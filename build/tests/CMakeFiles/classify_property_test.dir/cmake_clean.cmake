@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_property_test.dir/classify_property_test.cpp.o"
+  "CMakeFiles/classify_property_test.dir/classify_property_test.cpp.o.d"
+  "classify_property_test"
+  "classify_property_test.pdb"
+  "classify_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_test.dir/classify_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify_test.cpp.o.d"
+  "classify_test"
+  "classify_test.pdb"
+  "classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

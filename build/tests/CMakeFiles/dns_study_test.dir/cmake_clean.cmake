@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_study_test.dir/dns_study_test.cpp.o"
+  "CMakeFiles/dns_study_test.dir/dns_study_test.cpp.o.d"
+  "dns_study_test"
+  "dns_study_test.pdb"
+  "dns_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

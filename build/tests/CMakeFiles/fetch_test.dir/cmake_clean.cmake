@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_test.dir/fetch_test.cpp.o"
+  "CMakeFiles/fetch_test.dir/fetch_test.cpp.o.d"
+  "fetch_test"
+  "fetch_test.pdb"
+  "fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3_test.dir/h3_test.cpp.o"
+  "CMakeFiles/h3_test.dir/h3_test.cpp.o.d"
+  "h3_test"
+  "h3_test.pdb"
+  "h3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

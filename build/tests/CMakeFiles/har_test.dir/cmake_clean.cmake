@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_test.dir/har_test.cpp.o"
+  "CMakeFiles/har_test.dir/har_test.cpp.o.d"
+  "har_test"
+  "har_test.pdb"
+  "har_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_fuzz_test.dir/json_fuzz_test.cpp.o"
+  "CMakeFiles/json_fuzz_test.dir/json_fuzz_test.cpp.o.d"
+  "json_fuzz_test"
+  "json_fuzz_test.pdb"
+  "json_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

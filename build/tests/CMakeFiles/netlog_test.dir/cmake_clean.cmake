@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlog_test.dir/netlog_test.cpp.o"
+  "CMakeFiles/netlog_test.dir/netlog_test.cpp.o.d"
+  "netlog_test"
+  "netlog_test.pdb"
+  "netlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

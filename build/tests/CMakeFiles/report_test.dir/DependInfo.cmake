@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/report_test.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/report_test.dir/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/h2r_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/h2r_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/h2r_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/h2r_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/har/CMakeFiles/h2r_har.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlog/CMakeFiles/h2r_netlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/h2r_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/h2r_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2r_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/h2r_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/fetch/CMakeFiles/h2r_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/h2r_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2r_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/h2r_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2r_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/json_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/asdb_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/tls_test[1]_include.cmake")
+include("/root/repo/build/tests/http2_test[1]_include.cmake")
+include("/root/repo/build/tests/hpack_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_test[1]_include.cmake")
+include("/root/repo/build/tests/fetch_test[1]_include.cmake")
+include("/root/repo/build/tests/har_test[1]_include.cmake")
+include("/root/repo/build/tests/netlog_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_property_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/h3_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/report_json_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_study_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

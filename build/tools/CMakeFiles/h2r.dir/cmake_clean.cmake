@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2r.dir/h2r.cpp.o"
+  "CMakeFiles/h2r.dir/h2r.cpp.o.d"
+  "h2r"
+  "h2r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

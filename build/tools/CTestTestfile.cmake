@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_h2r_usage "/root/repo/build/tools/h2r")
+set_tests_properties(smoke_h2r_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_h2r_snapshot "/root/repo/build/tools/h2r" "snapshot" "/root/repo/build/tools/ds.json" "40")
+set_tests_properties(smoke_h2r_snapshot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_h2r_analyze "/root/repo/build/tools/h2r" "analyze" "/root/repo/build/tools/ds.json")
+set_tests_properties(smoke_h2r_analyze PROPERTIES  DEPENDS "smoke_h2r_snapshot" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
