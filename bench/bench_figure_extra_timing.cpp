@@ -8,41 +8,40 @@
 // which cause is driven by late traffic.
 #include <algorithm>
 #include <cstdio>
-#include <vector>
 
 #include "common.hpp"
+#include "stats/distribution.hpp"
 #include "util/format.hpp"
 
 using namespace h2r;
 
 namespace {
 
-void timing_row(const char* name, const std::vector<util::SimTime>& offsets) {
-  if (offsets.empty()) return;
-  std::vector<util::SimTime> sorted = offsets;
-  std::sort(sorted.begin(), sorted.end());
-  auto at = [&sorted](double q) {
-    return sorted[std::min(sorted.size() - 1,
-                           static_cast<std::size_t>(
-                               q * static_cast<double>(sorted.size())))];
+void timing_row(const char* name, const stats::TimeHistogram& offsets) {
+  const std::uint64_t total = stats::histogram_count(offsets);
+  if (total == 0) return;
+  auto at = [&offsets](double q) {
+    return *stats::histogram_quantile(offsets, q);
   };
   // Histogram strip over 0..5s in 250ms buckets.
   std::string strip;
   for (int bucket = 0; bucket < 20; ++bucket) {
     const util::SimTime lo = bucket * 250;
     const util::SimTime hi = lo + 250;
-    const std::size_t n = static_cast<std::size_t>(
-        std::count_if(sorted.begin(), sorted.end(),
-                      [lo, hi](util::SimTime t) { return t >= lo && t < hi; }));
-    const double share =
-        static_cast<double>(n) / static_cast<double>(sorted.size());
+    std::uint64_t n = 0;
+    for (auto it = offsets.lower_bound(lo);
+         it != offsets.end() && it->first < hi; ++it) {
+      n += it->second;
+    }
+    const double share = static_cast<double>(n) / static_cast<double>(total);
     static const char kRamp[] = " .:-=+*#%@";
     strip.push_back(kRamp[std::min(9, static_cast<int>(share * 40))]);
   }
-  std::printf("%-6s |%s| p25 %6s  median %6s  p90 %6s  (n=%zu)\n", name,
+  std::printf("%-6s |%s| p25 %6s  median %6s  p90 %6s  (n=%llu)\n", name,
               strip.c_str(), util::seconds_str(at(0.25)).c_str(),
               util::seconds_str(at(0.5)).c_str(),
-              util::seconds_str(at(0.9)).c_str(), sorted.size());
+              util::seconds_str(at(0.9)).c_str(),
+              static_cast<unsigned long long>(total));
 }
 
 }  // namespace

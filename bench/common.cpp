@@ -11,18 +11,36 @@ namespace h2r::benchcommon {
 const experiments::StudyResults& study() {
   const experiments::StudyConfig config = experiments::StudyConfig::from_env();
   static bool banner_printed = false;
-  if (!banner_printed) {
+  const bool first_call = !banner_printed;
+  if (first_call) {
     std::printf(
         "# synthetic study: %zu HTTP-Archive-like sites (ranks %zu..%zu), "
-        "%zu Alexa-like sites (ranks 0..%zu), seed %llu\n"
+        "%zu Alexa-like sites (ranks 0..%zu), seed %llu, %u thread(s)\n"
         "# scale with H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED; "
+        "parallelize with H2R_THREADS (results are thread-count invariant); "
         "percentages and rankings are the reproduction target\n\n",
         config.har_sites, config.har_first_rank,
         config.har_first_rank + config.har_sites, config.alexa_sites,
-        config.alexa_sites, static_cast<unsigned long long>(config.seed));
+        config.alexa_sites, static_cast<unsigned long long>(config.seed),
+        config.threads);
     banner_printed = true;
   }
-  return experiments::shared_study(config);
+  const experiments::StudyResults& results = experiments::shared_study(config);
+  if (first_call) {
+    // Per-worker baseline for perf PRs: sites/connections per worker plus
+    // wall, CPU and queue-wait time of each crawl worker.
+    auto workers = [](const char* name,
+                      const browser::CrawlSummary& summary) {
+      if (summary.per_worker.empty()) return;
+      std::printf("# %s crawl workers:\n%s", name,
+                  browser::describe_workers(summary).c_str());
+    };
+    workers("Alexa", results.alexa_summary);
+    workers("Alexa w/o Fetch", results.nofetch_summary);
+    workers("HAR", results.har_summary);
+    std::printf("\n");
+  }
+  return results;
 }
 
 void add_cause_rows(stats::Table& table, const std::string& label,

@@ -425,6 +425,10 @@ PageLoadResult Browser::load(const web::Website& site,
                              util::SimTime start_time) {
   PageState page;
   page.rng = util::Rng{util::hash_seed(seed_, site.url)};
+  // Browser state is fresh per load (the paper restarts the browser per
+  // site); restarting the session-id counter too keeps the observation a
+  // pure function of (seed, site), independent of previously loaded sites.
+  next_session_id_ = 1;
   page.result.started_at = start_time;
 
   const util::SimTime load_end =
@@ -448,6 +452,7 @@ VisitResult Browser::visit(
     util::SimTime start_time, util::SimTime dwell) {
   PageState page;
   page.rng = util::Rng{util::hash_seed(seed_, site.url)};
+  next_session_id_ = 1;
   page.result.started_at = start_time;
 
   VisitResult result;

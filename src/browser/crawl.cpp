@@ -1,26 +1,54 @@
 #include "browser/crawl.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <time.h>
 #include <vector>
 
 namespace h2r::browser {
 
 namespace {
 
-/// Shared crawl state for one worker: a browser behind its own resolver.
+double wall_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1000.0 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return 0.0;
+}
+
+/// Crawl state for one worker: a browser behind its own resolver.
 struct Worker {
   explicit Worker(web::SiteUniverse& universe, const CrawlOptions& options,
                   const dns::ResolverProfile& profile, std::uint64_t seed)
       : resolver(profile, &universe.ecosystem().authority()),
-        browser(universe.ecosystem(), resolver, options.browser, seed),
-        quirk_rng(util::combine_seed(seed, 0x4a52)) {}
+        browser(universe.ecosystem(), resolver, options.browser, seed) {}
 
   dns::RecursiveResolver resolver;
   Browser browser;
-  util::Rng quirk_rng;
 };
 
+/// Loads the site at `rank`. Everything that feeds the observation is
+/// derived from (options.seed, site) and the site's deterministic load
+/// time: the browser's per-page RNG keys on the site URL, the HAR quirk
+/// RNG is re-derived per site, and the resolver cache is flushed so each
+/// site is measured from a cold cache (like a fresh measurement machine).
+/// The result therefore does not depend on which worker runs this, or on
+/// what that worker loaded before — the crawl's determinism contract.
 void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
                   Worker& worker, std::size_t rank, util::SimTime when,
                   SiteResult& result) {
@@ -30,99 +58,277 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
     return;
   }
   const web::Website& site = universe.site(rank);
+  worker.resolver.flush_cache();
   result.page = worker.browser.load(site, when);
   result.reachable = result.page.reachable;
   result.netlog_observation = result.page.observation;
   if (options.har_path) {
+    util::Rng quirk_rng{util::hash_seed(
+        util::combine_seed(options.seed, 0x4a52), site.url)};
     const har::Log har_log =
         har::export_site(result.page.observation, result.page.h1_entries,
-                         options.har_quirks, worker.quirk_rng);
+                         options.har_quirks, quirk_rng);
     har::ImportStats stats;
     result.har_observation = har::import_site(har_log, &stats);
     result.har_stats = stats;
   }
 }
 
-}  // namespace
+void account(CrawlSummary& summary, WorkerCounters& counters,
+             const SiteResult& result) {
+  if (!result.reachable) {
+    ++summary.sites_unreachable;
+    ++counters.sites_unreachable;
+    return;
+  }
+  ++summary.sites_visited;
+  ++counters.sites_loaded;
+  counters.connections_opened += result.page.connections_opened;
+  summary.connections_opened += result.page.connections_opened;
+  summary.group_reuses += result.page.group_reuses;
+  summary.alias_reuses += result.page.alias_reuses;
+  summary.origin_frame_reuses += result.page.origin_frame_reuses;
+  summary.misdirected_retries += result.page.misdirected_retries;
+  summary.har_stats.add(result.har_stats);
+}
 
-CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
-                         std::size_t count, const CrawlOptions& options,
-                         const std::function<void(const SiteResult&)>& sink) {
+/// Chunked atomic work queue over [0, count): workers claim contiguous
+/// chunks with one fetch_add, so skewed sites (a slow chunk) no longer
+/// idle the other workers the way static per-thread blocks did.
+class WorkQueue {
+ public:
+  WorkQueue(std::size_t count, unsigned threads) : count_(count) {
+    // Small chunks bound the tail latency (the last chunk is at most
+    // `chunk_` sites), large enough to amortize the atomic op.
+    chunk_ = std::max<std::size_t>(1, count / (threads * 8u));
+  }
+
+  bool claim(std::size_t& begin, std::size_t& end) {
+    const std::size_t start =
+        next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (start >= count_) return false;
+    begin = start;
+    end = std::min(count_, start + chunk_);
+    return true;
+  }
+
+ private:
+  std::size_t count_;
+  std::size_t chunk_;
+  std::atomic<std::size_t> next_{0};
+};
+
+unsigned effective_threads(const CrawlOptions& options, std::size_t count) {
+  if (options.threads <= 1 || count == 0) return 1;
+  return std::min<unsigned>(options.threads, static_cast<unsigned>(count));
+}
+
+dns::ResolverProfile vantage_profile(const CrawlOptions& options) {
   const auto vantage_points = dns::standard_vantage_points();
   if (options.vantage_index >= vantage_points.size()) {
     throw std::out_of_range("vantage index");
   }
-  const dns::ResolverProfile& profile = vantage_points[options.vantage_index];
+  return vantage_points[options.vantage_index];
+}
 
-  CrawlSummary summary;
-  auto account = [&summary](const SiteResult& result) {
-    if (!result.reachable) {
-      ++summary.sites_unreachable;
-      return;
-    }
-    ++summary.sites_visited;
-    summary.connections_opened += result.page.connections_opened;
-    summary.group_reuses += result.page.group_reuses;
-    summary.alias_reuses += result.page.alias_reuses;
-    summary.origin_frame_reuses += result.page.origin_frame_reuses;
-    summary.misdirected_retries += result.page.misdirected_retries;
-    summary.har_stats.add(result.har_stats);
-  };
+/// Runs the parallel crawl core: N workers drain the work queue, account
+/// into per-worker summary shards, and hand each finished site to
+/// `deliver(worker, index, result)` (called on the worker thread).
+/// Returns the merged summary, shards folded in worker order.
+CrawlSummary run_workers(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options, unsigned threads,
+    const dns::ResolverProfile& profile,
+    const std::function<void(unsigned, std::size_t, SiteResult&&)>& deliver) {
+  universe.materialize(first_rank, count);
 
-  const unsigned threads =
-      options.threads > 1 ? std::min<unsigned>(options.threads,
-                                               static_cast<unsigned>(count))
-                          : 1;
-
-  if (threads <= 1) {
-    Worker worker{universe, options, profile, options.seed};
-    util::SimTime now = options.start_time;
-    for (std::size_t i = 0; i < count; ++i, now += options.site_interval) {
-      SiteResult result;
-      process_site(universe, options, worker, first_rank + i, now, result);
-      account(result);
-      sink(result);
-    }
-    return summary;
-  }
-
-  // Parallel mode: generating a site mutates the shared ecosystem, so
-  // materialize the whole range sequentially first (cheap), then load
-  // pages concurrently against the now-immutable ecosystem.
-  for (std::size_t i = 0; i < count; ++i) {
-    if (!universe.unreachable(first_rank + i)) {
-      (void)universe.site(first_rank + i);
-    }
-  }
-
-  std::vector<SiteResult> results(count);
+  std::vector<CrawlSummary> shards(threads);
+  WorkQueue queue{count, threads};
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    // Contiguous block per worker: resolver caches warm up the same way
-    // they would sequentially within each block.
-    const std::size_t begin = count * t / threads;
-    const std::size_t end = count * (t + 1) / threads;
-    pool.emplace_back([&, begin, end]() {
-      // Same browser seed as the sequential path: per-page randomness is
-      // derived from (seed, site url), so results do not depend on which
-      // worker loads which site.
+    pool.emplace_back([&, t]() {
+      const double wall_start = wall_now_ms();
+      const double cpu_start = thread_cpu_ms();
+      CrawlSummary& shard = shards[t];
+      shard.per_worker.resize(1);
+      WorkerCounters& counters = shard.per_worker[0];
       Worker worker{universe, options, profile, options.seed};
-      for (std::size_t i = begin; i < end; ++i) {
-        process_site(universe, options, worker, first_rank + i,
-                     options.start_time +
-                         static_cast<util::SimTime>(i) * options.site_interval,
-                     results[i]);
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      for (;;) {
+        const double claim_start = wall_now_ms();
+        const bool claimed = queue.claim(begin, end);
+        counters.queue_wait_ms += wall_now_ms() - claim_start;
+        if (!claimed) break;
+        ++counters.chunks_claimed;
+        for (std::size_t i = begin; i < end; ++i) {
+          SiteResult result;
+          process_site(universe, options, worker, first_rank + i,
+                       options.start_time +
+                           static_cast<util::SimTime>(i) *
+                               options.site_interval,
+                       result);
+          account(shard, counters, result);
+          deliver(t, i, std::move(result));
+        }
       }
+      counters.wall_ms = wall_now_ms() - wall_start;
+      counters.cpu_ms = thread_cpu_ms() - cpu_start;
     });
   }
   for (std::thread& thread : pool) thread.join();
 
-  for (const SiteResult& result : results) {
-    account(result);
+  CrawlSummary summary;
+  for (const CrawlSummary& shard : shards) summary.merge(shard);
+  return summary;
+}
+
+CrawlSummary run_sequential(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options, const dns::ResolverProfile& profile,
+    const std::function<void(const SiteResult&)>& sink) {
+  const double wall_start = wall_now_ms();
+  const double cpu_start = thread_cpu_ms();
+  CrawlSummary summary;
+  summary.per_worker.resize(1);
+  WorkerCounters& counters = summary.per_worker[0];
+  counters.chunks_claimed = count > 0 ? 1 : 0;
+  Worker worker{universe, options, profile, options.seed};
+  util::SimTime now = options.start_time;
+  for (std::size_t i = 0; i < count; ++i, now += options.site_interval) {
+    SiteResult result;
+    process_site(universe, options, worker, first_rank + i, now, result);
+    account(summary, counters, result);
     sink(result);
   }
+  counters.wall_ms = wall_now_ms() - wall_start;
+  counters.cpu_ms = thread_cpu_ms() - cpu_start;
+  summary.wall_ms = counters.wall_ms;
   return summary;
+}
+
+}  // namespace
+
+void CrawlSummary::merge(const CrawlSummary& shard) {
+  sites_visited += shard.sites_visited;
+  sites_unreachable += shard.sites_unreachable;
+  connections_opened += shard.connections_opened;
+  group_reuses += shard.group_reuses;
+  alias_reuses += shard.alias_reuses;
+  origin_frame_reuses += shard.origin_frame_reuses;
+  misdirected_retries += shard.misdirected_retries;
+  har_stats.add(shard.har_stats);
+  per_worker.insert(per_worker.end(), shard.per_worker.begin(),
+                    shard.per_worker.end());
+}
+
+bool CrawlSummary::operator==(const CrawlSummary& other) const {
+  return sites_visited == other.sites_visited &&
+         sites_unreachable == other.sites_unreachable &&
+         connections_opened == other.connections_opened &&
+         group_reuses == other.group_reuses &&
+         alias_reuses == other.alias_reuses &&
+         origin_frame_reuses == other.origin_frame_reuses &&
+         misdirected_retries == other.misdirected_retries &&
+         har_stats == other.har_stats;
+}
+
+CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
+                         std::size_t count, const CrawlOptions& options,
+                         const std::function<void(const SiteResult&)>& sink) {
+  const dns::ResolverProfile& profile = vantage_profile(options);
+  const unsigned threads = effective_threads(options, count);
+  if (threads <= 1) {
+    return run_sequential(universe, first_rank, count, options, profile, sink);
+  }
+
+  const double wall_start = wall_now_ms();
+
+  // Reorder buffer: workers complete sites in claim order, the calling
+  // thread drains them to `sink` in rank order as they become ready, and
+  // releases each result right after the sink so peak memory tracks the
+  // reorder gap instead of the whole range.
+  std::vector<SiteResult> results(count);
+  std::vector<char> ready(count, 0);
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  auto deliver = [&](unsigned /*worker*/, std::size_t index,
+                     SiteResult&& result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    results[index] = std::move(result);
+    ready[index] = 1;
+    cv.notify_one();
+  };
+
+  CrawlSummary summary;
+  std::thread driver([&]() {
+    summary = run_workers(universe, first_rank, count, options, threads,
+                          profile, deliver);
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    SiteResult result;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&]() { return ready[i] != 0; });
+      result = std::move(results[i]);
+      results[i] = SiteResult{};
+    }
+    sink(result);
+  }
+  driver.join();
+  summary.wall_ms = wall_now_ms() - wall_start;
+  return summary;
+}
+
+CrawlSummary crawl_range_sharded(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options,
+    const std::function<ShardSink(unsigned worker)>& make_shard_sink) {
+  const dns::ResolverProfile& profile = vantage_profile(options);
+  const unsigned threads = effective_threads(options, count);
+  if (threads <= 1) {
+    return run_sequential(universe, first_rank, count, options, profile,
+                          make_shard_sink(0));
+  }
+
+  const double wall_start = wall_now_ms();
+  std::vector<ShardSink> sinks;
+  sinks.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) sinks.push_back(make_shard_sink(t));
+
+  CrawlSummary summary = run_workers(
+      universe, first_rank, count, options, threads, profile,
+      [&sinks](unsigned worker, std::size_t /*index*/, SiteResult&& result) {
+        sinks[worker](result);
+      });
+  summary.wall_ms = wall_now_ms() - wall_start;
+  return summary;
+}
+
+std::string describe_workers(const CrawlSummary& summary) {
+  std::string out;
+  char line[192];
+  for (std::size_t i = 0; i < summary.per_worker.size(); ++i) {
+    const WorkerCounters& w = summary.per_worker[i];
+    std::snprintf(
+        line, sizeof(line),
+        "  worker %zu: %llu sites (%llu unreachable), %llu conns, "
+        "%llu chunks, wall %.0fms, cpu %.0fms, queue wait %.1fms\n",
+        i, static_cast<unsigned long long>(w.sites_loaded),
+        static_cast<unsigned long long>(w.sites_unreachable),
+        static_cast<unsigned long long>(w.connections_opened),
+        static_cast<unsigned long long>(w.chunks_claimed), w.wall_ms,
+        w.cpu_ms, w.queue_wait_ms);
+    out += line;
+  }
+  if (summary.wall_ms > 0.0) {
+    std::snprintf(line, sizeof(line), "  crawl wall time: %.0fms\n",
+                  summary.wall_ms);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace h2r::browser

@@ -4,6 +4,15 @@
 //   * the NetLog path (exact lifecycles, the paper's own measurements),
 //   * the HAR path (export with HTTP-Archive-grade noise, import through
 //     the §4.3 filters — the paper's HTTP Archive analysis).
+//
+// Parallel crawls use a chunked atomic work queue with N workers, each
+// behind its own browser and recursive resolver. Every per-site input is
+// derived from (seed, site) alone — per-page RNG, HAR quirk RNG, resolver
+// cache state and the simulated load time — so the observations are
+// independent of which worker loads which site and of the thread count:
+// threads = N produces bit-identical results to threads = 1, for any N.
+// The differential tests in tests/crawl_parallel_test.cpp pin exactly
+// this contract.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +42,13 @@ struct CrawlOptions {
   har::ExportQuirks har_quirks;
   std::uint64_t seed = 1234;
   /// Worker threads for page loads. 1 = fully sequential. With N > 1 the
-  /// sites are pre-generated sequentially (the universe mutates the shared
-  /// ecosystem lazily), then loaded by N workers, each with its own
-  /// browser and recursive resolver; `sink` still runs in rank order on
-  /// the calling thread. Results are deterministic except for resolver
-  /// cache warmth (each worker has its own cache, like N measurement
-  /// machines behind N resolvers).
+  /// sites are materialized sequentially first (generation mutates the
+  /// shared ecosystem), then loaded by N workers pulling chunks from an
+  /// atomic work queue, each worker with its own browser and recursive
+  /// resolver. Each site is measured like a fresh machine (cold resolver
+  /// cache, per-site RNG, deterministic load time), so results are
+  /// IDENTICAL for every thread count; `sink` still runs in rank order on
+  /// the calling thread.
   unsigned threads = 1;
 };
 
@@ -54,6 +64,20 @@ struct SiteResult {
   PageLoadResult page;
 };
 
+/// Scheduling / load diagnostics for one crawl worker. Which worker
+/// happens to claim which chunk is timing-dependent, so these counters
+/// are NOT covered by the determinism contract (and are excluded from
+/// CrawlSummary's operator==); their per-field SUMS across workers are.
+struct WorkerCounters {
+  std::uint64_t sites_loaded = 0;       // reachable sites this worker loaded
+  std::uint64_t sites_unreachable = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t chunks_claimed = 0;     // work-queue grabs
+  double wall_ms = 0.0;                 // worker loop wall time (real clock)
+  double cpu_ms = 0.0;                  // worker thread CPU time
+  double queue_wait_ms = 0.0;           // time spent claiming work
+};
+
 struct CrawlSummary {
   std::uint64_t sites_visited = 0;
   std::uint64_t sites_unreachable = 0;
@@ -63,12 +87,50 @@ struct CrawlSummary {
   std::uint64_t origin_frame_reuses = 0;
   std::uint64_t misdirected_retries = 0;
   har::ImportStats har_stats;
+
+  /// One entry per worker (index = worker id). Diagnostics only.
+  std::vector<WorkerCounters> per_worker;
+  /// Wall time of the whole crawl_range call, including materialization
+  /// and the ordered sink drain. Diagnostics only.
+  double wall_ms = 0.0;
+
+  /// Folds a shard (another worker's or campaign's summary) into this
+  /// one: measurement counters add, per-worker diagnostics concatenate.
+  void merge(const CrawlSummary& shard);
+
+  /// Compares the measurement counters only — per_worker and wall_ms are
+  /// scheduling diagnostics and intentionally ignored.
+  bool operator==(const CrawlSummary& other) const;
 };
 
 /// Visits ranks [first_rank, first_rank + count) in order, invoking
-/// `sink` per reachable site. Returns aggregate counters.
+/// `sink` per site (reachable or not) on the calling thread, in rank
+/// order. Returns aggregate counters.
 CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
                          std::size_t count, const CrawlOptions& options,
                          const std::function<void(const SiteResult&)>& sink);
+
+/// Per-worker shard consumer: built once per worker by the factory below,
+/// then invoked from that worker's thread for every site it loads (in the
+/// order the worker claims them — NOT rank order).
+using ShardSink = std::function<void(const SiteResult&)>;
+
+/// Worker-sharded crawl: `make_shard_sink(worker)` is called on the
+/// calling thread for worker ids [0, threads) before the workers start;
+/// each returned sink then consumes that worker's sites concurrently with
+/// the other workers. Callers keep per-worker partial aggregates and
+/// merge them afterwards (AggregateReport::merge / CrawlSummary::merge) —
+/// merging is order-independent, so the result equals a sequential crawl.
+/// Unlike crawl_range, no per-site buffering is needed, and per-site
+/// post-processing (classification, aggregation) runs inside the workers.
+CrawlSummary crawl_range_sharded(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options,
+    const std::function<ShardSink(unsigned worker)>& make_shard_sink);
+
+/// Renders the per-worker counters of a crawl as a compact multi-line
+/// text block ("worker 0: 812 sites, 5.3k conns, ..."), for tools/h2r and
+/// the bench binaries. Includes the crawl wall time when available.
+std::string describe_workers(const CrawlSummary& summary);
 
 }  // namespace h2r::browser

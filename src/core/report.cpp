@@ -12,21 +12,73 @@ double AggregateReport::redundant_site_share() const noexcept {
 }
 
 std::optional<util::SimTime> AggregateReport::median_closed_lifetime() const {
-  if (closed_lifetimes_ms.empty()) return std::nullopt;
-  std::vector<util::SimTime> sorted = closed_lifetimes_ms;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted[sorted.size() / 2];
+  return stats::histogram_quantile(closed_lifetimes_ms, 0.5);
 }
 
 std::optional<util::SimTime> AggregateReport::median_open_offset(
     Cause cause) const {
   const auto it = redundant_open_offsets.find(cause);
-  if (it == redundant_open_offsets.end() || it->second.empty()) {
-    return std::nullopt;
+  if (it == redundant_open_offsets.end()) return std::nullopt;
+  return stats::histogram_quantile(it->second, 0.5);
+}
+
+void AggregateReport::merge(const AggregateReport& shard) {
+  analyzed_sites += shard.analyzed_sites;
+  h2_sites += shard.h2_sites;
+  redundant_sites += shard.redundant_sites;
+  total_connections += shard.total_connections;
+  redundant_connections += shard.redundant_connections;
+  filtered_requests += shard.filtered_requests;
+
+  for (const auto& [cause, tally] : shard.by_cause) {
+    CauseTally& dst = by_cause[cause];
+    dst.sites += tally.sites;
+    dst.connections += tally.connections;
   }
-  std::vector<util::SimTime> sorted = it->second;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted[sorted.size() / 2];
+  for (const auto& [count, sites] : shard.redundant_per_site_histogram) {
+    redundant_per_site_histogram[count] += sites;
+  }
+
+  auto merge_origins = [](std::map<std::string, OriginTally>& dst_map,
+                          const std::map<std::string, OriginTally>& src_map) {
+    for (const auto& [origin, tally] : src_map) {
+      OriginTally& dst = dst_map[origin];
+      dst.connections += tally.connections;
+      for (const auto& [prev, count] : tally.previous_origins) {
+        dst.previous_origins[prev] += count;
+      }
+      if (dst.issuer.empty()) dst.issuer = tally.issuer;
+    }
+  };
+  merge_origins(ip_origins, shard.ip_origins);
+  merge_origins(cert_domains, shard.cert_domains);
+
+  auto merge_issuers = [](std::map<std::string, IssuerTally>& dst_map,
+                          const std::map<std::string, IssuerTally>& src_map) {
+    for (const auto& [issuer, tally] : src_map) {
+      IssuerTally& dst = dst_map[issuer];
+      dst.connections += tally.connections;
+      dst.domains.insert(tally.domains.begin(), tally.domains.end());
+    }
+  };
+  merge_issuers(cert_issuers, shard.cert_issuers);
+  merge_issuers(all_issuers, shard.all_issuers);
+
+  for (const auto& [as_name, tally] : shard.ip_ases) {
+    AsTally& dst = ip_ases[as_name];
+    dst.connections += tally.connections;
+    dst.domains.insert(tally.domains.begin(), tally.domains.end());
+  }
+
+  closed_connections += shard.closed_connections;
+  for (const auto& [lifetime, count] : shard.closed_lifetimes_ms) {
+    closed_lifetimes_ms[lifetime] += count;
+  }
+  cred_same_domain_connections += shard.cred_same_domain_connections;
+  for (const auto& [cause, histogram] : shard.redundant_open_offsets) {
+    TimeHistogram& dst = redundant_open_offsets[cause];
+    for (const auto& [offset, count] : histogram) dst[offset] += count;
+  }
 }
 
 std::uint64_t AggregateReport::sites_with_at_least(
@@ -57,7 +109,7 @@ void Aggregator::add_site(const SiteObservation& site,
     }
     if (conn.closed_at.has_value()) {
       ++report_.closed_connections;
-      report_.closed_lifetimes_ms.push_back(*conn.closed_at - conn.opened_at);
+      ++report_.closed_lifetimes_ms[*conn.closed_at - conn.opened_at];
     }
   }
 
@@ -76,8 +128,7 @@ void Aggregator::add_site(const SiteObservation& site,
     const ConnectionRecord& conn = site.connections[finding.connection_index];
     const std::string domain = util::to_lower(conn.initial_domain);
     for (Cause cause : finding.causes) {
-      report_.redundant_open_offsets[cause].push_back(conn.opened_at -
-                                                      page_start);
+      ++report_.redundant_open_offsets[cause][conn.opened_at - page_start];
     }
 
     if (finding.causes.count(Cause::kIp) > 0) {

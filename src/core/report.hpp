@@ -12,13 +12,21 @@
 #include "asdb/asdb.hpp"
 #include "core/classify.hpp"
 #include "core/connection.hpp"
+#include "stats/distribution.hpp"
 
 namespace h2r::core {
 
 struct CauseTally {
   std::uint64_t sites = 0;
   std::uint64_t connections = 0;
+
+  bool operator==(const CauseTally&) const = default;
 };
+
+/// Order-independent sample multiset (see stats::TimeHistogram) — the
+/// representation that keeps shard-merged reports bit-identical to
+/// single-pass ones.
+using TimeHistogram = stats::TimeHistogram;
 
 /// Per-origin attribution: how many redundant connections had this origin,
 /// and which previous-connection origins could have been reused (Tables
@@ -27,16 +35,22 @@ struct OriginTally {
   std::uint64_t connections = 0;
   std::map<std::string, std::uint64_t> previous_origins;
   std::string issuer;  // only filled for CERT attribution (Table 4)
+
+  bool operator==(const OriginTally&) const = default;
 };
 
 struct IssuerTally {
   std::uint64_t connections = 0;
   std::set<std::string> domains;
+
+  bool operator==(const IssuerTally&) const = default;
 };
 
 struct AsTally {
   std::uint64_t connections = 0;
   std::set<std::string> domains;
+
+  bool operator==(const AsTally&) const = default;
 };
 
 struct AggregateReport {
@@ -69,9 +83,10 @@ struct AggregateReport {
   std::map<std::string, AsTally> ip_ases;
 
   // Connection lifetime stats (exact-duration runs; §5.1's "median
-  // lifetime 122.2s for the 3.5% that closed").
+  // lifetime 122.2s for the 3.5% that closed"). Histogram so that shard
+  // merges stay order-independent.
   std::uint64_t closed_connections = 0;
-  std::vector<util::SimTime> closed_lifetimes_ms;
+  TimeHistogram closed_lifetimes_ms;
 
   // CRED detail (§5.3.3): redundant CRED connections whose own domain was
   // already connected ("connect to the same domain again").
@@ -81,10 +96,19 @@ struct AggregateReport {
   /// redundant connections open? Offsets (ms since the site's first
   /// connection) per cause — late openers explain most of the
   /// endless-vs-immediate gap (the reusable connection has gone idle).
-  std::map<Cause, std::vector<util::SimTime>> redundant_open_offsets;
+  std::map<Cause, TimeHistogram> redundant_open_offsets;
 
   /// Median open offset for a cause; nullopt when unseen.
   std::optional<util::SimTime> median_open_offset(Cause cause) const;
+
+  /// Folds another shard into this report. Every field is a commutative
+  /// sum / map-sum / set-union, so merging any partition of the same site
+  /// set in any order produces the same report as single-pass
+  /// accumulation (OriginTally::issuer assumes what the simulation
+  /// guarantees: one issuer per domain — the first non-empty value wins).
+  void merge(const AggregateReport& shard);
+
+  bool operator==(const AggregateReport&) const = default;
 
   /// Fraction helpers.
   double redundant_site_share() const noexcept;

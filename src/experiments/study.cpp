@@ -1,8 +1,12 @@
 #include "experiments/study.hpp"
 
 #include <cstdlib>
+#include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "core/classify.hpp"
 #include "web/catalog.hpp"
@@ -20,6 +24,41 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+unsigned env_threads(const char* name, unsigned fallback) {
+  // Bad, zero and negative values fall back; anything above the machine's
+  // concurrency is clamped — requesting 10^6 workers must not fork 10^6
+  // browsers.
+  const unsigned parsed =
+      static_cast<unsigned>(env_size(name, fallback));
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  return std::min(std::max(1u, parsed), hardware);
+}
+
+/// Runs one campaign body, capturing any exception for rethrow on the
+/// calling thread.
+class Campaign {
+ public:
+  template <typename Fn>
+  explicit Campaign(Fn&& fn)
+      : thread_([this, fn = std::forward<Fn>(fn)]() mutable {
+          try {
+            fn();
+          } catch (...) {
+            error_ = std::current_exception();
+          }
+        }) {}
+
+  void join() {
+    thread_.join();
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
 }  // namespace
 
 StudyConfig StudyConfig::from_env() {
@@ -29,8 +68,7 @@ StudyConfig StudyConfig::from_env() {
   config.har_first_rank =
       env_size("H2R_HAR_FIRST_RANK", config.har_first_rank);
   config.seed = env_size("H2R_SEED", config.seed);
-  config.threads =
-      static_cast<unsigned>(env_size("H2R_THREADS", config.threads));
+  config.threads = env_threads("H2R_THREADS", config.threads);
   return config;
 }
 
@@ -47,6 +85,14 @@ StudyResults run_study(const StudyConfig& config) {
       std::max<std::size_t>(config.har_first_rank + config.har_sites, 2);
   web::SiteUniverse universe{eco, catalog, universe_config};
 
+  // Site generation mutates the shared ecosystem; materialize every rank
+  // any campaign will touch before the campaigns (and their workers) run
+  // concurrently against the then-immutable universe.
+  universe.materialize(0, config.alexa_sites);
+  if (config.run_har) {
+    universe.materialize(config.har_first_rank, config.har_sites);
+  }
+
   const asdb::AsDatabase* as_db = &eco.as_database();
 
   // Overlap bounds (ranks present in both populations).
@@ -54,15 +100,25 @@ StudyResults run_study(const StudyConfig& config) {
   const std::size_t overlap_end =
       std::min(config.alexa_sites,
                config.har_first_rank + config.har_sites);
-  auto in_overlap = [&](std::size_t rank) {
+  auto in_overlap = [overlap_begin, overlap_end](std::size_t rank) {
     return rank >= overlap_begin && rank < overlap_end;
   };
 
+  // Each campaign aggregates per crawl worker ("shards") and merges the
+  // partial reports afterwards — AggregateReport::merge is
+  // order-independent, so the merged report is identical to a sequential
+  // single-pass accumulation (tests/crawl_parallel_test.cpp pins this).
+
   // ---------------------------------------------- Alexa-like crawl (EU)
-  {
-    core::Aggregator exact{as_db};
-    core::Aggregator endless{as_db};
-    core::Aggregator overlap{as_db};
+  auto alexa_campaign = [&]() {
+    struct Shard {
+      core::Aggregator exact;
+      core::Aggregator endless;
+      core::Aggregator overlap;
+      explicit Shard(const asdb::AsDatabase* db)
+          : exact(db), endless(db), overlap(db) {}
+    };
+    std::vector<std::unique_ptr<Shard>> shards;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -73,31 +129,40 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.start_time = util::days(1);
     crawl.har_path = false;
 
-    results.alexa_summary = browser::crawl_range(
+    results.alexa_summary = browser::crawl_range_sharded(
         universe, 0, config.alexa_sites, crawl,
-        [&](const browser::SiteResult& site) {
-          if (!site.reachable) return;
-          const auto& obs = site.netlog_observation;
-          const auto cls_exact = core::classify_site(
-              obs, {core::DurationModel::kExact});
-          exact.add_site(obs, cls_exact);
-          endless.add_site(
-              obs, core::classify_site(obs, {core::DurationModel::kEndless}));
-          if (in_overlap(site.rank)) {
-            // The paper's overlap tables use the endless model on both
-            // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
-            overlap.add_site(obs, core::classify_site(
-                                      obs, {core::DurationModel::kEndless}));
+        [&](unsigned worker) -> browser::ShardSink {
+          while (shards.size() <= worker) {
+            shards.push_back(std::make_unique<Shard>(as_db));
           }
+          Shard* shard = shards[worker].get();
+          return [shard, &in_overlap](const browser::SiteResult& site) {
+            if (!site.reachable) return;
+            const auto& obs = site.netlog_observation;
+            shard->exact.add_site(
+                obs, core::classify_site(obs, {core::DurationModel::kExact}));
+            shard->endless.add_site(
+                obs,
+                core::classify_site(obs, {core::DurationModel::kEndless}));
+            if (in_overlap(site.rank)) {
+              // The paper's overlap tables use the endless model on both
+              // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
+              shard->overlap.add_site(
+                  obs,
+                  core::classify_site(obs, {core::DurationModel::kEndless}));
+            }
+          };
         });
-    results.alexa_exact = exact.report();
-    results.alexa_endless = endless.report();
-    results.overlap_alexa_endless = overlap.report();
-  }
+    for (const auto& shard : shards) {
+      results.alexa_exact.merge(shard->exact.report());
+      results.alexa_endless.merge(shard->endless.report());
+      results.overlap_alexa_endless.merge(shard->overlap.report());
+    }
+  };
 
   // ------------------------------------- Alexa-like crawl, w/o Fetch
-  if (config.run_no_fetch) {
-    core::Aggregator exact{as_db};
+  auto nofetch_campaign = [&]() {
+    std::vector<std::unique_ptr<core::Aggregator>> shards;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = false;  // patched Chromium
@@ -109,23 +174,36 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.start_time = util::days(4);
     crawl.har_path = false;
 
-    results.nofetch_summary = browser::crawl_range(
+    results.nofetch_summary = browser::crawl_range_sharded(
         universe, 0, config.alexa_sites, crawl,
-        [&](const browser::SiteResult& site) {
-          if (!site.reachable) return;
-          const auto& obs = site.netlog_observation;
-          exact.add_site(
-              obs, core::classify_site(obs, {core::DurationModel::kExact}));
+        [&](unsigned worker) -> browser::ShardSink {
+          while (shards.size() <= worker) {
+            shards.push_back(std::make_unique<core::Aggregator>(as_db));
+          }
+          core::Aggregator* exact = shards[worker].get();
+          return [exact](const browser::SiteResult& site) {
+            if (!site.reachable) return;
+            const auto& obs = site.netlog_observation;
+            exact->add_site(
+                obs, core::classify_site(obs, {core::DurationModel::kExact}));
+          };
         });
-    results.nofetch_exact = exact.report();
-  }
+    for (const auto& shard : shards) {
+      results.nofetch_exact.merge(shard->report());
+    }
+  };
 
   // --------------------------------- HTTP-Archive-like crawl (US, HAR)
-  if (config.run_har) {
-    core::Aggregator endless{as_db};
-    core::Aggregator immediate{as_db};
-    core::Aggregator overlap{as_db};
-    std::uint64_t overlap_sites = 0;
+  auto har_campaign = [&]() {
+    struct Shard {
+      core::Aggregator endless;
+      core::Aggregator immediate;
+      core::Aggregator overlap;
+      std::uint64_t overlap_sites = 0;
+      explicit Shard(const asdb::AsDatabase* db)
+          : endless(db), immediate(db), overlap(db) {}
+    };
+    std::vector<std::unique_ptr<Shard>> shards;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -136,27 +214,58 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.start_time = util::days(8);
     crawl.har_path = true;  // export + filtered re-import
 
-    results.har_summary = browser::crawl_range(
+    results.har_summary = browser::crawl_range_sharded(
         universe, config.har_first_rank, config.har_sites, crawl,
-        [&](const browser::SiteResult& site) {
-          if (!site.reachable) return;
-          const auto& obs = site.har_observation;
-          endless.add_site(
-              obs, core::classify_site(obs, {core::DurationModel::kEndless}));
-          immediate.add_site(
-              obs,
-              core::classify_site(obs, {core::DurationModel::kImmediate}));
-          if (in_overlap(site.rank)) {
-            ++overlap_sites;
-            overlap.add_site(obs, core::classify_site(
-                                      obs, {core::DurationModel::kEndless}));
+        [&](unsigned worker) -> browser::ShardSink {
+          while (shards.size() <= worker) {
+            shards.push_back(std::make_unique<Shard>(as_db));
           }
+          Shard* shard = shards[worker].get();
+          return [shard, &in_overlap](const browser::SiteResult& site) {
+            if (!site.reachable) return;
+            const auto& obs = site.har_observation;
+            shard->endless.add_site(
+                obs,
+                core::classify_site(obs, {core::DurationModel::kEndless}));
+            shard->immediate.add_site(
+                obs,
+                core::classify_site(obs, {core::DurationModel::kImmediate}));
+            if (in_overlap(site.rank)) {
+              ++shard->overlap_sites;
+              shard->overlap.add_site(
+                  obs,
+                  core::classify_site(obs, {core::DurationModel::kEndless}));
+            }
+          };
         });
-    results.har_endless = endless.report();
-    results.har_immediate = immediate.report();
-    results.overlap_har_endless = overlap.report();
-    results.overlap_sites = overlap_sites;
+    for (const auto& shard : shards) {
+      results.har_endless.merge(shard->endless.report());
+      results.har_immediate.merge(shard->immediate.report());
+      results.overlap_har_endless.merge(shard->overlap.report());
+      results.overlap_sites += shard->overlap_sites;
+    }
+  };
+
+  // The campaigns only read the materialized universe (each crawl worker
+  // brings its own browser, resolver and RNGs), so the independent ones
+  // can overlap: the two Alexa crawls and the HAR crawl run concurrently.
+  std::vector<std::unique_ptr<Campaign>> campaigns;
+  campaigns.push_back(std::make_unique<Campaign>(alexa_campaign));
+  if (config.run_no_fetch) {
+    campaigns.push_back(std::make_unique<Campaign>(nofetch_campaign));
   }
+  if (config.run_har) {
+    campaigns.push_back(std::make_unique<Campaign>(har_campaign));
+  }
+  std::exception_ptr first_error;
+  for (const auto& campaign : campaigns) {
+    try {
+      campaign->join();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 
   return results;
 }
@@ -164,6 +273,9 @@ StudyResults run_study(const StudyConfig& config) {
 const StudyResults& shared_study(const StudyConfig& config) {
   static std::mutex mutex;
   static std::map<std::string, std::unique_ptr<StudyResults>> cache;
+  // `threads` is deliberately absent: the crawl layer guarantees
+  // thread-count-independent results, so runs differing only in
+  // parallelism share one cache slot.
   const std::string key = std::to_string(config.har_sites) + "/" +
                           std::to_string(config.alexa_sites) + "/" +
                           std::to_string(config.har_first_rank) + "/" +

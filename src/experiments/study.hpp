@@ -32,14 +32,19 @@ struct StudyConfig {
   /// models the partially-intersecting site sets of the paper (§A.3).
   std::size_t har_first_rank = 2000;
   std::uint64_t seed = 42;
-  /// Worker threads per crawl (H2R_THREADS; see CrawlOptions::threads).
+  /// Worker threads per crawl, forwarded to CrawlOptions::threads.
+  /// Results are identical for every value (the crawl's determinism
+  /// contract); this only changes wall time. `from_env()` reads
+  /// H2R_THREADS and clamps it to std::thread::hardware_concurrency().
   unsigned threads = 1;
   /// Run the patched (ignore Fetch credentials) Alexa crawl as well.
   bool run_no_fetch = true;
   /// Run the HAR crawl as well.
   bool run_har = true;
 
-  /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED overrides.
+  /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS
+  /// overrides. Invalid or non-positive values fall back to the defaults;
+  /// H2R_THREADS is clamped to the machine's hardware concurrency.
   static StudyConfig from_env();
 };
 

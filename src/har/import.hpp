@@ -39,6 +39,8 @@ struct ImportStats {
   }
 
   void add(const ImportStats& other) noexcept;
+
+  bool operator==(const ImportStats&) const = default;
 };
 
 /// Parses one site's HAR into connection records (request-level only: no

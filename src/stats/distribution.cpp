@@ -7,6 +7,26 @@
 
 namespace h2r::stats {
 
+std::uint64_t histogram_count(const TimeHistogram& histogram) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : histogram) total += count;
+  return total;
+}
+
+std::optional<util::SimTime> histogram_quantile(
+    const TimeHistogram& histogram, double q) {
+  const std::uint64_t total = histogram_count(histogram);
+  if (total == 0) return std::nullopt;
+  const std::uint64_t target = std::min<std::uint64_t>(
+      total - 1, static_cast<std::uint64_t>(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : histogram) {
+    seen += count;
+    if (seen > target) return value;
+  }
+  return histogram.rbegin()->first;
+}
+
 std::vector<CcdfPoint> ccdf(
     const std::map<std::size_t, std::uint64_t>& histogram) {
   std::uint64_t total = 0;

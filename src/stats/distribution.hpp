@@ -4,10 +4,27 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/clock.hpp"
+
 namespace h2r::stats {
+
+/// Multiset of SimTime samples stored as a value -> count histogram.
+/// Unlike a vector of samples, the representation is independent of
+/// accumulation order, which is what lets aggregate reports built from
+/// merged per-worker shards compare bit-identical to single-pass ones.
+using TimeHistogram = std::map<util::SimTime, std::uint64_t>;
+
+/// Number of samples in a histogram.
+std::uint64_t histogram_count(const TimeHistogram& histogram) noexcept;
+
+/// Nearest-rank quantile (the element at index floor(q * n) of the sorted
+/// multiset, matching `quantile` below); nullopt when empty.
+std::optional<util::SimTime> histogram_quantile(
+    const TimeHistogram& histogram, double q);
 
 /// A point of a complementary cumulative distribution: the share of sites
 /// with at least `value` occurrences.

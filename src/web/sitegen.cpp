@@ -122,6 +122,12 @@ const Website& SiteUniverse::site(std::size_t rank) {
   return cache_.emplace(rank, std::move(site)).first->second;
 }
 
+void SiteUniverse::materialize(std::size_t first_rank, std::size_t count) {
+  for (std::size_t rank = first_rank; rank < first_rank + count; ++rank) {
+    if (!unreachable(rank)) (void)site(rank);
+  }
+}
+
 void SiteUniverse::build_first_party(Website& site, std::size_t rank,
                                      util::Rng& rng, bool bare) {
   const std::string base = "site" + std::to_string(rank);

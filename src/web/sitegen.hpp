@@ -81,6 +81,13 @@ class SiteUniverse {
   /// The website at `rank`. Stable across calls.
   const Website& site(std::size_t rank);
 
+  /// Generates every reachable site in [first_rank, first_rank + count)
+  /// that is not cached yet. Generation mutates the shared ecosystem, so
+  /// concurrent readers (parallel crawls, overlapping campaigns) must
+  /// materialize their ranges up front from one thread; afterwards
+  /// `site()` and the ecosystem are read-only for those ranks.
+  void materialize(std::size_t first_rank, std::size_t count);
+
   /// Resource sets of `count` internal pages of the site at `rank`
   /// (deterministic). Internal pages share the site's template: most
   /// embeds recur, plus a few page-specific assets. Used by the

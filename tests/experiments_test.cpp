@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "experiments/perf_model.hpp"
 #include "experiments/study.hpp"
 
@@ -118,6 +122,28 @@ TEST(StudyConfigTest, EnvOverrides) {
   unsetenv("H2R_SEED");
   const StudyConfig defaults = StudyConfig::from_env();
   EXPECT_NE(defaults.har_sites, 123u);
+}
+
+TEST(StudyConfigTest, ThreadsEnvIsValidatedAndClamped) {
+  // Regression: H2R_THREADS used to be trusted verbatim; garbage, zero,
+  // negative and absurd values must now fall back / clamp to
+  // hardware_concurrency so a bad env can't spawn 10k workers.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned fallback = StudyConfig{}.threads;
+  auto threads_for = [](const char* value) {
+    setenv("H2R_THREADS", value, 1);
+    const unsigned threads = StudyConfig::from_env().threads;
+    unsetenv("H2R_THREADS");
+    return threads;
+  };
+  EXPECT_EQ(threads_for("0"), fallback);
+  EXPECT_EQ(threads_for("-4"), fallback);
+  EXPECT_EQ(threads_for("abc"), fallback);
+  EXPECT_EQ(threads_for(""), fallback);
+  EXPECT_EQ(threads_for("2"), std::min(2u, hw));
+  EXPECT_EQ(threads_for("1000000"), hw);
+  unsetenv("H2R_THREADS");
+  EXPECT_EQ(StudyConfig::from_env().threads, fallback);
 }
 
 TEST(SharedStudy, CachesByConfig) {

@@ -1,0 +1,240 @@
+// Shard-merge correctness: AggregateReport::merge and CrawlSummary::merge
+// must make "split the sites into shards, aggregate each shard, merge the
+// partial reports in ANY order" indistinguishable from single-pass
+// accumulation. This is what lets the parallel study engine aggregate
+// inside workers instead of funnelling every observation through one sink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "browser/crawl.hpp"
+#include "core/report.hpp"
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::core {
+namespace {
+
+net::IpAddress ip(const std::string& s) {
+  return net::IpAddress::parse(s).value();
+}
+
+/// Deterministic synthetic site: a handful of connections over a small
+/// pool of domains/IPs so that CERT / IP / CRED causes, previous-origin
+/// attribution, issuer tables and lifetime histograms all get exercised.
+SiteObservation random_site(util::Rng& rng, std::size_t index) {
+  static const char* kDomains[] = {"cdn.ex", "ads.ex",  "img.ex",
+                                   "api.ex", "tags.ex", "sso.ex"};
+  static const char* kWildcards[] = {"*.ex", "cdn.ex", "ads.ex"};
+  SiteObservation site;
+  site.site_url = "https://site-" + std::to_string(index) + ".test";
+  const std::size_t conns = rng.uniform(1, 5);
+  for (std::size_t c = 0; c < conns; ++c) {
+    ConnectionRecord rec;
+    rec.id = c + 1;
+    // 4 addresses -> frequent IP sharing, 6 domains -> frequent cert
+    // sharing and occasional same-domain CRED duplicates.
+    rec.endpoint =
+        net::Endpoint{ip("10.0.0." + std::to_string(rng.uniform(1, 4))), 443};
+    rec.initial_domain = kDomains[rng.index(6)];
+    rec.san_dns_names = {kWildcards[rng.index(3)], rec.initial_domain};
+    // One issuer per domain, like the simulated CA assignment — required
+    // for OriginTally::issuer first-non-empty-wins merging.
+    rec.issuer_organization =
+        std::string("CA-") + std::string(1, rec.initial_domain[0]);
+    rec.has_certificate = true;
+    rec.opened_at = static_cast<util::SimTime>(rng.uniform(0, 4000));
+    if (rng.chance(0.3)) {
+      rec.closed_at = rec.opened_at +
+                      static_cast<util::SimTime>(rng.uniform(100, 200000));
+    }
+    RequestRecord req;
+    req.started_at = rec.opened_at;
+    req.finished_at = rec.opened_at + 50;
+    req.domain = rec.initial_domain;
+    rec.requests.push_back(req);
+    site.connections.push_back(std::move(rec));
+  }
+  return site;
+}
+
+AggregateReport aggregate(const std::vector<SiteObservation>& sites) {
+  Aggregator agg;
+  for (const SiteObservation& site : sites) {
+    agg.add_site(site, classify_site(site, {DurationModel::kEndless}));
+  }
+  return agg.report();
+}
+
+TEST(ReportMerge, EmptyMergeIsIdentity) {
+  std::vector<SiteObservation> sites;
+  util::Rng rng{11};
+  for (std::size_t i = 0; i < 10; ++i) sites.push_back(random_site(rng, i));
+  const AggregateReport single = aggregate(sites);
+
+  AggregateReport merged = aggregate(sites);
+  merged.merge(AggregateReport{});
+  EXPECT_EQ(merged, single);
+
+  AggregateReport from_empty;
+  from_empty.merge(single);
+  EXPECT_EQ(from_empty, single);
+}
+
+TEST(ReportMerge, RandomPartitionsInShuffledOrderMatchSinglePass) {
+  // Property: for random site sets, random shard assignments and random
+  // merge orders, merged shards == one-pass aggregation. 20 trials.
+  util::Rng rng{0xC0FFEE};
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    std::vector<SiteObservation> sites;
+    const std::size_t n_sites = rng.uniform(5, 40);
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      sites.push_back(random_site(rng, i));
+    }
+    const AggregateReport single = aggregate(sites);
+
+    const std::size_t n_shards = rng.uniform(2, 7);
+    std::vector<Aggregator> shards(n_shards);
+    for (const SiteObservation& site : sites) {
+      Aggregator& shard = shards[rng.index(n_shards)];
+      shard.add_site(site, classify_site(site, {DurationModel::kEndless}));
+    }
+
+    std::vector<std::size_t> order(n_shards);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    AggregateReport merged;
+    for (const std::size_t shard : order) {
+      merged.merge(shards[shard].report());
+    }
+    EXPECT_EQ(merged, single);
+  }
+}
+
+TEST(ReportMerge, MergePreservesDerivedStatistics) {
+  util::Rng rng{7};
+  std::vector<SiteObservation> sites;
+  for (std::size_t i = 0; i < 30; ++i) sites.push_back(random_site(rng, i));
+  const AggregateReport single = aggregate(sites);
+
+  AggregateReport merged;
+  Aggregator left;
+  Aggregator right;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    Aggregator& half = i % 2 == 0 ? left : right;
+    half.add_site(sites[i], classify_site(sites[i], {DurationModel::kEndless}));
+  }
+  merged.merge(right.report());  // deliberately out of crawl order
+  merged.merge(left.report());
+
+  EXPECT_EQ(merged.median_closed_lifetime(), single.median_closed_lifetime());
+  EXPECT_EQ(merged.sites_with_at_least(1), single.sites_with_at_least(1));
+  EXPECT_DOUBLE_EQ(merged.redundant_site_share(),
+                   single.redundant_site_share());
+  for (Cause cause : kAllCauses) {
+    EXPECT_EQ(merged.median_open_offset(cause),
+              single.median_open_offset(cause));
+  }
+}
+
+TEST(ReportMerge, IssuerFirstNonEmptyWins) {
+  AggregateReport a;
+  a.cert_domains["d.ex"].connections = 1;  // shard that never saw the cert
+  AggregateReport b;
+  b.cert_domains["d.ex"].connections = 2;
+  b.cert_domains["d.ex"].issuer = "CA-x";
+
+  AggregateReport ab = a;
+  ab.merge(b);
+  AggregateReport ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.cert_domains.at("d.ex").issuer, "CA-x");
+  EXPECT_EQ(ba.cert_domains.at("d.ex").issuer, "CA-x");
+  EXPECT_EQ(ab.cert_domains.at("d.ex").connections, 3u);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(CrawlSummaryMerge, SumsMeasurementCountersAndConcatenatesWorkers) {
+  util::Rng rng{99};
+  auto random_summary = [&rng](unsigned workers) {
+    browser::CrawlSummary s;
+    s.sites_visited = rng.uniform(0, 100);
+    s.sites_unreachable = rng.uniform(0, 10);
+    s.connections_opened = rng.uniform(0, 500);
+    s.har_stats.total_entries = rng.uniform(0, 50);
+    s.wall_ms = static_cast<double>(rng.uniform(1, 100));
+    for (unsigned w = 0; w < workers; ++w) {
+      browser::WorkerCounters counters;
+      counters.sites_loaded = rng.uniform(0, 50);
+      s.per_worker.push_back(counters);
+    }
+    return s;
+  };
+
+  const browser::CrawlSummary a = random_summary(2);
+  const browser::CrawlSummary b = random_summary(3);
+  browser::CrawlSummary merged = a;
+  merged.merge(b);
+
+  EXPECT_EQ(merged.sites_visited, a.sites_visited + b.sites_visited);
+  EXPECT_EQ(merged.sites_unreachable,
+            a.sites_unreachable + b.sites_unreachable);
+  EXPECT_EQ(merged.connections_opened,
+            a.connections_opened + b.connections_opened);
+  EXPECT_EQ(merged.har_stats.total_entries,
+            a.har_stats.total_entries + b.har_stats.total_entries);
+  ASSERT_EQ(merged.per_worker.size(), 5u);
+  EXPECT_EQ(merged.per_worker[2].sites_loaded, b.per_worker[0].sites_loaded);
+}
+
+TEST(CrawlSummaryMerge, EqualityIgnoresSchedulingDiagnostics) {
+  // operator== is the determinism contract: it must compare measurement
+  // counters only, never wall/CPU time or per-worker scheduling detail.
+  browser::CrawlSummary a;
+  a.sites_visited = 4;
+  browser::CrawlSummary b = a;
+  b.wall_ms = 123.0;
+  b.per_worker.resize(8);
+  EXPECT_TRUE(a == b);
+  b.sites_visited = 5;
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------- histogram plumbing
+
+TEST(TimeHistogram, QuantileMatchesSortedSamples) {
+  util::Rng rng{3};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<util::SimTime> samples;
+    stats::TimeHistogram histogram;
+    const std::size_t n = rng.uniform(1, 200);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<util::SimTime>(rng.uniform(0, 50));
+      samples.push_back(v);
+      ++histogram[v];
+    }
+    std::sort(samples.begin(), samples.end());
+    EXPECT_EQ(stats::histogram_count(histogram), samples.size());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const std::size_t rank = std::min(
+          samples.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+      ASSERT_TRUE(stats::histogram_quantile(histogram, q).has_value());
+      EXPECT_EQ(*stats::histogram_quantile(histogram, q), samples[rank])
+          << "q=" << q;
+    }
+  }
+}
+
+TEST(TimeHistogram, EmptyQuantileIsNullopt) {
+  EXPECT_FALSE(stats::histogram_quantile({}, 0.5).has_value());
+  EXPECT_EQ(stats::histogram_count({}), 0u);
+}
+
+}  // namespace
+}  // namespace h2r::core

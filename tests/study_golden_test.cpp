@@ -1,0 +1,93 @@
+// Golden pin of the study's Table-1-style cause counts for a small fixed
+// config. Guards against silent semantic drift in the crawl/classify/merge
+// pipeline: any change to what the study MEASURES (as opposed to how fast
+// it runs) must update these strings consciously. Because the crawl is
+// thread-count invariant, the same goldens must hold for every
+// StudyConfig::threads value — the test runs the study at threads=3.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.hpp"
+#include "experiments/study.hpp"
+
+namespace h2r::experiments {
+namespace {
+
+std::string cause_line(const core::AggregateReport& r) {
+  auto tally = [&r](core::Cause cause) {
+    const auto it = r.by_cause.find(cause);
+    return it == r.by_cause.end() ? core::CauseTally{} : it->second;
+  };
+  const core::CauseTally cert = tally(core::Cause::kCert);
+  const core::CauseTally ip = tally(core::Cause::kIp);
+  const core::CauseTally cred = tally(core::Cause::kCred);
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "sites=%llu h2=%llu conns=%llu redundant=%llu/%llu "
+      "CERT=%llu/%llu IP=%llu/%llu CRED=%llu/%llu",
+      static_cast<unsigned long long>(r.analyzed_sites),
+      static_cast<unsigned long long>(r.h2_sites),
+      static_cast<unsigned long long>(r.total_connections),
+      static_cast<unsigned long long>(r.redundant_sites),
+      static_cast<unsigned long long>(r.redundant_connections),
+      static_cast<unsigned long long>(cert.sites),
+      static_cast<unsigned long long>(cert.connections),
+      static_cast<unsigned long long>(ip.sites),
+      static_cast<unsigned long long>(ip.connections),
+      static_cast<unsigned long long>(cred.sites),
+      static_cast<unsigned long long>(cred.connections));
+  return buf;
+}
+
+const StudyResults& golden_study() {
+  StudyConfig config;
+  config.har_sites = 120;
+  config.alexa_sites = 60;
+  config.har_first_rank = 30;
+  config.seed = 42;
+  config.threads = 3;
+  static const StudyResults results = run_study(config);
+  return results;
+}
+
+TEST(StudyGolden, AlexaCauseCounts) {
+  const StudyResults& r = golden_study();
+  EXPECT_EQ(cause_line(r.alexa_exact), "sites=59 h2=57 conns=1040 redundant=57/334 CERT=16/20 IP=54/243 CRED=48/81");
+  EXPECT_EQ(cause_line(r.alexa_endless), "sites=59 h2=57 conns=1040 redundant=57/334 CERT=16/20 IP=54/243 CRED=48/81");
+  EXPECT_EQ(cause_line(r.nofetch_exact), "sites=59 h2=57 conns=977 redundant=55/274 CERT=20/23 IP=55/260 CRED=0/0");
+}
+
+TEST(StudyGolden, HarCauseCounts) {
+  const StudyResults& r = golden_study();
+  EXPECT_EQ(cause_line(r.har_endless), "sites=115 h2=108 conns=1364 redundant=101/394 CERT=25/32 IP=91/302 CRED=54/71");
+  EXPECT_EQ(cause_line(r.har_immediate), "sites=115 h2=108 conns=1364 redundant=57/81 CERT=6/6 IP=44/60 CRED=15/15");
+}
+
+TEST(StudyGolden, OverlapCauseCounts) {
+  const StudyResults& r = golden_study();
+  EXPECT_EQ(cause_line(r.overlap_har_endless), "sites=29 h2=28 conns=460 redundant=28/140 CERT=6/8 IP=27/108 CRED=20/30");
+  EXPECT_EQ(cause_line(r.overlap_alexa_endless), "sites=29 h2=28 conns=548 redundant=28/188 CERT=8/11 IP=27/135 CRED=26/48");
+  EXPECT_EQ(r.overlap_sites, 29u);
+}
+
+TEST(StudyGolden, SummariesStayPinned) {
+  const StudyResults& r = golden_study();
+  auto summary_line = [](const browser::CrawlSummary& s) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "visited=%llu unreachable=%llu conns=%llu",
+                  static_cast<unsigned long long>(s.sites_visited),
+                  static_cast<unsigned long long>(s.sites_unreachable),
+                  static_cast<unsigned long long>(s.connections_opened));
+    return std::string(buf);
+  };
+  EXPECT_EQ(summary_line(r.alexa_summary), "visited=59 unreachable=1 conns=1040");
+  EXPECT_EQ(summary_line(r.nofetch_summary), "visited=59 unreachable=1 conns=977");
+  EXPECT_EQ(summary_line(r.har_summary), "visited=115 unreachable=5 conns=1652");
+}
+
+}  // namespace
+}  // namespace h2r::experiments

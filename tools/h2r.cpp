@@ -119,6 +119,15 @@ int cmd_study() {
   row("HAR immediate", r.har_immediate);
   row("Alexa", r.alexa_exact);
   row("Alexa w/o Fetch", r.nofetch_exact);
+
+  auto workers = [](const char* name, const browser::CrawlSummary& summary) {
+    if (summary.per_worker.empty()) return;
+    std::printf("\n%s crawl workers:\n%s", name,
+                browser::describe_workers(summary).c_str());
+  };
+  workers("Alexa", r.alexa_summary);
+  workers("Alexa w/o Fetch", r.nofetch_summary);
+  workers("HAR", r.har_summary);
   return 0;
 }
 
