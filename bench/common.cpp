@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "util/format.hpp"
 
 namespace h2r::benchcommon {
@@ -18,6 +19,7 @@ const experiments::StudyResults& study() {
         "%zu Alexa-like sites (ranks 0..%zu), seed %llu, %u thread(s)\n"
         "# scale with H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED; "
         "parallelize with H2R_THREADS (results are thread-count invariant); "
+        "inject faults with H2R_FAULT_RATE; "
         "percentages and rankings are the reproduction target\n\n",
         config.har_sites, config.har_first_rank,
         config.har_first_rank + config.har_sites, config.alexa_sites,
@@ -38,6 +40,11 @@ const experiments::StudyResults& study() {
     workers("Alexa", results.alexa_summary);
     workers("Alexa w/o Fetch", results.nofetch_summary);
     workers("HAR", results.har_summary);
+    if (config.faults.enabled()) {
+      std::printf("# fault injection (%s), all campaigns:\n%s",
+                  config.faults.signature().c_str(),
+                  fault::describe(results.total_failures()).c_str());
+    }
     std::printf("\n");
   }
   return results;

@@ -6,7 +6,9 @@
 #include <tuple>
 
 #include "fetch/request.hpp"
+#include "net/connect.hpp"
 #include "netlog/stitch.hpp"
+#include "tls/handshake.hpp"
 #include "util/strings.hpp"
 
 namespace h2r::browser {
@@ -50,33 +52,46 @@ dns::Resolution Browser::resolve(PageState& page, const std::string& host,
   for (const net::IpAddress& ip : res.addresses) {
     addresses.push_back(ip.to_string());
   }
+  std::map<std::string, std::string> params{
+      {"host", host},
+      {"addresses", join_list(addresses)},
+      {"from_cache", res.from_cache ? "1" : "0"}};
+  if (res.injected_fault) params["fault"] = "1";
   page.log.record(netlog::EventType::kDnsResolved, now, 0,
-                  {{"host", host},
-                   {"addresses", join_list(addresses)},
-                   {"from_cache", res.from_cache ? "1" : "0"}});
+                  std::move(params));
   return res;
 }
 
 std::size_t Browser::acquire_session(PageState& page, const std::string& host,
                                      bool privacy, util::SimTime now,
-                                     bool allow_pooling, bool& ok) {
-  ok = true;
+                                     bool allow_pooling, bool fresh_connection,
+                                     AcquireStatus& status) {
+  status = AcquireStatus{};
+  status.ok = true;
   const GroupKey key{host, 443, privacy};
 
   // 1. Group hit: an existing (possibly still connecting) session for this
-  //    exact host and privacy mode.
-  if (const auto it = page.groups.find(key); it != page.groups.end()) {
-    SessionEntry& entry = page.sessions[it->second];
-    if (entry.session->is_open() && !entry.session->is_rejected(host)) {
-      ++page.result.group_reuses;
-      return it->second;
+  //    exact host and privacy mode. A fault retry skips it — the whole
+  //    point of the retry is a brand-new connection.
+  if (!fresh_connection) {
+    if (const auto it = page.groups.find(key); it != page.groups.end()) {
+      SessionEntry& entry = page.sessions[it->second];
+      if (entry.session->is_open() && !entry.session->is_rejected(host)) {
+        ++page.result.group_reuses;
+        return it->second;
+      }
     }
   }
 
   // 2. Resolve.
   const dns::Resolution res = resolve(page, host, now);
   if (!res.ok || res.addresses.empty()) {
-    ok = false;
+    if (res.injected_fault) {
+      status.injected_fault = true;
+      page.log.record(netlog::EventType::kConnectFailed, now, 0,
+                      {{"host", host}, {"cause", "dns"}});
+    }
+    status.ok = false;
     return 0;
   }
 
@@ -85,7 +100,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   //    421-rejected, origin set permitting. In-flight sessions match too:
   //    Chromium parks the request until the handshake confirms the
   //    certificate — below this model's time resolution.
-  if (allow_pooling && options_.enable_ip_pooling) {
+  if (allow_pooling && !fresh_connection && options_.enable_ip_pooling) {
     for (std::size_t i = page.sessions.size(); i-- > 0;) {
       SessionEntry& entry = page.sessions[i];
       http2::Session& session = *entry.session;
@@ -104,7 +119,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   }
 
   // 4. RFC 8336: an announced origin set lifts the same-IP requirement.
-  if (allow_pooling && options_.support_origin_frame) {
+  if (allow_pooling && !fresh_connection && options_.support_origin_frame) {
     for (std::size_t i = page.sessions.size(); i-- > 0;) {
       SessionEntry& entry = page.sessions[i];
       http2::Session& session = *entry.session;
@@ -129,16 +144,40 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
       res.addresses[existing % res.addresses.size()];
   const web::Server* server = eco_.server_at(address);
   if (server == nullptr) {
-    ok = false;
+    status.ok = false;
     return 0;
   }
   if (!server->h2_enabled()) {
-    ok = false;  // caller falls back to HTTP/1.1
+    status.ok = false;  // caller falls back to HTTP/1.1
     return 0;
   }
+
+  // TCP establishment: an injected refusal/reset fails the attempt before
+  // TLS; an injected latency spike stretches the handshake.
+  const net::ConnectResult conn =
+      net::simulate_connect(net::Endpoint{address, 443}, &page.plan);
+  if (!conn.ok) {
+    status.ok = false;
+    status.injected_fault = conn.injected_fault;
+    page.log.record(netlog::EventType::kConnectFailed, now, 0,
+                    {{"host", host},
+                     {"ip", address.to_string()},
+                     {"cause", "connect"}});
+    return 0;
+  }
+
   tls::CertificatePtr cert = server->certificate_for(host);
-  if (cert == nullptr || !cert->valid_at(now)) {
-    ok = false;  // TLS handshake failure (certificate errors not ignored)
+  const tls::HandshakeResult tls_result =
+      tls::simulate_handshake(cert, host, now, &page.plan);
+  if (!tls_result.ok) {
+    status.ok = false;  // certificate errors are not ignored
+    status.injected_fault = tls_result.injected_fault;
+    if (tls_result.injected_fault) {
+      page.log.record(netlog::EventType::kConnectFailed, now, 0,
+                      {{"host", host},
+                       {"ip", address.to_string()},
+                       {"cause", "tls"}});
+    }
     return 0;
   }
 
@@ -146,7 +185,9 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   const util::SimTime rtt = rtt_to(address);
   // QUIC saves one handshake round trip.
   const util::SimTime handshake =
-      (use_h3 ? 1 : 2) * rtt + static_cast<util::SimTime>(page.rng.uniform(0, 8));
+      (use_h3 ? 1 : 2) * rtt +
+      static_cast<util::SimTime>(page.rng.uniform(0, 8)) +
+      conn.latency_penalty;
 
   http2::Session::Params params;
   params.id = next_session_id_++;
@@ -232,25 +273,30 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
                                      fetch::Destination destination,
                                      bool privacy, bool with_cookie,
                                      std::uint32_t size_bytes,
-                                     util::SimTime now, bool is_retry) {
+                                     util::SimTime now, bool is_retry,
+                                     bool fresh_connection) {
   (void)destination;
-  bool ok = false;
+  AcquireStatus acquired;
   const std::size_t index =
       acquire_session(page, host, privacy, now, /*allow_pooling=*/!is_retry,
-                      ok);
-  if (!ok) {
-    // HTTP/1.1-only server? Serve over h1 so the HAR contains the entry.
-    const dns::Resolution res = resolver_.resolve(host, now);
-    if (res.ok && !res.addresses.empty()) {
-      const web::Server* server = eco_.server_at(res.addresses.front());
-      if (server != nullptr && !server->h2_enabled() &&
-          server->certificate_for(host) != nullptr) {
-        return fetch_h1(page, host, path, server->respond(host), size_bytes,
-                        now);
+                      fresh_connection, acquired);
+  if (!acquired.ok) {
+    FetchOutcome outcome;
+    outcome.injected_fault = acquired.injected_fault;
+    outcome.finished_at = now;  // connect-stage failures surface immediately
+    if (!acquired.injected_fault) {
+      // HTTP/1.1-only server? Serve over h1 so the HAR contains the entry.
+      const dns::Resolution res = resolver_.resolve(host, now);
+      if (res.ok && !res.addresses.empty()) {
+        const web::Server* server = eco_.server_at(res.addresses.front());
+        if (server != nullptr && !server->h2_enabled() &&
+            server->certificate_for(host) != nullptr) {
+          return fetch_h1(page, host, path, server->respond(host), size_bytes,
+                          now);
+        }
       }
     }
-    ++page.result.failed_fetches;
-    return {};
+    return outcome;
   }
 
   SessionEntry& entry = page.sessions[index];
@@ -271,6 +317,41 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
 
   const util::SimTime rtt = rtt_to(session.peer().address);
   const util::SimTime start = std::max(now, entry.available_at);
+
+  // Mid-stream faults: the server resets this stream, or tears the whole
+  // session down with a GOAWAY. Either way the response headers never
+  // arrive — the failure surfaces one round trip after the request went
+  // out on the wire.
+  if (page.plan.fire(fault::FaultKind::kRstStream)) {
+    const util::SimTime reset_at = start + rtt;
+    session.reset_stream(stream, http2::ErrorCode::kRefusedStream, reset_at);
+    page.log.record(netlog::EventType::kStreamReset, reset_at, session.id(),
+                    {{"stream", std::to_string(stream)},
+                     {"cause", "injected"}});
+    entry.last_activity = reset_at;
+    FetchOutcome outcome;
+    outcome.injected_fault = true;
+    outcome.finished_at = reset_at;
+    return outcome;
+  }
+  if (page.plan.fire(fault::FaultKind::kGoaway)) {
+    const util::SimTime goaway_at = start + rtt;
+    session.receive_goaway(http2::ErrorCode::kInternalError);
+    session.reset_stream(stream, http2::ErrorCode::kRefusedStream, goaway_at);
+    page.log.record(netlog::EventType::kStreamReset, goaway_at, session.id(),
+                    {{"stream", std::to_string(stream)},
+                     {"cause", "goaway"}});
+    page.log.record(netlog::EventType::kSessionGoaway, goaway_at,
+                    session.id(), {{"cause", "injected"}});
+    session.close(goaway_at);
+    page.log.record(netlog::EventType::kSessionClosed, goaway_at,
+                    session.id(), {});
+    FetchOutcome outcome;
+    outcome.injected_fault = true;
+    outcome.finished_at = goaway_at;
+    return outcome;
+  }
+
   // Flow control: responses larger than the advertised window stall for
   // a round trip per window epoch until WINDOW_UPDATEs catch up.
   const int stalls = session.receive_response_data(stream, size_bytes);
@@ -293,9 +374,12 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
     ++page.result.misdirected_retries;
     if (!is_retry) {
       return fetch(page, host, path, destination, privacy, with_cookie,
-                   size_bytes, finish, /*is_retry=*/true);
+                   size_bytes, finish, /*is_retry=*/true,
+                   /*fresh_connection=*/false);
     }
-    return {};
+    FetchOutcome outcome;
+    outcome.finished_at = finish;  // a natural failure; never fault-retried
+    return outcome;
   }
 
   FetchOutcome outcome;
@@ -304,14 +388,52 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
   return outcome;
 }
 
+Browser::FetchOutcome Browser::fetch_with_retry(
+    PageState& page, const std::string& host, const std::string& path,
+    fetch::Destination destination, bool privacy, bool with_cookie,
+    std::uint32_t size_bytes, util::SimTime now) {
+  ++page.result.failures.fetch_attempts;
+  FetchOutcome outcome = fetch(page, host, path, destination, privacy,
+                               with_cookie, size_bytes, now,
+                               /*is_retry=*/false, /*fresh_connection=*/false);
+  int attempt = 0;
+  while (!outcome.ok && outcome.injected_fault &&
+         attempt < options_.faults.max_retries) {
+    // Exponential backoff from the moment the failure surfaced, then a
+    // clean slate: new DNS query, new connection (the failed one may be
+    // gone, wedged, or resolving to a dead address).
+    const util::SimTime failed_at = std::max(now, outcome.finished_at);
+    const util::SimTime backoff = options_.faults.backoff_base << attempt;
+    const util::SimTime retry_at = failed_at + backoff;
+    ++attempt;
+    ++page.result.failures.retries;
+    page.log.record(netlog::EventType::kFetchRetry, retry_at, 0,
+                    {{"host", host},
+                     {"attempt", std::to_string(attempt)},
+                     {"backoff_ms", std::to_string(backoff)}});
+    outcome = fetch(page, host, path, destination, privacy, with_cookie,
+                    size_bytes, retry_at, /*is_retry=*/false,
+                    /*fresh_connection=*/true);
+  }
+  if (outcome.ok) {
+    ++page.result.failures.successful_fetches;
+    if (attempt > 0) ++page.result.failures.retry_successes;
+  } else {
+    ++page.result.failures.failed_fetches;
+    ++page.result.failed_fetches;
+  }
+  return outcome;
+}
+
 void Browser::preconnect(PageState& page, const std::string& host,
                          bool privacy, util::SimTime now) {
   const GroupKey key{host, 443, privacy};
   if (page.groups.find(key) != page.groups.end()) return;
-  bool ok = false;
+  AcquireStatus acquired;
   const std::size_t index =
-      acquire_session(page, host, privacy, now, /*allow_pooling=*/true, ok);
-  if (ok) {
+      acquire_session(page, host, privacy, now, /*allow_pooling=*/true,
+                      /*fresh_connection=*/false, acquired);
+  if (acquired.ok) {
     page.log.record(netlog::EventType::kPreconnect, now,
                     page.sessions[index].session->id(), {{"host", host}});
   }
@@ -367,8 +489,8 @@ util::SimTime Browser::run_page(PageState& page,
     const bool with_cookie = fetch::include_credentials(freq);
     const bool privacy =
         options_.follow_fetch_credentials && !with_cookie;
-    return fetch(page, host, resource.path, resource.destination, privacy,
-                 with_cookie, resource.size_bytes, now, /*is_retry=*/false);
+    return fetch_with_retry(page, host, resource.path, resource.destination,
+                            privacy, with_cookie, resource.size_bytes, now);
   };
 
   // The document itself.
@@ -393,11 +515,20 @@ util::SimTime Browser::run_page(PageState& page,
     queue.pop();
     const FetchOutcome outcome = fetch_resource(*pending.resource,
                                                 pending.time);
-    if (!outcome.ok) continue;
-    load_end = std::max(load_end, outcome.finished_at);
+    if (pending.resource->preconnect) continue;  // no response, no children
+    if (outcome.ok) {
+      load_end = std::max(load_end, outcome.finished_at);
+    } else {
+      // Graceful degradation: give up on THIS resource only. A failed
+      // script/img must not abort the rest of the page — the seed dropped
+      // the failed resource's children, understating redundancy on
+      // partially-failing sites.
+      ++page.result.failures.degraded_resources;
+    }
+    const util::SimTime children_at =
+        outcome.finished_at > 0 ? outcome.finished_at : pending.time;
     for (const web::Resource& child : pending.resource->children) {
-      queue.push(
-          Pending{outcome.finished_at + child.start_delay, &child, seq++});
+      queue.push(Pending{children_at + child.start_delay, &child, seq++});
     }
   }
   return load_end;
@@ -430,6 +561,11 @@ PageLoadResult Browser::load(const web::Website& site,
   // pure function of (seed, site), independent of previously loaded sites.
   next_session_id_ = 1;
   page.result.started_at = start_time;
+  // The fault schedule is a pure function of (fault seed, browser seed,
+  // site) — like everything else per site, so faulted crawls stay
+  // thread-count invariant. The resolver consults it for this load only.
+  page.plan = fault::FaultPlan{options_.faults, seed_, site.url};
+  resolver_.set_fault_injector(&page.plan);
 
   const util::SimTime load_end =
       run_page(page, site.landing_domain, "/", site.resources, start_time);
@@ -437,11 +573,17 @@ PageLoadResult Browser::load(const web::Website& site,
 
   // Post-load observation window: idle servers close their connections.
   close_idle_sessions(page, load_end + options_.post_load_wait);
+  resolver_.set_fault_injector(nullptr);
 
   page.result.observation = netlog::stitch_site(site.url, page.log);
-  // A failed document fetch (TLS error, no route) aborts the crawl of the
-  // site, like Browsertime recording a navigation failure.
+  // A failed document fetch (after any fault retries) still aborts the
+  // crawl of the site, like Browsertime recording a navigation failure —
+  // but failed SUB-resources merely degrade the page (run_page).
   page.result.reachable = page.document_ok;
+  page.result.failures.add(page.plan.injected());
+  if (page.result.failures.degraded_resources > 0) {
+    page.result.failures.degraded_sites = 1;
+  }
   page.result.log = std::move(page.log);
   return page.result;
 }
@@ -454,6 +596,8 @@ VisitResult Browser::visit(
   page.rng = util::Rng{util::hash_seed(seed_, site.url)};
   next_session_id_ = 1;
   page.result.started_at = start_time;
+  page.plan = fault::FaultPlan{options_.faults, seed_, site.url};
+  resolver_.set_fault_injector(&page.plan);
 
   VisitResult result;
   util::SimTime now = start_time;
@@ -498,6 +642,7 @@ VisitResult Browser::visit(
   }
 
   close_idle_sessions(page, now + options_.post_load_wait);
+  resolver_.set_fault_injector(nullptr);
   result.observation = netlog::stitch_site(site.url, page.log);
   result.log = std::move(page.log);
   return result;

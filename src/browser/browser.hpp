@@ -28,6 +28,7 @@
 
 #include "core/connection.hpp"
 #include "dns/resolver.hpp"
+#include "fault/fault.hpp"
 #include "har/har.hpp"
 #include "http2/session.hpp"
 #include "netlog/netlog.hpp"
@@ -62,6 +63,12 @@ struct BrowserOptions {
   /// (idle servers may close connections in this window).
   util::SimTime post_load_wait = util::seconds(180);
   http2::Settings settings;
+  /// Fault injection: rates per FaultKind plus the retry/backoff policy.
+  /// Default (all rates 0) is bit-identical to a build without the fault
+  /// layer. The per-site FaultPlan is derived from (faults.seed, browser
+  /// seed, site url), so injected faults keep the crawl's determinism
+  /// contract: results are thread-count invariant even under faults.
+  fault::FaultConfig faults;
 };
 
 struct PageLoadResult {
@@ -78,7 +85,11 @@ struct PageLoadResult {
   std::uint64_t alias_reuses = 0;         // IP-pooling hits
   std::uint64_t origin_frame_reuses = 0;  // RFC 8336 hits
   std::uint64_t misdirected_retries = 0;  // 421s
+  /// Resources that ultimately failed (mirrors failures.failed_fetches).
   std::uint64_t failed_fetches = 0;
+  /// Injected faults, retries, degradation — the fault layer's ledger.
+  /// fetch_attempts == successful_fetches + failed_fetches always holds.
+  fault::FailureSummary failures;
   util::SimTime started_at = 0;
   util::SimTime finished_at = 0;
 };
@@ -142,6 +153,9 @@ class Browser {
 
   struct FetchOutcome {
     bool ok = false;
+    /// True when the failure was injected by the fault layer — the only
+    /// failures the retry policy acts on.
+    bool injected_fault = false;
     util::SimTime finished_at = 0;
   };
 
@@ -154,6 +168,13 @@ class Browser {
     netlog::NetLog log;
     PageLoadResult result;
     util::Rng rng{0};
+    /// Per-site fault schedule; inert when BrowserOptions::faults is off.
+    fault::FaultPlan plan;
+  };
+
+  struct AcquireStatus {
+    bool ok = false;
+    bool injected_fault = false;
   };
 
   util::SimTime rtt_to(const net::IpAddress& address) const;
@@ -161,16 +182,28 @@ class Browser {
   dns::Resolution resolve(PageState& page, const std::string& host,
                           util::SimTime now);
 
-  /// Finds or creates the session for (host, privacy); nullptr index on
-  /// failure. `allow_pooling` is disabled for 421 retries.
+  /// Finds or creates the session for (host, privacy). `allow_pooling` is
+  /// disabled for 421 retries; `fresh_connection` additionally skips the
+  /// group hit (fault retries go out on a brand-new connection).
   std::size_t acquire_session(PageState& page, const std::string& host,
                               bool privacy, util::SimTime now,
-                              bool allow_pooling, bool& ok);
+                              bool allow_pooling, bool fresh_connection,
+                              AcquireStatus& status);
 
   FetchOutcome fetch(PageState& page, const std::string& host,
                      const std::string& path, fetch::Destination destination,
                      bool privacy, bool with_cookie, std::uint32_t size_bytes,
-                     util::SimTime now, bool is_retry);
+                     util::SimTime now, bool is_retry, bool fresh_connection);
+
+  /// fetch() plus the resilience policy: injected failures are retried up
+  /// to faults.max_retries times with exponential backoff, each retry on
+  /// a fresh connection. Natural failures (dead server, expired cert,
+  /// double 421) never retry. Updates the page's fetch/retry counters.
+  FetchOutcome fetch_with_retry(PageState& page, const std::string& host,
+                                const std::string& path,
+                                fetch::Destination destination, bool privacy,
+                                bool with_cookie, std::uint32_t size_bytes,
+                                util::SimTime now);
 
   void preconnect(PageState& page, const std::string& host, bool privacy,
                   util::SimTime now);

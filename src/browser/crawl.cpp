@@ -76,6 +76,9 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
 
 void account(CrawlSummary& summary, WorkerCounters& counters,
              const SiteResult& result) {
+  // Failure accounting covers unreachable sites too: a document killed by
+  // injected faults is exactly what the ledger must show.
+  summary.failures.add(result.page.failures);
   if (!result.reachable) {
     ++summary.sites_unreachable;
     ++counters.sites_unreachable;
@@ -218,6 +221,7 @@ void CrawlSummary::merge(const CrawlSummary& shard) {
   alias_reuses += shard.alias_reuses;
   origin_frame_reuses += shard.origin_frame_reuses;
   misdirected_retries += shard.misdirected_retries;
+  failures.add(shard.failures);
   har_stats.add(shard.har_stats);
   per_worker.insert(per_worker.end(), shard.per_worker.begin(),
                     shard.per_worker.end());
@@ -231,6 +235,7 @@ bool CrawlSummary::operator==(const CrawlSummary& other) const {
          alias_reuses == other.alias_reuses &&
          origin_frame_reuses == other.origin_frame_reuses &&
          misdirected_retries == other.misdirected_retries &&
+         failures == other.failures &&
          har_stats == other.har_stats;
 }
 
@@ -328,6 +333,7 @@ std::string describe_workers(const CrawlSummary& summary) {
                   summary.wall_ms);
     out += line;
   }
+  out += fault::describe(summary.failures);
   return out;
 }
 

@@ -86,6 +86,10 @@ struct CrawlSummary {
   std::uint64_t alias_reuses = 0;
   std::uint64_t origin_frame_reuses = 0;
   std::uint64_t misdirected_retries = 0;
+  /// Fault-layer ledger summed over every site of the crawl (including
+  /// unreachable ones — a site that died to injected faults still counts
+  /// its failures). All zero when fault injection is off.
+  fault::FailureSummary failures;
   har::ImportStats har_stats;
 
   /// One entry per worker (index = worker id). Diagnostics only.

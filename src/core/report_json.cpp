@@ -156,4 +156,29 @@ json::Value to_json(const AuditReport& report) {
   return json::Value{std::move(root)};
 }
 
+json::Value to_json(const fault::FailureSummary& summary) {
+  json::Object injected;
+  for (std::size_t i = 0; i < fault::kFaultKindCount; ++i) {
+    const fault::FaultKind kind = static_cast<fault::FaultKind>(i);
+    injected.set(fault::to_string(kind),
+                 static_cast<std::int64_t>(summary.count(kind)));
+  }
+  json::Object root;
+  root.set("injected", std::move(injected));
+  root.set("fetch_attempts",
+           static_cast<std::int64_t>(summary.fetch_attempts));
+  root.set("successful_fetches",
+           static_cast<std::int64_t>(summary.successful_fetches));
+  root.set("failed_fetches",
+           static_cast<std::int64_t>(summary.failed_fetches));
+  root.set("retries", static_cast<std::int64_t>(summary.retries));
+  root.set("retry_successes",
+           static_cast<std::int64_t>(summary.retry_successes));
+  root.set("degraded_resources",
+           static_cast<std::int64_t>(summary.degraded_resources));
+  root.set("degraded_sites",
+           static_cast<std::int64_t>(summary.degraded_sites));
+  return json::Value{std::move(root)};
+}
+
 }  // namespace h2r::core

@@ -5,6 +5,7 @@
 #include "core/advisor.hpp"
 #include "core/classify.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "json/json.hpp"
 
 namespace h2r::core {
@@ -19,5 +20,10 @@ json::Value to_json(const SiteClassification& classification);
 
 /// Audit report -> JSON (advice items with cause/remedy/volume).
 json::Value to_json(const AuditReport& report);
+
+/// Fault-layer ledger -> JSON: per-kind injected counts plus the fetch /
+/// retry / degradation counters. Serialized alongside the crawl summary
+/// so chaos runs diff cleanly in CI.
+json::Value to_json(const fault::FailureSummary& summary);
 
 }  // namespace h2r::core

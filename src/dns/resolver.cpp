@@ -15,7 +15,31 @@ Resolution RecursiveResolver::resolve(std::string_view name,
       r.from_cache = true;
       return r;
     }
+    // Stale-record fault: a lagging resolver keeps serving the expired
+    // entry instead of re-querying (the paper's "load-balanced resolvers
+    // with differing caches" effect, pushed past the TTL).
+    if (injector_ != nullptr &&
+        injector_->fire(fault::FaultKind::kDnsStale)) {
+      ++cache_hits_;
+      Resolution r = it->second.resolution;
+      r.from_cache = true;
+      r.injected_fault = true;
+      return r;
+    }
     cache_.erase(it);
+  }
+
+  // Upstream faults: the authoritative path answers SERVFAIL or the query
+  // times out. Failures are not negative-cached, so a later retry
+  // re-queries (and normally succeeds).
+  if (injector_ != nullptr) {
+    if (injector_->fire(fault::FaultKind::kDnsServfail) ||
+        injector_->fire(fault::FaultKind::kDnsTimeout)) {
+      ++upstream_queries_;
+      Resolution failed;
+      failed.injected_fault = true;
+      return failed;
+    }
   }
 
   ++upstream_queries_;

@@ -15,6 +15,7 @@
 
 #include "dns/authoritative.hpp"
 #include "dns/records.hpp"
+#include "fault/fault.hpp"
 #include "util/clock.hpp"
 
 namespace h2r::dns {
@@ -32,6 +33,9 @@ struct ResolverProfile {
 struct Resolution {
   bool ok = false;
   bool from_cache = false;
+  /// True when an injected fault produced this result (failed lookup or
+  /// stale answer) — the browser's retry policy only acts on these.
+  bool injected_fault = false;
   std::vector<net::IpAddress> addresses;
   std::vector<std::string> cname_chain;
   util::SimTime expires_at = 0;
@@ -56,6 +60,15 @@ class RecursiveResolver {
   /// resolver caches persist unless explicitly flushed).
   void flush_cache() noexcept { cache_.clear(); }
 
+  /// Installs (or clears, with nullptr) the fault injector consulted on
+  /// the upstream-query path: SERVFAIL / timeout fail the lookup, a stale
+  /// fault serves an expired cache entry instead of re-querying. The
+  /// injector is not owned; the browser sets its per-site plan for the
+  /// duration of a page load.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
   std::size_t cache_size() const noexcept { return cache_.size(); }
 
   std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
@@ -68,6 +81,7 @@ class RecursiveResolver {
 
   ResolverProfile profile_;
   const AuthoritativeServer* authority_;
+  fault::FaultInjector* injector_ = nullptr;
   std::map<std::string, CacheEntry, std::less<>> cache_;
   std::uint64_t upstream_queries_ = 0;
   std::uint64_t cache_hits_ = 0;

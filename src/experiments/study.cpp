@@ -69,6 +69,7 @@ StudyConfig StudyConfig::from_env() {
       env_size("H2R_HAR_FIRST_RANK", config.har_first_rank);
   config.seed = env_size("H2R_SEED", config.seed);
   config.threads = env_threads("H2R_THREADS", config.threads);
+  config.faults = fault::FaultConfig::from_env();
   return config;
 }
 
@@ -123,6 +124,7 @@ StudyResults run_study(const StudyConfig& config) {
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
     crawl.browser.vantage_region = "eu";
+    crawl.browser.faults = config.faults;
     crawl.vantage_index = 0;  // the university resolver
     crawl.seed = config.seed + 1;
     crawl.threads = config.threads;
@@ -167,6 +169,7 @@ StudyResults run_study(const StudyConfig& config) {
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = false;  // patched Chromium
     crawl.browser.vantage_region = "eu";
+    crawl.browser.faults = config.faults;
     crawl.vantage_index = 0;
     crawl.seed = config.seed + 2;
     crawl.threads = config.threads;
@@ -208,6 +211,7 @@ StudyResults run_study(const StudyConfig& config) {
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
     crawl.browser.vantage_region = "us";
+    crawl.browser.faults = config.faults;
     crawl.vantage_index = 12;  // the US vantage point
     crawl.seed = config.seed + 3;
     crawl.threads = config.threads;
@@ -275,11 +279,13 @@ const StudyResults& shared_study(const StudyConfig& config) {
   static std::map<std::string, std::unique_ptr<StudyResults>> cache;
   // `threads` is deliberately absent: the crawl layer guarantees
   // thread-count-independent results, so runs differing only in
-  // parallelism share one cache slot.
+  // parallelism share one cache slot. The fault signature IS part of the
+  // key — different fault regimes are different experiments.
   const std::string key = std::to_string(config.har_sites) + "/" +
                           std::to_string(config.alexa_sites) + "/" +
                           std::to_string(config.har_first_rank) + "/" +
-                          std::to_string(config.seed);
+                          std::to_string(config.seed) + "/" +
+                          config.faults.signature();
   std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[key];
   if (slot == nullptr) {

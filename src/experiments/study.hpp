@@ -19,6 +19,7 @@
 
 #include "browser/crawl.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "har/import.hpp"
 
 namespace h2r::experiments {
@@ -41,10 +42,14 @@ struct StudyConfig {
   bool run_no_fetch = true;
   /// Run the HAR crawl as well.
   bool run_har = true;
+  /// Fault injection, forwarded to every campaign's browser. Off by
+  /// default; a chaos run sets uniform rates (H2R_FAULT_RATE).
+  fault::FaultConfig faults;
 
-  /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS
-  /// overrides. Invalid or non-positive values fall back to the defaults;
-  /// H2R_THREADS is clamped to the machine's hardware concurrency.
+  /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS /
+  /// H2R_FAULT_* overrides. Invalid or non-positive values fall back to
+  /// the defaults; H2R_THREADS is clamped to the machine's hardware
+  /// concurrency.
   static StudyConfig from_env();
 };
 
@@ -69,6 +74,15 @@ struct StudyResults {
   core::AggregateReport overlap_har_endless;
   core::AggregateReport overlap_alexa_endless;
   std::uint64_t overlap_sites = 0;
+
+  /// Fault/failure ledger summed over the three campaigns.
+  fault::FailureSummary total_failures() const {
+    fault::FailureSummary total;
+    total.add(har_summary.failures);
+    total.add(alexa_summary.failures);
+    total.add(nofetch_summary.failures);
+    return total;
+  }
 };
 
 /// Runs the full study. Expensive (three crawls); bench binaries call it

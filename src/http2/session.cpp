@@ -135,6 +135,21 @@ bool Session::complete_request(StreamId id, int status, util::SimTime now) {
   return true;
 }
 
+bool Session::reset_stream(StreamId id, ErrorCode code, util::SimTime now) {
+  (void)code;
+  const auto sit = streams_.find(id);
+  const auto rit = request_index_.find(id);
+  if (sit == streams_.end() || rit == request_index_.end()) return false;
+  if (sit->second.is_closed()) return false;
+  sit->second.reset(now);
+  if (active_streams_ > 0) --active_streams_;
+  RequestEntry& entry = requests_[rit->second];
+  entry.status = 0;
+  entry.aborted = true;
+  entry.finished_at = now;
+  return true;
+}
+
 void Session::receive_goaway(ErrorCode code) noexcept {
   going_away_ = true;
   goaway_code_ = code;

@@ -32,6 +32,8 @@ struct RequestEntry {
   std::string method = "GET";
   int status = 200;
   bool included_credentials = false;
+  /// True when the stream was reset before a response completed.
+  bool aborted = false;
   util::SimTime started_at = 0;
   util::SimTime finished_at = 0;
 };
@@ -101,6 +103,11 @@ class Session {
 
   /// Completes the stream: records status and end time.
   bool complete_request(StreamId id, int status, util::SimTime now);
+
+  /// Server RST_STREAM: closes the stream without a response. The request
+  /// entry is marked aborted (status 0) so exporters can tell it from a
+  /// completed exchange; the session itself stays usable.
+  bool reset_stream(StreamId id, ErrorCode code, util::SimTime now);
 
   std::size_t active_streams() const noexcept { return active_streams_; }
   std::size_t max_observed_concurrency() const noexcept {

@@ -1,0 +1,21 @@
+#include "net/connect.hpp"
+
+namespace h2r::net {
+
+ConnectResult simulate_connect(const Endpoint& endpoint,
+                               fault::FaultInjector* injector) {
+  (void)endpoint;  // routing always succeeds in the simulation; the
+                   // endpoint is here for symmetry with a real dialer
+  ConnectResult result;
+  if (injector == nullptr) return result;
+  if (injector->fire(fault::FaultKind::kConnectRefused) ||
+      injector->fire(fault::FaultKind::kConnectReset)) {
+    result.ok = false;
+    result.injected_fault = true;
+    return result;
+  }
+  result.latency_penalty = injector->latency_penalty();
+  return result;
+}
+
+}  // namespace h2r::net

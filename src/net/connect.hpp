@@ -1,0 +1,29 @@
+// TCP connection establishment model.
+//
+// The seed assumed every connect succeeds instantly (modulo RTT); this is
+// the fault layer's transport hook: an injected refusal/reset fails the
+// attempt before TLS, and a latency spike (bufferbloat, a loaded server)
+// stretches the handshake without failing it.
+#pragma once
+
+#include "fault/fault.hpp"
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::net {
+
+struct ConnectResult {
+  bool ok = true;
+  /// True when the failure was injected (refused/reset); the only kind of
+  /// connect failure this model produces.
+  bool injected_fault = false;
+  /// Extra handshake latency from an injected spike; 0 normally.
+  util::SimTime latency_penalty = 0;
+};
+
+/// Decides whether a TCP connect to `endpoint` succeeds; `injector` may
+/// be null (always succeeds, no penalty).
+ConnectResult simulate_connect(const Endpoint& endpoint,
+                               fault::FaultInjector* injector);
+
+}  // namespace h2r::net

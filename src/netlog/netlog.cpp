@@ -15,6 +15,9 @@ std::string to_string(EventType type) {
     case EventType::kRequestFinished: return "HTTP2_STREAM_FINISHED";
     case EventType::kMisdirected: return "HTTP2_SESSION_MISDIRECTED";
     case EventType::kPreconnect: return "HTTP2_SESSION_PRECONNECT";
+    case EventType::kConnectFailed: return "SOCKET_CONNECT_FAILED";
+    case EventType::kStreamReset: return "HTTP2_STREAM_RESET";
+    case EventType::kFetchRetry: return "URL_REQUEST_RETRY";
   }
   return "UNKNOWN";
 }
@@ -72,7 +75,7 @@ util::Expected<NetLog> NetLog::from_json(const json::Value& value) {
     const std::string& type_name = item["type"].as_string();
     bool found = false;
     Event e;
-    for (int t = 0; t <= static_cast<int>(EventType::kPreconnect); ++t) {
+    for (int t = 0; t <= static_cast<int>(EventType::kFetchRetry); ++t) {
       if (to_string(static_cast<EventType>(t)) == type_name) {
         e.type = static_cast<EventType>(t);
         found = true;

@@ -31,6 +31,12 @@ enum class EventType : std::uint8_t {
   kRequestFinished,    // response complete (status)
   kMisdirected,        // HTTP 421 for a domain on this session
   kPreconnect,         // speculative connection (no request)
+  // Fault-layer events. Appended after kPreconnect so dumps written by
+  // older builds keep parsing (from_json iterates the enum range).
+  kConnectFailed,      // injected connect/TLS/DNS failure (host, cause)
+  kStreamReset,        // server RST_STREAM (stream, cause)
+  kFetchRetry,         // browser retry after an injected fault (host,
+                       // attempt, backoff_ms)
 };
 
 std::string to_string(EventType type);

@@ -99,11 +99,28 @@ core::SiteObservation stitch_site(const std::string& site_url,
                                          10));
         break;
       }
+      case EventType::kStreamReset: {
+        // Aborted exchange: without this the request would keep its
+        // defaults (status 200, finished_at 0) and look successful.
+        const auto session_it = sessions.find(e.source_id);
+        if (session_it == sessions.end()) break;
+        const std::uint64_t stream =
+            std::strtoull(e.param("stream").c_str(), nullptr, 10);
+        const auto idx_it = streams.find({e.source_id, stream});
+        if (idx_it == streams.end()) break;
+        core::RequestRecord& req =
+            session_it->second.requests[idx_it->second];
+        req.finished_at = e.time;
+        req.status = 0;
+        break;
+      }
       case EventType::kDnsResolved:
       case EventType::kSessionAvailable:
       case EventType::kSessionGoaway:
       case EventType::kSessionAliasReused:
       case EventType::kPreconnect:
+      case EventType::kConnectFailed:
+      case EventType::kFetchRetry:
         break;  // informational only
     }
   }

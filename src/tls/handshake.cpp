@@ -1,0 +1,25 @@
+#include "tls/handshake.hpp"
+
+namespace h2r::tls {
+
+HandshakeResult simulate_handshake(const CertificatePtr& certificate,
+                                   std::string_view sni, util::SimTime now,
+                                   fault::FaultInjector* injector) {
+  (void)sni;  // which cert the server presents for the SNI is decided by
+              // the caller (web::Server::certificate_for)
+  HandshakeResult result;
+  if (certificate == nullptr || !certificate->valid_at(now)) {
+    return result;  // natural failure: certificate errors are not ignored
+  }
+  if (injector != nullptr) {
+    if (injector->fire(fault::FaultKind::kTlsHandshake) ||
+        injector->fire(fault::FaultKind::kTlsCertValidation)) {
+      result.injected_fault = true;
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace h2r::tls

@@ -1,0 +1,34 @@
+// TLS handshake outcome model.
+//
+// The seed's browser folded "can this server's certificate serve this
+// host right now" into an inline check; pulling it out gives the fault
+// layer its natural hook point: after the chain would have validated,
+// an injected handshake abort or cert-validation error (an OCSP hiccup,
+// a clock-skewed client — failures the paper's crawls simply discarded)
+// can still fail the connection attempt.
+#pragma once
+
+#include <string_view>
+
+#include "fault/fault.hpp"
+#include "tls/certificate.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::tls {
+
+struct HandshakeResult {
+  bool ok = false;
+  /// True when the failure was injected rather than a real certificate
+  /// problem — only these are worth retrying.
+  bool injected_fault = false;
+};
+
+/// Decides whether a TLS handshake with a server presenting `certificate`
+/// for `sni` succeeds at `now`. Natural failures (missing certificate,
+/// expired/not-yet-valid window) are checked first and never consult the
+/// injector; `injector` may be null.
+HandshakeResult simulate_handshake(const CertificatePtr& certificate,
+                                   std::string_view sni, util::SimTime now,
+                                   fault::FaultInjector* injector);
+
+}  // namespace h2r::tls

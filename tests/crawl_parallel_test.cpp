@@ -13,6 +13,7 @@
 #include "core/classify.hpp"
 #include "core/observation_json.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "json/json.hpp"
 #include "web/catalog.hpp"
 #include "web/ecosystem.hpp"
@@ -33,7 +34,8 @@ struct RunOutput {
 };
 
 RunOutput run_crawl(unsigned threads, std::uint64_t seed,
-                    bool har_path = false) {
+                    bool har_path = false,
+                    const fault::FaultConfig& faults = {}) {
   web::Ecosystem eco{seed};
   web::ServiceCatalog catalog{eco, seed};
   web::SiteUniverse universe{eco, catalog};
@@ -42,6 +44,7 @@ RunOutput run_crawl(unsigned threads, std::uint64_t seed,
   options.threads = threads;
   options.seed = seed + 100;
   options.har_path = har_path;
+  options.browser.faults = faults;
 
   RunOutput out;
   core::Aggregator aggregator;
@@ -96,6 +99,27 @@ TEST_P(CrawlParallelDifferential, HarPathIsThreadCountInvariantToo) {
   const std::uint64_t seed = GetParam();
   const RunOutput sequential = run_crawl(1, seed, /*har_path=*/true);
   expect_identical(sequential, run_crawl(7, seed, /*har_path=*/true), 7);
+}
+
+TEST_P(CrawlParallelDifferential, FaultedCrawlIsThreadCountInvariantToo) {
+  // The hard half of the fault layer's determinism contract: with faults
+  // FIRING (not just armed), threads = N must still be bit-identical to
+  // threads = 1 — per-site FaultPlans are derived from (fault seed,
+  // browser seed, site url), never from worker identity. The merged
+  // FailureSummary participates via CrawlSummary::operator==.
+  const std::uint64_t seed = GetParam();
+  const fault::FaultConfig faults = fault::FaultConfig::uniform(0.15);
+  const RunOutput sequential = run_crawl(1, seed, /*har_path=*/false, faults);
+  EXPECT_GT(sequential.summary.failures.total_injected(), 0u);
+  EXPECT_EQ(sequential.summary.failures.fetch_attempts,
+            sequential.summary.failures.successful_fetches +
+                sequential.summary.failures.failed_fetches);
+  for (const unsigned threads : {2u, 7u}) {
+    const RunOutput parallel =
+        run_crawl(threads, seed, /*har_path=*/false, faults);
+    expect_identical(sequential, parallel, threads);
+    EXPECT_TRUE(sequential.summary.failures == parallel.summary.failures);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedSweep, CrawlParallelDifferential,

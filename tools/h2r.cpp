@@ -25,6 +25,7 @@
 #include "core/report_json.hpp"
 #include "core/dns_study.hpp"
 #include "experiments/study.hpp"
+#include "fault/fault.hpp"
 #include "har/import.hpp"
 #include "stats/table.hpp"
 #include "util/format.hpp"
@@ -46,7 +47,9 @@ int usage() {
                "  h2r snapshot <out.json> [site-count]\n"
                "  h2r analyze <dataset.json>\n"
                "\nstudy scale: H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / "
-               "H2R_THREADS\n");
+               "H2R_THREADS\n"
+               "chaos mode:  H2R_FAULT_RATE (0..1) / H2R_FAULT_SEED / "
+               "H2R_FAULT_RETRIES / H2R_FAULT_BACKOFF_MS\n");
   return 2;
 }
 
@@ -119,6 +122,12 @@ int cmd_study() {
   row("HAR immediate", r.har_immediate);
   row("Alexa", r.alexa_exact);
   row("Alexa w/o Fetch", r.nofetch_exact);
+
+  if (config.faults.enabled()) {
+    std::printf("\nfault injection (%s), all campaigns:\n%s",
+                config.faults.signature().c_str(),
+                fault::describe(r.total_failures()).c_str());
+  }
 
   auto workers = [](const char* name, const browser::CrawlSummary& summary) {
     if (summary.per_worker.empty()) return;
