@@ -20,6 +20,7 @@ const experiments::StudyResults& study() {
         "# scale with H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED; "
         "parallelize with H2R_THREADS (results are thread-count invariant); "
         "inject faults with H2R_FAULT_RATE; "
+        "journal checkpoints to H2R_JOURNAL (resume with H2R_RESUME); "
         "percentages and rankings are the reproduction target\n\n",
         config.har_sites, config.har_first_rank,
         config.har_first_rank + config.har_sites, config.alexa_sites,
@@ -44,6 +45,19 @@ const experiments::StudyResults& study() {
       std::printf("# fault injection (%s), all campaigns:\n%s",
                   config.faults.signature().c_str(),
                   fault::describe(results.total_failures()).c_str());
+    }
+    if (!config.journal_path.empty()) {
+      std::printf("# crash journal (%s): %llu bytes in %llu fsynced "
+                  "commits\n",
+                  config.journal_path.c_str(),
+                  static_cast<unsigned long long>(results.journal_bytes),
+                  static_cast<unsigned long long>(results.journal_fsyncs));
+      if (results.resumed_chunks > 0) {
+        std::printf("# resumed %llu chunk(s) covering %llu site(s) from the "
+                    "journal\n",
+                    static_cast<unsigned long long>(results.resumed_chunks),
+                    static_cast<unsigned long long>(results.resumed_sites));
+      }
     }
     std::printf("\n");
   }

@@ -509,10 +509,34 @@ util::SimTime Browser::run_page(PageState& page,
     queue.push(Pending{dom_ready + r.start_delay, &r, seq++});
   }
 
+  // Watchdog: budget for the whole page, measured from navigation start.
+  const util::SimTime deadline_at =
+      options_.site_deadline > 0 ? start_time + options_.site_deadline
+                                 : util::kSimTimeMax;
+  bool deadline_fired = false;
+
   util::SimTime load_end = dom_ready;
   while (!queue.empty()) {
     const Pending pending = queue.top();
     queue.pop();
+    if (pending.time >= deadline_at) {
+      // The load ran past its budget: abandon this resource (and its
+      // children, which would start even later) instead of stalling the
+      // worker. The site degrades exactly like a fetch that failed after
+      // retries — the page survives, minus the abandoned subtree.
+      if (!deadline_fired) {
+        deadline_fired = true;
+        page.result.failures.deadline_exceeded += 1;
+        page.log.record(
+            netlog::EventType::kDeadlineExceeded, deadline_at, 0,
+            {{"budget_ms", std::to_string(options_.site_deadline)},
+             {"pending", std::to_string(queue.size() + 1)}});
+      }
+      if (!pending.resource->preconnect) {
+        ++page.result.failures.degraded_resources;
+      }
+      continue;
+    }
     const FetchOutcome outcome = fetch_resource(*pending.resource,
                                                 pending.time);
     if (pending.resource->preconnect) continue;  // no response, no children
@@ -531,7 +555,9 @@ util::SimTime Browser::run_page(PageState& page,
       queue.push(Pending{children_at + child.start_delay, &child, seq++});
     }
   }
-  return load_end;
+  // An abandoned load ends at the deadline, like a watchdog killing the
+  // page; in-flight fetches that started before the cut still count.
+  return deadline_fired ? std::min(load_end, deadline_at) : load_end;
 }
 
 void Browser::close_idle_sessions(PageState& page, util::SimTime until) {

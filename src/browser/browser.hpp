@@ -63,6 +63,14 @@ struct BrowserOptions {
   /// (idle servers may close connections in this window).
   util::SimTime post_load_wait = util::seconds(180);
   http2::Settings settings;
+  /// Per-site watchdog deadline (H2R_SITE_DEADLINE_MS): a page load whose
+  /// sub-resource schedule runs past `start_time + site_deadline` is
+  /// abandoned — pending resources degrade (counted per resource, and once
+  /// per page in FailureSummary::deadline_exceeded) instead of stalling
+  /// the crawl worker on a pathological straggler. The budget is simulated
+  /// time, so the watchdog is deterministic and thread-count invariant
+  /// like every other crawl input. 0 = no deadline.
+  util::SimTime site_deadline = 0;
   /// Fault injection: rates per FaultKind plus the retry/backoff policy.
   /// Default (all rates 0) is bit-identical to a build without the fault
   /// layer. The per-site FaultPlan is derived from (faults.seed, browser

@@ -137,16 +137,24 @@ dns::ResolverProfile vantage_profile(const CrawlOptions& options) {
 /// Runs the parallel crawl core: N workers drain the work queue, account
 /// into per-worker summary shards, and hand each finished site to
 /// `deliver(worker, index, result)` (called on the worker thread).
-/// Returns the merged summary, shards folded in worker order.
+/// When `targets` is non-null the queue runs over those relative indices
+/// instead of [0, count); when `chunk_sink` is non-null, per-chunk
+/// counters are accounted separately and reported (with the chunk's
+/// absolute rank runs) after the chunk's last site, before folding into
+/// the worker shard. Returns the merged summary, shards folded in worker
+/// order.
 CrawlSummary run_workers(
     web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
     const CrawlOptions& options, unsigned threads,
     const dns::ResolverProfile& profile,
-    const std::function<void(unsigned, std::size_t, SiteResult&&)>& deliver) {
+    const std::function<void(unsigned, std::size_t, SiteResult&&)>& deliver,
+    const std::vector<std::size_t>* targets = nullptr,
+    const ChunkSink* chunk_sink = nullptr) {
   universe.materialize(first_rank, count);
+  const std::size_t items = targets != nullptr ? targets->size() : count;
 
   std::vector<CrawlSummary> shards(threads);
-  WorkQueue queue{count, threads};
+  WorkQueue queue{items, threads};
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
@@ -165,15 +173,36 @@ CrawlSummary run_workers(
         counters.queue_wait_ms += wall_now_ms() - claim_start;
         if (!claimed) break;
         ++counters.chunks_claimed;
+        ChunkEvent event;
+        event.worker = t;
+        CrawlSummary& chunk = chunk_sink != nullptr ? event.summary : shard;
         for (std::size_t i = begin; i < end; ++i) {
+          // `rel` keeps the site's original index in [0, count): rank and
+          // load time stay exactly what an uninterrupted crawl would use,
+          // no matter which targets remain.
+          const std::size_t rel = targets != nullptr ? (*targets)[i] : i;
           SiteResult result;
-          process_site(universe, options, worker, first_rank + i,
+          process_site(universe, options, worker, first_rank + rel,
                        options.start_time +
-                           static_cast<util::SimTime>(i) *
+                           static_cast<util::SimTime>(rel) *
                                options.site_interval,
                        result);
-          account(shard, counters, result);
+          account(chunk, counters, result);
+          if (chunk_sink != nullptr) {
+            const std::size_t rank = first_rank + rel;
+            if (!event.ranges.empty() &&
+                event.ranges.back().first + event.ranges.back().second ==
+                    rank) {
+              ++event.ranges.back().second;
+            } else {
+              event.ranges.emplace_back(rank, 1);
+            }
+          }
           deliver(t, i, std::move(result));
+        }
+        if (chunk_sink != nullptr) {
+          (*chunk_sink)(event);
+          shard.merge(event.summary);
         }
       }
       counters.wall_ms = wall_now_ms() - wall_start;
@@ -308,6 +337,36 @@ CrawlSummary crawl_range_sharded(
       [&sinks](unsigned worker, std::size_t /*index*/, SiteResult&& result) {
         sinks[worker](result);
       });
+  summary.wall_ms = wall_now_ms() - wall_start;
+  return summary;
+}
+
+CrawlSummary crawl_range_checkpointed(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options,
+    const std::function<ShardSink(unsigned worker)>& make_shard_sink,
+    const std::vector<std::size_t>& targets, const ChunkSink& chunk_sink) {
+  const dns::ResolverProfile& profile = vantage_profile(options);
+  // Deliberately NOT the sequential fast path: one worker thread still
+  // pulls chunked work, so a threads=1 run journals the same way (and the
+  // same contract holds: results are thread-count independent).
+  const unsigned threads =
+      targets.empty()
+          ? 1u
+          : std::min<unsigned>(std::max(1u, options.threads),
+                               static_cast<unsigned>(targets.size()));
+
+  const double wall_start = wall_now_ms();
+  std::vector<ShardSink> sinks;
+  sinks.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) sinks.push_back(make_shard_sink(t));
+
+  CrawlSummary summary = run_workers(
+      universe, first_rank, count, options, threads, profile,
+      [&sinks](unsigned worker, std::size_t /*index*/, SiteResult&& result) {
+        sinks[worker](result);
+      },
+      &targets, &chunk_sink);
   summary.wall_ms = wall_now_ms() - wall_start;
   return summary;
 }

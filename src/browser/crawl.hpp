@@ -132,6 +132,38 @@ CrawlSummary crawl_range_sharded(
     const CrawlOptions& options,
     const std::function<ShardSink(unsigned worker)>& make_shard_sink);
 
+/// One completed work-queue chunk, reported to a ChunkSink on the worker
+/// thread right after the chunk's last site. The checkpoint layer
+/// serializes these into the crash journal: everything append()ed for a
+/// chunk the sink has seen is recoverable after a kill.
+struct ChunkEvent {
+  unsigned worker = 0;
+  /// Absolute (first_rank, count) runs the chunk covered, in crawl order.
+  /// An unresumed crawl yields exactly one run per chunk; a resumed crawl
+  /// skips journaled ranks, which can split a chunk around the holes.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  /// Counters for exactly the chunk's sites.
+  CrawlSummary summary;
+};
+
+using ChunkSink = std::function<void(const ChunkEvent&)>;
+
+/// Checkpointed variant of crawl_range_sharded for crash-safe studies.
+/// `targets` lists the RELATIVE indices (into [0, count)) still to crawl,
+/// sorted ascending — a fresh run passes all of them, a resumed run the
+/// complement of the journaled ranks. Each target keeps its original
+/// index-derived load time, so a resumed crawl reproduces the
+/// uninterrupted observations bit-for-bit. After a worker drains one
+/// work-queue chunk, `chunk_sink` runs on that worker's thread with the
+/// chunk's ranges and counters; the caller journals its chunk-local
+/// aggregates there. Runs the worker pool even for threads = 1 so
+/// chunking (and thus journaling) behaves uniformly.
+CrawlSummary crawl_range_checkpointed(
+    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
+    const CrawlOptions& options,
+    const std::function<ShardSink(unsigned worker)>& make_shard_sink,
+    const std::vector<std::size_t>& targets, const ChunkSink& chunk_sink);
+
 /// Renders the per-worker counters of a crawl as a compact multi-line
 /// text block ("worker 0: 812 sites, 5.3k conns, ..."), for tools/h2r and
 /// the bench binaries. Includes the crawl wall time when available.

@@ -49,7 +49,380 @@ json::Value issuer_table_json(const std::map<std::string, IssuerTally>& table,
   return json::Value{std::move(rows)};
 }
 
+// ---------------------------------------------------------------- full
+// fidelity (journal) serialization: every map in AggregateReport survives
+// the round trip bit for bit, so a crash-recovered shard merges exactly
+// like the in-memory one it replaces.
+
+/// Strict counter read: the field must exist, be a JSON integer (doubles,
+/// NaN and out-of-int64-range literals parse as kDouble and are rejected)
+/// and be non-negative.
+util::Expected<std::uint64_t> parse_count(const json::Value& value,
+                                          std::string_view key) {
+  const json::Value& field = value[key];
+  if (!field.is_int() || field.as_int() < 0) {
+    return util::unexpected(
+        util::Error{"bad or missing counter: " + std::string(key)});
+  }
+  return static_cast<std::uint64_t>(field.as_int());
+}
+
+util::Expected<Cause> cause_from_string(const std::string& name) {
+  for (Cause cause : kAllCauses) {
+    if (to_string(cause) == name) return cause;
+  }
+  return util::unexpected(util::Error{"unknown cause: " + name});
+}
+
+json::Value origin_tally_full_json(const OriginTally& tally) {
+  json::Object obj;
+  obj.set("connections", static_cast<std::int64_t>(tally.connections));
+  obj.set("issuer", tally.issuer);
+  json::Object previous;
+  for (const auto& [origin, count] : tally.previous_origins) {
+    previous.set(origin, static_cast<std::int64_t>(count));
+  }
+  obj.set("previous", std::move(previous));
+  return json::Value{std::move(obj)};
+}
+
+util::Expected<OriginTally> origin_tally_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"origin tally is not an object"});
+  }
+  OriginTally tally;
+  const auto connections = parse_count(value, "connections");
+  if (!connections) return util::unexpected(connections.error());
+  tally.connections = *connections;
+  if (!value["issuer"].is_string()) {
+    return util::unexpected(util::Error{"origin tally without issuer"});
+  }
+  tally.issuer = value["issuer"].as_string();
+  if (!value["previous"].is_object()) {
+    return util::unexpected(util::Error{"origin tally without previous map"});
+  }
+  for (const auto& [origin, count] : value["previous"].as_object()) {
+    if (!count.is_int() || count.as_int() <= 0) {
+      return util::unexpected(
+          util::Error{"bad previous-origin count for " + origin});
+    }
+    tally.previous_origins[origin] = static_cast<std::uint64_t>(count.as_int());
+  }
+  return tally;
+}
+
+template <typename Tally>
+json::Value domains_tally_full_json(const Tally& tally) {
+  json::Object obj;
+  obj.set("connections", static_cast<std::int64_t>(tally.connections));
+  json::Array domains;
+  for (const std::string& domain : tally.domains) domains.emplace_back(domain);
+  obj.set("domains", std::move(domains));
+  return json::Value{std::move(obj)};
+}
+
+template <typename Tally>
+util::Expected<Tally> domains_tally_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"tally is not an object"});
+  }
+  Tally tally;
+  const auto connections = parse_count(value, "connections");
+  if (!connections) return util::unexpected(connections.error());
+  tally.connections = *connections;
+  if (!value["domains"].is_array()) {
+    return util::unexpected(util::Error{"tally without domains array"});
+  }
+  for (const json::Value& domain : value["domains"].as_array()) {
+    if (!domain.is_string()) {
+      return util::unexpected(util::Error{"non-string tally domain"});
+    }
+    tally.domains.insert(domain.as_string());
+  }
+  return tally;
+}
+
 }  // namespace
+
+json::Value histogram_to_json(const stats::TimeHistogram& histogram) {
+  json::Array samples;
+  for (const auto& [value, count] : histogram) {
+    json::Array pair;
+    pair.emplace_back(static_cast<std::int64_t>(value));
+    pair.emplace_back(static_cast<std::int64_t>(count));
+    samples.emplace_back(std::move(pair));
+  }
+  return json::Value{std::move(samples)};
+}
+
+util::Expected<stats::TimeHistogram> histogram_from_json(
+    const json::Value& value) {
+  if (!value.is_array()) {
+    return util::unexpected(util::Error{"histogram is not an array"});
+  }
+  stats::TimeHistogram histogram;
+  bool first = true;
+  util::SimTime last = 0;
+  for (const json::Value& pair : value.as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.at(0).is_int() || !pair.at(1).is_int()) {
+      return util::unexpected(
+          util::Error{"histogram entry is not an integer pair"});
+    }
+    const util::SimTime sample = pair.at(0).as_int();
+    const std::int64_t count = pair.at(1).as_int();
+    if (count <= 0) {
+      return util::unexpected(util::Error{"non-positive histogram count"});
+    }
+    if (!first && sample <= last) {
+      return util::unexpected(
+          util::Error{"histogram samples not strictly increasing"});
+    }
+    histogram[sample] = static_cast<std::uint64_t>(count);
+    last = sample;
+    first = false;
+  }
+  return histogram;
+}
+
+util::Expected<fault::FailureSummary> failure_summary_from_json(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"failure summary is not an object"});
+  }
+  fault::FailureSummary summary;
+  const json::Value& injected = value["injected"];
+  if (!injected.is_object()) {
+    return util::unexpected(util::Error{"failure summary without injected"});
+  }
+  for (std::size_t i = 0; i < fault::kFaultKindCount; ++i) {
+    const fault::FaultKind kind = static_cast<fault::FaultKind>(i);
+    const auto count = parse_count(injected, fault::to_string(kind));
+    if (!count) return util::unexpected(count.error());
+    summary.count(kind) = *count;
+  }
+  const std::pair<const char*, std::uint64_t fault::FailureSummary::*>
+      counters[] = {
+          {"fetch_attempts", &fault::FailureSummary::fetch_attempts},
+          {"successful_fetches", &fault::FailureSummary::successful_fetches},
+          {"failed_fetches", &fault::FailureSummary::failed_fetches},
+          {"retries", &fault::FailureSummary::retries},
+          {"retry_successes", &fault::FailureSummary::retry_successes},
+          {"degraded_resources", &fault::FailureSummary::degraded_resources},
+          {"degraded_sites", &fault::FailureSummary::degraded_sites},
+          {"deadline_exceeded", &fault::FailureSummary::deadline_exceeded},
+      };
+  for (const auto& [key, member] : counters) {
+    const auto count = parse_count(value, key);
+    if (!count) return util::unexpected(count.error());
+    summary.*member = *count;
+  }
+  return summary;
+}
+
+json::Value to_json_full(const AggregateReport& report) {
+  json::Object root;
+  root.set("analyzed_sites", static_cast<std::int64_t>(report.analyzed_sites));
+  root.set("h2_sites", static_cast<std::int64_t>(report.h2_sites));
+  root.set("redundant_sites",
+           static_cast<std::int64_t>(report.redundant_sites));
+  root.set("total_connections",
+           static_cast<std::int64_t>(report.total_connections));
+  root.set("redundant_connections",
+           static_cast<std::int64_t>(report.redundant_connections));
+  root.set("filtered_requests",
+           static_cast<std::int64_t>(report.filtered_requests));
+
+  json::Object causes;
+  for (const auto& [cause, tally] : report.by_cause) {
+    json::Object obj;
+    obj.set("sites", static_cast<std::int64_t>(tally.sites));
+    obj.set("connections", static_cast<std::int64_t>(tally.connections));
+    causes.set(to_string(cause), std::move(obj));
+  }
+  root.set("causes", std::move(causes));
+
+  json::Array histogram;
+  for (const auto& [count, sites] : report.redundant_per_site_histogram) {
+    json::Array pair;
+    pair.emplace_back(static_cast<std::int64_t>(count));
+    pair.emplace_back(static_cast<std::int64_t>(sites));
+    histogram.emplace_back(std::move(pair));
+  }
+  root.set("redundant_per_site", std::move(histogram));
+
+  auto origin_map = [](const std::map<std::string, OriginTally>& table) {
+    json::Object obj;
+    for (const auto& [origin, tally] : table) {
+      obj.set(origin, origin_tally_full_json(tally));
+    }
+    return json::Value{std::move(obj)};
+  };
+  root.set("ip_origins", origin_map(report.ip_origins));
+  root.set("cert_domains", origin_map(report.cert_domains));
+
+  auto issuer_map = [](const std::map<std::string, IssuerTally>& table) {
+    json::Object obj;
+    for (const auto& [issuer, tally] : table) {
+      obj.set(issuer, domains_tally_full_json(tally));
+    }
+    return json::Value{std::move(obj)};
+  };
+  root.set("cert_issuers", issuer_map(report.cert_issuers));
+  root.set("all_issuers", issuer_map(report.all_issuers));
+
+  json::Object ases;
+  for (const auto& [as_name, tally] : report.ip_ases) {
+    ases.set(as_name, domains_tally_full_json(tally));
+  }
+  root.set("ip_ases", std::move(ases));
+
+  root.set("closed_connections",
+           static_cast<std::int64_t>(report.closed_connections));
+  root.set("closed_lifetimes_ms",
+           histogram_to_json(report.closed_lifetimes_ms));
+  root.set("cred_same_domain_connections",
+           static_cast<std::int64_t>(report.cred_same_domain_connections));
+
+  json::Object offsets;
+  for (const auto& [cause, samples] : report.redundant_open_offsets) {
+    offsets.set(to_string(cause), histogram_to_json(samples));
+  }
+  root.set("redundant_open_offsets", std::move(offsets));
+  return json::Value{std::move(root)};
+}
+
+util::Expected<AggregateReport> report_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"report is not an object"});
+  }
+  AggregateReport report;
+  {
+    const std::pair<const char*, std::uint64_t AggregateReport::*>
+        counters[] = {
+            {"analyzed_sites", &AggregateReport::analyzed_sites},
+            {"h2_sites", &AggregateReport::h2_sites},
+            {"redundant_sites", &AggregateReport::redundant_sites},
+            {"total_connections", &AggregateReport::total_connections},
+            {"redundant_connections", &AggregateReport::redundant_connections},
+            {"filtered_requests", &AggregateReport::filtered_requests},
+            {"closed_connections", &AggregateReport::closed_connections},
+            {"cred_same_domain_connections",
+             &AggregateReport::cred_same_domain_connections},
+        };
+    for (const auto& [key, member] : counters) {
+      const auto count = parse_count(value, key);
+      if (!count) return util::unexpected(count.error());
+      report.*member = *count;
+    }
+  }
+
+  if (!value["causes"].is_object()) {
+    return util::unexpected(util::Error{"report without causes"});
+  }
+  for (const auto& [name, tally] : value["causes"].as_object()) {
+    const auto cause = cause_from_string(name);
+    if (!cause) return util::unexpected(cause.error());
+    const auto sites = parse_count(tally, "sites");
+    if (!sites) return util::unexpected(sites.error());
+    const auto connections = parse_count(tally, "connections");
+    if (!connections) return util::unexpected(connections.error());
+    report.by_cause[*cause] = CauseTally{*sites, *connections};
+  }
+
+  if (!value["redundant_per_site"].is_array()) {
+    return util::unexpected(util::Error{"report without redundant_per_site"});
+  }
+  for (const json::Value& pair : value["redundant_per_site"].as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.at(0).is_int() || pair.at(0).as_int() < 0 ||
+        !pair.at(1).is_int() || pair.at(1).as_int() <= 0) {
+      return util::unexpected(util::Error{"bad redundant_per_site bucket"});
+    }
+    const std::size_t bucket = static_cast<std::size_t>(pair.at(0).as_int());
+    if (report.redundant_per_site_histogram.count(bucket) > 0) {
+      return util::unexpected(
+          util::Error{"duplicate redundant_per_site bucket"});
+    }
+    report.redundant_per_site_histogram[bucket] =
+        static_cast<std::uint64_t>(pair.at(1).as_int());
+  }
+
+  auto parse_origin_map = [](const json::Value& table,
+                             std::map<std::string, OriginTally>& out)
+      -> util::Expected<bool> {
+    if (!table.is_object()) {
+      return util::unexpected(util::Error{"origin table is not an object"});
+    }
+    for (const auto& [origin, tally] : table.as_object()) {
+      auto parsed = origin_tally_from_json(tally);
+      if (!parsed) return util::unexpected(parsed.error());
+      out[origin] = std::move(parsed.value());
+    }
+    return true;
+  };
+  if (const auto ok = parse_origin_map(value["ip_origins"],
+                                       report.ip_origins);
+      !ok) {
+    return util::unexpected(ok.error());
+  }
+  if (const auto ok = parse_origin_map(value["cert_domains"],
+                                       report.cert_domains);
+      !ok) {
+    return util::unexpected(ok.error());
+  }
+
+  auto parse_issuer_map = [](const json::Value& table,
+                             std::map<std::string, IssuerTally>& out)
+      -> util::Expected<bool> {
+    if (!table.is_object()) {
+      return util::unexpected(util::Error{"issuer table is not an object"});
+    }
+    for (const auto& [issuer, tally] : table.as_object()) {
+      auto parsed = domains_tally_from_json<IssuerTally>(tally);
+      if (!parsed) return util::unexpected(parsed.error());
+      out[issuer] = std::move(parsed.value());
+    }
+    return true;
+  };
+  if (const auto ok = parse_issuer_map(value["cert_issuers"],
+                                       report.cert_issuers);
+      !ok) {
+    return util::unexpected(ok.error());
+  }
+  if (const auto ok = parse_issuer_map(value["all_issuers"],
+                                       report.all_issuers);
+      !ok) {
+    return util::unexpected(ok.error());
+  }
+
+  if (!value["ip_ases"].is_object()) {
+    return util::unexpected(util::Error{"report without ip_ases"});
+  }
+  for (const auto& [as_name, tally] : value["ip_ases"].as_object()) {
+    auto parsed = domains_tally_from_json<AsTally>(tally);
+    if (!parsed) return util::unexpected(parsed.error());
+    report.ip_ases[as_name] = std::move(parsed.value());
+  }
+
+  auto lifetimes = histogram_from_json(value["closed_lifetimes_ms"]);
+  if (!lifetimes) return util::unexpected(lifetimes.error());
+  report.closed_lifetimes_ms = std::move(lifetimes.value());
+
+  if (!value["redundant_open_offsets"].is_object()) {
+    return util::unexpected(
+        util::Error{"report without redundant_open_offsets"});
+  }
+  for (const auto& [name, samples] :
+       value["redundant_open_offsets"].as_object()) {
+    const auto cause = cause_from_string(name);
+    if (!cause) return util::unexpected(cause.error());
+    auto histogram = histogram_from_json(samples);
+    if (!histogram) return util::unexpected(histogram.error());
+    report.redundant_open_offsets[*cause] = std::move(histogram.value());
+  }
+  return report;
+}
 
 json::Value to_json(const AggregateReport& report, std::size_t top_n) {
   json::Object root;
@@ -178,6 +551,8 @@ json::Value to_json(const fault::FailureSummary& summary) {
            static_cast<std::int64_t>(summary.degraded_resources));
   root.set("degraded_sites",
            static_cast<std::int64_t>(summary.degraded_sites));
+  root.set("deadline_exceeded",
+           static_cast<std::int64_t>(summary.deadline_exceeded));
   return json::Value{std::move(root)};
 }
 

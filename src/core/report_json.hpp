@@ -10,9 +10,38 @@
 
 namespace h2r::core {
 
+/// Untruncated `top_n` for to_json: every attribution row is emitted.
+inline constexpr std::size_t kAllRows = static_cast<std::size_t>(-1);
+
 /// Aggregate report -> JSON: headline counts, per-cause tallies, the
-/// Figure 2 histogram and the attribution tables (top `top_n` rows each).
+/// Figure 2 histogram and the attribution tables (top `top_n` rows each;
+/// pass kAllRows for the untruncated view). This is the human/CI-facing
+/// shape — it summarizes previous-origin maps and domain sets, so it is
+/// NOT a full-fidelity snapshot; the journal uses to_json_full instead.
 json::Value to_json(const AggregateReport& report, std::size_t top_n = 20);
+
+/// Lossless aggregate-report snapshot: every attribution row with its
+/// complete previous-origin map, full domain sets, and the raw
+/// TimeHistogram sample multisets. report_from_json(to_json_full(x)) == x
+/// exactly — the property the crash-safe journal depends on
+/// (tests/report_json_test.cpp pins it).
+json::Value to_json_full(const AggregateReport& report);
+
+/// Strict parser for to_json_full output. Rejects malformed documents:
+/// missing/mistyped fields, non-integer or negative counters (doubles and
+/// NaN included), unknown cause names.
+util::Expected<AggregateReport> report_from_json(const json::Value& value);
+
+/// TimeHistogram (sample multiset) <-> JSON: array of [value_ms, count]
+/// pairs, ordered by value. The parser rejects non-integer values,
+/// non-positive counts and unsorted/duplicate entries.
+json::Value histogram_to_json(const stats::TimeHistogram& histogram);
+util::Expected<stats::TimeHistogram> histogram_from_json(
+    const json::Value& value);
+
+/// Strict parser for to_json(FailureSummary) output (the fault ledger).
+util::Expected<fault::FailureSummary> failure_summary_from_json(
+    const json::Value& value);
 
 /// One site's classification -> JSON (per-connection findings with causes
 /// and reusable previous origins).

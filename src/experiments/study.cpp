@@ -1,14 +1,19 @@
 #include "experiments/study.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/classify.hpp"
+#include "journal/checkpoint.hpp"
+#include "journal/journal.hpp"
 #include "web/catalog.hpp"
 #include "web/ecosystem.hpp"
 #include "web/sitegen.hpp"
@@ -59,6 +64,76 @@ class Campaign {
   std::thread thread_;
 };
 
+/// Deterministic digest of the materialized universe: sampled site URLs
+/// (plus unreachability markers) pin the seed AND the site generator
+/// version, so a resume against a journal from a different world fails
+/// the fingerprint check instead of silently mixing observations.
+std::uint32_t universe_digest(web::SiteUniverse& universe,
+                              const StudyConfig& config) {
+  std::string sample;
+  auto add_rank = [&](std::size_t rank) {
+    if (universe.unreachable(rank)) {
+      sample += '-';
+    } else {
+      sample += universe.site(rank).url;
+    }
+    sample += '\n';
+  };
+  auto add_span = [&](std::size_t first, std::size_t count) {
+    if (count == 0) return;
+    const std::size_t stride = std::max<std::size_t>(1, count / 32);
+    for (std::size_t i = 0; i < count; i += stride) add_rank(first + i);
+    add_rank(first + count - 1);
+  };
+  add_span(0, config.alexa_sites);
+  if (config.run_har) add_span(config.har_first_rank, config.har_sites);
+  return journal::crc32(sample);
+}
+
+/// The config fingerprint the journal header pins. `threads` is
+/// deliberately absent: the crawl's determinism contract makes thread
+/// count irrelevant to results, so a journal written at -j32 resumes
+/// cleanly at -j1. Everything that CAN change observations is here.
+json::Value config_fingerprint(const StudyConfig& config,
+                               std::uint32_t universe_crc) {
+  json::Object fp;
+  fp.set("har_sites", static_cast<std::int64_t>(config.har_sites));
+  fp.set("alexa_sites", static_cast<std::int64_t>(config.alexa_sites));
+  fp.set("har_first_rank",
+         static_cast<std::int64_t>(config.har_first_rank));
+  fp.set("seed", static_cast<std::int64_t>(config.seed));
+  fp.set("run_no_fetch", config.run_no_fetch);
+  fp.set("run_har", config.run_har);
+  fp.set("faults", config.faults.signature());
+  fp.set("site_deadline_ms", static_cast<std::int64_t>(config.site_deadline));
+  fp.set("universe_crc", static_cast<std::int64_t>(universe_crc));
+  return json::Value{std::move(fp)};
+}
+
+/// What one campaign recovered from the journal.
+struct RecoveredCampaign {
+  browser::CrawlSummary summary;
+  std::map<std::string, core::AggregateReport> reports;
+  std::uint64_t overlap_sites = 0;
+  std::vector<char> covered;  // per relative index in [0, count)
+  std::uint64_t chunks = 0;
+  std::uint64_t sites = 0;
+};
+
+/// Rank span one campaign crawls, for validating journaled chunks.
+struct CampaignSpan {
+  std::size_t first_rank = 0;
+  std::size_t count = 0;
+};
+
+bool known_report_name(const std::string& campaign, const std::string& name) {
+  if (campaign == "alexa") {
+    return name == "exact" || name == "endless" || name == "overlap";
+  }
+  if (campaign == "nofetch") return name == "exact";
+  return name == "endless" || name == "immediate" || name == "overlap";
+}
+
 }  // namespace
 
 StudyConfig StudyConfig::from_env() {
@@ -70,6 +145,15 @@ StudyConfig StudyConfig::from_env() {
   config.seed = env_size("H2R_SEED", config.seed);
   config.threads = env_threads("H2R_THREADS", config.threads);
   config.faults = fault::FaultConfig::from_env();
+  config.site_deadline =
+      static_cast<util::SimTime>(env_size("H2R_SITE_DEADLINE_MS", 0));
+  const char* journal_path = std::getenv("H2R_JOURNAL");
+  if (journal_path != nullptr && *journal_path != '\0') {
+    config.journal_path = journal_path;
+  }
+  const char* resume = std::getenv("H2R_RESUME");
+  config.resume = resume != nullptr && *resume != '\0' &&
+                  std::string_view(resume) != "0";
   return config;
 }
 
@@ -96,6 +180,117 @@ StudyResults run_study(const StudyConfig& config) {
 
   const asdb::AsDatabase* as_db = &eco.as_database();
 
+  std::map<std::string, CampaignSpan> spans;
+  spans["alexa"] = {0, config.alexa_sites};
+  if (config.run_no_fetch) spans["nofetch"] = {0, config.alexa_sites};
+  if (config.run_har) spans["har"] = {config.har_first_rank, config.har_sites};
+
+  // ------------------------------------------- journal recovery / setup
+  std::unique_ptr<journal::JournalWriter> writer;
+  std::map<std::string, RecoveredCampaign> recovered;
+  if (!config.journal_path.empty()) {
+    const json::Value fingerprint =
+        config_fingerprint(config, universe_digest(universe, config));
+    if (config.resume) {
+      auto contents = journal::read_journal(config.journal_path);
+      if (!contents) throw std::runtime_error(contents.error().message);
+      auto header_fp = journal::header_fingerprint(contents->header);
+      if (!header_fp) throw std::runtime_error(header_fp.error().message);
+      if (json::write(*header_fp) != json::write(fingerprint)) {
+        throw std::runtime_error(
+            "journal fingerprint mismatch: journal was written by " +
+            json::write(*header_fp) + " but this config is " +
+            json::write(fingerprint));
+      }
+      for (const json::Value& entry : contents->entries) {
+        auto chunk = journal::chunk_from_json(entry);
+        if (!chunk) {
+          throw std::runtime_error("corrupt journal entry: " +
+                                   chunk.error().message);
+        }
+        const auto span_it = spans.find(chunk->campaign);
+        if (span_it == spans.end()) {
+          throw std::runtime_error("journal entry for unknown campaign '" +
+                                   chunk->campaign + "'");
+        }
+        const CampaignSpan& span = span_it->second;
+        RecoveredCampaign& rec = recovered[chunk->campaign];
+        if (rec.covered.size() != span.count) {
+          rec.covered.assign(span.count, 0);
+        }
+        for (const auto& [first, count] : chunk->ranges) {
+          if (first < span.first_rank ||
+              first + count > span.first_rank + span.count) {
+            throw std::runtime_error(
+                "journal chunk outside the '" + chunk->campaign +
+                "' campaign's rank range");
+          }
+          for (std::size_t rank = first; rank < first + count; ++rank) {
+            char& cell = rec.covered[rank - span.first_rank];
+            if (cell != 0) {
+              throw std::runtime_error("journal chunks overlap: rank " +
+                                       std::to_string(rank) +
+                                       " journaled twice");
+            }
+            cell = 1;
+          }
+        }
+        for (const auto& [name, report] : chunk->reports) {
+          if (!known_report_name(chunk->campaign, name)) {
+            throw std::runtime_error("journal entry with unknown report '" +
+                                     name + "' for campaign '" +
+                                     chunk->campaign + "'");
+          }
+          rec.reports[name].merge(report);
+        }
+        rec.summary.merge(chunk->summary);
+        rec.overlap_sites += chunk->overlap_sites;
+        ++rec.chunks;
+        rec.sites += chunk->site_count();
+      }
+      auto appender = journal::JournalWriter::append_to(config.journal_path,
+                                                        contents->valid_bytes);
+      if (!appender) throw std::runtime_error(appender.error().message);
+      writer = std::move(appender.value());
+    } else {
+      auto created =
+          journal::JournalWriter::create(config.journal_path, fingerprint);
+      if (!created) throw std::runtime_error(created.error().message);
+      writer = std::move(created.value());
+    }
+  }
+
+  /// Remaining relative indices for one campaign (everything when the
+  /// journal recovered nothing for it).
+  auto targets_for = [&](const std::string& name) {
+    const CampaignSpan& span = spans.at(name);
+    const auto it = recovered.find(name);
+    const std::vector<char>* covered =
+        it != recovered.end() ? &it->second.covered : nullptr;
+    std::vector<std::size_t> targets;
+    targets.reserve(span.count);
+    for (std::size_t i = 0; i < span.count; ++i) {
+      if (covered == nullptr || (*covered)[i] == 0) targets.push_back(i);
+    }
+    return targets;
+  };
+
+  // A failed journal append means durability is gone: remember the first
+  // error (workers keep crawling; results stay correct) and rethrow it
+  // after the campaigns join so the run fails loudly.
+  std::mutex journal_error_mutex;
+  std::exception_ptr journal_error;
+  auto journal_chunk = [&](const journal::ChunkCheckpoint& checkpoint) {
+    auto committed = writer->append(journal::to_json(checkpoint));
+    if (!committed) {
+      std::lock_guard<std::mutex> lock(journal_error_mutex);
+      if (journal_error == nullptr) {
+        journal_error = std::make_exception_ptr(std::runtime_error(
+            "journal append failed: " + committed.error().message));
+      }
+    }
+  };
+
   // Overlap bounds (ranks present in both populations).
   const std::size_t overlap_begin = config.har_first_rank;
   const std::size_t overlap_end =
@@ -109,6 +304,11 @@ StudyResults run_study(const StudyConfig& config) {
   // partial reports afterwards — AggregateReport::merge is
   // order-independent, so the merged report is identical to a sequential
   // single-pass accumulation (tests/crawl_parallel_test.cpp pins this).
+  // With journaling on, the shard aggregators become CHUNK-local: at
+  // every work-queue chunk boundary the worker serializes them into a
+  // checkpoint, commits it, folds them into its running totals and
+  // resets. The same commutativity makes recovered + freshly-crawled
+  // chunks merge to the uninterrupted result, bit for bit.
 
   // ---------------------------------------------- Alexa-like crawl (EU)
   auto alexa_campaign = [&]() {
@@ -116,6 +316,9 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator exact;
       core::Aggregator endless;
       core::Aggregator overlap;
+      core::AggregateReport exact_total;
+      core::AggregateReport endless_total;
+      core::AggregateReport overlap_total;
       explicit Shard(const asdb::AsDatabase* db)
           : exact(db), endless(db), overlap(db) {}
     };
@@ -125,51 +328,90 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.browser.follow_fetch_credentials = true;
     crawl.browser.vantage_region = "eu";
     crawl.browser.faults = config.faults;
+    crawl.browser.site_deadline = config.site_deadline;
     crawl.vantage_index = 0;  // the university resolver
     crawl.seed = config.seed + 1;
     crawl.threads = config.threads;
     crawl.start_time = util::days(1);
     crawl.har_path = false;
 
-    results.alexa_summary = browser::crawl_range_sharded(
-        universe, 0, config.alexa_sites, crawl,
-        [&](unsigned worker) -> browser::ShardSink {
-          while (shards.size() <= worker) {
-            shards.push_back(std::make_unique<Shard>(as_db));
-          }
-          Shard* shard = shards[worker].get();
-          return [shard, &in_overlap](const browser::SiteResult& site) {
-            if (!site.reachable) return;
-            const auto& obs = site.netlog_observation;
-            shard->exact.add_site(
-                obs, core::classify_site(obs, {core::DurationModel::kExact}));
-            shard->endless.add_site(
-                obs,
-                core::classify_site(obs, {core::DurationModel::kEndless}));
-            if (in_overlap(site.rank)) {
-              // The paper's overlap tables use the endless model on both
-              // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
-              shard->overlap.add_site(
-                  obs,
-                  core::classify_site(obs, {core::DurationModel::kEndless}));
-            }
+    auto make_sink = [&](unsigned worker) -> browser::ShardSink {
+      while (shards.size() <= worker) {
+        shards.push_back(std::make_unique<Shard>(as_db));
+      }
+      Shard* shard = shards[worker].get();
+      return [shard, &in_overlap](const browser::SiteResult& site) {
+        if (!site.reachable) return;
+        const auto& obs = site.netlog_observation;
+        shard->exact.add_site(
+            obs, core::classify_site(obs, {core::DurationModel::kExact}));
+        shard->endless.add_site(
+            obs,
+            core::classify_site(obs, {core::DurationModel::kEndless}));
+        if (in_overlap(site.rank)) {
+          // The paper's overlap tables use the endless model on both
+          // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
+          shard->overlap.add_site(
+              obs,
+              core::classify_site(obs, {core::DurationModel::kEndless}));
+        }
+      };
+    };
+
+    if (writer != nullptr) {
+      browser::ChunkSink chunk_sink =
+          [&](const browser::ChunkEvent& event) {
+            Shard* shard = shards[event.worker].get();
+            journal::ChunkCheckpoint checkpoint;
+            checkpoint.campaign = "alexa";
+            checkpoint.ranges = event.ranges;
+            checkpoint.summary = event.summary;
+            checkpoint.reports.emplace_back("exact", shard->exact.report());
+            checkpoint.reports.emplace_back("endless",
+                                            shard->endless.report());
+            checkpoint.reports.emplace_back("overlap",
+                                            shard->overlap.report());
+            journal_chunk(checkpoint);
+            shard->exact_total.merge(shard->exact.report());
+            shard->endless_total.merge(shard->endless.report());
+            shard->overlap_total.merge(shard->overlap.report());
+            shard->exact = core::Aggregator(as_db);
+            shard->endless = core::Aggregator(as_db);
+            shard->overlap = core::Aggregator(as_db);
           };
-        });
-    for (const auto& shard : shards) {
-      results.alexa_exact.merge(shard->exact.report());
-      results.alexa_endless.merge(shard->endless.report());
-      results.overlap_alexa_endless.merge(shard->overlap.report());
+      results.alexa_summary = browser::crawl_range_checkpointed(
+          universe, 0, config.alexa_sites, crawl, make_sink,
+          targets_for("alexa"), chunk_sink);
+      for (const auto& shard : shards) {
+        results.alexa_exact.merge(shard->exact_total);
+        results.alexa_endless.merge(shard->endless_total);
+        results.overlap_alexa_endless.merge(shard->overlap_total);
+      }
+    } else {
+      results.alexa_summary = browser::crawl_range_sharded(
+          universe, 0, config.alexa_sites, crawl, make_sink);
+      for (const auto& shard : shards) {
+        results.alexa_exact.merge(shard->exact.report());
+        results.alexa_endless.merge(shard->endless.report());
+        results.overlap_alexa_endless.merge(shard->overlap.report());
+      }
     }
   };
 
   // ------------------------------------- Alexa-like crawl, w/o Fetch
   auto nofetch_campaign = [&]() {
-    std::vector<std::unique_ptr<core::Aggregator>> shards;
+    struct Shard {
+      core::Aggregator exact;
+      core::AggregateReport exact_total;
+      explicit Shard(const asdb::AsDatabase* db) : exact(db) {}
+    };
+    std::vector<std::unique_ptr<Shard>> shards;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = false;  // patched Chromium
     crawl.browser.vantage_region = "eu";
     crawl.browser.faults = config.faults;
+    crawl.browser.site_deadline = config.site_deadline;
     crawl.vantage_index = 0;
     crawl.seed = config.seed + 2;
     crawl.threads = config.threads;
@@ -177,22 +419,44 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.start_time = util::days(4);
     crawl.har_path = false;
 
-    results.nofetch_summary = browser::crawl_range_sharded(
-        universe, 0, config.alexa_sites, crawl,
-        [&](unsigned worker) -> browser::ShardSink {
-          while (shards.size() <= worker) {
-            shards.push_back(std::make_unique<core::Aggregator>(as_db));
-          }
-          core::Aggregator* exact = shards[worker].get();
-          return [exact](const browser::SiteResult& site) {
-            if (!site.reachable) return;
-            const auto& obs = site.netlog_observation;
-            exact->add_site(
-                obs, core::classify_site(obs, {core::DurationModel::kExact}));
+    auto make_sink = [&](unsigned worker) -> browser::ShardSink {
+      while (shards.size() <= worker) {
+        shards.push_back(std::make_unique<Shard>(as_db));
+      }
+      core::Aggregator* exact = &shards[worker]->exact;
+      return [exact](const browser::SiteResult& site) {
+        if (!site.reachable) return;
+        const auto& obs = site.netlog_observation;
+        exact->add_site(
+            obs, core::classify_site(obs, {core::DurationModel::kExact}));
+      };
+    };
+
+    if (writer != nullptr) {
+      browser::ChunkSink chunk_sink =
+          [&](const browser::ChunkEvent& event) {
+            Shard* shard = shards[event.worker].get();
+            journal::ChunkCheckpoint checkpoint;
+            checkpoint.campaign = "nofetch";
+            checkpoint.ranges = event.ranges;
+            checkpoint.summary = event.summary;
+            checkpoint.reports.emplace_back("exact", shard->exact.report());
+            journal_chunk(checkpoint);
+            shard->exact_total.merge(shard->exact.report());
+            shard->exact = core::Aggregator(as_db);
           };
-        });
-    for (const auto& shard : shards) {
-      results.nofetch_exact.merge(shard->report());
+      results.nofetch_summary = browser::crawl_range_checkpointed(
+          universe, 0, config.alexa_sites, crawl, make_sink,
+          targets_for("nofetch"), chunk_sink);
+      for (const auto& shard : shards) {
+        results.nofetch_exact.merge(shard->exact_total);
+      }
+    } else {
+      results.nofetch_summary = browser::crawl_range_sharded(
+          universe, 0, config.alexa_sites, crawl, make_sink);
+      for (const auto& shard : shards) {
+        results.nofetch_exact.merge(shard->exact.report());
+      }
     }
   };
 
@@ -203,6 +467,10 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator immediate;
       core::Aggregator overlap;
       std::uint64_t overlap_sites = 0;
+      core::AggregateReport endless_total;
+      core::AggregateReport immediate_total;
+      core::AggregateReport overlap_total;
+      std::uint64_t overlap_sites_total = 0;
       explicit Shard(const asdb::AsDatabase* db)
           : endless(db), immediate(db), overlap(db) {}
     };
@@ -212,41 +480,80 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.browser.follow_fetch_credentials = true;
     crawl.browser.vantage_region = "us";
     crawl.browser.faults = config.faults;
+    crawl.browser.site_deadline = config.site_deadline;
     crawl.vantage_index = 12;  // the US vantage point
     crawl.seed = config.seed + 3;
     crawl.threads = config.threads;
     crawl.start_time = util::days(8);
     crawl.har_path = true;  // export + filtered re-import
 
-    results.har_summary = browser::crawl_range_sharded(
-        universe, config.har_first_rank, config.har_sites, crawl,
-        [&](unsigned worker) -> browser::ShardSink {
-          while (shards.size() <= worker) {
-            shards.push_back(std::make_unique<Shard>(as_db));
-          }
-          Shard* shard = shards[worker].get();
-          return [shard, &in_overlap](const browser::SiteResult& site) {
-            if (!site.reachable) return;
-            const auto& obs = site.har_observation;
-            shard->endless.add_site(
-                obs,
-                core::classify_site(obs, {core::DurationModel::kEndless}));
-            shard->immediate.add_site(
-                obs,
-                core::classify_site(obs, {core::DurationModel::kImmediate}));
-            if (in_overlap(site.rank)) {
-              ++shard->overlap_sites;
-              shard->overlap.add_site(
-                  obs,
-                  core::classify_site(obs, {core::DurationModel::kEndless}));
-            }
+    auto make_sink = [&](unsigned worker) -> browser::ShardSink {
+      while (shards.size() <= worker) {
+        shards.push_back(std::make_unique<Shard>(as_db));
+      }
+      Shard* shard = shards[worker].get();
+      return [shard, &in_overlap](const browser::SiteResult& site) {
+        if (!site.reachable) return;
+        const auto& obs = site.har_observation;
+        shard->endless.add_site(
+            obs,
+            core::classify_site(obs, {core::DurationModel::kEndless}));
+        shard->immediate.add_site(
+            obs,
+            core::classify_site(obs, {core::DurationModel::kImmediate}));
+        if (in_overlap(site.rank)) {
+          ++shard->overlap_sites;
+          shard->overlap.add_site(
+              obs,
+              core::classify_site(obs, {core::DurationModel::kEndless}));
+        }
+      };
+    };
+
+    if (writer != nullptr) {
+      browser::ChunkSink chunk_sink =
+          [&](const browser::ChunkEvent& event) {
+            Shard* shard = shards[event.worker].get();
+            journal::ChunkCheckpoint checkpoint;
+            checkpoint.campaign = "har";
+            checkpoint.ranges = event.ranges;
+            checkpoint.summary = event.summary;
+            checkpoint.reports.emplace_back("endless",
+                                            shard->endless.report());
+            checkpoint.reports.emplace_back("immediate",
+                                            shard->immediate.report());
+            checkpoint.reports.emplace_back("overlap",
+                                            shard->overlap.report());
+            checkpoint.overlap_sites = shard->overlap_sites;
+            journal_chunk(checkpoint);
+            shard->endless_total.merge(shard->endless.report());
+            shard->immediate_total.merge(shard->immediate.report());
+            shard->overlap_total.merge(shard->overlap.report());
+            shard->overlap_sites_total += shard->overlap_sites;
+            shard->endless = core::Aggregator(as_db);
+            shard->immediate = core::Aggregator(as_db);
+            shard->overlap = core::Aggregator(as_db);
+            shard->overlap_sites = 0;
           };
-        });
-    for (const auto& shard : shards) {
-      results.har_endless.merge(shard->endless.report());
-      results.har_immediate.merge(shard->immediate.report());
-      results.overlap_har_endless.merge(shard->overlap.report());
-      results.overlap_sites += shard->overlap_sites;
+      results.har_summary = browser::crawl_range_checkpointed(
+          universe, config.har_first_rank, config.har_sites, crawl,
+          make_sink, targets_for("har"), chunk_sink);
+      for (const auto& shard : shards) {
+        results.har_endless.merge(shard->endless_total);
+        results.har_immediate.merge(shard->immediate_total);
+        results.overlap_har_endless.merge(shard->overlap_total);
+        results.overlap_sites += shard->overlap_sites_total;
+      }
+    } else {
+      results.har_summary = browser::crawl_range_sharded(
+          universe, config.har_first_rank, config.har_sites, crawl,
+          make_sink);
+      for (const auto& shard : shards) {
+        results.har_endless.merge(shard->endless.report());
+        results.har_immediate.merge(shard->immediate.report());
+        results.overlap_har_endless.merge(shard->overlap.report());
+        results.overlap_sites += shard->overlap_sites;
+      }
     }
   };
 
@@ -270,6 +577,39 @@ StudyResults run_study(const StudyConfig& config) {
     }
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (journal_error != nullptr) std::rethrow_exception(journal_error);
+
+  // Fold the journal-recovered shards in. Same commutative merges as the
+  // live shards, so a resumed study lands on the uninterrupted bytes.
+  if (auto it = recovered.find("alexa"); it != recovered.end()) {
+    RecoveredCampaign& rec = it->second;
+    results.alexa_summary.merge(rec.summary);
+    results.alexa_exact.merge(rec.reports["exact"]);
+    results.alexa_endless.merge(rec.reports["endless"]);
+    results.overlap_alexa_endless.merge(rec.reports["overlap"]);
+  }
+  if (auto it = recovered.find("nofetch"); it != recovered.end()) {
+    RecoveredCampaign& rec = it->second;
+    results.nofetch_summary.merge(rec.summary);
+    results.nofetch_exact.merge(rec.reports["exact"]);
+  }
+  if (auto it = recovered.find("har"); it != recovered.end()) {
+    RecoveredCampaign& rec = it->second;
+    results.har_summary.merge(rec.summary);
+    results.har_endless.merge(rec.reports["endless"]);
+    results.har_immediate.merge(rec.reports["immediate"]);
+    results.overlap_har_endless.merge(rec.reports["overlap"]);
+    results.overlap_sites += rec.overlap_sites;
+  }
+  for (const auto& [name, rec] : recovered) {
+    (void)name;
+    results.resumed_chunks += rec.chunks;
+    results.resumed_sites += rec.sites;
+  }
+  if (writer != nullptr) {
+    results.journal_bytes = writer->bytes_written();
+    results.journal_fsyncs = writer->fsync_count();
+  }
 
   return results;
 }
@@ -279,13 +619,18 @@ const StudyResults& shared_study(const StudyConfig& config) {
   static std::map<std::string, std::unique_ptr<StudyResults>> cache;
   // `threads` is deliberately absent: the crawl layer guarantees
   // thread-count-independent results, so runs differing only in
-  // parallelism share one cache slot. The fault signature IS part of the
-  // key — different fault regimes are different experiments.
+  // parallelism share one cache slot. The fault signature and watchdog
+  // deadline ARE part of the key — different regimes are different
+  // experiments — and so are the journal knobs, because a journaling
+  // bench must actually pay for its fsyncs instead of hitting the cache.
   const std::string key = std::to_string(config.har_sites) + "/" +
                           std::to_string(config.alexa_sites) + "/" +
                           std::to_string(config.har_first_rank) + "/" +
                           std::to_string(config.seed) + "/" +
-                          config.faults.signature();
+                          config.faults.signature() + "/dl" +
+                          std::to_string(config.site_deadline) + "/j[" +
+                          config.journal_path +
+                          (config.resume ? "+resume" : "") + "]";
   std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[key];
   if (slot == nullptr) {

@@ -45,10 +45,30 @@ struct StudyConfig {
   /// Fault injection, forwarded to every campaign's browser. Off by
   /// default; a chaos run sets uniform rates (H2R_FAULT_RATE).
   fault::FaultConfig faults;
+  /// Per-site watchdog budget in simulated ms (0 = no deadline),
+  /// forwarded to every campaign's browser. A page load still pending at
+  /// start + budget is abandoned there and counted as deadline_exceeded.
+  /// Simulated time, so the watchdog is deterministic and thread-count
+  /// independent like everything else. `from_env()` reads
+  /// H2R_SITE_DEADLINE_MS.
+  util::SimTime site_deadline = 0;
+  /// Crash-journal path; empty = journaling off. With a path set, every
+  /// completed crawl chunk is committed (framed, CRC'd, fsynced) to this
+  /// file before the study moves on, so a killed run loses at most the
+  /// chunks in flight. `from_env()` reads H2R_JOURNAL.
+  std::string journal_path;
+  /// Resume from `journal_path` instead of truncating it: journaled
+  /// chunks are recovered, only the remaining sites are crawled, and the
+  /// merged result is bit-identical to an uninterrupted run (merge
+  /// commutativity). The journal header's config fingerprint must match
+  /// this config — thread count aside — or run_study throws.
+  /// `from_env()` reads H2R_RESUME (any value but "" / "0").
+  bool resume = false;
 
   /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS /
-  /// H2R_FAULT_* overrides. Invalid or non-positive values fall back to
-  /// the defaults; H2R_THREADS is clamped to the machine's hardware
+  /// H2R_FAULT_* / H2R_SITE_DEADLINE_MS / H2R_JOURNAL / H2R_RESUME
+  /// overrides. Invalid or non-positive values fall back to the
+  /// defaults; H2R_THREADS is clamped to the machine's hardware
   /// concurrency.
   static StudyConfig from_env();
 };
@@ -75,6 +95,14 @@ struct StudyResults {
   core::AggregateReport overlap_alexa_endless;
   std::uint64_t overlap_sites = 0;
 
+  /// Journal telemetry (zero when journaling is off): bytes committed and
+  /// fsync calls issued by this run, for the CLI / bench banners.
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_fsyncs = 0;
+  /// Work recovered from the journal on resume instead of re-crawled.
+  std::uint64_t resumed_chunks = 0;
+  std::uint64_t resumed_sites = 0;
+
   /// Fault/failure ledger summed over the three campaigns.
   fault::FailureSummary total_failures() const {
     fault::FailureSummary total;
@@ -86,7 +114,10 @@ struct StudyResults {
 };
 
 /// Runs the full study. Expensive (three crawls); bench binaries call it
-/// once and print their tables from the result.
+/// once and print their tables from the result. Throws std::runtime_error
+/// when resume is requested but the journal is unreadable, was written by
+/// a different config (fingerprint mismatch), or holds overlapping /
+/// out-of-range chunks.
 StudyResults run_study(const StudyConfig& config);
 
 /// Returns a process-wide cached study for the given config (first call

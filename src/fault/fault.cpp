@@ -133,6 +133,7 @@ void FailureSummary::add(const FailureSummary& other) noexcept {
   retry_successes += other.retry_successes;
   degraded_resources += other.degraded_resources;
   degraded_sites += other.degraded_sites;
+  deadline_exceeded += other.deadline_exceeded;
 }
 
 std::string describe(const FailureSummary& summary) {
@@ -166,6 +167,12 @@ std::string describe(const FailureSummary& summary) {
         line, sizeof(line), "  degraded: %llu resources across %llu sites\n",
         static_cast<unsigned long long>(summary.degraded_resources),
         static_cast<unsigned long long>(summary.degraded_sites));
+    out += line;
+  }
+  if (summary.deadline_exceeded > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  watchdog: %llu page loads abandoned at the deadline\n",
+                  static_cast<unsigned long long>(summary.deadline_exceeded));
     out += line;
   }
   return out;

@@ -111,6 +111,12 @@ struct FailureSummary {
   std::uint64_t retry_successes = 0;  // fetches rescued by a retry
   std::uint64_t degraded_resources = 0;  // sub-resources given up on
   std::uint64_t degraded_sites = 0;      // sites with >= 1 degraded resource
+  /// Pages whose load exceeded the per-site watchdog budget
+  /// (BrowserOptions::site_deadline / H2R_SITE_DEADLINE_MS) and were
+  /// abandoned instead of stalling their crawl worker. Not a FaultKind:
+  /// the watchdog is a coping mechanism, not an injected failure — it can
+  /// fire on natural stragglers too.
+  std::uint64_t deadline_exceeded = 0;
 
   std::uint64_t& count(FaultKind kind) noexcept;
   std::uint64_t count(FaultKind kind) const noexcept;

@@ -1,0 +1,209 @@
+#include "journal/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace h2r::journal {
+
+namespace {
+
+constexpr char kMagic[] = "h2r-journal";
+constexpr std::int64_t kFormatVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+/// Upper bound on one frame: a chunk checkpoint is at most a few MB even
+/// at campaign scale; anything bigger is corruption, not data.
+constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t read_u32le(const char* bytes) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
+          << 24);
+}
+
+void append_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+util::Error errno_error(const std::string& what, const std::string& path) {
+  return util::Error{what + " " + path + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(byte)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+util::Expected<JournalContents> read_journal(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return util::unexpected(util::Error{"cannot open journal " + path});
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string data = buffer.str();
+
+  JournalContents contents;
+  std::size_t offset = 0;
+  bool saw_header = false;
+  while (offset + kFrameHeaderBytes <= data.size()) {
+    const std::uint32_t length = read_u32le(data.data() + offset);
+    const std::uint32_t expected_crc = read_u32le(data.data() + offset + 4);
+    if (length > kMaxFrameBytes ||
+        offset + kFrameHeaderBytes + length > data.size()) {
+      break;  // torn tail: length field from a partial append (or garbage)
+    }
+    const std::string_view payload(data.data() + offset + kFrameHeaderBytes,
+                                   length);
+    if (crc32(payload) != expected_crc) break;  // torn tail: partial payload
+    auto parsed = json::parse(payload);
+    if (!parsed) break;  // CRC collision on garbage — treat as torn
+    if (!saw_header) {
+      auto fingerprint = header_fingerprint(parsed.value());
+      if (!fingerprint) return util::unexpected(fingerprint.error());
+      contents.header = std::move(parsed.value());
+      saw_header = true;
+    } else {
+      contents.entries.push_back(std::move(parsed.value()));
+    }
+    offset += kFrameHeaderBytes + length;
+  }
+  if (!saw_header) {
+    return util::unexpected(
+        util::Error{"journal " + path + " has no valid header frame"});
+  }
+  contents.valid_bytes = offset;
+  contents.torn_tail = offset < data.size();
+  return contents;
+}
+
+util::Expected<json::Value> header_fingerprint(const json::Value& header) {
+  if (header["magic"].as_string() != kMagic) {
+    return util::unexpected(util::Error{"not an h2r journal (bad magic)"});
+  }
+  if (!header["version"].is_int() ||
+      header["version"].as_int() != kFormatVersion) {
+    return util::unexpected(util::Error{"unsupported journal version"});
+  }
+  if (!header["fingerprint"].is_object()) {
+    return util::unexpected(util::Error{"journal header without fingerprint"});
+  }
+  return header["fingerprint"];
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Expected<std::unique_ptr<JournalWriter>> JournalWriter::create(
+    const std::string& path, const json::Value& fingerprint) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::unexpected(errno_error("cannot create journal", path));
+  }
+  std::unique_ptr<JournalWriter> writer{new JournalWriter(fd)};
+  json::Object header;
+  header.set("magic", kMagic);
+  header.set("version", kFormatVersion);
+  header.set("fingerprint", fingerprint);
+  auto committed = writer->append(json::Value{std::move(header)});
+  if (!committed) return util::unexpected(committed.error());
+  return writer;
+}
+
+util::Expected<std::unique_ptr<JournalWriter>> JournalWriter::append_to(
+    const std::string& path, std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return util::unexpected(errno_error("cannot open journal", path));
+  }
+  // Drop the torn tail (if any) so the next frame starts on a boundary.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return util::unexpected(errno_error("cannot truncate journal", path));
+  }
+  return std::unique_ptr<JournalWriter>{new JournalWriter(fd)};
+}
+
+util::Expected<bool> JournalWriter::commit_frame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  append_u32le(frame, crc32(payload));
+  frame += payload;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::unexpected(
+          util::Error{std::string("journal write failed: ") +
+                      std::strerror(errno)});
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return util::unexpected(util::Error{
+        std::string("journal fsync failed: ") + std::strerror(errno)});
+  }
+  bytes_written_ += frame.size();
+  ++fsyncs_;
+  return true;
+}
+
+util::Expected<bool> JournalWriter::append(const json::Value& entry) {
+  if (entry.is_null()) {
+    return util::unexpected(util::Error{"refusing to journal a null entry"});
+  }
+  return commit_frame(json::write(entry));
+}
+
+std::uint64_t JournalWriter::bytes_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+std::uint64_t JournalWriter::fsync_count() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fsyncs_;
+}
+
+}  // namespace h2r::journal

@@ -1,0 +1,106 @@
+// Crash-safe append-only journal.
+//
+// The paper's measurement campaigns ran for days; losing a crawl to a
+// crash at site 87,000 of 100,000 meant re-crawling everything. This
+// module is the durability substrate that makes interruption recoverable:
+// an append-only file of CRC32-framed JSON records, fsynced on every
+// commit, with a reader that tolerates the one corruption an append-only
+// writer can produce — a torn final frame from a crash mid-append.
+//
+// Frame format (little-endian):
+//
+//   +----------------+----------------+------------------+
+//   | u32 payload_len | u32 crc32(payload) | payload bytes |
+//   +----------------+----------------+------------------+
+//
+// Frame 0 is the header (journal magic, format version, and the writer's
+// config fingerprint); every later frame is one entry. The reader stops
+// at the first incomplete or CRC-failing frame and reports how many valid
+// bytes precede it; appending resumes at that offset, truncating the torn
+// tail. Entries are compact JSON — self-describing, diffable with jq, and
+// versionable without a schema compiler.
+//
+// The layer is content-agnostic: what goes into an entry (study chunk
+// checkpoints) is defined by checkpoint.hpp on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/expected.hpp"
+
+namespace h2r::journal {
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of a byte string — the frame
+/// checksum. Exposed for tests.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Everything read_journal recovered from a journal file.
+struct JournalContents {
+  json::Value header;                // frame 0
+  std::vector<json::Value> entries;  // frames 1..n
+  /// Offset of the first byte NOT covered by a valid frame. Equal to the
+  /// file size for a clean journal; smaller when a torn tail was dropped.
+  std::uint64_t valid_bytes = 0;
+  /// True when trailing bytes were dropped (crash mid-append).
+  bool torn_tail = false;
+};
+
+/// Reads a journal. A truncated or CRC-failing final frame is NOT an
+/// error — it is the expected signature of a crash during append, and is
+/// dropped (torn_tail set). A file without even a complete, valid header
+/// frame IS an error, as is a header without the journal magic.
+util::Expected<JournalContents> read_journal(const std::string& path);
+
+/// Append-only writer. Every append() is framed, written and fsynced
+/// before it returns — after a crash, every entry that append() returned
+/// success for is recoverable. Thread-safe: concurrent appends from crawl
+/// workers serialize on an internal mutex.
+class JournalWriter {
+ public:
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates (or truncates) the journal at `path` and commits the header
+  /// frame. `header` becomes frame 0, wrapped with the journal magic and
+  /// format version.
+  static util::Expected<std::unique_ptr<JournalWriter>> create(
+      const std::string& path, const json::Value& fingerprint);
+
+  /// Reopens an existing journal for appending. `valid_bytes` (from
+  /// read_journal) is where appending resumes; a torn tail beyond it is
+  /// truncated away first.
+  static util::Expected<std::unique_ptr<JournalWriter>> append_to(
+      const std::string& path, std::uint64_t valid_bytes);
+
+  /// Commits one entry: serialize, frame, write, fsync. Returns an error
+  /// on any short write / fsync failure (the journal is then no longer
+  /// trustworthy and the caller should abort the run).
+  util::Expected<bool> append(const json::Value& entry);
+
+  /// Durability counters (for the bench/CLI banners).
+  std::uint64_t bytes_written() const noexcept;
+  std::uint64_t fsync_count() const noexcept;
+
+ private:
+  explicit JournalWriter(int fd) : fd_(fd) {}
+
+  util::Expected<bool> commit_frame(const std::string& payload);
+
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t fsyncs_ = 0;
+};
+
+/// The header fingerprint a journal was created with (read side).
+/// Returns an error when the header is not a v1 h2r journal header.
+util::Expected<json::Value> header_fingerprint(const json::Value& header);
+
+}  // namespace h2r::journal

@@ -18,6 +18,7 @@ std::string to_string(EventType type) {
     case EventType::kConnectFailed: return "SOCKET_CONNECT_FAILED";
     case EventType::kStreamReset: return "HTTP2_STREAM_RESET";
     case EventType::kFetchRetry: return "URL_REQUEST_RETRY";
+    case EventType::kDeadlineExceeded: return "PAGE_LOAD_DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -75,7 +76,7 @@ util::Expected<NetLog> NetLog::from_json(const json::Value& value) {
     const std::string& type_name = item["type"].as_string();
     bool found = false;
     Event e;
-    for (int t = 0; t <= static_cast<int>(EventType::kFetchRetry); ++t) {
+    for (int t = 0; t <= static_cast<int>(EventType::kDeadlineExceeded); ++t) {
       if (to_string(static_cast<EventType>(t)) == type_name) {
         e.type = static_cast<EventType>(t);
         found = true;

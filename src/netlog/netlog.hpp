@@ -37,6 +37,8 @@ enum class EventType : std::uint8_t {
   kStreamReset,        // server RST_STREAM (stream, cause)
   kFetchRetry,         // browser retry after an injected fault (host,
                        // attempt, backoff_ms)
+  kDeadlineExceeded,   // per-site watchdog fired: load abandoned
+                       // (budget_ms, pending)
 };
 
 std::string to_string(EventType type);

@@ -121,6 +121,7 @@ core::SiteObservation stitch_site(const std::string& site_url,
       case EventType::kPreconnect:
       case EventType::kConnectFailed:
       case EventType::kFetchRetry:
+      case EventType::kDeadlineExceeded:
         break;  // informational only
     }
   }

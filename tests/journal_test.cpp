@@ -1,0 +1,279 @@
+// Unit tests for the crash-safe journal layer and the checkpoint codecs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "browser/crawl.hpp"
+#include "core/report.hpp"
+#include "journal/checkpoint.hpp"
+#include "journal/journal.hpp"
+#include "json/json.hpp"
+
+namespace h2r::journal {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+json::Value fingerprint() {
+  json::Object object;
+  object.set("seed", std::int64_t{42});
+  return json::Value{std::move(object)};
+}
+
+json::Value entry(int n) {
+  json::Object object;
+  object.set("n", std::int64_t{n});
+  return json::Value{std::move(object)};
+}
+
+/// Rebuilds `value` (an object) without `key` — the json API is
+/// immutable from the outside, so malformed-document tests copy.
+json::Value without(const json::Value& value, const std::string& key) {
+  json::Object out;
+  for (const auto& [k, v] : value.as_object()) {
+    if (k != key) out.set(k, v);
+  }
+  return json::Value{std::move(out)};
+}
+
+/// Rebuilds `value` with `key` replaced by `replacement`.
+json::Value with(const json::Value& value, const std::string& key,
+                 json::Value replacement) {
+  json::Object out;
+  for (const auto& [k, v] : value.as_object()) {
+    out.set(k, k == key ? replacement : v);
+  }
+  if (value[key].is_null()) out.set(key, replacement);
+  return json::Value{std::move(out)};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void dump(const std::string& path, const std::string& data) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Crc32, KnownVectors) {
+  // The CRC32 "check" value from the IEEE 802.3 specification.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Journal, WriteReadRoundTrip) {
+  const std::string path = temp_path("roundtrip.journal");
+  auto writer = JournalWriter::create(path, fingerprint());
+  ASSERT_TRUE(writer) << writer.error().message;
+  for (int n = 0; n < 5; ++n) {
+    auto ok = (*writer)->append(entry(n));
+    ASSERT_TRUE(ok) << ok.error().message;
+  }
+  EXPECT_EQ((*writer)->fsync_count(), 6u);  // header + 5 entries
+  EXPECT_GT((*writer)->bytes_written(), 0u);
+  writer->reset();
+
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents) << contents.error().message;
+  EXPECT_FALSE(contents->torn_tail);
+  ASSERT_EQ(contents->entries.size(), 5u);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_EQ(contents->entries[static_cast<std::size_t>(n)]["n"].as_int(),
+              n);
+  }
+  auto fp = header_fingerprint(contents->header);
+  ASSERT_TRUE(fp) << fp.error().message;
+  EXPECT_EQ((*fp)["seed"].as_int(), 42);
+}
+
+TEST(Journal, TornTailIsDroppedNotFatal) {
+  const std::string path = temp_path("torn.journal");
+  {
+    auto writer = JournalWriter::create(path, fingerprint());
+    ASSERT_TRUE(writer);
+    ASSERT_TRUE((*writer)->append(entry(1)));
+    ASSERT_TRUE((*writer)->append(entry(2)));
+  }
+  // Crash simulation: the last frame loses its final 3 bytes.
+  std::string data = slurp(path);
+  dump(path, data.substr(0, data.size() - 3));
+
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents) << contents.error().message;
+  EXPECT_TRUE(contents->torn_tail);
+  ASSERT_EQ(contents->entries.size(), 1u);
+  EXPECT_EQ(contents->entries[0]["n"].as_int(), 1);
+
+  // Appending after recovery truncates the tail and continues cleanly.
+  {
+    auto writer = JournalWriter::append_to(path, contents->valid_bytes);
+    ASSERT_TRUE(writer) << writer.error().message;
+    ASSERT_TRUE((*writer)->append(entry(3)));
+  }
+  auto repaired = read_journal(path);
+  ASSERT_TRUE(repaired);
+  EXPECT_FALSE(repaired->torn_tail);
+  ASSERT_EQ(repaired->entries.size(), 2u);
+  EXPECT_EQ(repaired->entries[1]["n"].as_int(), 3);
+}
+
+TEST(Journal, CorruptPayloadIsATornTail) {
+  const std::string path = temp_path("corrupt.journal");
+  {
+    auto writer = JournalWriter::create(path, fingerprint());
+    ASSERT_TRUE(writer);
+    ASSERT_TRUE((*writer)->append(entry(1)));
+  }
+  std::string data = slurp(path);
+  data[data.size() - 2] ^= 0x40;  // bit flip inside the last payload
+  dump(path, data);
+
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents) << contents.error().message;
+  EXPECT_TRUE(contents->torn_tail);
+  EXPECT_TRUE(contents->entries.empty());
+}
+
+TEST(Journal, RejectsFilesWithoutValidHeader) {
+  const std::string path = temp_path("noheader.journal");
+  dump(path, "this is not a journal at all");
+  EXPECT_FALSE(read_journal(path));
+
+  // A well-framed first record that is not a journal header also fails.
+  const std::string payload = "{\"magic\":\"something-else\"}";
+  std::string framed;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  for (int shift = 0; shift < 32; shift += 8) {
+    framed.push_back(static_cast<char>((length >> shift) & 0xFF));
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    framed.push_back(static_cast<char>((crc >> shift) & 0xFF));
+  }
+  framed += payload;
+  dump(path, framed);
+  EXPECT_FALSE(read_journal(path));
+}
+
+TEST(Journal, RefusesNullEntries) {
+  const std::string path = temp_path("null.journal");
+  auto writer = JournalWriter::create(path, fingerprint());
+  ASSERT_TRUE(writer);
+  EXPECT_FALSE((*writer)->append(json::Value{}));
+}
+
+TEST(Checkpoint, CrawlSummaryRoundTrip) {
+  browser::CrawlSummary summary;
+  summary.sites_visited = 100;
+  summary.sites_unreachable = 3;
+  summary.connections_opened = 1234;
+  summary.group_reuses = 55;
+  summary.alias_reuses = 7;
+  summary.origin_frame_reuses = 2;
+  summary.misdirected_retries = 1;
+  summary.failures.dns_timeout = 5;
+  summary.failures.retries = 2;
+  summary.failures.deadline_exceeded = 7;
+  summary.har_stats.total_entries = 900;
+  summary.har_stats.h2_entries = 800;
+  summary.har_stats.used_entries = 750;
+  summary.har_stats.missing_ip = 9;
+  // Diagnostics must NOT round-trip: they are scheduling artifacts.
+  summary.per_worker.resize(3);
+  summary.wall_ms = 123.5;
+
+  auto round = crawl_summary_from_json(to_json(summary));
+  ASSERT_TRUE(round) << round.error().message;
+  EXPECT_TRUE(*round == summary);  // counters-only comparison
+  EXPECT_TRUE(round->per_worker.empty());
+  EXPECT_EQ(round->wall_ms, 0.0);
+  EXPECT_EQ(round->failures.deadline_exceeded, 7u);
+  EXPECT_EQ(round->har_stats.used_entries, 750u);
+}
+
+TEST(Checkpoint, CrawlSummaryRejectsMalformed) {
+  browser::CrawlSummary summary;
+  summary.sites_visited = 10;
+  const json::Value good = to_json(summary);
+  ASSERT_TRUE(crawl_summary_from_json(good));
+
+  EXPECT_FALSE(crawl_summary_from_json(without(good, "sites_visited")));
+  EXPECT_FALSE(crawl_summary_from_json(
+      with(good, "connections_opened", json::Value{std::int64_t{-4}})));
+  EXPECT_FALSE(
+      crawl_summary_from_json(with(good, "group_reuses", json::Value{1.5})));
+}
+
+TEST(Checkpoint, ChunkRoundTrip) {
+  ChunkCheckpoint chunk;
+  chunk.campaign = "alexa";
+  chunk.ranges = {{100, 25}, {130, 5}};
+  chunk.summary.sites_visited = 30;
+  chunk.summary.connections_opened = 77;
+  chunk.overlap_sites = 12;
+
+  // A real report from the aggregator, so every field family is covered.
+  core::Aggregator aggregator;
+  core::ConnectionRecord conn;
+  conn.id = 1;
+  conn.endpoint =
+      net::Endpoint{net::IpAddress::parse("10.1.2.3").value(), 443};
+  conn.initial_domain = "example.test";
+  conn.san_dns_names = {"example.test"};
+  conn.issuer_organization = "Test CA";
+  core::RequestRecord req;
+  req.started_at = 0;
+  req.finished_at = 50;
+  req.domain = "example.test";
+  conn.requests.push_back(req);
+  core::SiteObservation site;
+  site.site_url = "https://example.test/";
+  site.connections.push_back(conn);
+  aggregator.add_site(site, core::classify_site(site, {}));
+  chunk.reports.emplace_back("exact", aggregator.report());
+
+  auto round = chunk_from_json(to_json(chunk));
+  ASSERT_TRUE(round) << round.error().message;
+  EXPECT_EQ(round->campaign, "alexa");
+  EXPECT_EQ(round->ranges, chunk.ranges);
+  EXPECT_EQ(round->site_count(), 30u);
+  EXPECT_TRUE(round->summary == chunk.summary);
+  ASSERT_EQ(round->reports.size(), 1u);
+  EXPECT_EQ(round->reports[0].first, "exact");
+  EXPECT_TRUE(round->reports[0].second == chunk.reports[0].second);
+  EXPECT_EQ(round->overlap_sites, 12u);
+}
+
+TEST(Checkpoint, ChunkRejectsBadRanges) {
+  ChunkCheckpoint chunk;
+  chunk.campaign = "har";
+  chunk.ranges = {{40, 10}};
+  const json::Value good = to_json(chunk);
+  ASSERT_TRUE(chunk_from_json(good)) << chunk_from_json(good).error().message;
+
+  // Empty ranges array.
+  EXPECT_FALSE(
+      chunk_from_json(with(good, "ranges", json::Value{json::Array{}})));
+  // Zero-length range.
+  json::Array zero_range;
+  zero_range.push_back(json::Value{std::int64_t{10}});
+  zero_range.push_back(json::Value{std::int64_t{0}});
+  json::Array ranges;
+  ranges.push_back(json::Value{std::move(zero_range)});
+  EXPECT_FALSE(
+      chunk_from_json(with(good, "ranges", json::Value{std::move(ranges)})));
+  // No campaign.
+  EXPECT_FALSE(chunk_from_json(without(good, "campaign")));
+}
+
+}  // namespace
+}  // namespace h2r::journal

@@ -4,6 +4,7 @@
 #include "core/observation_json.hpp"
 #include "core/report_json.hpp"
 #include "netlog/netlog.hpp"
+#include "util/rng.hpp"
 
 namespace h2r::core {
 namespace {
@@ -142,6 +143,205 @@ TEST(ObservationJson, RejectsGarbage) {
   EXPECT_FALSE(observation_from_json(
                    json::parse(R"({"connections":[{"ip":"junk"}]})").value())
                    .has_value());
+}
+
+// ------------------- full-fidelity round trip (the journal's substrate)
+
+/// Randomized report with every field populated — including attribution
+/// tables far larger than the human-facing top-20 cut.
+AggregateReport random_report(util::Rng& rng) {
+  AggregateReport r;
+  auto count = [&rng](std::uint64_t hi) { return rng.uniform(0, hi); };
+  r.analyzed_sites = count(5000);
+  r.h2_sites = count(4000);
+  r.redundant_sites = count(3000);
+  r.total_connections = count(100000);
+  r.redundant_connections = count(50000);
+  r.filtered_requests = count(9999);
+  r.closed_connections = count(1234);
+  r.cred_same_domain_connections = count(77);
+  for (Cause cause : kAllCauses) {
+    if (rng.uniform01() < 0.8) {
+      r.by_cause[cause] = CauseTally{count(100), count(1000)};
+    }
+    if (rng.uniform01() < 0.7) {
+      TimeHistogram& offsets = r.redundant_open_offsets[cause];
+      for (std::uint64_t i = count(6); i > 0; --i) {
+        offsets[static_cast<util::SimTime>(count(90000))] += count(5) + 1;
+      }
+    }
+  }
+  for (std::uint64_t i = count(8); i > 0; --i) {
+    r.redundant_per_site_histogram[count(40)] += count(200) + 1;
+  }
+  for (std::uint64_t i = count(30); i > 0; --i) {
+    OriginTally tally;
+    tally.connections = count(500);
+    for (std::uint64_t j = count(4); j > 0; --j) {
+      tally.previous_origins["prev" + std::to_string(count(50))] +=
+          count(20) + 1;
+    }
+    if (rng.uniform01() < 0.5) tally.issuer = "CA" + std::to_string(count(9));
+    r.ip_origins["origin" + std::to_string(i)] = tally;
+    r.cert_domains["domain" + std::to_string(i)] = tally;
+  }
+  for (std::uint64_t i = count(25); i > 0; --i) {
+    IssuerTally tally;
+    tally.connections = count(800);
+    for (std::uint64_t j = count(5); j > 0; --j) {
+      tally.domains.insert("d" + std::to_string(count(60)));
+    }
+    r.cert_issuers["issuer" + std::to_string(i)] = tally;
+    r.all_issuers["issuer" + std::to_string(i)] = tally;
+    AsTally as_tally;
+    as_tally.connections = tally.connections;
+    as_tally.domains = tally.domains;
+    r.ip_ases["AS" + std::to_string(i)] = as_tally;
+  }
+  for (std::uint64_t i = count(12); i > 0; --i) {
+    r.closed_lifetimes_ms[static_cast<util::SimTime>(count(600000))] +=
+        count(9) + 1;
+  }
+  return r;
+}
+
+TEST(ReportJsonFull, RandomizedRoundTripIsExact) {
+  util::Rng rng{0xFEEDF00Du};
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const AggregateReport report = random_report(rng);
+    const json::Value serialized = to_json_full(report);
+    const auto round = report_from_json(serialized);
+    ASSERT_TRUE(round.has_value()) << round.error().message;
+    EXPECT_TRUE(*round == report) << "iteration " << iteration;
+    // Through bytes too (the journal stores text, not Values).
+    const auto reparsed = json::parse(json::write(serialized));
+    ASSERT_TRUE(reparsed.has_value());
+    const auto round2 = report_from_json(reparsed.value());
+    ASSERT_TRUE(round2.has_value()) << round2.error().message;
+    EXPECT_TRUE(*round2 == report) << "iteration " << iteration;
+  }
+}
+
+TEST(ReportJsonFull, FullViewIsUntruncated) {
+  util::Rng rng{0xABCDu};
+  AggregateReport report;
+  // More rows than the human-facing top-20 cut in every table.
+  for (int i = 0; i < 40; ++i) {
+    OriginTally tally;
+    tally.connections = static_cast<std::uint64_t>(100 + i);
+    tally.previous_origins["p" + std::to_string(i)] = 2;
+    report.ip_origins["o" + std::to_string(i)] = tally;
+  }
+  const json::Value summary_view = to_json(report);
+  const json::Value full_view = to_json_full(report);
+  EXPECT_EQ(summary_view["ip_origins"].as_array().size(), 20u);
+  EXPECT_EQ(full_view["ip_origins"].as_object().size(), 40u);
+  // And kAllRows lifts the truncation on the summary view as well.
+  EXPECT_EQ(to_json(report, kAllRows)["ip_origins"].as_array().size(), 40u);
+  const auto round = report_from_json(full_view);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_TRUE(*round == report);
+}
+
+json::Value full_with(const json::Value& base, const std::string& key,
+                      json::Value replacement) {
+  json::Object out = base.as_object();
+  out.set(key, std::move(replacement));
+  return json::Value{std::move(out)};
+}
+
+TEST(ReportJsonFull, RejectsMalformedDocuments) {
+  util::Rng rng{0x5151u};
+  const json::Value good = to_json_full(random_report(rng));
+  ASSERT_TRUE(report_from_json(good).has_value());
+
+  // Wrong root type.
+  EXPECT_FALSE(report_from_json(json::Value{json::Array{}}).has_value());
+  // Missing counter.
+  {
+    json::Object out;
+    for (const auto& [k, v] : good.as_object()) {
+      if (k != "h2_sites") out.set(k, v);
+    }
+    EXPECT_FALSE(report_from_json(json::Value{std::move(out)}).has_value());
+  }
+  // Negative counter.
+  EXPECT_FALSE(report_from_json(
+                   full_with(good, "total_connections",
+                             json::Value{static_cast<std::int64_t>(-1)}))
+                   .has_value());
+  // Double where an integer is required.
+  EXPECT_FALSE(
+      report_from_json(full_with(good, "analyzed_sites", json::Value{3.25}))
+          .has_value());
+  // NaN / overflow never even parse into an int: out-of-int64 literals
+  // become doubles, which the strict parser then rejects.
+  const auto huge = json::parse(R"({"x": 99999999999999999999999999})");
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_FALSE((*huge)["x"].is_int());
+  EXPECT_FALSE(report_from_json(
+                   full_with(good, "redundant_connections", (*huge)["x"]))
+                   .has_value());
+  // Unknown cause key.
+  {
+    json::Object causes = good["causes"].as_object();
+    json::Object bogus;
+    bogus.set("sites", static_cast<std::int64_t>(1));
+    bogus.set("connections", static_cast<std::int64_t>(1));
+    causes.set("GREMLINS", json::Value{std::move(bogus)});
+    EXPECT_FALSE(
+        report_from_json(full_with(good, "causes",
+                                   json::Value{std::move(causes)}))
+            .has_value());
+  }
+}
+
+TEST(HistogramJson, RoundTripAndStrictness) {
+  stats::TimeHistogram histogram;
+  histogram[0] = 3;
+  histogram[122200] = 1;
+  histogram[600000] = 7;
+  const json::Value v = histogram_to_json(histogram);
+  const auto round = histogram_from_json(v);
+  ASSERT_TRUE(round.has_value()) << round.error().message;
+  EXPECT_EQ(*round, histogram);
+
+  EXPECT_TRUE(histogram_from_json(json::Value{json::Array{}})->empty());
+  // Zero counts, non-integers and unsorted pairs are rejected.
+  EXPECT_FALSE(histogram_from_json(json::parse("[[5,0]]").value()).has_value());
+  EXPECT_FALSE(
+      histogram_from_json(json::parse("[[5.5,1]]").value()).has_value());
+  EXPECT_FALSE(
+      histogram_from_json(json::parse("[[9,1],[3,1]]").value()).has_value());
+  EXPECT_FALSE(
+      histogram_from_json(json::parse("[[3,1],[3,1]]").value()).has_value());
+}
+
+TEST(FailureSummaryJson, RoundTripIncludesWatchdog) {
+  fault::FailureSummary summary;
+  summary.tls_handshake = 4;
+  summary.goaways = 2;
+  summary.fetch_attempts = 40;
+  summary.successful_fetches = 37;
+  summary.failed_fetches = 3;
+  summary.retries = 5;
+  summary.retry_successes = 4;
+  summary.degraded_resources = 9;
+  summary.degraded_sites = 2;
+  summary.deadline_exceeded = 11;
+  const auto round = failure_summary_from_json(to_json(summary));
+  ASSERT_TRUE(round.has_value()) << round.error().message;
+  EXPECT_TRUE(*round == summary);
+  EXPECT_EQ(round->deadline_exceeded, 11u);
+
+  // A ledger missing a fault kind (old writer, new reader) is rejected
+  // rather than silently zero-filled.
+  json::Object trimmed = to_json(summary).as_object();
+  json::Object injected;
+  injected.set("dns-timeout", static_cast<std::int64_t>(1));
+  trimmed.set("injected", json::Value{std::move(injected)});
+  EXPECT_FALSE(
+      failure_summary_from_json(json::Value{std::move(trimmed)}).has_value());
 }
 
 }  // namespace

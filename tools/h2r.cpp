@@ -14,6 +14,7 @@
 // operators can audit a deployment without writing C++.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -26,6 +27,7 @@
 #include "core/dns_study.hpp"
 #include "experiments/study.hpp"
 #include "fault/fault.hpp"
+#include "journal/checkpoint.hpp"
 #include "har/import.hpp"
 #include "stats/table.hpp"
 #include "util/format.hpp"
@@ -41,7 +43,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  h2r audit <page.har> [--json]\n"
-               "  h2r study\n"
+               "  h2r study [--journal <path>] [--resume] [--json <out>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -49,7 +51,9 @@ int usage() {
                "\nstudy scale: H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / "
                "H2R_THREADS\n"
                "chaos mode:  H2R_FAULT_RATE (0..1) / H2R_FAULT_SEED / "
-               "H2R_FAULT_RETRIES / H2R_FAULT_BACKOFF_MS\n");
+               "H2R_FAULT_RETRIES / H2R_FAULT_BACKOFF_MS\n"
+               "durability:  H2R_JOURNAL (or --journal) / H2R_RESUME (or "
+               "--resume) / H2R_SITE_DEADLINE_MS\n");
   return 2;
 }
 
@@ -99,13 +103,65 @@ int cmd_audit(const char* path, bool as_json) {
   return 0;
 }
 
-int cmd_study() {
-  const experiments::StudyConfig config = experiments::StudyConfig::from_env();
+/// The full study as one deterministic JSON document (full-fidelity
+/// reports, diagnostics-free summaries) — byte-identical across thread
+/// counts and across kill/resume, which is exactly what the CI
+/// crash-recovery job diffs.
+json::Value study_to_json(const experiments::StudyResults& r) {
+  json::Object root;
+  json::Object reports;
+  reports.set("har_endless", core::to_json_full(r.har_endless));
+  reports.set("har_immediate", core::to_json_full(r.har_immediate));
+  reports.set("alexa_exact", core::to_json_full(r.alexa_exact));
+  reports.set("alexa_endless", core::to_json_full(r.alexa_endless));
+  reports.set("nofetch_exact", core::to_json_full(r.nofetch_exact));
+  reports.set("overlap_har_endless", core::to_json_full(r.overlap_har_endless));
+  reports.set("overlap_alexa_endless",
+              core::to_json_full(r.overlap_alexa_endless));
+  root.set("reports", std::move(reports));
+  json::Object summaries;
+  summaries.set("har", journal::to_json(r.har_summary));
+  summaries.set("alexa", journal::to_json(r.alexa_summary));
+  summaries.set("nofetch", journal::to_json(r.nofetch_summary));
+  root.set("summaries", std::move(summaries));
+  root.set("overlap_sites", static_cast<std::int64_t>(r.overlap_sites));
+  return json::Value{std::move(root)};
+}
+
+int cmd_study(int argc, char** argv) {
+  experiments::StudyConfig config = experiments::StudyConfig::from_env();
+  const char* json_out = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      config.journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      config.resume = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (config.resume && config.journal_path.empty()) {
+    std::fprintf(stderr, "--resume needs a journal (--journal/H2R_JOURNAL)\n");
+    return 2;
+  }
   std::printf("running study: %zu HAR-like + %zu Alexa-like sites, seed %llu, "
-              "%u thread(s)\n\n",
+              "%u thread(s)\n",
               config.har_sites, config.alexa_sites,
               static_cast<unsigned long long>(config.seed), config.threads);
-  const experiments::StudyResults r = experiments::run_study(config);
+  if (!config.journal_path.empty()) {
+    std::printf("journal: %s%s\n", config.journal_path.c_str(),
+                config.resume ? " (resuming)" : "");
+  }
+  std::printf("\n");
+  experiments::StudyResults r;
+  try {
+    r = experiments::run_study(config);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "study failed: %s\n", error.what());
+    return 1;
+  }
   auto row = [](const char* name, const core::AggregateReport& report) {
     std::printf("%-18s %7s sites (%s redundant)  %9s conns (%s redundant)\n",
                 name, util::human_count(report.h2_sites).c_str(),
@@ -137,6 +193,30 @@ int cmd_study() {
   workers("Alexa", r.alexa_summary);
   workers("Alexa w/o Fetch", r.nofetch_summary);
   workers("HAR", r.har_summary);
+
+  if (!config.journal_path.empty()) {
+    std::printf("\njournal: %llu bytes in %llu fsynced commits",
+                static_cast<unsigned long long>(r.journal_bytes),
+                static_cast<unsigned long long>(r.journal_fsyncs));
+    if (r.resumed_chunks > 0) {
+      std::printf("; resumed %llu chunk(s) covering %llu site(s)",
+                  static_cast<unsigned long long>(r.resumed_chunks),
+                  static_cast<unsigned long long>(r.resumed_sites));
+    }
+    std::printf("\n");
+  }
+
+  if (json_out != nullptr) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out);
+      return 1;
+    }
+    json::WriteOptions opts;
+    opts.pretty = true;
+    out << json::write(study_to_json(r), opts) << "\n";
+    std::printf("wrote study report to %s\n", json_out);
+  }
   return 0;
 }
 
@@ -281,7 +361,7 @@ int main(int argc, char** argv) {
     const bool as_json = argc == 4 && std::strcmp(argv[3], "--json") == 0;
     return cmd_audit(argv[2], as_json);
   }
-  if (std::strcmp(cmd, "study") == 0) return cmd_study();
+  if (std::strcmp(cmd, "study") == 0) return cmd_study(argc - 2, argv + 2);
   if (std::strcmp(cmd, "crawl") == 0 && argc >= 4) {
     return cmd_crawl(argc - 2, argv + 2);
   }
