@@ -6,12 +6,12 @@
 // connections; ~50% of Alexa sites open >= 6; the w/o-Fetch curve sits
 // below the Alexa curve.
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 
 #include "common.hpp"
 #include "stats/distribution.hpp"
+#include "util/env.hpp"
 
 using namespace h2r;
 
@@ -45,7 +45,7 @@ int main() {
   spark_row("Alexa w/o Fetch", r.nofetch_exact);
 
   // Optional machine-readable dump for plotting: set H2R_CSV_DIR.
-  if (const char* dir = std::getenv("H2R_CSV_DIR"); dir != nullptr) {
+  if (const std::string dir = util::env_string("H2R_CSV_DIR"); !dir.empty()) {
     const struct {
       const char* name;
       const core::AggregateReport* report;
@@ -55,10 +55,10 @@ int main() {
         {"figure2_alexa_nofetch.csv", &r.nofetch_exact},
     };
     for (const auto& s : series) {
-      std::ofstream out(std::string(dir) + "/" + s.name);
+      std::ofstream out(dir + "/" + s.name);
       out << stats::ccdf_to_csv(s.report->redundant_per_site_histogram);
     }
-    std::printf("\n(CSV series written to %s)\n", dir);
+    std::printf("\n(CSV series written to %s)\n", dir.c_str());
   }
 
   std::printf("\nmedian point: 50%% of HAR sites have >= %zu, 50%% of Alexa "

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace h2r::benchcommon {
@@ -57,6 +59,24 @@ const experiments::StudyResults& study() {
                     "journal\n",
                     static_cast<unsigned long long>(results.resumed_chunks),
                     static_cast<unsigned long long>(results.resumed_sites));
+      }
+    }
+    if (!results.metrics.empty()) {
+      std::printf("# metrics (deterministic domain is thread-count "
+                  "invariant; snapshot via H2R_METRICS):\n%s",
+                  obs::render_table(results.metrics).c_str());
+    }
+    if (!config.metrics_path.empty()) {
+      std::ofstream out(config.metrics_path);
+      if (out) {
+        json::WriteOptions opts;
+        opts.pretty = true;
+        out << json::write(obs::to_json(results.metrics), opts) << "\n";
+        std::printf("# wrote metric snapshot to %s\n",
+                    config.metrics_path.c_str());
+      } else {
+        std::printf("# cannot write metric snapshot to %s\n",
+                    config.metrics_path.c_str());
       }
     }
     std::printf("\n");

@@ -59,6 +59,12 @@ dns::Resolution Browser::resolve(PageState& page, const std::string& host,
   if (res.injected_fault) params["fault"] = "1";
   page.log.record(netlog::EventType::kDnsResolved, now, 0,
                   std::move(params));
+  if (page.trace_root >= 0) {
+    const int span = page.result.trace.begin_span("dns.resolve", now,
+                                                  page.trace_root);
+    page.result.trace.spans[static_cast<std::size_t>(span)].attrs = {
+        {"host", host}, {"from_cache", res.from_cache ? "1" : "0"}};
+  }
   return res;
 }
 
@@ -155,7 +161,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   // TCP establishment: an injected refusal/reset fails the attempt before
   // TLS; an injected latency spike stretches the handshake.
   const net::ConnectResult conn =
-      net::simulate_connect(net::Endpoint{address, 443}, &page.plan);
+      net::simulate_connect(net::Endpoint{address, 443}, &page.plan, metrics_);
   if (!conn.ok) {
     status.ok = false;
     status.injected_fault = conn.injected_fault;
@@ -168,7 +174,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
 
   tls::CertificatePtr cert = server->certificate_for(host);
   const tls::HandshakeResult tls_result =
-      tls::simulate_handshake(cert, host, now, &page.plan);
+      tls::simulate_handshake(cert, host, now, &page.plan, metrics_);
   if (!tls_result.ok) {
     status.ok = false;  // certificate errors are not ignored
     status.injected_fault = tls_result.injected_fault;
@@ -198,11 +204,22 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   params.opened_at = now;
   params.peer_settings = options_.settings;
   params.local_settings = options_.settings;
+  params.metrics = metrics_;
 
   SessionEntry entry;
   entry.session = std::make_unique<http2::Session>(std::move(params));
   entry.available_at = now + handshake;
   entry.last_activity = now;
+  if (page.trace_root >= 0) {
+    obs::Trace& trace = page.result.trace;
+    entry.trace_span = trace.begin_span("h2.session", now, page.trace_root);
+    trace.spans[static_cast<std::size_t>(entry.trace_span)].attrs = {
+        {"host", host},
+        {"ip", address.to_string()},
+        {"protocol", use_h3 ? "h3" : "h2"}};
+    const int hs = trace.begin_span("tls.handshake", now, entry.trace_span);
+    trace.end_span(hs, entry.available_at);
+  }
 
   page.log.record(
       netlog::EventType::kSessionCreated, now, entry.session->id(),
@@ -592,6 +609,10 @@ PageLoadResult Browser::load(const web::Website& site,
   // thread-count invariant. The resolver consults it for this load only.
   page.plan = fault::FaultPlan{options_.faults, seed_, site.url};
   resolver_.set_fault_injector(&page.plan);
+  if (options_.record_trace) {
+    page.result.trace.site = site.url;
+    page.trace_root = page.result.trace.begin_span("page.load", start_time);
+  }
 
   const util::SimTime load_end =
       run_page(page, site.landing_domain, "/", site.resources, start_time);
@@ -600,6 +621,39 @@ PageLoadResult Browser::load(const web::Website& site,
   // Post-load observation window: idle servers close their connections.
   close_idle_sessions(page, load_end + options_.post_load_wait);
   resolver_.set_fault_injector(nullptr);
+
+  if (page.trace_root >= 0) {
+    // A session span covers the connection's observed lifetime: close
+    // time when the server hung up inside the observation window, load
+    // end otherwise (the measurement stops watching there).
+    for (const SessionEntry& entry : page.sessions) {
+      if (entry.trace_span < 0) continue;
+      page.result.trace.end_span(entry.trace_span,
+                                 entry.session->is_closed()
+                                     ? entry.session->closed_at()
+                                     : load_end);
+    }
+    page.result.trace.end_span(page.trace_root, load_end);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("browser.pages");
+    metrics_->add("browser.connections_opened",
+                  page.result.connections_opened);
+    metrics_->add("browser.group_reuses", page.result.group_reuses);
+    metrics_->add("browser.alias_reuses", page.result.alias_reuses);
+    metrics_->add("browser.origin_frame_reuses",
+                  page.result.origin_frame_reuses);
+    metrics_->add("browser.misdirected_retries",
+                  page.result.misdirected_retries);
+    metrics_->add("browser.fetch_retries", page.result.failures.retries);
+    metrics_->add("browser.failed_fetches", page.result.failed_fetches);
+    metrics_->add("browser.degraded_resources",
+                  page.result.failures.degraded_resources);
+    metrics_->gauge_max(
+        "browser.max_sessions_per_page",
+        static_cast<std::int64_t>(page.sessions.size()));
+    metrics_->observe("browser.page_load_ms", load_end - start_time);
+  }
 
   page.result.observation = netlog::stitch_site(site.url, page.log);
   // A failed document fetch (after any fault retries) still aborts the

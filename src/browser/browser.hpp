@@ -32,6 +32,8 @@
 #include "har/har.hpp"
 #include "http2/session.hpp"
 #include "netlog/netlog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 #include "web/ecosystem.hpp"
@@ -77,6 +79,11 @@ struct BrowserOptions {
   /// seed, site url), so injected faults keep the crawl's determinism
   /// contract: results are thread-count invariant even under faults.
   fault::FaultConfig faults;
+  /// Record the per-site span tree (DNS resolve -> TLS handshake -> H2
+  /// session -> page load) into PageLoadResult::trace. Off by default —
+  /// the study path never allocates a span. Timestamps are simulated, so
+  /// a recorded trace is bit-identical across thread counts and runs.
+  bool record_trace = false;
 };
 
 struct PageLoadResult {
@@ -98,6 +105,8 @@ struct PageLoadResult {
   /// Injected faults, retries, degradation — the fault layer's ledger.
   /// fetch_attempts == successful_fetches + failed_fetches always holds.
   fault::FailureSummary failures;
+  /// Span tree of this load (empty unless BrowserOptions::record_trace).
+  obs::Trace trace;
   util::SimTime started_at = 0;
   util::SimTime finished_at = 0;
 };
@@ -144,11 +153,18 @@ class Browser {
 
   const BrowserOptions& options() const noexcept { return options_; }
 
+  /// Installs (or clears, with nullptr) the metrics shard this browser
+  /// records into: browser.* counters, the page-load-time histogram, and
+  /// (via Session::Params) the h2.* counters. Not owned; the crawl
+  /// installs the worker's shard before its loop starts.
+  void set_metrics(obs::Metrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   struct SessionEntry {
     std::unique_ptr<http2::Session> session;
     util::SimTime available_at = 0;  // TLS handshake completion
     util::SimTime last_activity = 0;
+    int trace_span = -1;  // h2.session span index when tracing
   };
 
   struct GroupKey {
@@ -178,6 +194,8 @@ class Browser {
     util::Rng rng{0};
     /// Per-site fault schedule; inert when BrowserOptions::faults is off.
     fault::FaultPlan plan;
+    /// Root ("page.load") span index; -1 when tracing is off.
+    int trace_root = -1;
   };
 
   struct AcquireStatus {
@@ -235,6 +253,7 @@ class Browser {
   BrowserOptions options_;
   std::uint64_t seed_;
   std::uint64_t next_session_id_ = 1;
+  obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace h2r::browser

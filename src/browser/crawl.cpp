@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 #include <time.h>
+#include <utility>
 #include <vector>
 
 namespace h2r::browser {
@@ -72,20 +73,30 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
     result.har_observation = har::import_site(har_log, &stats);
     result.har_stats = stats;
   }
+  if (!result.page.trace.empty()) {
+    // Close the pipeline the ISSUE of record describes: the site has now
+    // been handed to classification. Zero-length span at load end, child
+    // of the page.load root.
+    const int span = result.page.trace.begin_span(
+        "site.classify", result.page.finished_at, 0);
+    result.page.trace.end_span(span, result.page.finished_at);
+  }
 }
 
 void account(CrawlSummary& summary, WorkerCounters& counters,
-             const SiteResult& result) {
+             const SiteResult& result, obs::Metrics* metrics) {
   // Failure accounting covers unreachable sites too: a document killed by
   // injected faults is exactly what the ledger must show.
   summary.failures.add(result.page.failures);
   if (!result.reachable) {
     ++summary.sites_unreachable;
     ++counters.sites_unreachable;
+    if (metrics != nullptr) metrics->add("crawl.sites_unreachable");
     return;
   }
   ++summary.sites_visited;
   ++counters.sites_loaded;
+  if (metrics != nullptr) metrics->add("crawl.sites_visited");
   counters.connections_opened += result.page.connections_opened;
   summary.connections_opened += result.page.connections_opened;
   summary.group_reuses += result.page.group_reuses;
@@ -135,23 +146,33 @@ dns::ResolverProfile vantage_profile(const CrawlOptions& options) {
 }
 
 /// Runs the parallel crawl core: N workers drain the work queue, account
-/// into per-worker summary shards, and hand each finished site to
-/// `deliver(worker, index, result)` (called on the worker thread).
-/// When `targets` is non-null the queue runs over those relative indices
-/// instead of [0, count); when `chunk_sink` is non-null, per-chunk
-/// counters are accounted separately and reported (with the chunk's
-/// absolute rank runs) after the chunk's last site, before folding into
-/// the worker shard. Returns the merged summary, shards folded in worker
+/// into per-worker summary shards, and report each finished site to
+/// options.observer (on the worker thread). In chunked mode the queue
+/// runs over options.targets (when set) and per-chunk counters are
+/// accounted separately, reported via Observer::chunk (with the chunk's
+/// absolute rank runs) after the chunk's last site, then folded into the
+/// worker shard. Returns the merged summary, shards folded in worker
 /// order.
-CrawlSummary run_workers(
-    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
-    const CrawlOptions& options, unsigned threads,
-    const dns::ResolverProfile& profile,
-    const std::function<void(unsigned, std::size_t, SiteResult&&)>& deliver,
-    const std::vector<std::size_t>* targets = nullptr,
-    const ChunkSink* chunk_sink = nullptr) {
+CrawlSummary run_workers(web::SiteUniverse& universe, std::size_t first_rank,
+                         std::size_t count, const CrawlOptions& options,
+                         unsigned threads,
+                         const dns::ResolverProfile& profile) {
   universe.materialize(first_rank, count);
+  const std::vector<std::size_t>* targets =
+      options.chunked ? options.targets : nullptr;
   const std::size_t items = targets != nullptr ? targets->size() : count;
+
+  // Observer setup runs on the coordinating thread, before any worker
+  // exists — shard allocation never races with shard use.
+  obs::Observer* observer = options.observer;
+  std::vector<obs::Metrics*> worker_metrics(threads, nullptr);
+  if (observer != nullptr) {
+    observer->begin(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      worker_metrics[t] = observer->metrics(t);
+    }
+  }
+  const bool chunk_events = options.chunked && observer != nullptr;
 
   std::vector<CrawlSummary> shards(threads);
   WorkQueue queue{items, threads};
@@ -165,6 +186,11 @@ CrawlSummary run_workers(
       shard.per_worker.resize(1);
       WorkerCounters& counters = shard.per_worker[0];
       Worker worker{universe, options, profile, options.seed};
+      obs::Metrics* metrics = worker_metrics[t];
+      if (metrics != nullptr) {
+        worker.resolver.set_metrics(metrics);
+        worker.browser.set_metrics(metrics);
+      }
       std::size_t begin = 0;
       std::size_t end = 0;
       for (;;) {
@@ -173,9 +199,10 @@ CrawlSummary run_workers(
         counters.queue_wait_ms += wall_now_ms() - claim_start;
         if (!claimed) break;
         ++counters.chunks_claimed;
+        if (metrics != nullptr) metrics->add_diag("crawl.chunks_claimed");
         ChunkEvent event;
         event.worker = t;
-        CrawlSummary& chunk = chunk_sink != nullptr ? event.summary : shard;
+        CrawlSummary& chunk = chunk_events ? event.summary : shard;
         for (std::size_t i = begin; i < end; ++i) {
           // `rel` keeps the site's original index in [0, count): rank and
           // load time stay exactly what an uninterrupted crawl would use,
@@ -187,8 +214,8 @@ CrawlSummary run_workers(
                            static_cast<util::SimTime>(rel) *
                                options.site_interval,
                        result);
-          account(chunk, counters, result);
-          if (chunk_sink != nullptr) {
+          account(chunk, counters, result, metrics);
+          if (chunk_events) {
             const std::size_t rank = first_rank + rel;
             if (!event.ranges.empty() &&
                 event.ranges.back().first + event.ranges.back().second ==
@@ -198,10 +225,10 @@ CrawlSummary run_workers(
               event.ranges.emplace_back(rank, 1);
             }
           }
-          deliver(t, i, std::move(result));
+          if (observer != nullptr) observer->site(t, result);
         }
-        if (chunk_sink != nullptr) {
-          (*chunk_sink)(event);
+        if (chunk_events) {
+          observer->chunk(event);
           shard.merge(event.summary);
         }
       }
@@ -216,29 +243,82 @@ CrawlSummary run_workers(
   return summary;
 }
 
-CrawlSummary run_sequential(
-    web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
-    const CrawlOptions& options, const dns::ResolverProfile& profile,
-    const std::function<void(const SiteResult&)>& sink) {
+CrawlSummary run_sequential(web::SiteUniverse& universe,
+                            std::size_t first_rank, std::size_t count,
+                            const CrawlOptions& options,
+                            const dns::ResolverProfile& profile) {
   const double wall_start = wall_now_ms();
   const double cpu_start = thread_cpu_ms();
+  obs::Observer* observer = options.observer;
+  obs::Metrics* metrics = nullptr;
+  if (observer != nullptr) {
+    observer->begin(1);
+    metrics = observer->metrics(0);
+  }
   CrawlSummary summary;
   summary.per_worker.resize(1);
   WorkerCounters& counters = summary.per_worker[0];
   counters.chunks_claimed = count > 0 ? 1 : 0;
+  if (metrics != nullptr && count > 0) {
+    metrics->add_diag("crawl.chunks_claimed");
+  }
   Worker worker{universe, options, profile, options.seed};
+  if (metrics != nullptr) {
+    worker.resolver.set_metrics(metrics);
+    worker.browser.set_metrics(metrics);
+  }
   util::SimTime now = options.start_time;
   for (std::size_t i = 0; i < count; ++i, now += options.site_interval) {
     SiteResult result;
     process_site(universe, options, worker, first_rank + i, now, result);
-    account(summary, counters, result);
-    sink(result);
+    account(summary, counters, result, metrics);
+    if (observer != nullptr) observer->site(0, result);
   }
   counters.wall_ms = wall_now_ms() - wall_start;
   counters.cpu_ms = thread_cpu_ms() - cpu_start;
   summary.wall_ms = counters.wall_ms;
   return summary;
 }
+
+/// Adapter base for the legacy entry points: chains the caller-provided
+/// options.observer (if any) behind a wrapper-specific delivery.
+class CallbackObserver final : public obs::Observer {
+ public:
+  CallbackObserver(obs::Observer* inner,
+                   std::function<void(unsigned, SiteResult&)> on_site,
+                   std::function<void(unsigned)> on_begin = {},
+                   std::function<void(const ChunkEvent&)> on_chunk = {})
+      : inner_(inner),
+        on_site_(std::move(on_site)),
+        on_begin_(std::move(on_begin)),
+        on_chunk_(std::move(on_chunk)) {}
+
+  void begin(unsigned workers) override {
+    if (inner_ != nullptr) inner_->begin(workers);
+    if (on_begin_) on_begin_(workers);
+  }
+
+  obs::Metrics* metrics(unsigned worker) override {
+    return inner_ != nullptr ? inner_->metrics(worker) : nullptr;
+  }
+
+  void site(unsigned worker, SiteResult& result) override {
+    // Inner first: the callback may move pieces out of the result.
+    if (inner_ != nullptr) inner_->site(worker, result);
+    if (on_site_) on_site_(worker, result);
+  }
+
+  void chunk(const ChunkEvent& event) override {
+    if (inner_ != nullptr) inner_->chunk(event);
+    if (on_chunk_) on_chunk_(event);
+  }
+
+ private:
+  obs::Observer* inner_;
+  std::function<void(unsigned, SiteResult&)> on_site_;
+  std::function<void(unsigned)> on_begin_;
+  std::function<void(const ChunkEvent&)> on_chunk_;
+};
 
 }  // namespace
 
@@ -268,13 +348,48 @@ bool CrawlSummary::operator==(const CrawlSummary& other) const {
          har_stats == other.har_stats;
 }
 
+CrawlSummary crawl(web::SiteUniverse& universe, std::size_t first_rank,
+                   std::size_t count, const CrawlOptions& options) {
+  const dns::ResolverProfile profile = vantage_profile(options);
+  const double wall_start = wall_now_ms();
+  CrawlSummary summary;
+  if (options.chunked) {
+    // Deliberately no sequential fast path: one worker thread still pulls
+    // chunked work, so a threads=1 run checkpoints the same way (and the
+    // same contract holds: results are thread-count independent).
+    const std::size_t items =
+        options.targets != nullptr ? options.targets->size() : count;
+    const unsigned threads =
+        items == 0 ? 1u
+                   : std::min<unsigned>(std::max(1u, options.threads),
+                                        static_cast<unsigned>(items));
+    summary = run_workers(universe, first_rank, count, options, threads,
+                          profile);
+  } else {
+    const unsigned threads = effective_threads(options, count);
+    summary =
+        threads <= 1
+            ? run_sequential(universe, first_rank, count, options, profile)
+            : run_workers(universe, first_rank, count, options, threads,
+                          profile);
+  }
+  summary.wall_ms = wall_now_ms() - wall_start;
+  return summary;
+}
+
 CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
                          std::size_t count, const CrawlOptions& options,
                          const std::function<void(const SiteResult&)>& sink) {
-  const dns::ResolverProfile& profile = vantage_profile(options);
   const unsigned threads = effective_threads(options, count);
   if (threads <= 1) {
-    return run_sequential(universe, first_rank, count, options, profile, sink);
+    // The sequential path already visits in rank order on this thread.
+    CallbackObserver adapter{
+        options.observer,
+        [&sink](unsigned /*worker*/, SiteResult& result) { sink(result); }};
+    CrawlOptions opts = options;
+    opts.observer = &adapter;
+    opts.chunked = false;
+    return crawl(universe, first_rank, count, opts);
   }
 
   const double wall_start = wall_now_ms();
@@ -288,18 +403,22 @@ CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
   std::mutex mutex;
   std::condition_variable cv;
 
-  auto deliver = [&](unsigned /*worker*/, std::size_t index,
-                     SiteResult&& result) {
-    std::lock_guard<std::mutex> lock(mutex);
-    results[index] = std::move(result);
-    ready[index] = 1;
-    cv.notify_one();
-  };
+  CallbackObserver adapter{
+      options.observer,
+      [&](unsigned /*worker*/, SiteResult& result) {
+        const std::size_t index = result.rank - first_rank;
+        std::lock_guard<std::mutex> lock(mutex);
+        results[index] = std::move(result);
+        ready[index] = 1;
+        cv.notify_one();
+      }};
+  CrawlOptions opts = options;
+  opts.observer = &adapter;
+  opts.chunked = false;
 
   CrawlSummary summary;
   std::thread driver([&]() {
-    summary = run_workers(universe, first_rank, count, options, threads,
-                          profile, deliver);
+    summary = crawl(universe, first_rank, count, opts);
   });
   for (std::size_t i = 0; i < count; ++i) {
     SiteResult result;
@@ -320,25 +439,20 @@ CrawlSummary crawl_range_sharded(
     web::SiteUniverse& universe, std::size_t first_rank, std::size_t count,
     const CrawlOptions& options,
     const std::function<ShardSink(unsigned worker)>& make_shard_sink) {
-  const dns::ResolverProfile& profile = vantage_profile(options);
-  const unsigned threads = effective_threads(options, count);
-  if (threads <= 1) {
-    return run_sequential(universe, first_rank, count, options, profile,
-                          make_shard_sink(0));
-  }
-
-  const double wall_start = wall_now_ms();
   std::vector<ShardSink> sinks;
-  sinks.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) sinks.push_back(make_shard_sink(t));
-
-  CrawlSummary summary = run_workers(
-      universe, first_rank, count, options, threads, profile,
-      [&sinks](unsigned worker, std::size_t /*index*/, SiteResult&& result) {
-        sinks[worker](result);
-      });
-  summary.wall_ms = wall_now_ms() - wall_start;
-  return summary;
+  CallbackObserver adapter{
+      options.observer,
+      [&sinks](unsigned worker, SiteResult& result) { sinks[worker](result); },
+      [&sinks, &make_shard_sink](unsigned workers) {
+        sinks.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+          sinks.push_back(make_shard_sink(t));
+        }
+      }};
+  CrawlOptions opts = options;
+  opts.observer = &adapter;
+  opts.chunked = false;
+  return crawl(universe, first_rank, count, opts);
 }
 
 CrawlSummary crawl_range_checkpointed(
@@ -346,29 +460,22 @@ CrawlSummary crawl_range_checkpointed(
     const CrawlOptions& options,
     const std::function<ShardSink(unsigned worker)>& make_shard_sink,
     const std::vector<std::size_t>& targets, const ChunkSink& chunk_sink) {
-  const dns::ResolverProfile& profile = vantage_profile(options);
-  // Deliberately NOT the sequential fast path: one worker thread still
-  // pulls chunked work, so a threads=1 run journals the same way (and the
-  // same contract holds: results are thread-count independent).
-  const unsigned threads =
-      targets.empty()
-          ? 1u
-          : std::min<unsigned>(std::max(1u, options.threads),
-                               static_cast<unsigned>(targets.size()));
-
-  const double wall_start = wall_now_ms();
   std::vector<ShardSink> sinks;
-  sinks.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) sinks.push_back(make_shard_sink(t));
-
-  CrawlSummary summary = run_workers(
-      universe, first_rank, count, options, threads, profile,
-      [&sinks](unsigned worker, std::size_t /*index*/, SiteResult&& result) {
-        sinks[worker](result);
+  CallbackObserver adapter{
+      options.observer,
+      [&sinks](unsigned worker, SiteResult& result) { sinks[worker](result); },
+      [&sinks, &make_shard_sink](unsigned workers) {
+        sinks.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+          sinks.push_back(make_shard_sink(t));
+        }
       },
-      &targets, &chunk_sink);
-  summary.wall_ms = wall_now_ms() - wall_start;
-  return summary;
+      [&chunk_sink](const ChunkEvent& event) { chunk_sink(event); }};
+  CrawlOptions opts = options;
+  opts.observer = &adapter;
+  opts.chunked = true;
+  opts.targets = &targets;
+  return crawl(universe, first_rank, count, opts);
 }
 
 std::string describe_workers(const CrawlSummary& summary) {

@@ -24,6 +24,7 @@
 #include "dns/vantage.hpp"
 #include "har/export.hpp"
 #include "har/import.hpp"
+#include "obs/observer.hpp"
 #include "web/sitegen.hpp"
 
 namespace h2r::browser {
@@ -50,6 +51,21 @@ struct CrawlOptions {
   /// IDENTICAL for every thread count; `sink` still runs in rank order on
   /// the calling thread.
   unsigned threads = 1;
+  /// The one observation interface of the crawl: per-worker metric
+  /// shards, per-site results, chunk checkpoints (see obs::Observer for
+  /// the threading contract). Not owned; null = observe nothing.
+  obs::Observer* observer = nullptr;
+  /// Chunked mode only: the RELATIVE indices into [0, count) still to
+  /// crawl, sorted ascending (a resumed study passes the complement of
+  /// its journaled ranks). Null = all of [0, count). Each target keeps
+  /// its original index-derived load time, so a resumed crawl reproduces
+  /// the uninterrupted observations bit-for-bit.
+  const std::vector<std::size_t>* targets = nullptr;
+  /// Chunked mode (crash-safe studies): always run the worker pool (even
+  /// for threads = 1, so journaling behaves uniformly) and report each
+  /// drained work-queue chunk to Observer::chunk with the chunk's
+  /// absolute rank runs and counters.
+  bool chunked = false;
 };
 
 struct SiteResult {
@@ -107,9 +123,21 @@ struct CrawlSummary {
   bool operator==(const CrawlSummary& other) const;
 };
 
-/// Visits ranks [first_rank, first_rank + count) in order, invoking
+/// THE crawl entry point: visits ranks [first_rank, first_rank + count)
+/// (or the subset in options.targets when options.chunked), reporting
+/// every observation channel through options.observer — metric shards
+/// before the workers start, per-site results on the worker threads,
+/// chunk checkpoints in chunked mode. The sink/targets/chunk parameters
+/// the three legacy entry points below took now live on CrawlOptions;
+/// those entry points are thin wrappers over this one.
+CrawlSummary crawl(web::SiteUniverse& universe, std::size_t first_rank,
+                   std::size_t count, const CrawlOptions& options);
+
+/// DEPRECATED wrapper over crawl(): visits ranks in order, invoking
 /// `sink` per site (reachable or not) on the calling thread, in rank
-/// order. Returns aggregate counters.
+/// order (a reorder buffer bridges claim order to rank order). New code
+/// should implement obs::Observer and call crawl() — worker-sharded
+/// delivery needs no buffering.
 CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
                          std::size_t count, const CrawlOptions& options,
                          const std::function<void(const SiteResult&)>& sink);
@@ -119,6 +147,8 @@ CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
 /// order the worker claims them — NOT rank order).
 using ShardSink = std::function<void(const SiteResult&)>;
 
+/// DEPRECATED wrapper over crawl() (an Observer's begin()/site() hooks
+/// are exactly this factory contract).
 /// Worker-sharded crawl: `make_shard_sink(worker)` is called on the
 /// calling thread for worker ids [0, threads) before the workers start;
 /// each returned sink then consumes that worker's sites concurrently with
@@ -148,6 +178,8 @@ struct ChunkEvent {
 
 using ChunkSink = std::function<void(const ChunkEvent&)>;
 
+/// DEPRECATED wrapper over crawl() with options.chunked/targets set and
+/// the sinks bridged onto an Observer.
 /// Checkpointed variant of crawl_range_sharded for crash-safe studies.
 /// `targets` lists the RELATIVE indices (into [0, count)) still to crawl,
 /// sorted ascending — a fresh run passes all of them, a resumed run the

@@ -220,7 +220,10 @@ util::Expected<fault::FailureSummary> failure_summary_from_json(
   return summary;
 }
 
-json::Value to_json_full(const AggregateReport& report) {
+json::Value report_to_json(const AggregateReport& report,
+                           const ReportJsonOptions& options) {
+  const bool full = options.fidelity == Fidelity::kFull;
+  const std::size_t top_n = options.top_n;
   json::Object root;
   root.set("analyzed_sites", static_cast<std::int64_t>(report.analyzed_sites));
   root.set("h2_sites", static_cast<std::int64_t>(report.h2_sites));
@@ -233,62 +236,106 @@ json::Value to_json_full(const AggregateReport& report) {
   root.set("filtered_requests",
            static_cast<std::int64_t>(report.filtered_requests));
 
-  json::Object causes;
-  for (const auto& [cause, tally] : report.by_cause) {
-    json::Object obj;
-    obj.set("sites", static_cast<std::int64_t>(tally.sites));
-    obj.set("connections", static_cast<std::int64_t>(tally.connections));
-    causes.set(to_string(cause), std::move(obj));
+  // Causes: the full shape emits exactly the tallies present (lossless),
+  // the truncated shape always emits the paper's three columns, zeros
+  // included, so CI diffs line up across runs.
+  if (full) {
+    json::Object causes;
+    for (const auto& [cause, tally] : report.by_cause) {
+      json::Object obj;
+      obj.set("sites", static_cast<std::int64_t>(tally.sites));
+      obj.set("connections", static_cast<std::int64_t>(tally.connections));
+      causes.set(to_string(cause), std::move(obj));
+    }
+    root.set("causes", std::move(causes));
+  } else {
+    json::Object causes;
+    causes.set("CERT", cause_tally_json(report, Cause::kCert));
+    causes.set("IP", cause_tally_json(report, Cause::kIp));
+    causes.set("CRED", cause_tally_json(report, Cause::kCred));
+    root.set("causes", std::move(causes));
   }
-  root.set("causes", std::move(causes));
 
+  // Figure 2 histogram: compact [count, sites] pairs in the full shape,
+  // self-describing objects in the human-facing one.
   json::Array histogram;
   for (const auto& [count, sites] : report.redundant_per_site_histogram) {
-    json::Array pair;
-    pair.emplace_back(static_cast<std::int64_t>(count));
-    pair.emplace_back(static_cast<std::int64_t>(sites));
-    histogram.emplace_back(std::move(pair));
+    if (full) {
+      json::Array pair;
+      pair.emplace_back(static_cast<std::int64_t>(count));
+      pair.emplace_back(static_cast<std::int64_t>(sites));
+      histogram.emplace_back(std::move(pair));
+    } else {
+      json::Object bucket;
+      bucket.set("redundant_connections", static_cast<std::int64_t>(count));
+      bucket.set("sites", static_cast<std::int64_t>(sites));
+      histogram.emplace_back(std::move(bucket));
+    }
   }
   root.set("redundant_per_site", std::move(histogram));
 
-  auto origin_map = [](const std::map<std::string, OriginTally>& table) {
-    json::Object obj;
-    for (const auto& [origin, tally] : table) {
-      obj.set(origin, origin_tally_full_json(tally));
-    }
-    return json::Value{std::move(obj)};
-  };
-  root.set("ip_origins", origin_map(report.ip_origins));
-  root.set("cert_domains", origin_map(report.cert_domains));
+  // Attribution tables: complete maps (full) vs top-N row arrays.
+  if (full) {
+    auto origin_map = [](const std::map<std::string, OriginTally>& table) {
+      json::Object obj;
+      for (const auto& [origin, tally] : table) {
+        obj.set(origin, origin_tally_full_json(tally));
+      }
+      return json::Value{std::move(obj)};
+    };
+    root.set("ip_origins", origin_map(report.ip_origins));
+    root.set("cert_domains", origin_map(report.cert_domains));
 
-  auto issuer_map = [](const std::map<std::string, IssuerTally>& table) {
-    json::Object obj;
-    for (const auto& [issuer, tally] : table) {
-      obj.set(issuer, domains_tally_full_json(tally));
-    }
-    return json::Value{std::move(obj)};
-  };
-  root.set("cert_issuers", issuer_map(report.cert_issuers));
-  root.set("all_issuers", issuer_map(report.all_issuers));
+    auto issuer_map = [](const std::map<std::string, IssuerTally>& table) {
+      json::Object obj;
+      for (const auto& [issuer, tally] : table) {
+        obj.set(issuer, domains_tally_full_json(tally));
+      }
+      return json::Value{std::move(obj)};
+    };
+    root.set("cert_issuers", issuer_map(report.cert_issuers));
+    root.set("all_issuers", issuer_map(report.all_issuers));
 
-  json::Object ases;
-  for (const auto& [as_name, tally] : report.ip_ases) {
-    ases.set(as_name, domains_tally_full_json(tally));
+    json::Object ases;
+    for (const auto& [as_name, tally] : report.ip_ases) {
+      ases.set(as_name, domains_tally_full_json(tally));
+    }
+    root.set("ip_ases", std::move(ases));
+  } else {
+    root.set("ip_origins", origin_table_json(report.ip_origins, top_n));
+    root.set("cert_domains", origin_table_json(report.cert_domains, top_n));
+    root.set("cert_issuers", issuer_table_json(report.cert_issuers, top_n));
+    root.set("all_issuers", issuer_table_json(report.all_issuers, top_n));
+
+    json::Array ases;
+    for (const auto& [as_name, tally] : top_k(report.ip_ases, top_n)) {
+      json::Object row;
+      row.set("as", as_name);
+      row.set("connections", static_cast<std::int64_t>(tally->connections));
+      row.set("domains", static_cast<std::int64_t>(tally->domains.size()));
+      ases.emplace_back(std::move(row));
+    }
+    root.set("ip_ases", std::move(ases));
   }
-  root.set("ip_ases", std::move(ases));
 
   root.set("closed_connections",
            static_cast<std::int64_t>(report.closed_connections));
-  root.set("closed_lifetimes_ms",
-           histogram_to_json(report.closed_lifetimes_ms));
+  if (full) {
+    root.set("closed_lifetimes_ms",
+             histogram_to_json(report.closed_lifetimes_ms));
+  } else if (const auto median = report.median_closed_lifetime()) {
+    root.set("median_closed_lifetime_ms", static_cast<std::int64_t>(*median));
+  }
   root.set("cred_same_domain_connections",
            static_cast<std::int64_t>(report.cred_same_domain_connections));
 
-  json::Object offsets;
-  for (const auto& [cause, samples] : report.redundant_open_offsets) {
-    offsets.set(to_string(cause), histogram_to_json(samples));
+  if (full) {
+    json::Object offsets;
+    for (const auto& [cause, samples] : report.redundant_open_offsets) {
+      offsets.set(to_string(cause), histogram_to_json(samples));
+    }
+    root.set("redundant_open_offsets", std::move(offsets));
   }
-  root.set("redundant_open_offsets", std::move(offsets));
   return json::Value{std::move(root)};
 }
 
@@ -422,59 +469,6 @@ util::Expected<AggregateReport> report_from_json(const json::Value& value) {
     report.redundant_open_offsets[*cause] = std::move(histogram.value());
   }
   return report;
-}
-
-json::Value to_json(const AggregateReport& report, std::size_t top_n) {
-  json::Object root;
-  root.set("analyzed_sites", static_cast<std::int64_t>(report.analyzed_sites));
-  root.set("h2_sites", static_cast<std::int64_t>(report.h2_sites));
-  root.set("redundant_sites",
-           static_cast<std::int64_t>(report.redundant_sites));
-  root.set("total_connections",
-           static_cast<std::int64_t>(report.total_connections));
-  root.set("redundant_connections",
-           static_cast<std::int64_t>(report.redundant_connections));
-  root.set("filtered_requests",
-           static_cast<std::int64_t>(report.filtered_requests));
-
-  json::Object causes;
-  causes.set("CERT", cause_tally_json(report, Cause::kCert));
-  causes.set("IP", cause_tally_json(report, Cause::kIp));
-  causes.set("CRED", cause_tally_json(report, Cause::kCred));
-  root.set("causes", std::move(causes));
-
-  json::Array histogram;
-  for (const auto& [count, sites] : report.redundant_per_site_histogram) {
-    json::Object bucket;
-    bucket.set("redundant_connections", static_cast<std::int64_t>(count));
-    bucket.set("sites", static_cast<std::int64_t>(sites));
-    histogram.emplace_back(std::move(bucket));
-  }
-  root.set("redundant_per_site", std::move(histogram));
-
-  root.set("ip_origins", origin_table_json(report.ip_origins, top_n));
-  root.set("cert_domains", origin_table_json(report.cert_domains, top_n));
-  root.set("cert_issuers", issuer_table_json(report.cert_issuers, top_n));
-  root.set("all_issuers", issuer_table_json(report.all_issuers, top_n));
-
-  json::Array ases;
-  for (const auto& [as_name, tally] : top_k(report.ip_ases, top_n)) {
-    json::Object row;
-    row.set("as", as_name);
-    row.set("connections", static_cast<std::int64_t>(tally->connections));
-    row.set("domains", static_cast<std::int64_t>(tally->domains.size()));
-    ases.emplace_back(std::move(row));
-  }
-  root.set("ip_ases", std::move(ases));
-
-  root.set("closed_connections",
-           static_cast<std::int64_t>(report.closed_connections));
-  if (const auto median = report.median_closed_lifetime()) {
-    root.set("median_closed_lifetime_ms", static_cast<std::int64_t>(*median));
-  }
-  root.set("cred_same_domain_connections",
-           static_cast<std::int64_t>(report.cred_same_domain_connections));
-  return json::Value{std::move(root)};
 }
 
 json::Value to_json(const SiteClassification& classification) {

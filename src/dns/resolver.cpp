@@ -7,10 +7,12 @@ namespace h2r::dns {
 Resolution RecursiveResolver::resolve(std::string_view name,
                                       util::SimTime now,
                                       std::string_view client_region) {
+  if (metrics_ != nullptr) metrics_->add("dns.queries");
   const std::string key = util::to_lower(name);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     if (it->second.resolution.expires_at > now) {
       ++cache_hits_;
+      if (metrics_ != nullptr) metrics_->add("dns.cache_hits");
       Resolution r = it->second.resolution;
       r.from_cache = true;
       return r;
@@ -21,6 +23,10 @@ Resolution RecursiveResolver::resolve(std::string_view name,
     if (injector_ != nullptr &&
         injector_->fire(fault::FaultKind::kDnsStale)) {
       ++cache_hits_;
+      if (metrics_ != nullptr) {
+        metrics_->add("dns.cache_hits");
+        metrics_->add("dns.injected_faults");
+      }
       Resolution r = it->second.resolution;
       r.from_cache = true;
       r.injected_fault = true;
@@ -36,6 +42,10 @@ Resolution RecursiveResolver::resolve(std::string_view name,
     if (injector_->fire(fault::FaultKind::kDnsServfail) ||
         injector_->fire(fault::FaultKind::kDnsTimeout)) {
       ++upstream_queries_;
+      if (metrics_ != nullptr) {
+        metrics_->add("dns.upstream_queries");
+        metrics_->add("dns.injected_faults");
+      }
       Resolution failed;
       failed.injected_fault = true;
       return failed;
@@ -43,6 +53,7 @@ Resolution RecursiveResolver::resolve(std::string_view name,
   }
 
   ++upstream_queries_;
+  if (metrics_ != nullptr) metrics_->add("dns.upstream_queries");
   QueryContext ctx;
   ctx.resolver_id = profile_.id;
   ctx.region = profile_.region;

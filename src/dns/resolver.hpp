@@ -16,6 +16,7 @@
 #include "dns/authoritative.hpp"
 #include "dns/records.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 
 namespace h2r::dns {
@@ -69,6 +70,12 @@ class RecursiveResolver {
     injector_ = injector;
   }
 
+  /// Installs (or clears, with nullptr) the metrics shard resolve()
+  /// records into: dns.queries, dns.cache_hits, dns.upstream_queries and
+  /// dns.injected_faults. Not owned; the crawl installs the worker's
+  /// shard before its loop starts.
+  void set_metrics(obs::Metrics* metrics) noexcept { metrics_ = metrics; }
+
   std::size_t cache_size() const noexcept { return cache_.size(); }
 
   std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
@@ -82,6 +89,7 @@ class RecursiveResolver {
   ResolverProfile profile_;
   const AuthoritativeServer* authority_;
   fault::FaultInjector* injector_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
   std::map<std::string, CacheEntry, std::less<>> cache_;
   std::uint64_t upstream_queries_ = 0;
   std::uint64_t cache_hits_ = 0;

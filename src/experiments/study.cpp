@@ -1,19 +1,20 @@
 #include "experiments/study.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
-#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/classify.hpp"
 #include "journal/checkpoint.hpp"
 #include "journal/journal.hpp"
+#include "util/env.hpp"
 #include "web/catalog.hpp"
 #include "web/ecosystem.hpp"
 #include "web/sitegen.hpp"
@@ -22,23 +23,48 @@ namespace h2r::experiments {
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const long long parsed = std::atoll(value);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
-}
+/// The observer each campaign hands to crawl(): bridges the campaign's
+/// per-worker aggregator sinks and (when journaling) its chunk
+/// checkpointer onto the one Observer interface, and owns the campaign's
+/// metric shards. begin()/metrics() run on the campaign thread before
+/// the crawl workers spawn, so sink construction and shard allocation
+/// never race with use.
+class CampaignObserver final : public obs::Observer {
+ public:
+  using MakeSink = std::function<browser::ShardSink(unsigned)>;
 
-unsigned env_threads(const char* name, unsigned fallback) {
-  // Bad, zero and negative values fall back; anything above the machine's
-  // concurrency is clamped — requesting 10^6 workers must not fork 10^6
-  // browsers.
-  const unsigned parsed =
-      static_cast<unsigned>(env_size(name, fallback));
-  const unsigned hardware =
-      std::max(1u, std::thread::hardware_concurrency());
-  return std::min(std::max(1u, parsed), hardware);
-}
+  CampaignObserver(MakeSink make_sink, browser::ChunkSink chunk_sink)
+      : make_sink_(std::move(make_sink)),
+        chunk_sink_(std::move(chunk_sink)) {}
+
+  void begin(unsigned workers) override {
+    for (unsigned t = static_cast<unsigned>(sinks_.size()); t < workers;
+         ++t) {
+      sinks_.push_back(make_sink_(t));
+      (void)registry_.shard(t);  // materialize before the workers start
+    }
+  }
+
+  obs::Metrics* metrics(unsigned worker) override {
+    return &registry_.shard(worker);
+  }
+
+  void site(unsigned worker, browser::SiteResult& result) override {
+    sinks_[worker](result);
+  }
+
+  void chunk(const browser::ChunkEvent& event) override {
+    if (chunk_sink_) chunk_sink_(event);
+  }
+
+  obs::Metrics merged() const { return registry_.merged(); }
+
+ private:
+  MakeSink make_sink_;
+  browser::ChunkSink chunk_sink_;
+  std::vector<browser::ShardSink> sinks_;
+  obs::MetricRegistry registry_;
+};
 
 /// Runs one campaign body, capturing any exception for rethrow on the
 /// calling thread.
@@ -138,28 +164,41 @@ bool known_report_name(const std::string& campaign, const std::string& name) {
 
 StudyConfig StudyConfig::from_env() {
   StudyConfig config;
-  config.har_sites = env_size("H2R_HAR_SITES", config.har_sites);
-  config.alexa_sites = env_size("H2R_ALEXA_SITES", config.alexa_sites);
-  config.har_first_rank =
-      env_size("H2R_HAR_FIRST_RANK", config.har_first_rank);
-  config.seed = env_size("H2R_SEED", config.seed);
-  config.threads = env_threads("H2R_THREADS", config.threads);
+  config.har_sites = static_cast<std::size_t>(
+      util::env_u64("H2R_HAR_SITES", config.har_sites, 1));
+  config.alexa_sites = static_cast<std::size_t>(
+      util::env_u64("H2R_ALEXA_SITES", config.alexa_sites, 1));
+  config.har_first_rank = static_cast<std::size_t>(
+      util::env_u64("H2R_HAR_FIRST_RANK", config.har_first_rank, 1));
+  config.seed = util::env_u64("H2R_SEED", config.seed, 1);
+  // Bad and zero thread counts fall back; anything above the machine's
+  // concurrency is clamped — requesting 10^6 workers must not fork 10^6
+  // browsers.
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  config.threads = std::min(
+      std::max(1u, static_cast<unsigned>(
+                       util::env_u64("H2R_THREADS", config.threads, 1))),
+      hardware);
   config.faults = fault::FaultConfig::from_env();
   config.site_deadline =
-      static_cast<util::SimTime>(env_size("H2R_SITE_DEADLINE_MS", 0));
-  const char* journal_path = std::getenv("H2R_JOURNAL");
-  if (journal_path != nullptr && *journal_path != '\0') {
-    config.journal_path = journal_path;
-  }
-  const char* resume = std::getenv("H2R_RESUME");
-  config.resume = resume != nullptr && *resume != '\0' &&
-                  std::string_view(resume) != "0";
+      static_cast<util::SimTime>(util::env_u64("H2R_SITE_DEADLINE_MS", 0, 1));
+  config.journal_path = util::env_string("H2R_JOURNAL");
+  config.resume = util::env_flag("H2R_RESUME");
+  config.metrics_path = util::env_string("H2R_METRICS");
   return config;
 }
 
 StudyResults run_study(const StudyConfig& config) {
   StudyResults results;
   results.config = config;
+
+  // One metrics slot per campaign; each campaign THREAD writes only its
+  // own slot, merged into results.metrics after the joins (commutative,
+  // so the merged snapshot is campaign-order independent).
+  obs::Metrics alexa_metrics;
+  obs::Metrics nofetch_metrics;
+  obs::Metrics har_metrics;
 
   web::Ecosystem eco{config.seed};
   web::ServiceCatalog catalog{eco, config.seed};
@@ -358,44 +397,52 @@ StudyResults run_study(const StudyConfig& config) {
       };
     };
 
+    browser::ChunkSink chunk_sink;
     if (writer != nullptr) {
-      browser::ChunkSink chunk_sink =
-          [&](const browser::ChunkEvent& event) {
-            Shard* shard = shards[event.worker].get();
-            journal::ChunkCheckpoint checkpoint;
-            checkpoint.campaign = "alexa";
-            checkpoint.ranges = event.ranges;
-            checkpoint.summary = event.summary;
-            checkpoint.reports.emplace_back("exact", shard->exact.report());
-            checkpoint.reports.emplace_back("endless",
-                                            shard->endless.report());
-            checkpoint.reports.emplace_back("overlap",
-                                            shard->overlap.report());
-            journal_chunk(checkpoint);
-            shard->exact_total.merge(shard->exact.report());
-            shard->endless_total.merge(shard->endless.report());
-            shard->overlap_total.merge(shard->overlap.report());
-            shard->exact = core::Aggregator(as_db);
-            shard->endless = core::Aggregator(as_db);
-            shard->overlap = core::Aggregator(as_db);
-          };
-      results.alexa_summary = browser::crawl_range_checkpointed(
-          universe, 0, config.alexa_sites, crawl, make_sink,
-          targets_for("alexa"), chunk_sink);
+      chunk_sink = [&](const browser::ChunkEvent& event) {
+        Shard* shard = shards[event.worker].get();
+        journal::ChunkCheckpoint checkpoint;
+        checkpoint.campaign = "alexa";
+        checkpoint.ranges = event.ranges;
+        checkpoint.summary = event.summary;
+        checkpoint.reports.emplace_back("exact", shard->exact.report());
+        checkpoint.reports.emplace_back("endless",
+                                        shard->endless.report());
+        checkpoint.reports.emplace_back("overlap",
+                                        shard->overlap.report());
+        journal_chunk(checkpoint);
+        shard->exact_total.merge(shard->exact.report());
+        shard->endless_total.merge(shard->endless.report());
+        shard->overlap_total.merge(shard->overlap.report());
+        shard->exact = core::Aggregator(as_db);
+        shard->endless = core::Aggregator(as_db);
+        shard->overlap = core::Aggregator(as_db);
+      };
+    }
+    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    crawl.observer = &observer;
+    std::vector<std::size_t> targets;
+    if (writer != nullptr) {
+      targets = targets_for("alexa");
+      crawl.chunked = true;
+      crawl.targets = &targets;
+    }
+    results.alexa_summary =
+        browser::crawl(universe, 0, config.alexa_sites, crawl);
+    if (writer != nullptr) {
       for (const auto& shard : shards) {
         results.alexa_exact.merge(shard->exact_total);
         results.alexa_endless.merge(shard->endless_total);
         results.overlap_alexa_endless.merge(shard->overlap_total);
       }
     } else {
-      results.alexa_summary = browser::crawl_range_sharded(
-          universe, 0, config.alexa_sites, crawl, make_sink);
       for (const auto& shard : shards) {
         results.alexa_exact.merge(shard->exact.report());
         results.alexa_endless.merge(shard->endless.report());
         results.overlap_alexa_endless.merge(shard->overlap.report());
       }
     }
+    alexa_metrics = observer.merged();
   };
 
   // ------------------------------------- Alexa-like crawl, w/o Fetch
@@ -432,32 +479,40 @@ StudyResults run_study(const StudyConfig& config) {
       };
     };
 
+    browser::ChunkSink chunk_sink;
     if (writer != nullptr) {
-      browser::ChunkSink chunk_sink =
-          [&](const browser::ChunkEvent& event) {
-            Shard* shard = shards[event.worker].get();
-            journal::ChunkCheckpoint checkpoint;
-            checkpoint.campaign = "nofetch";
-            checkpoint.ranges = event.ranges;
-            checkpoint.summary = event.summary;
-            checkpoint.reports.emplace_back("exact", shard->exact.report());
-            journal_chunk(checkpoint);
-            shard->exact_total.merge(shard->exact.report());
-            shard->exact = core::Aggregator(as_db);
-          };
-      results.nofetch_summary = browser::crawl_range_checkpointed(
-          universe, 0, config.alexa_sites, crawl, make_sink,
-          targets_for("nofetch"), chunk_sink);
+      chunk_sink = [&](const browser::ChunkEvent& event) {
+        Shard* shard = shards[event.worker].get();
+        journal::ChunkCheckpoint checkpoint;
+        checkpoint.campaign = "nofetch";
+        checkpoint.ranges = event.ranges;
+        checkpoint.summary = event.summary;
+        checkpoint.reports.emplace_back("exact", shard->exact.report());
+        journal_chunk(checkpoint);
+        shard->exact_total.merge(shard->exact.report());
+        shard->exact = core::Aggregator(as_db);
+      };
+    }
+    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    crawl.observer = &observer;
+    std::vector<std::size_t> targets;
+    if (writer != nullptr) {
+      targets = targets_for("nofetch");
+      crawl.chunked = true;
+      crawl.targets = &targets;
+    }
+    results.nofetch_summary =
+        browser::crawl(universe, 0, config.alexa_sites, crawl);
+    if (writer != nullptr) {
       for (const auto& shard : shards) {
         results.nofetch_exact.merge(shard->exact_total);
       }
     } else {
-      results.nofetch_summary = browser::crawl_range_sharded(
-          universe, 0, config.alexa_sites, crawl, make_sink);
       for (const auto& shard : shards) {
         results.nofetch_exact.merge(shard->exact.report());
       }
     }
+    nofetch_metrics = observer.merged();
   };
 
   // --------------------------------- HTTP-Archive-like crawl (US, HAR)
@@ -510,34 +565,43 @@ StudyResults run_study(const StudyConfig& config) {
       };
     };
 
+    browser::ChunkSink chunk_sink;
     if (writer != nullptr) {
-      browser::ChunkSink chunk_sink =
-          [&](const browser::ChunkEvent& event) {
-            Shard* shard = shards[event.worker].get();
-            journal::ChunkCheckpoint checkpoint;
-            checkpoint.campaign = "har";
-            checkpoint.ranges = event.ranges;
-            checkpoint.summary = event.summary;
-            checkpoint.reports.emplace_back("endless",
-                                            shard->endless.report());
-            checkpoint.reports.emplace_back("immediate",
-                                            shard->immediate.report());
-            checkpoint.reports.emplace_back("overlap",
-                                            shard->overlap.report());
-            checkpoint.overlap_sites = shard->overlap_sites;
-            journal_chunk(checkpoint);
-            shard->endless_total.merge(shard->endless.report());
-            shard->immediate_total.merge(shard->immediate.report());
-            shard->overlap_total.merge(shard->overlap.report());
-            shard->overlap_sites_total += shard->overlap_sites;
-            shard->endless = core::Aggregator(as_db);
-            shard->immediate = core::Aggregator(as_db);
-            shard->overlap = core::Aggregator(as_db);
-            shard->overlap_sites = 0;
-          };
-      results.har_summary = browser::crawl_range_checkpointed(
-          universe, config.har_first_rank, config.har_sites, crawl,
-          make_sink, targets_for("har"), chunk_sink);
+      chunk_sink = [&](const browser::ChunkEvent& event) {
+        Shard* shard = shards[event.worker].get();
+        journal::ChunkCheckpoint checkpoint;
+        checkpoint.campaign = "har";
+        checkpoint.ranges = event.ranges;
+        checkpoint.summary = event.summary;
+        checkpoint.reports.emplace_back("endless",
+                                        shard->endless.report());
+        checkpoint.reports.emplace_back("immediate",
+                                        shard->immediate.report());
+        checkpoint.reports.emplace_back("overlap",
+                                        shard->overlap.report());
+        checkpoint.overlap_sites = shard->overlap_sites;
+        journal_chunk(checkpoint);
+        shard->endless_total.merge(shard->endless.report());
+        shard->immediate_total.merge(shard->immediate.report());
+        shard->overlap_total.merge(shard->overlap.report());
+        shard->overlap_sites_total += shard->overlap_sites;
+        shard->endless = core::Aggregator(as_db);
+        shard->immediate = core::Aggregator(as_db);
+        shard->overlap = core::Aggregator(as_db);
+        shard->overlap_sites = 0;
+      };
+    }
+    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    crawl.observer = &observer;
+    std::vector<std::size_t> targets;
+    if (writer != nullptr) {
+      targets = targets_for("har");
+      crawl.chunked = true;
+      crawl.targets = &targets;
+    }
+    results.har_summary = browser::crawl(universe, config.har_first_rank,
+                                         config.har_sites, crawl);
+    if (writer != nullptr) {
       for (const auto& shard : shards) {
         results.har_endless.merge(shard->endless_total);
         results.har_immediate.merge(shard->immediate_total);
@@ -545,9 +609,6 @@ StudyResults run_study(const StudyConfig& config) {
         results.overlap_sites += shard->overlap_sites_total;
       }
     } else {
-      results.har_summary = browser::crawl_range_sharded(
-          universe, config.har_first_rank, config.har_sites, crawl,
-          make_sink);
       for (const auto& shard : shards) {
         results.har_endless.merge(shard->endless.report());
         results.har_immediate.merge(shard->immediate.report());
@@ -555,6 +616,7 @@ StudyResults run_study(const StudyConfig& config) {
         results.overlap_sites += shard->overlap_sites;
       }
     }
+    har_metrics = observer.merged();
   };
 
   // The campaigns only read the materialized universe (each crawl worker
@@ -609,6 +671,22 @@ StudyResults run_study(const StudyConfig& config) {
   if (writer != nullptr) {
     results.journal_bytes = writer->bytes_written();
     results.journal_fsyncs = writer->fsync_count();
+  }
+
+  // Merge order is irrelevant (commutative), so the snapshot equals the
+  // one a sequential run of the campaigns would produce.
+  results.metrics.merge(alexa_metrics);
+  results.metrics.merge(nofetch_metrics);
+  results.metrics.merge(har_metrics);
+  // Journal / resume telemetry depends on chunk scheduling and platform
+  // I/O — diagnostic domain only, invisible to the exported snapshot.
+  if (writer != nullptr) {
+    results.metrics.add_diag("journal.bytes", results.journal_bytes);
+    results.metrics.add_diag("journal.fsyncs", results.journal_fsyncs);
+  }
+  if (results.resumed_chunks > 0) {
+    results.metrics.add_diag("study.resumed_chunks", results.resumed_chunks);
+    results.metrics.add_diag("study.resumed_sites", results.resumed_sites);
   }
 
   return results;

@@ -21,6 +21,7 @@
 #include "core/report.hpp"
 #include "fault/fault.hpp"
 #include "har/import.hpp"
+#include "obs/metrics.hpp"
 
 namespace h2r::experiments {
 
@@ -64,12 +65,19 @@ struct StudyConfig {
   /// this config — thread count aside — or run_study throws.
   /// `from_env()` reads H2R_RESUME (any value but "" / "0").
   bool resume = false;
+  /// Path to write the study's merged metric snapshot to (pretty JSON,
+  /// obs::to_json schema); empty = don't write one. Only DETERMINISTIC
+  /// metrics are exported — the snapshot is bit-identical for every
+  /// thread count, which CI diffs byte-for-byte. Not part of the journal
+  /// fingerprint or the shared_study cache key: where the snapshot goes
+  /// cannot change what is measured. `from_env()` reads H2R_METRICS.
+  std::string metrics_path;
 
   /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS /
-  /// H2R_FAULT_* / H2R_SITE_DEADLINE_MS / H2R_JOURNAL / H2R_RESUME
-  /// overrides. Invalid or non-positive values fall back to the
-  /// defaults; H2R_THREADS is clamped to the machine's hardware
-  /// concurrency.
+  /// H2R_FAULT_* / H2R_SITE_DEADLINE_MS / H2R_JOURNAL / H2R_RESUME /
+  /// H2R_METRICS overrides via util/env.hpp. Invalid or non-positive
+  /// values fall back to the defaults; H2R_THREADS is clamped to the
+  /// machine's hardware concurrency.
   static StudyConfig from_env();
 };
 
@@ -102,6 +110,16 @@ struct StudyResults {
   /// Work recovered from the journal on resume instead of re-crawled.
   std::uint64_t resumed_chunks = 0;
   std::uint64_t resumed_sites = 0;
+
+  /// Metric snapshot merged over the three campaigns' per-worker shards
+  /// (dns.* / net.* / tls.* / h2.* / browser.* / crawl.* counters and
+  /// histograms). The deterministic domain is bit-identical for every
+  /// thread count; journal / scheduling telemetry rides along in the
+  /// diagnostic domain, excluded from obs::to_json and operator==.
+  /// Metrics cover the sites actually crawled THIS run — on resume,
+  /// journal-recovered chunks contribute study.resumed_* diagnostics,
+  /// not replayed per-site metrics.
+  obs::Metrics metrics;
 
   /// Fault/failure ledger summed over the three campaigns.
   fault::FailureSummary total_failures() const {

@@ -2,29 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
+
+#include "util/env.hpp"
 
 namespace h2r::fault {
 
 namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  if (end == value || parsed < 0.0 || parsed > 1.0) return fallback;
-  return parsed;
-}
-
-long long env_int(const char* name, long long fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || parsed < 0) return fallback;
-  return parsed;
-}
 
 void append_count(std::string& out, std::uint64_t n, const char* label) {
   if (n == 0) return;
@@ -64,13 +47,13 @@ FaultConfig FaultConfig::uniform(double rate) {
 }
 
 FaultConfig FaultConfig::from_env() {
-  FaultConfig config = uniform(env_double("H2R_FAULT_RATE", 0.0));
-  config.seed = static_cast<std::uint64_t>(
-      env_int("H2R_FAULT_SEED", static_cast<long long>(config.seed)));
-  config.max_retries = static_cast<int>(
-      env_int("H2R_FAULT_RETRIES", config.max_retries));
-  config.backoff_base = util::milliseconds(
-      env_int("H2R_FAULT_BACKOFF_MS", config.backoff_base));
+  FaultConfig config = uniform(util::env_double("H2R_FAULT_RATE", 0.0));
+  config.seed = util::env_u64("H2R_FAULT_SEED", config.seed);
+  config.max_retries = static_cast<int>(util::env_u64(
+      "H2R_FAULT_RETRIES", static_cast<std::uint64_t>(config.max_retries)));
+  config.backoff_base = util::milliseconds(static_cast<long long>(
+      util::env_u64("H2R_FAULT_BACKOFF_MS",
+                    static_cast<std::uint64_t>(config.backoff_base))));
   return config;
 }
 

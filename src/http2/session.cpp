@@ -32,6 +32,7 @@ int Session::receive_response_data(StreamId id, std::uint64_t bytes) {
   const auto it = streams_.find(id);
   if (it == streams_.end()) return 0;
 
+  const std::uint64_t updates_before = window_updates_sent_;
   const std::int64_t initial = params_.local_settings.initial_window_size;
   // The receiver tops a window back up once half of it is consumed. With
   // the update taking one RTT to reach the sender, the sender effectively
@@ -64,6 +65,11 @@ int Session::receive_response_data(StreamId id, std::uint64_t bytes) {
   if (connection_recv_window_ < initial / 2) {
     connection_recv_window_ = initial;
     ++window_updates_sent_;
+  }
+  if (params_.metrics != nullptr) {
+    params_.metrics->add("h2.flow_stalls", static_cast<std::uint64_t>(stalls));
+    params_.metrics->add("h2.window_updates",
+                         window_updates_sent_ - updates_before);
   }
   return stalls;
 }
@@ -116,6 +122,7 @@ StreamId Session::submit_request(RequestEntry entry) {
   entry.authority = util::to_lower(entry.authority);
   request_index_[id] = requests_.size();
   requests_.push_back(std::move(entry));
+  if (params_.metrics != nullptr) params_.metrics->add("h2.requests");
   return id;
 }
 
@@ -147,10 +154,14 @@ bool Session::reset_stream(StreamId id, ErrorCode code, util::SimTime now) {
   entry.status = 0;
   entry.aborted = true;
   entry.finished_at = now;
+  if (params_.metrics != nullptr) params_.metrics->add("h2.streams_reset");
   return true;
 }
 
 void Session::receive_goaway(ErrorCode code) noexcept {
+  if (!going_away_ && params_.metrics != nullptr) {
+    params_.metrics->add("h2.goaways");
+  }
   going_away_ = true;
   goaway_code_ = code;
 }

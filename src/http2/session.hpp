@@ -19,6 +19,7 @@
 #include "http2/frame.hpp"
 #include "http2/stream.hpp"
 #include "net/ip.hpp"
+#include "obs/metrics.hpp"
 #include "tls/certificate.hpp"
 #include "util/clock.hpp"
 
@@ -50,6 +51,10 @@ class Session {
     Settings peer_settings;
     /// Our advertised settings (receive-side flow-control windows).
     Settings local_settings;
+    /// Optional metrics shard (not owned): the session records
+    /// h2.requests, h2.streams_reset, h2.goaways, h2.flow_stalls and
+    /// h2.window_updates into it.
+    obs::Metrics* metrics = nullptr;
   };
 
   explicit Session(Params params);

@@ -3,18 +3,24 @@
 namespace h2r::net {
 
 ConnectResult simulate_connect(const Endpoint& endpoint,
-                               fault::FaultInjector* injector) {
+                               fault::FaultInjector* injector,
+                               obs::Metrics* metrics) {
   (void)endpoint;  // routing always succeeds in the simulation; the
                    // endpoint is here for symmetry with a real dialer
   ConnectResult result;
+  if (metrics != nullptr) metrics->add("net.connect_attempts");
   if (injector == nullptr) return result;
   if (injector->fire(fault::FaultKind::kConnectRefused) ||
       injector->fire(fault::FaultKind::kConnectReset)) {
     result.ok = false;
     result.injected_fault = true;
+    if (metrics != nullptr) metrics->add("net.connect_failures");
     return result;
   }
   result.latency_penalty = injector->latency_penalty();
+  if (metrics != nullptr && result.latency_penalty > 0) {
+    metrics->observe("net.latency_spike_ms", result.latency_penalty);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "fault/fault.hpp"
 #include "net/ip.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 
 namespace h2r::net {
@@ -22,8 +23,11 @@ struct ConnectResult {
 };
 
 /// Decides whether a TCP connect to `endpoint` succeeds; `injector` may
-/// be null (always succeeds, no penalty).
+/// be null (always succeeds, no penalty). When `metrics` is set, records
+/// net.connect_attempts / net.connect_failures and the injected latency
+/// spikes as the net.latency_spike_ms histogram.
 ConnectResult simulate_connect(const Endpoint& endpoint,
-                               fault::FaultInjector* injector);
+                               fault::FaultInjector* injector,
+                               obs::Metrics* metrics = nullptr);
 
 }  // namespace h2r::net

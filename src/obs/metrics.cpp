@@ -1,0 +1,247 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace h2r::obs {
+
+namespace {
+
+template <typename Map, typename Fold>
+void merge_into(Map& target, const Map& source, Fold fold) {
+  for (const auto& [name, value] : source) {
+    auto [it, inserted] = target.try_emplace(name, value);
+    if (!inserted) fold(it->second, value);
+  }
+}
+
+}  // namespace
+
+void Metrics::add(std::string_view name, std::uint64_t delta) {
+  if (delta == 0) return;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Metrics::gauge_max(std::string_view name, std::int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
+void Metrics::observe(std::string_view name, util::SimTime value,
+                      std::uint64_t count) {
+  if (count == 0) return;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), stats::TimeHistogram{}).first;
+  }
+  it->second[value] += count;
+}
+
+void Metrics::add_diag(std::string_view name, std::uint64_t delta) {
+  if (delta == 0) return;
+  auto it = diag_counters_.find(name);
+  if (it == diag_counters_.end()) {
+    diag_counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Metrics::merge(const Metrics& other) {
+  merge_into(counters_, other.counters_,
+             [](std::uint64_t& a, std::uint64_t b) { a += b; });
+  merge_into(gauges_, other.gauges_, [](std::int64_t& a, std::int64_t b) {
+    if (b > a) a = b;
+  });
+  merge_into(histograms_, other.histograms_,
+             [](stats::TimeHistogram& a, const stats::TimeHistogram& b) {
+               for (const auto& [value, count] : b) a[value] += count;
+             });
+  merge_into(diag_counters_, other.diag_counters_,
+             [](std::uint64_t& a, std::uint64_t b) { a += b; });
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t Metrics::gauge(std::string_view name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const stats::TimeHistogram& Metrics::histogram(
+    std::string_view name) const noexcept {
+  static const stats::TimeHistogram kEmpty;
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t Metrics::diag_counter(std::string_view name) const noexcept {
+  const auto it = diag_counters_.find(name);
+  return it == diag_counters_.end() ? 0 : it->second;
+}
+
+Metrics& MetricRegistry::shard(unsigned worker) {
+  while (shards_.size() <= worker) shards_.emplace_back();
+  return shards_[worker];
+}
+
+Metrics MetricRegistry::merged() const {
+  Metrics total;
+  for (const Metrics& shard : shards_) total.merge(shard);
+  return total;
+}
+
+json::Value to_json(const Metrics& metrics) {
+  json::Object doc;
+  // std::map iteration is already sorted, so every section is emitted in
+  // a canonical key order and two equal snapshots serialize identically.
+  json::Object counters;
+  for (const auto& [name, count] : metrics.counters()) {
+    counters.set(name, static_cast<std::int64_t>(count));
+  }
+  doc.set("counters", std::move(counters));
+
+  json::Object gauges;
+  for (const auto& [name, value] : metrics.gauges()) {
+    gauges.set(name, value);
+  }
+  doc.set("gauges", std::move(gauges));
+
+  json::Object histograms;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    json::Array pairs;
+    for (const auto& [value, count] : histogram) {
+      json::Array pair;
+      pair.emplace_back(value);
+      pair.emplace_back(static_cast<std::int64_t>(count));
+      pairs.emplace_back(std::move(pair));
+    }
+    histograms.set(name, std::move(pairs));
+  }
+  doc.set("histograms", std::move(histograms));
+  return json::Value{std::move(doc)};
+}
+
+util::Expected<Metrics> metrics_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"metrics: not an object"});
+  }
+  for (const auto& [key, section] : value.as_object()) {
+    (void)section;
+    if (key != "counters" && key != "gauges" && key != "histograms") {
+      return util::unexpected(util::Error{"metrics: unknown key: " + key});
+    }
+  }
+
+  Metrics metrics;
+  const json::Value& counters = value["counters"];
+  if (!counters.is_object()) {
+    return util::unexpected(util::Error{"metrics: bad counters section"});
+  }
+  for (const auto& [name, count] : counters.as_object()) {
+    if (!count.is_int() || count.as_int() < 0) {
+      return util::unexpected(util::Error{"metrics: bad counter: " + name});
+    }
+    metrics.add(name, static_cast<std::uint64_t>(count.as_int()));
+  }
+
+  const json::Value& gauges = value["gauges"];
+  if (!gauges.is_object()) {
+    return util::unexpected(util::Error{"metrics: bad gauges section"});
+  }
+  for (const auto& [name, gauge] : gauges.as_object()) {
+    if (!gauge.is_int()) {
+      return util::unexpected(util::Error{"metrics: bad gauge: " + name});
+    }
+    metrics.gauge_max(name, gauge.as_int());
+  }
+
+  const json::Value& histograms = value["histograms"];
+  if (!histograms.is_object()) {
+    return util::unexpected(util::Error{"metrics: bad histograms section"});
+  }
+  for (const auto& [name, pairs] : histograms.as_object()) {
+    if (!pairs.is_array()) {
+      return util::unexpected(util::Error{"metrics: bad histogram: " + name});
+    }
+    bool first = true;
+    util::SimTime previous = 0;
+    for (const json::Value& pair : pairs.as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.at(0).is_int() || !pair.at(1).is_int() ||
+          pair.at(1).as_int() <= 0) {
+        return util::unexpected(
+            util::Error{"metrics: bad histogram pair in: " + name});
+      }
+      const util::SimTime sample = pair.at(0).as_int();
+      if (!first && sample <= previous) {
+        return util::unexpected(
+            util::Error{"metrics: unsorted histogram: " + name});
+      }
+      first = false;
+      previous = sample;
+      metrics.observe(name, sample,
+                      static_cast<std::uint64_t>(pair.at(1).as_int()));
+    }
+  }
+  return metrics;
+}
+
+std::string render_table(const Metrics& metrics) {
+  if (metrics.empty()) return {};
+  std::size_t width = 0;
+  const auto widen = [&width](const auto& map) {
+    for (const auto& [name, value] : map) {
+      (void)value;
+      if (name.size() > width) width = name.size();
+    }
+  };
+  widen(metrics.counters());
+  widen(metrics.gauges());
+  widen(metrics.histograms());
+  widen(metrics.diag_counters());
+
+  std::string out;
+  char line[256];
+  const int name_width = static_cast<int>(width);
+  for (const auto& [name, count] : metrics.counters()) {
+    std::snprintf(line, sizeof(line), "  %-*s  %" PRIu64 "\n", name_width,
+                  name.c_str(), count);
+    out += line;
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    std::snprintf(line, sizeof(line), "  %-*s  max=%" PRId64 "\n", name_width,
+                  name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    const std::uint64_t count = stats::histogram_count(histogram);
+    const util::SimTime p50 = stats::histogram_quantile(histogram, 0.5).value_or(0);
+    const util::SimTime p99 = stats::histogram_quantile(histogram, 0.99).value_or(0);
+    std::snprintf(line, sizeof(line),
+                  "  %-*s  count=%" PRIu64 " p50=%" PRId64 "ms p99=%" PRId64
+                  "ms\n",
+                  name_width, name.c_str(), count, p50, p99);
+    out += line;
+  }
+  for (const auto& [name, count] : metrics.diag_counters()) {
+    std::snprintf(line, sizeof(line), "  %-*s  %" PRIu64 "  (diagnostic)\n",
+                  name_width, name.c_str(), count);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace h2r::obs

@@ -1,0 +1,147 @@
+// Deterministic metrics.
+//
+// The engine's own runtime is an attribution problem too: PRs 1-3 each
+// bolted on a private counter struct (WorkerCounters, the fault ledger,
+// journal telemetry) with its own printing path. This module is the one
+// substrate they converge on: named counters, high-water gauges and
+// simulated-time histograms, accumulated into cheap per-worker shards and
+// merged commutatively like every other measurement in the crawl.
+//
+// Two domains with different contracts:
+//
+//   * DETERMINISTIC metrics are pure functions of (seed, config, site
+//     set): counters add, gauges merge by max, histograms are value->count
+//     multisets — all order-independent, so a merged snapshot is
+//     bit-identical for any thread count (tests/metrics_determinism_test
+//     pins snapshots across H2R_THREADS in {1, 2, 7}).
+//   * DIAGNOSTIC metrics (prefix-free, recorded via the *_diag calls)
+//     capture scheduling accidents — chunks claimed, journal bytes, wall
+//     time buckets. They are rendered for humans but excluded from
+//     to_json(), exactly like WorkerCounters are excluded from
+//     CrawlSummary::operator==.
+//
+// Snapshots serialize to a strict JSON schema with a round-trip parser
+// (metrics_from_json), mirroring core::report_from_json: CI can diff two
+// runs byte-for-byte and reject a malformed export instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "stats/distribution.hpp"
+#include "util/clock.hpp"
+#include "util/expected.hpp"
+
+namespace h2r::obs {
+
+/// One mergeable metric accumulator — a worker's shard, a campaign's
+/// fold, or the whole study's snapshot (they are the same type; merging
+/// is closed and commutative). Not thread-safe: every worker records into
+/// its own shard and the owner merges after the workers join.
+class Metrics {
+ public:
+  /// Deterministic counter: adds `delta` (default 1).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Deterministic high-water gauge: keeps the maximum value ever set.
+  /// Max is the only gauge fold that stays commutative under shard
+  /// merges, which is why last-write-wins gauges do not exist here.
+  void gauge_max(std::string_view name, std::int64_t value);
+
+  /// Deterministic simulated-time histogram sample (`count` copies; the
+  /// bulk form is what lets the JSON parser rebuild a histogram without
+  /// replaying every sample).
+  void observe(std::string_view name, util::SimTime value,
+               std::uint64_t count = 1);
+
+  /// Diagnostic counter (scheduling/wall-clock domain; excluded from
+  /// to_json and the determinism contract).
+  void add_diag(std::string_view name, std::uint64_t delta = 1);
+
+  /// Commutative fold: counters add, gauges max, histogram multisets add,
+  /// diagnostics add. merge(a) then merge(b) == merge(b) then merge(a).
+  void merge(const Metrics& other);
+
+  std::uint64_t counter(std::string_view name) const noexcept;
+  std::int64_t gauge(std::string_view name) const noexcept;
+  /// Histogram for `name` (empty when never observed).
+  const stats::TimeHistogram& histogram(std::string_view name) const noexcept;
+  std::uint64_t diag_counter(std::string_view name) const noexcept;
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           diag_counters_.empty();
+  }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, stats::TimeHistogram, std::less<>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, std::uint64_t, std::less<>>& diag_counters()
+      const noexcept {
+    return diag_counters_;
+  }
+
+  /// Deterministic domain only — diagnostics are deliberately invisible
+  /// to equality, like WorkerCounters in CrawlSummary.
+  bool operator==(const Metrics& other) const noexcept {
+    return counters_ == other.counters_ && gauges_ == other.gauges_ &&
+           histograms_ == other.histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, stats::TimeHistogram, std::less<>> histograms_;
+  std::map<std::string, std::uint64_t, std::less<>> diag_counters_;
+};
+
+/// Owns the per-worker shards of one crawl/campaign. Shard addresses are
+/// stable (deque), so a worker can hold its shard pointer for the whole
+/// crawl; create shards on the calling thread before the workers start
+/// (Observer::begin is the natural place).
+class MetricRegistry {
+ public:
+  /// The shard for `worker`, creating shards [size, worker] on demand.
+  /// NOT thread-safe — call from the coordinating thread only.
+  Metrics& shard(unsigned worker);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Commutative fold of every shard into one Metrics.
+  Metrics merged() const;
+
+ private:
+  std::deque<Metrics> shards_;
+};
+
+/// Deterministic snapshot -> strict JSON:
+///   {"counters": {name: n}, "gauges": {name: v},
+///    "histograms": {name: [[value_ms, count], ...]}}
+/// Diagnostics are excluded so the document is byte-identical across
+/// thread counts. Keys are emitted in sorted order.
+json::Value to_json(const Metrics& metrics);
+
+/// Strict parser for to_json output. Rejects missing/mistyped sections,
+/// non-integer or negative counters, malformed histogram pairs and
+/// unknown top-level keys. metrics_from_json(to_json(m)) == m.
+util::Expected<Metrics> metrics_from_json(const json::Value& value);
+
+/// Human rendering: one aligned line per metric ("  dns.queries  12345"),
+/// histograms as count/p50/p99, diagnostics in a trailing section marked
+/// "(diagnostic)". Empty string for empty metrics.
+std::string render_table(const Metrics& metrics);
+
+}  // namespace h2r::obs

@@ -1,0 +1,19 @@
+#include "obs/observer.hpp"
+
+namespace h2r::obs {
+
+Observer::~Observer() = default;
+
+void MetricsObserver::begin(unsigned workers) {
+  // Materialize every shard up front so metrics() below never mutates
+  // the deque (it may be handed out right before worker threads spawn).
+  for (unsigned worker = 0; worker < workers; ++worker) {
+    registry_.shard(worker);
+  }
+}
+
+Metrics* MetricsObserver::metrics(unsigned worker) {
+  return &registry_.shard(worker);
+}
+
+}  // namespace h2r::obs

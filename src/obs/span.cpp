@@ -1,0 +1,76 @@
+#include "obs/span.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace h2r::obs {
+
+int Trace::begin_span(std::string name, util::SimTime start, int parent) {
+  Span span;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = start;
+  span.parent = parent;
+  spans.push_back(std::move(span));
+  return static_cast<int>(spans.size()) - 1;
+}
+
+void Trace::end_span(int index, util::SimTime end) {
+  if (index >= 0 && static_cast<std::size_t>(index) < spans.size()) {
+    spans[static_cast<std::size_t>(index)].end = end;
+  }
+}
+
+json::Value to_json(const Trace& trace) {
+  json::Object doc;
+  doc.set("site", trace.site);
+  json::Array spans;
+  for (const Span& span : trace.spans) {
+    json::Object obj;
+    obj.set("name", span.name);
+    obj.set("start", span.start);
+    obj.set("end", span.end);
+    obj.set("parent", static_cast<std::int64_t>(span.parent));
+    if (!span.attrs.empty()) {
+      json::Object attrs;
+      for (const auto& [key, value] : span.attrs) attrs.set(key, value);
+      obj.set("attrs", std::move(attrs));
+    }
+    spans.emplace_back(std::move(obj));
+  }
+  doc.set("spans", std::move(spans));
+  return json::Value{std::move(doc)};
+}
+
+std::string render(const Trace& trace) {
+  std::string out;
+  if (!trace.site.empty()) {
+    out += trace.site;
+    out += '\n';
+  }
+  // Children are appended after their parent, so depth is 1 + parent's
+  // depth, computable in one forward pass.
+  std::vector<int> depth(trace.spans.size(), 0);
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const int parent = trace.spans[i].parent;
+    if (parent >= 0 && static_cast<std::size_t>(parent) < i) {
+      depth[i] = depth[static_cast<std::size_t>(parent)] + 1;
+    }
+    out.append(static_cast<std::size_t>(depth[i] + 1) * 2, ' ');
+    out += trace.spans[i].name;
+    char window[64];
+    std::snprintf(window, sizeof(window), " [%" PRId64 " .. %" PRId64 "]",
+                  trace.spans[i].start, trace.spans[i].end);
+    out += window;
+    for (const auto& [key, value] : trace.spans[i].attrs) {
+      out += ' ';
+      out += key;
+      out += '=';
+      out += value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace h2r::obs

@@ -1,0 +1,64 @@
+// Deterministic span tracing of the per-site pipeline.
+//
+// A Trace is the per-site analogue of Chromium's NetLog viewer: a tree of
+// named intervals (DNS resolve -> TLS handshake -> H2 session -> page
+// load -> classify) stamped in *simulated* time. Because every timestamp
+// is derived from (seed, site) and spans are appended by the single
+// worker that owns the site, a trace is bit-identical across thread
+// counts and across runs with the same H2R_SEED — tracing a flake
+// reproduces the flake.
+//
+// Recording is opt-in (BrowserOptions::record_trace); the default crawl
+// path never allocates a span.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/clock.hpp"
+
+namespace h2r::obs {
+
+/// One timed interval. Point events have start == end. `parent` indexes
+/// into Trace::spans (-1 for the root); children always appear after
+/// their parent, so index order is also a valid pre-order walk.
+struct Span {
+  std::string name;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  int parent = -1;
+  std::map<std::string, std::string> attrs;
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// The span tree for one site load. Span 0, when present, is the
+/// "page.load" root.
+struct Trace {
+  std::string site;
+  std::vector<Span> spans;
+
+  /// Appends an open span and returns its index.
+  int begin_span(std::string name, util::SimTime start, int parent = -1);
+
+  /// Closes the span at `index`.
+  void end_span(int index, util::SimTime end);
+
+  bool empty() const noexcept { return spans.empty(); }
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+/// Strict-schema export: {"site": ..., "spans": [{"name", "start", "end",
+/// "parent", "attrs"}...]} with attrs in sorted key order.
+json::Value to_json(const Trace& trace);
+
+/// Human rendering: one line per span, indented by tree depth, e.g.
+///   page.load [86400000 .. 86400396]
+///     dns.resolve [86400000 .. 86400000] from_cache=0 host=example.org
+/// (tests/obs_test.cpp pins this format for one site — the golden trace.)
+std::string render(const Trace& trace);
+
+}  // namespace h2r::obs

@@ -4,17 +4,21 @@ namespace h2r::tls {
 
 HandshakeResult simulate_handshake(const CertificatePtr& certificate,
                                    std::string_view sni, util::SimTime now,
-                                   fault::FaultInjector* injector) {
+                                   fault::FaultInjector* injector,
+                                   obs::Metrics* metrics) {
   (void)sni;  // which cert the server presents for the SNI is decided by
               // the caller (web::Server::certificate_for)
   HandshakeResult result;
+  if (metrics != nullptr) metrics->add("tls.handshakes");
   if (certificate == nullptr || !certificate->valid_at(now)) {
+    if (metrics != nullptr) metrics->add("tls.failures_natural");
     return result;  // natural failure: certificate errors are not ignored
   }
   if (injector != nullptr) {
     if (injector->fire(fault::FaultKind::kTlsHandshake) ||
         injector->fire(fault::FaultKind::kTlsCertValidation)) {
       result.injected_fault = true;
+      if (metrics != nullptr) metrics->add("tls.failures_injected");
       return result;
     }
   }

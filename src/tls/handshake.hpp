@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "tls/certificate.hpp"
 #include "util/clock.hpp"
 
@@ -26,9 +27,11 @@ struct HandshakeResult {
 /// Decides whether a TLS handshake with a server presenting `certificate`
 /// for `sni` succeeds at `now`. Natural failures (missing certificate,
 /// expired/not-yet-valid window) are checked first and never consult the
-/// injector; `injector` may be null.
+/// injector; `injector` may be null. When `metrics` is set, records
+/// tls.handshakes and tls.failures_natural / tls.failures_injected.
 HandshakeResult simulate_handshake(const CertificatePtr& certificate,
                                    std::string_view sni, util::SimTime now,
-                                   fault::FaultInjector* injector);
+                                   fault::FaultInjector* injector,
+                                   obs::Metrics* metrics = nullptr);
 
 }  // namespace h2r::tls

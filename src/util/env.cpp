@@ -1,0 +1,49 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+namespace h2r::util {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback,
+                      std::uint64_t minimum) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  // strtoull skips whitespace and wraps negative literals; require the
+  // first character to be a digit so "-4", " 7" and "+2" all fall back.
+  if (*value < '0' || *value > '9') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno == ERANGE || end == value || *end != '\0') return fallback;
+  if (parsed < minimum) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback, double min, double max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) return fallback;
+  // The negated comparison also rejects NaN.
+  if (!(parsed >= min && parsed <= max)) return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
+}
+
+std::string env_string(const char* name, std::string fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace h2r::util

@@ -1,0 +1,171 @@
+// Pins the typed env-parsing semantics of util/env.hpp: fallback on
+// unset/empty/garbage/overflow/out-of-range values, strict whole-string
+// parsing, minimum clamping. StudyConfig::from_env, FaultConfig::from_env
+// and the bench banners all read their knobs through these helpers, so
+// this is the one place the "invalid env never crashes a study" rule is
+// proven.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace h2r::util {
+namespace {
+
+/// Sets an env var for one scope, restoring the old value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+constexpr const char* kVar = "H2R_ENV_TEST_VARIABLE";
+
+TEST(EnvU64, UnsetAndEmptyFallBack) {
+  {
+    EnvGuard guard(kVar, nullptr);
+    EXPECT_EQ(env_u64(kVar, 42), 42u);
+  }
+  {
+    EnvGuard guard(kVar, "");
+    EXPECT_EQ(env_u64(kVar, 42), 42u);
+  }
+}
+
+TEST(EnvU64, ParsesPlainDecimals) {
+  EnvGuard guard(kVar, "12345");
+  EXPECT_EQ(env_u64(kVar, 1), 12345u);
+}
+
+TEST(EnvU64, RejectsGarbageAndPartialParses) {
+  const char* bad[] = {"abc", "12abc", "-4", "+2", " 7", "7 ", "0x10", ""};
+  for (const char* value : bad) {
+    EnvGuard guard(kVar, value);
+    EXPECT_EQ(env_u64(kVar, 9), 9u) << "value: '" << value << "'";
+  }
+}
+
+TEST(EnvU64, RejectsOverflow) {
+  // One past UINT64_MAX; strtoull saturates with ERANGE -> fallback.
+  EnvGuard guard(kVar, "18446744073709551616");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+}
+
+TEST(EnvU64, AcceptsExactlyUint64Max) {
+  EnvGuard guard(kVar, "18446744073709551615");
+  EXPECT_EQ(env_u64(kVar, 7), 18446744073709551615ull);
+}
+
+TEST(EnvU64, EnforcesMinimum) {
+  {
+    EnvGuard guard(kVar, "0");
+    EXPECT_EQ(env_u64(kVar, 5, 1), 5u);  // below minimum -> fallback
+  }
+  {
+    EnvGuard guard(kVar, "0");
+    EXPECT_EQ(env_u64(kVar, 5, 0), 0u);  // minimum 0 admits zero
+  }
+  {
+    EnvGuard guard(kVar, "3");
+    EXPECT_EQ(env_u64(kVar, 5, 4), 5u);
+  }
+}
+
+TEST(EnvDouble, ParsesInRangeValues) {
+  {
+    EnvGuard guard(kVar, "0.25");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 0.0), 0.25);
+  }
+  {
+    EnvGuard guard(kVar, "1");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 0.0), 1.0);
+  }
+  {
+    EnvGuard guard(kVar, "0");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 0.5), 0.0);
+  }
+}
+
+TEST(EnvDouble, RejectsOutOfRangeGarbageAndNan) {
+  const char* bad[] = {"1.5", "-0.1", "chaos", "0.5x", "nan", "inf", ""};
+  for (const char* value : bad) {
+    EnvGuard guard(kVar, value);
+    EXPECT_DOUBLE_EQ(env_double(kVar, 0.125), 0.125)
+        << "value: '" << value << "'";
+  }
+}
+
+TEST(EnvDouble, HonorsCustomRange) {
+  {
+    EnvGuard guard(kVar, "250");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 1.0, 0.0, 1000.0), 250.0);
+  }
+  {
+    EnvGuard guard(kVar, "1001");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 1.0, 0.0, 1000.0), 1.0);
+  }
+}
+
+TEST(EnvFlag, UnsetEmptyAndZeroAreFalse) {
+  {
+    EnvGuard guard(kVar, nullptr);
+    EXPECT_FALSE(env_flag(kVar));
+  }
+  {
+    EnvGuard guard(kVar, "");
+    EXPECT_FALSE(env_flag(kVar));
+  }
+  {
+    EnvGuard guard(kVar, "0");
+    EXPECT_FALSE(env_flag(kVar));
+  }
+}
+
+TEST(EnvFlag, AnythingElseIsTrue) {
+  const char* truthy[] = {"1", "yes", "true", "00", "no"};
+  for (const char* value : truthy) {
+    EnvGuard guard(kVar, value);
+    EXPECT_TRUE(env_flag(kVar)) << "value: '" << value << "'";
+  }
+}
+
+TEST(EnvString, FallsBackWhenUnsetOrEmpty) {
+  {
+    EnvGuard guard(kVar, nullptr);
+    EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+    EXPECT_EQ(env_string(kVar), "");
+  }
+  {
+    EnvGuard guard(kVar, "");
+    EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+  }
+  {
+    EnvGuard guard(kVar, "/tmp/x.json");
+    EXPECT_EQ(env_string(kVar, "dflt"), "/tmp/x.json");
+  }
+}
+
+}  // namespace
+}  // namespace h2r::util

@@ -1,0 +1,112 @@
+// Differential proof that metric snapshots obey the crawl's determinism
+// contract: the DETERMINISTIC domain (dns.* / net.* / tls.* / h2.* /
+// browser.* / crawl.* counters, gauges and simulated-time histograms) is
+// bit-identical for every thread count and fault regime pairing — the
+// serialized JSON bytes match, which is exactly what the CI metrics job
+// diffs on full study runs. Diagnostic metrics (chunks claimed, journal
+// telemetry) ARE thread-count dependent and are excluded from the
+// snapshot; this test also pins that exclusion.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "browser/crawl.hpp"
+#include "experiments/study.hpp"
+#include "fault/fault.hpp"
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+#include "web/sitegen.hpp"
+
+namespace h2r::obs {
+namespace {
+
+constexpr std::size_t kSites = 30;
+
+Metrics crawl_metrics(unsigned threads, double fault_rate, bool chunked) {
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  web::SiteUniverse universe{eco, catalog};
+
+  browser::CrawlOptions options;
+  options.threads = threads;
+  options.seed = 4321;
+  options.har_path = true;
+  if (fault_rate > 0.0) {
+    options.browser.faults = fault::FaultConfig::uniform(fault_rate);
+  }
+  MetricsObserver observer;
+  options.observer = &observer;
+  std::vector<std::size_t> targets;
+  if (chunked) {
+    for (std::size_t i = 0; i < kSites; ++i) targets.push_back(i);
+    options.chunked = true;
+    options.targets = &targets;
+  }
+  browser::crawl(universe, 0, kSites, options);
+  return observer.merged();
+}
+
+TEST(MetricsDeterminism, SnapshotsIdenticalAcrossThreadCounts) {
+  for (const double rate : {0.0, 0.25}) {
+    SCOPED_TRACE("fault_rate=" + std::to_string(rate));
+    const Metrics baseline = crawl_metrics(1, rate, false);
+    EXPECT_GT(baseline.counter("crawl.sites_visited"), 0u);
+    EXPECT_GT(baseline.counter("dns.queries"), 0u);
+    EXPECT_GT(baseline.counter("tls.handshakes"), 0u);
+    EXPECT_GT(baseline.counter("h2.requests"), 0u);
+    EXPECT_FALSE(baseline.histogram("browser.page_load_ms").empty());
+    const std::string baseline_json = json::write(to_json(baseline));
+    for (const unsigned threads : {2u, 7u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const Metrics run = crawl_metrics(threads, rate, false);
+      EXPECT_EQ(run, baseline);
+      EXPECT_EQ(json::write(to_json(run)), baseline_json);
+    }
+  }
+}
+
+TEST(MetricsDeterminism, ChunkedModeMatchesPlainCrawl) {
+  // The checkpointed path (chunk-local accounting, uniform worker pool)
+  // must record the same deterministic metrics as the plain crawl.
+  const std::string plain = json::write(to_json(crawl_metrics(1, 0.25, false)));
+  for (const unsigned threads : {1u, 3u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(json::write(to_json(crawl_metrics(threads, 0.25, true))), plain);
+  }
+}
+
+TEST(MetricsDeterminism, DiagnosticsMayDifferButStayInvisible) {
+  const Metrics a = crawl_metrics(1, 0.0, false);
+  const Metrics b = crawl_metrics(7, 0.0, false);
+  // Equal snapshots even though the chunk accounting differs (1 chunk
+  // sequentially vs one per work-queue claim).
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.diag_counter("crawl.chunks_claimed"), 0u);
+  EXPECT_GT(b.diag_counter("crawl.chunks_claimed"), 0u);
+}
+
+TEST(MetricsDeterminism, StudySnapshotsIdenticalAcrossThreadCounts) {
+  experiments::StudyConfig config;
+  config.har_sites = 25;
+  config.alexa_sites = 20;
+  config.har_first_rank = 10;
+  config.seed = 42;
+
+  config.threads = 1;
+  const experiments::StudyResults one = experiments::run_study(config);
+  EXPECT_GT(one.metrics.counter("crawl.sites_visited"), 0u);
+  EXPECT_GT(one.metrics.counter("browser.pages"), 0u);
+
+  config.threads = 3;
+  const experiments::StudyResults three = experiments::run_study(config);
+  EXPECT_EQ(one.metrics, three.metrics);
+  EXPECT_EQ(json::write(to_json(one.metrics)),
+            json::write(to_json(three.metrics)));
+}
+
+}  // namespace
+}  // namespace h2r::obs

@@ -29,6 +29,7 @@
 #include "fault/fault.hpp"
 #include "journal/checkpoint.hpp"
 #include "har/import.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 #include "util/format.hpp"
 #include "web/catalog.hpp"
@@ -44,6 +45,7 @@ int usage() {
                "usage:\n"
                "  h2r audit <page.har> [--json]\n"
                "  h2r study [--journal <path>] [--resume] [--json <out>]\n"
+               "            [--metrics <out>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -53,7 +55,9 @@ int usage() {
                "chaos mode:  H2R_FAULT_RATE (0..1) / H2R_FAULT_SEED / "
                "H2R_FAULT_RETRIES / H2R_FAULT_BACKOFF_MS\n"
                "durability:  H2R_JOURNAL (or --journal) / H2R_RESUME (or "
-               "--resume) / H2R_SITE_DEADLINE_MS\n");
+               "--resume) / H2R_SITE_DEADLINE_MS\n"
+               "metrics:     H2R_METRICS (or --metrics) — write the "
+               "deterministic metric snapshot as JSON\n");
   return 2;
 }
 
@@ -138,6 +142,8 @@ int cmd_study(int argc, char** argv) {
       config.resume = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      config.metrics_path = argv[++i];
     } else {
       return usage();
     }
@@ -204,6 +210,21 @@ int cmd_study(int argc, char** argv) {
                   static_cast<unsigned long long>(r.resumed_sites));
     }
     std::printf("\n");
+  }
+
+  if (!r.metrics.empty()) {
+    std::printf("\nmetrics:\n%s", obs::render_table(r.metrics).c_str());
+  }
+  if (!config.metrics_path.empty()) {
+    std::ofstream out(config.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", config.metrics_path.c_str());
+      return 1;
+    }
+    json::WriteOptions opts;
+    opts.pretty = true;
+    out << json::write(obs::to_json(r.metrics), opts) << "\n";
+    std::printf("wrote metric snapshot to %s\n", config.metrics_path.c_str());
   }
 
   if (json_out != nullptr) {
