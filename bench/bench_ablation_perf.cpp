@@ -94,14 +94,16 @@ int main() {
     params.loss_rate = 0.02;
     params.seed = 7;
     params.algorithm = algorithm;
-    const double one =
+    const double one_conn =
         experiments::page_fetch_time_ms(1500 * 1024, 1, params);
-    const double eight =
+    const double eight_conns =
         experiments::page_fetch_time_ms(1500 * 1024, 8, params);
     cc.add_row({algorithm == experiments::CcAlgorithm::kReno ? "Reno"
                                                              : "CUBIC-like",
-                util::fixed(one, 0) + " ms", util::fixed(eight, 0) + " ms",
-                util::fixed(100.0 * (one / eight - 1.0), 0) + " %"});
+                util::fixed(one_conn, 0) + " ms",
+                util::fixed(eight_conns, 0) + " ms",
+                util::fixed(100.0 * (one_conn / eight_conns - 1.0), 0) +
+                    " %"});
   }
   std::printf("%s\n",
               cc

@@ -15,15 +15,26 @@ namespace h2r::browser {
 
 namespace {
 
+// AUDIT (PR 5): wall_now_ms / thread_cpu_ms are the only real-clock
+// reads in the measurement path, and their values are quarantined to the
+// diagnostic domain: they feed WorkerCounters.{wall,cpu,queue_wait}_ms
+// and CrawlSummary.wall_ms, which are excluded from
+// CrawlSummary::operator== and from every JSON export (report_to_json
+// reads neither; obs::to_json drops the whole diagnostic domain). A leak
+// into an exported metric would break the snapshot differentials in
+// tests/metrics_determinism_test.cpp (MetricsDeterminism.*NoWallClockLeak*).
 double wall_now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // h2r-lint: allow(ban.clock) -- diagnostic-domain worker wall time;
+  // never reaches operator== or exported JSON (see AUDIT above).
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
 }
 
 double thread_cpu_ms() {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
   timespec ts{};
+  // h2r-lint: allow(ban.clock) -- diagnostic-domain worker CPU time;
+  // never reaches operator== or exported JSON (see AUDIT above).
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
     return static_cast<double>(ts.tv_sec) * 1000.0 +
            static_cast<double>(ts.tv_nsec) / 1e6;
@@ -400,6 +411,7 @@ CrawlSummary crawl_range(web::SiteUniverse& universe, std::size_t first_rank,
   // reorder gap instead of the whole range.
   std::vector<SiteResult> results(count);
   std::vector<char> ready(count, 0);
+  // guards: results, ready (workers fill, the draining loop reads)
   std::mutex mutex;
   std::condition_variable cv;
 

@@ -317,7 +317,7 @@ StudyResults run_study(const StudyConfig& config) {
   // A failed journal append means durability is gone: remember the first
   // error (workers keep crawling; results stay correct) and rethrow it
   // after the campaigns join so the run fails loudly.
-  std::mutex journal_error_mutex;
+  std::mutex journal_error_mutex;  // guards: journal_error
   std::exception_ptr journal_error;
   auto journal_chunk = [&](const journal::ChunkCheckpoint& checkpoint) {
     auto committed = writer->append(journal::to_json(checkpoint));
@@ -693,7 +693,7 @@ StudyResults run_study(const StudyConfig& config) {
 }
 
 const StudyResults& shared_study(const StudyConfig& config) {
-  static std::mutex mutex;
+  static std::mutex mutex;  // guards: cache
   static std::map<std::string, std::unique_ptr<StudyResults>> cache;
   // `threads` is deliberately absent: the crawl layer guarantees
   // thread-count-independent results, so runs differing only in

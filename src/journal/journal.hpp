@@ -94,6 +94,7 @@ class JournalWriter {
   util::Expected<bool> commit_frame(const std::string& payload);
 
   int fd_ = -1;
+  // guards: fd_ writes, bytes_written_, fsyncs_ (append/telemetry race)
   mutable std::mutex mutex_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t fsyncs_ = 0;

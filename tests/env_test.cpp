@@ -6,40 +6,13 @@
 // proven.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <string>
-
+#include "test_env_guard.hpp"
 #include "util/env.hpp"
 
 namespace h2r::util {
 namespace {
 
-/// Sets an env var for one scope, restoring the old value on exit.
-class EnvGuard {
- public:
-  EnvGuard(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
-    had_ = old != nullptr;
-    if (had_) saved_ = old;
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
-  }
-  ~EnvGuard() {
-    if (had_) {
-      ::setenv(name_, saved_.c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-
- private:
-  const char* name_;
-  bool had_ = false;
-  std::string saved_;
-};
+using h2r::testing::EnvGuard;
 
 constexpr const char* kVar = "H2R_ENV_TEST_VARIABLE";
 

@@ -21,6 +21,7 @@
 #include "dns/vantage.hpp"
 #include "fault/fault.hpp"
 #include "json/json.hpp"
+#include "test_env_guard.hpp"
 #include "web/catalog.hpp"
 #include "web/ecosystem.hpp"
 #include "web/sitegen.hpp"
@@ -129,29 +130,9 @@ TEST(FaultPlan, LatencyPenaltyStaysWithinConfiguredBounds) {
 
 // ------------------------------------------------------------------ env
 
-/// Sets an env var for one test, restoring the previous state after (the
-/// CI chaos matrix drives these same vars through the smoke test below).
-class EnvGuard {
- public:
-  EnvGuard(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
-    had_ = old != nullptr;
-    if (had_) saved_ = old;
-    ::setenv(name, value, 1);
-  }
-  ~EnvGuard() {
-    if (had_) {
-      ::setenv(name_, saved_.c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-
- private:
-  const char* name_;
-  bool had_ = false;
-  std::string saved_;
-};
+// The CI chaos matrix drives these same vars through the smoke test
+// below; the guard itself is shared with env_test.cpp.
+using h2r::testing::EnvGuard;
 
 TEST(FaultConfigEnv, ReadsTheChaosKnobs) {
   EnvGuard rate("H2R_FAULT_RATE", "0.25");

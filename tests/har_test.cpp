@@ -168,7 +168,9 @@ INSTANTIATE_TEST_SUITE_P(
                    &ImportStats::h1_entries},
         FilterCase{"h3", [](Entry& e) { e.http_version = "h3"; },
                    &ImportStats::h3_entries}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& test_info) {
+      return std::string(test_info.param.name);
+    });
 
 TEST(HarImport, InconsistentIpWithinConnectionDropsRequest) {
   Log log;

@@ -1,0 +1,20 @@
+// File-scoped audited exception: every ban.rand use in this file is
+// allowed by one annotation. The ban.clock use at the bottom is NOT
+// covered and must still be reported.
+// h2r-lint: allow-file(ban.rand) -- fixture standing in for a
+// quarantined diagnostics module that may use ambient entropy.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int noise() { return rand() % 6; }
+
+unsigned hardware_seed() {
+  std::random_device device;
+  return device();
+}
+
+double still_flagged() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}

@@ -1,0 +1,17 @@
+// A correctly audited exception: the annotation names the rule and gives
+// a reason, so the clock read on the next code line is allowed. The
+// same-line form is exercised by the second function.
+#include <chrono>
+
+double diagnostic_wall_ms() {
+  // h2r-lint: allow(ban.clock) -- diagnostic-only wall time, never
+  // serialized (fixture mirror of browser/crawl.cpp).
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+double diagnostic_wall_ms_2() {
+  auto now = std::chrono::steady_clock::now();  // h2r-lint: allow(ban.clock) -- same-line audited use.
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,10 @@
+// An allow with no reason clause: the annotation itself becomes an
+// allow.reason finding AND it suppresses nothing, so the clock read is
+// still reported too.
+#include <chrono>
+
+double wall_ms() {
+  // h2r-lint: allow(ban.clock)
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}

@@ -1,0 +1,8 @@
+// Trips ban.async: completion order of std::async tasks is up to the
+// scheduler.
+#include <future>
+
+int fanout() {
+  auto task = std::async(std::launch::async, [] { return 7; });
+  return task.get();
+}

@@ -1,0 +1,15 @@
+// Trips ban.clock twice: a chrono clock read and a clock_gettime call.
+#include <chrono>
+#include <ctime>
+
+double wall_ms() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+double cpu_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1000.0;
+}

@@ -1,0 +1,10 @@
+// Trips ban.rand twice: libc rand() and std::random_device.
+#include <cstdlib>
+#include <random>
+
+int noise() { return rand() % 6; }
+
+unsigned hardware_seed() {
+  std::random_device device;
+  return device();
+}

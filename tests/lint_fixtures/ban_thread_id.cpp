@@ -1,0 +1,8 @@
+// Trips ban.thread-id twice: the id type and the get_id() call.
+#include <thread>
+
+std::thread::id whoami_type();
+
+bool same_worker() {
+  return whoami_type() == std::this_thread::get_id();
+}

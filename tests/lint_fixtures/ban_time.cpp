@@ -1,0 +1,10 @@
+// Trips ban.time: wall-clock date via the C time API. Note that
+// first_request_time() below must NOT trip — "time" only matches as a
+// whole identifier.
+#include <ctime>
+
+long stamp() {
+  long first_request_time = 0;
+  (void)first_request_time;
+  return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,23 @@
+// A model citizen: simulated time, seeded RNG, ordered containers,
+// documented locking. h2r-lint must report zero findings here.
+#include <map>
+#include <mutex>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace h2r::fixture {
+
+struct Ledger {
+  // guards: totals_ (workers add, the reporter reads after join)
+  std::mutex mutex_;
+  std::map<std::string, std::uint64_t> totals_;
+};
+
+util::SimTime next_deadline(util::SimTime now) {
+  return now + util::seconds(30);
+}
+
+std::uint64_t draw(util::Rng& rng) { return rng.next(); }
+
+}  // namespace h2r::fixture

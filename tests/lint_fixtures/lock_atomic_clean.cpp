@@ -1,0 +1,16 @@
+// lock.atomic-mix stays quiet when every access states its ordering.
+#include <atomic>
+#include <cstdint>
+
+namespace h2r::fixture {
+
+class Queue {
+ public:
+  bool drained() const { return pending_.load(std::memory_order_acquire) == 0; }
+  void reset() { pending_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+}  // namespace h2r::fixture

@@ -1,0 +1,19 @@
+// Trips lock.atomic-mix: `pending_` is read with an explicit memory
+// order in one place and assigned through the implicit seq_cst operator
+// in another — the mixed discipline hides which ordering the algorithm
+// needs.
+#include <atomic>
+#include <cstdint>
+
+namespace h2r::fixture {
+
+class Queue {
+ public:
+  bool drained() const { return pending_.load(std::memory_order_acquire) == 0; }
+  void reset() { pending_ = 0; }
+
+ private:
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+}  // namespace h2r::fixture

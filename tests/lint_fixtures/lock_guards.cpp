@@ -1,0 +1,17 @@
+// Trips lock.guards: a mutex member with no `guards:` comment saying
+// what it protects.
+#include <cstdint>
+#include <mutex>
+
+namespace h2r::fixture {
+
+class Telemetry {
+ public:
+  void add(std::uint64_t n);
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace h2r::fixture

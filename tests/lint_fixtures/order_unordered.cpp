@@ -1,0 +1,23 @@
+// Trips order.unordered: an unordered_map declared in a translation unit
+// that also serializes (to_json). Iterating the map feeds the document,
+// so its seed-dependent bucket order would leak into the report.
+#include <string>
+#include <unordered_map>
+
+#include "json/json.hpp"
+
+namespace h2r::fixture {
+
+struct Tally {
+  std::unordered_map<std::string, int> by_cause;
+};
+
+json::Value to_json(const Tally& tally) {
+  json::Object obj;
+  for (const auto& [cause, count] : tally.by_cause) {
+    obj.set(cause, count);
+  }
+  return json::Value(std::move(obj));
+}
+
+}  // namespace h2r::fixture

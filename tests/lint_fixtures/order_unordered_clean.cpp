@@ -1,0 +1,14 @@
+// The other half of the order.unordered heuristic: an unordered_set in a
+// translation unit with NO serializer/merge/operator== stays legal — a
+// local membership probe cannot leak iteration order into a report.
+#include <string>
+#include <unordered_set>
+
+namespace h2r::fixture {
+
+bool seen_before(const std::string& url) {
+  static std::unordered_set<std::string> seen;
+  return !seen.insert(url).second;
+}
+
+}  // namespace h2r::fixture

@@ -1,0 +1,20 @@
+// Lexer discipline: banned tokens inside comments, string literals, char
+// literals and raw strings are NOT code. Zero findings expected.
+//
+// In a comment: std::chrono::steady_clock::now(), rand(), getenv("X").
+#include <string>
+
+namespace h2r::fixture {
+
+/* block comment mentioning std::random_device and std::async */
+std::string docs() {
+  std::string a = "call std::chrono::system_clock::now() at midnight";
+  std::string b = "rand() and srand() and getenv(\"H2R_SEED\")";
+  std::string c = R"(raw: std::this_thread::get_id() and time(nullptr))";
+  char quote = '"';
+  int thousands = 1'000'000;  // digit separators must not open a char literal
+  (void)quote;
+  return a + b + c + std::to_string(thousands);
+}
+
+}  // namespace h2r::fixture

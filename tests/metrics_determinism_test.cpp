@@ -89,6 +89,62 @@ TEST(MetricsDeterminism, DiagnosticsMayDifferButStayInvisible) {
   EXPECT_GT(b.diag_counter("crawl.chunks_claimed"), 0u);
 }
 
+TEST(MetricsDeterminism, NoWallClockLeakIntoSnapshotsOrEquality) {
+  // The audited ban.clock allows in browser/crawl.cpp (wall_now_ms /
+  // thread_cpu_ms) rest on a quarantine: real-clock values feed ONLY the
+  // diagnostic domain — WorkerCounters and CrawlSummary::wall_ms — and
+  // never the deterministic metric snapshot or summary equality. This
+  // test fails if that quarantine springs a leak.
+  web::Ecosystem eco{42};
+  web::ServiceCatalog catalog{eco, 42};
+  web::SiteUniverse universe{eco, catalog};
+  browser::CrawlOptions options;
+  options.threads = 3;
+  options.seed = 4321;
+  MetricsObserver observer;
+  options.observer = &observer;
+  browser::CrawlSummary summary = browser::crawl(universe, 0, kSites, options);
+
+  // The real clocks did run and did land in the diagnostic fields...
+  ASSERT_FALSE(summary.per_worker.empty());
+  double wall_total = 0.0;
+  for (const auto& worker : summary.per_worker) wall_total += worker.wall_ms;
+  EXPECT_GT(wall_total, 0.0);
+
+  // ...but no deterministic metric name carries a wall/cpu reading, and
+  // the serialized snapshot (what CI diffs byte-for-byte across thread
+  // counts) never mentions one.
+  const Metrics merged = observer.merged();
+  for (const auto& [name, value] : merged.counters()) {
+    (void)value;
+    EXPECT_EQ(name.find("wall"), std::string::npos) << name;
+    EXPECT_EQ(name.find("cpu"), std::string::npos) << name;
+  }
+  for (const auto& [name, histogram] : merged.histograms()) {
+    (void)histogram;
+    EXPECT_EQ(name.find("wall"), std::string::npos) << name;
+    EXPECT_EQ(name.find("cpu"), std::string::npos) << name;
+  }
+  const std::string snapshot = json::write(to_json(merged));
+  EXPECT_EQ(snapshot.find("wall"), std::string::npos);
+  EXPECT_EQ(snapshot.find("cpu"), std::string::npos);
+  EXPECT_EQ(snapshot.find("queue_wait"), std::string::npos);
+
+  // Summary equality ignores the clock-fed fields entirely: wildly
+  // different diagnostic values compare equal, a one-count measurement
+  // drift does not.
+  browser::CrawlSummary tampered = summary;
+  tampered.wall_ms = 1.0e9;
+  for (auto& worker : tampered.per_worker) {
+    worker.wall_ms = -1.0;
+    worker.cpu_ms = 7.7e7;
+    worker.queue_wait_ms = 1234.5;
+  }
+  EXPECT_TRUE(tampered == summary);
+  tampered.connections_opened += 1;
+  EXPECT_FALSE(tampered == summary);
+}
+
 TEST(MetricsDeterminism, StudySnapshotsIdenticalAcrossThreadCounts) {
   experiments::StudyConfig config;
   config.har_sites = 25;

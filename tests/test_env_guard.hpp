@@ -1,0 +1,51 @@
+// Shared RAII guard for environment-variable tests.
+//
+// env_test.cpp and fault_injection_test.cpp used to carry near-identical
+// copies of this scaffolding (the env_test copy could unset, the fault
+// copy could not); config_test-style suites need it too whenever they
+// drive a *_from_env path. One audited copy lives here instead.
+//
+// This is test scaffolding, so it is allowed to touch the raw
+// environment — that is the entire point: it sets up the process state
+// that the strict parsers in src/util/env.hpp are then tested against.
+// h2r-lint: allow-file(env.getenv) -- test scaffolding must read and
+// mutate the raw environment to exercise the util::env_* parsers.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace h2r::testing {
+
+/// Sets (or, with nullptr, unsets) an env var for one scope and restores
+/// the previous state on exit. Guards nest: destroy in reverse order of
+/// construction (automatic with block scoping).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+}  // namespace h2r::testing

@@ -1,0 +1,811 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace h2r::lint {
+
+namespace {
+
+// ------------------------------------------------------------------ text
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One physical line after lexing: `code` has comments and the contents
+/// of string/char literals blanked to spaces (column positions are
+/// preserved), `comment` holds the text of any comment on the line.
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits `text` into lines, blanking comments and literals. A
+/// hand-rolled lexer in the spirit of src/json: handles // and block
+/// comments, escaped quotes, digit separators (1'000) and raw strings.
+std::vector<Line> lex(std::string_view text) {
+  std::vector<Line> lines;
+  lines.emplace_back();
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_close;       // ")delim\"" that ends the raw string
+  char prev_significant = 0;   // last non-space code char (for 1'000)
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string states cannot legally cross a newline; reset
+      // so one bad line does not blank the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      prev_significant = 0;
+      continue;
+    }
+    Line& line = lines.back();
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : 0;
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line.code += "  ";
+          ++i;
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line.code += "  ";
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // R"delim( ... )delim" — the R must directly precede the quote.
+          if (prev_significant == 'R') {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && delim.size() < 16) {
+              delim += text[j++];
+            }
+            if (j < text.size() && text[j] == '(') {
+              state = State::kRawString;
+              raw_close = ")" + delim + "\"";
+              line.code += ' ';
+              break;
+            }
+          }
+          state = State::kString;
+          line.code += ' ';
+          break;
+        }
+        if (c == '\'' && !ident_char(prev_significant)) {
+          state = State::kChar;
+          line.code += ' ';
+          break;
+        }
+        line.code += c;
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          prev_significant = c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        line.comment += c;
+        line.code += ' ';
+        break;
+      case State::kBlockComment: {
+        const char next = i + 1 < text.size() ? text[i + 1] : 0;
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line.code += "  ";
+          ++i;
+        } else {
+          line.comment += c;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kString: {
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          line.code += "  ";
+          ++i;
+        } else {
+          if (c == '"') state = State::kCode;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kChar: {
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          line.code += "  ";
+          ++i;
+        } else {
+          if (c == '\'') state = State::kCode;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kRawString: {
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size() && text[i + k] != '\n';
+               ++k) {
+            line.code += ' ';
+          }
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          line.code += ' ';
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+/// True when `code` contains `name` as a standalone identifier (both
+/// neighbours are non-identifier characters). `offset` receives the
+/// match position.
+bool has_ident(std::string_view code, std::string_view name,
+               std::size_t* offset = nullptr) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) {
+      if (offset != nullptr) *offset = pos;
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+/// True when `code` calls `name` (identifier directly followed by an
+/// opening parenthesis, modulo whitespace).
+bool has_call(std::string_view code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + name.size();
+    if (left_ok && (end >= code.size() || !ident_char(code[end]))) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      if (end < code.size() && code[end] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ annotations
+
+/// Parsed allow / allow-file annotations for one file, plus any
+/// malformed-annotation findings. (The grammar is documented in lint.hpp;
+/// spelling it out here would make this comment parse as an annotation.)
+struct Allows {
+  std::set<std::string> file_rules;
+  // line number (1-based) -> rules allowed on that line
+  std::map<int, std::set<std::string>> line_rules;
+  std::vector<Finding> malformed;
+};
+
+/// The separator between the rule list and the mandatory reason: "--" or
+/// a em-dash (UTF-8 \xE2\x80\x94).
+bool consume_reason_separator(std::string_view& rest) {
+  rest = trim(rest);
+  if (rest.rfind("--", 0) == 0) {
+    rest.remove_prefix(2);
+    return true;
+  }
+  if (rest.rfind("\xE2\x80\x94", 0) == 0) {
+    rest.remove_prefix(3);
+    return true;
+  }
+  return false;
+}
+
+Allows parse_allows(std::string_view path, const std::vector<Line>& lines) {
+  Allows allows;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const int line_no = static_cast<int>(idx) + 1;
+    std::string_view comment = lines[idx].comment;
+    const std::size_t tag = comment.find("h2r-lint:");
+    if (tag == std::string_view::npos) continue;
+    std::string_view rest = trim(comment.substr(tag + 9));
+    bool file_scope = false;
+    if (rest.rfind("allow-file(", 0) == 0) {
+      file_scope = true;
+      rest.remove_prefix(11);
+    } else if (rest.rfind("allow(", 0) == 0) {
+      rest.remove_prefix(6);
+    } else {
+      continue;  // some other h2r-lint comment; not an annotation
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) continue;
+    std::string_view rule_list = rest.substr(0, close);
+    rest.remove_prefix(close + 1);
+
+    std::set<std::string> rules;
+    while (!rule_list.empty()) {
+      const std::size_t comma = rule_list.find(',');
+      rules.emplace(trim(rule_list.substr(0, comma)));
+      if (comma == std::string_view::npos) break;
+      rule_list.remove_prefix(comma + 1);
+    }
+
+    const bool has_sep = consume_reason_separator(rest);
+    if (!has_sep || trim(rest).empty()) {
+      Finding f;
+      f.rule = "allow.reason";
+      f.path = std::string(path);
+      f.line = line_no;
+      f.severity = Severity::kError;
+      f.message =
+          "allow annotation without a reason; write "
+          "\"h2r-lint: allow(rule) -- why this use is safe\"";
+      f.snippet = std::string(trim(comment));
+      allows.malformed.push_back(std::move(f));
+      continue;  // an unexplained allow does not suppress anything
+    }
+
+    if (file_scope) {
+      allows.file_rules.insert(rules.begin(), rules.end());
+      continue;
+    }
+    // A same-line annotation covers its own line; an annotation on a
+    // comment-only line covers the next line that carries code.
+    int target = line_no;
+    if (trim(lines[idx].code).empty()) {
+      for (std::size_t j = idx + 1; j < lines.size(); ++j) {
+        if (!trim(lines[j].code).empty()) {
+          target = static_cast<int>(j) + 1;
+          break;
+        }
+      }
+    }
+    allows.line_rules[target].insert(rules.begin(), rules.end());
+  }
+  return allows;
+}
+
+// ------------------------------------------------------------------ rules
+
+constexpr std::string_view kRuleIds[] = {
+    "allow.reason", "ban.async",       "ban.clock",
+    "ban.rand",     "ban.thread-id",   "ban.time",
+    "env.getenv",   "lock.atomic-mix", "lock.guards",
+    "order.unordered",
+};
+
+void add_finding(std::vector<Finding>& out, std::string_view path, int line,
+                 std::string_view rule, Severity severity,
+                 std::string message, std::string_view snippet) {
+  Finding f;
+  f.rule = std::string(rule);
+  f.path = std::string(path);
+  f.line = line;
+  f.severity = severity;
+  f.message = std::move(message);
+  f.snippet = std::string(trim(snippet));
+  out.push_back(std::move(f));
+}
+
+void rule_banned_apis(std::string_view path, const std::vector<Line>& lines,
+                      std::vector<Finding>& out) {
+  const bool env_home = path.rfind("src/util/env.", 0) == 0;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    const int line_no = static_cast<int>(idx) + 1;
+
+    for (std::string_view clock :
+         {"system_clock", "steady_clock", "high_resolution_clock"}) {
+      if (has_ident(code, clock)) {
+        add_finding(out, path, line_no, "ban.clock", Severity::kError,
+                    "real-clock read (std::chrono::" + std::string(clock) +
+                        "): derive timing from util::SimTime so runs stay "
+                        "reproducible",
+                    code);
+        break;
+      }
+    }
+    if (has_call(code, "clock_gettime")) {
+      add_finding(out, path, line_no, "ban.clock", Severity::kError,
+                  "real-clock read (clock_gettime): derive timing from "
+                  "util::SimTime so runs stay reproducible",
+                  code);
+    }
+
+    for (std::string_view fn :
+         {"time", "gettimeofday", "localtime", "gmtime", "mktime",
+          "strftime"}) {
+      if (has_call(code, fn)) {
+        add_finding(out, path, line_no, "ban.time", Severity::kError,
+                    "C time API (" + std::string(fn) +
+                        "()): wall-clock dates have no place in a "
+                        "simulated-time study",
+                    code);
+        break;
+      }
+    }
+
+    if (has_call(code, "rand") || has_call(code, "srand") ||
+        has_ident(code, "random_device")) {
+      add_finding(out, path, line_no, "ban.rand", Severity::kError,
+                  "non-seeded randomness: all entropy must come from "
+                  "util::Rng seeded by (config seed, site)",
+                  code);
+    }
+
+    if (code.find("this_thread::get_id") != std::string::npos ||
+        has_ident(code, "thread::id")) {
+      add_finding(out, path, line_no, "ban.thread-id", Severity::kError,
+                  "thread identity is scheduler-dependent; key per-worker "
+                  "state on the worker index instead",
+                  code);
+    }
+
+    if (code.find("std::async") != std::string::npos) {
+      add_finding(out, path, line_no, "ban.async", Severity::kError,
+                  "std::async completion order is nondeterministic; use "
+                  "the crawl worker pool (browser::crawl) instead",
+                  code);
+    }
+
+    if (!env_home) {
+      for (std::string_view fn :
+           {"getenv", "secure_getenv", "setenv", "unsetenv", "putenv"}) {
+        if (has_call(code, fn)) {
+          add_finding(out, path, line_no, "env.getenv", Severity::kError,
+                      "raw " + std::string(fn) +
+                          "(): environment access must go through the "
+                          "strict parsers in src/util/env.hpp",
+                      code);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void rule_ordered_output(std::string_view path, const std::vector<Line>& lines,
+                         std::vector<Finding>& out) {
+  bool serializes = false;
+  for (const Line& line : lines) {
+    if (has_ident(line.code, "to_json") ||
+        line.code.find("operator==") != std::string::npos ||
+        has_call(line.code, "merge")) {
+      serializes = true;
+      break;
+    }
+  }
+  if (!serializes) return;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    if (trim(code).rfind('#', 0) == 0) continue;  // skip #include lines
+    for (std::string_view container :
+         {"unordered_map", "unordered_multimap", "unordered_set",
+          "unordered_multiset"}) {
+      if (has_ident(code, container)) {
+        add_finding(
+            out, path, static_cast<int>(idx) + 1, "order.unordered",
+            Severity::kError,
+            "std::" + std::string(container) +
+                " in a translation unit that serializes or merges "
+                "(to_json/merge/operator==): iteration order is "
+                "seed-dependent — use std::map/std::set or sort before "
+                "output",
+            code);
+        break;
+      }
+    }
+  }
+}
+
+void rule_lock_guards(std::string_view path, const std::vector<Line>& lines,
+                      std::vector<Finding>& out) {
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    std::size_t pos = std::string::npos;
+    std::size_t type_len = 0;
+    for (std::string_view type :
+         {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+          "std::timed_mutex"}) {
+      std::size_t p = code.find(type);
+      while (p != std::string::npos) {
+        const std::size_t end = p + type.size();
+        // Skip template-argument uses (std::lock_guard<std::mutex>) and
+        // longer type names (std::mutex vs std::shared_mutex handled by
+        // the boundary check).
+        const bool left_ok = p == 0 || (code[p - 1] != '<');
+        const bool right_ok = end >= code.size() ||
+                              (code[end] != '>' && !ident_char(code[end]) &&
+                               code[end] != ':');
+        if (left_ok && right_ok) {
+          pos = p;
+          type_len = type.size();
+          break;
+        }
+        p = code.find(type, p + 1);
+      }
+      if (pos != std::string::npos) break;
+    }
+    if (pos == std::string::npos) continue;
+    // A declaration: the remainder is "<identifier>;" (optionally with an
+    // empty brace initializer).
+    std::string_view rest = trim(std::string_view(code).substr(pos + type_len));
+    if (rest.empty() || !ident_char(rest.front())) continue;
+    std::size_t name_end = 0;
+    while (name_end < rest.size() && ident_char(rest[name_end])) ++name_end;
+    const std::string name(rest.substr(0, name_end));
+    std::string_view tail = trim(rest.substr(name_end));
+    if (!tail.empty() && tail.rfind("{}", 0) == 0) {
+      tail = trim(tail.substr(2));
+    }
+    if (tail != ";") continue;
+    // Satisfied by a `guards:` comment on the same line or within the
+    // three preceding lines.
+    bool documented = false;
+    for (std::size_t back = 0; back <= 3 && back <= idx; ++back) {
+      if (lines[idx - back].comment.find("guards:") != std::string::npos) {
+        documented = true;
+        break;
+      }
+    }
+    if (!documented) {
+      add_finding(out, path, static_cast<int>(idx) + 1, "lock.guards",
+                  Severity::kWarning,
+                  "mutex '" + name +
+                      "' without a `guards:` comment naming the state it "
+                      "protects",
+                  code);
+    }
+  }
+}
+
+void rule_atomic_mix(std::string_view path, const std::vector<Line>& lines,
+                     std::vector<Finding>& out) {
+  // Pass 1: names declared as std::atomic<...> members/variables.
+  struct Decl {
+    std::size_t line_idx;
+  };
+  std::map<std::string, Decl> atomics;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    std::size_t pos = code.find("std::atomic<");
+    if (pos == std::string::npos) continue;
+    // Find the matching '>' (template args may nest, e.g. atomic<pair<..>>
+    // is illegal but atomic<Foo<int>> is not unthinkable in a refactor).
+    std::size_t depth = 0;
+    std::size_t end = pos + 11;  // at '<'
+    for (; end < code.size(); ++end) {
+      if (code[end] == '<') ++depth;
+      if (code[end] == '>' && --depth == 0) break;
+    }
+    if (end >= code.size()) continue;
+    std::string_view rest = trim(std::string_view(code).substr(end + 1));
+    if (rest.empty() || !ident_char(rest.front())) continue;
+    std::size_t name_end = 0;
+    while (name_end < rest.size() && ident_char(rest[name_end])) ++name_end;
+    atomics.emplace(std::string(rest.substr(0, name_end)), Decl{idx});
+  }
+  if (atomics.empty()) return;
+
+  // Pass 2: classify each use.
+  for (const auto& [name, decl] : atomics) {
+    bool explicit_ops = false;
+    int implicit_line = 0;
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const std::string& code = lines[idx].code;
+      std::size_t pos = 0;
+      while ((pos = code.find(name, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+        std::size_t end = pos + name.size();
+        if (!left_ok || (end < code.size() && ident_char(code[end]))) {
+          pos += 1;
+          continue;
+        }
+        std::string_view after = trim(std::string_view(code).substr(end));
+        if (after.rfind(".load", 0) == 0 || after.rfind(".store", 0) == 0 ||
+            after.rfind(".exchange", 0) == 0 ||
+            after.rfind(".fetch_", 0) == 0 ||
+            after.rfind(".compare_exchange", 0) == 0) {
+          explicit_ops = true;
+        } else if (idx != decl.line_idx) {
+          const bool assign = after.rfind('=', 0) == 0 &&
+                              (after.size() < 2 || after[1] != '=');
+          const bool compound =
+              after.rfind("+=", 0) == 0 || after.rfind("-=", 0) == 0 ||
+              after.rfind("|=", 0) == 0 || after.rfind("&=", 0) == 0 ||
+              after.rfind("^=", 0) == 0 || after.rfind("++", 0) == 0 ||
+              after.rfind("--", 0) == 0;
+          if ((assign || compound) && implicit_line == 0) {
+            implicit_line = static_cast<int>(idx) + 1;
+          }
+        }
+        pos = end;
+      }
+    }
+    if (explicit_ops && implicit_line != 0) {
+      add_finding(out, path, implicit_line, "lock.atomic-mix",
+                  Severity::kWarning,
+                  "atomic '" + name +
+                      "' is accessed through explicit memory-order calls "
+                      "elsewhere in this file but assigned with an "
+                      "implicit seq_cst operator here; pick one "
+                      "discipline",
+                  lines[static_cast<std::size_t>(implicit_line) - 1].code);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ io
+
+util::Expected<Finding> finding_from_json(const json::Value& value) {
+  if (!value.is_object()) return util::unexpected(util::Error{"finding: not an object"});
+  const json::Object& obj = value.as_object();
+  for (const auto& [key, unused] : obj) {
+    (void)unused;
+    if (key != "rule" && key != "path" && key != "line" &&
+        key != "severity" && key != "message" && key != "snippet") {
+      return util::unexpected(util::Error{"finding: unknown key '" + key + "'"});
+    }
+  }
+  Finding f;
+  const json::Value* rule = obj.find("rule");
+  const json::Value* path = obj.find("path");
+  const json::Value* line = obj.find("line");
+  const json::Value* severity = obj.find("severity");
+  if (rule == nullptr || !rule->is_string()) {
+    return util::unexpected(util::Error{"finding: missing string 'rule'"});
+  }
+  if (path == nullptr || !path->is_string()) {
+    return util::unexpected(util::Error{"finding: missing string 'path'"});
+  }
+  if (line == nullptr || !line->is_int() || line->as_int() < 1) {
+    return util::unexpected(util::Error{"finding: missing positive integer 'line'"});
+  }
+  if (severity == nullptr || !severity->is_string()) {
+    return util::unexpected(util::Error{"finding: missing string 'severity'"});
+  }
+  f.rule = rule->as_string();
+  f.path = path->as_string();
+  f.line = static_cast<int>(line->as_int());
+  if (severity->as_string() == "error") {
+    f.severity = Severity::kError;
+  } else if (severity->as_string() == "warning") {
+    f.severity = Severity::kWarning;
+  } else {
+    return util::unexpected(util::Error{"finding: unknown severity '" +
+                                        severity->as_string() + "'"});
+  }
+  if (const json::Value* message = obj.find("message")) {
+    if (!message->is_string()) {
+      return util::unexpected(util::Error{"finding: 'message' must be a string"});
+    }
+    f.message = message->as_string();
+  }
+  if (const json::Value* snippet = obj.find("snippet")) {
+    if (!snippet->is_string()) {
+      return util::unexpected(util::Error{"finding: 'snippet' must be a string"});
+    }
+    f.snippet = snippet->as_string();
+  }
+  return f;
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity severity) noexcept {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::vector<std::string_view> rule_ids() {
+  return {std::begin(kRuleIds), std::end(kRuleIds)};
+}
+
+std::vector<Finding> scan_source(std::string_view path, std::string_view text,
+                                 const Options& options) {
+  const std::vector<Line> lines = lex(text);
+  const Allows allows = parse_allows(path, lines);
+
+  std::vector<Finding> raw;
+  rule_banned_apis(path, lines, raw);
+  rule_ordered_output(path, lines, raw);
+  rule_lock_guards(path, lines, raw);
+  rule_atomic_mix(path, lines, raw);
+
+  std::vector<Finding> findings;
+  for (Finding& f : raw) {
+    if (allows.file_rules.count(f.rule) != 0) continue;
+    const auto it = allows.line_rules.find(f.line);
+    if (it != allows.line_rules.end() && it->second.count(f.rule) != 0) {
+      continue;
+    }
+    findings.push_back(std::move(f));
+  }
+  // Malformed annotations are findings in their own right and cannot be
+  // allowed away.
+  for (const Finding& f : allows.malformed) findings.push_back(f);
+
+  if (options.strict) {
+    for (Finding& f : findings) f.severity = Severity::kError;
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  return findings;
+}
+
+TreeReport scan_tree(const std::string& repo_root,
+                     const std::vector<std::string>& roots,
+                     const Options& options) {
+  namespace fs = std::filesystem;
+  TreeReport report;
+  std::vector<fs::path> files;
+  const fs::path base(repo_root);
+  for (const std::string& root : roots) {
+    const fs::path dir = base / root;
+    std::error_code ec;
+    if (fs::is_regular_file(dir, ec)) {
+      files.push_back(dir);
+      continue;
+    }
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".hh" ||
+          ext == ".h" || ext == ".cxx") {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        fs::relative(file, base).generic_string();
+    std::vector<Finding> found =
+        scan_source(rel, buffer.str(), options);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+    ++report.files_scanned;
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  return report;
+}
+
+json::Value findings_to_json(const std::vector<Finding>& findings) {
+  json::Array array;
+  array.reserve(findings.size());
+  for (const Finding& f : findings) {
+    json::Object obj;
+    obj.set("rule", f.rule);
+    obj.set("path", f.path);
+    obj.set("line", static_cast<std::int64_t>(f.line));
+    obj.set("severity", std::string(severity_name(f.severity)));
+    obj.set("message", f.message);
+    obj.set("snippet", f.snippet);
+    array.emplace_back(std::move(obj));
+  }
+  return json::Value(std::move(array));
+}
+
+util::Expected<std::vector<Finding>> findings_from_json(
+    const json::Value& value) {
+  if (!value.is_array()) {
+    return util::unexpected(util::Error{"findings: expected a JSON array"});
+  }
+  std::vector<Finding> findings;
+  findings.reserve(value.as_array().size());
+  for (const json::Value& entry : value.as_array()) {
+    util::Expected<Finding> f = finding_from_json(entry);
+    if (!f.has_value()) return util::unexpected(f.error());
+    findings.push_back(std::move(*f));
+  }
+  return findings;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<Finding>& baseline,
+                                    std::size_t* suppressed) {
+  std::vector<bool> matched(findings.size(), false);
+  for (const Finding& entry : baseline) {
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (matched[i]) continue;
+      const Finding& f = findings[i];
+      if (f.rule == entry.rule && f.path == entry.path &&
+          f.snippet == entry.snippet) {
+        matched[i] = true;
+        if (suppressed != nullptr) ++*suppressed;
+        break;
+      }
+    }
+  }
+  std::vector<Finding> rest;
+  rest.reserve(findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (!matched[i]) rest.push_back(std::move(findings[i]));
+  }
+  return rest;
+}
+
+std::string render_text(const std::vector<Finding>& findings,
+                        std::size_t files_scanned, std::size_t suppressed) {
+  std::ostringstream out;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Finding& f : findings) {
+    (f.severity == Severity::kError ? errors : warnings) += 1;
+    out << f.path << ':' << f.line << ": " << severity_name(f.severity)
+        << '[' << f.rule << "]: " << f.message << '\n';
+    if (!f.snippet.empty()) out << "    " << f.snippet << '\n';
+  }
+  out << "h2r-lint: " << files_scanned << " file(s) scanned, " << errors
+      << " error(s), " << warnings << " warning(s)";
+  if (suppressed != 0) {
+    out << ", " << suppressed << " suppressed by baseline";
+  }
+  out << '\n';
+  return out.str();
+}
+
+json::Value report_to_json(const std::vector<Finding>& findings,
+                           std::size_t files_scanned,
+                           std::size_t suppressed) {
+  json::Object report;
+  report.set("version", std::int64_t{1});
+  report.set("files_scanned", static_cast<std::int64_t>(files_scanned));
+  report.set("suppressed", static_cast<std::int64_t>(suppressed));
+  report.set("findings", findings_to_json(findings));
+  return json::Value(std::move(report));
+}
+
+bool has_errors(const std::vector<Finding>& findings) {
+  return std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.severity == Severity::kError;
+  });
+}
+
+}  // namespace h2r::lint
