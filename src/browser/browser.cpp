@@ -44,6 +44,16 @@ util::SimTime Browser::rtt_to(const net::IpAddress& address) const {
   return options_.base_rtt + static_cast<util::SimTime>(h % 40);
 }
 
+const web::Server* Browser::server_at(
+    const net::IpAddress& address) const noexcept {
+  if (overlay_ != nullptr) {
+    if (const web::Server* server = overlay_->server_at(address)) {
+      return server;
+    }
+  }
+  return eco_.server_at(address);
+}
+
 dns::Resolution Browser::resolve(PageState& page, const std::string& host,
                                  util::SimTime now) {
   dns::Resolution res = resolver_.resolve(host, now);
@@ -148,7 +158,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   const std::size_t existing = page.conns_per_domain[host];
   const net::IpAddress address =
       res.addresses[existing % res.addresses.size()];
-  const web::Server* server = eco_.server_at(address);
+  const web::Server* server = server_at(address);
   if (server == nullptr) {
     status.ok = false;
     return 0;
@@ -305,7 +315,7 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
       // HTTP/1.1-only server? Serve over h1 so the HAR contains the entry.
       const dns::Resolution res = resolver_.resolve(host, now);
       if (res.ok && !res.addresses.empty()) {
-        const web::Server* server = eco_.server_at(res.addresses.front());
+        const web::Server* server = server_at(res.addresses.front());
         if (server != nullptr && !server->h2_enabled() &&
             server->certificate_for(host) != nullptr) {
           return fetch_h1(page, host, path, server->respond(host), size_bytes,
@@ -318,7 +328,7 @@ Browser::FetchOutcome Browser::fetch(PageState& page, const std::string& host,
 
   SessionEntry& entry = page.sessions[index];
   http2::Session& session = *entry.session;
-  const web::Server* server = eco_.server_at(session.peer().address);
+  const web::Server* server = server_at(session.peer().address);
   const int status = server != nullptr ? server->respond(host) : 200;
 
   http2::RequestEntry request;
@@ -580,7 +590,7 @@ util::SimTime Browser::run_page(PageState& page,
 void Browser::close_idle_sessions(PageState& page, util::SimTime until) {
   for (SessionEntry& entry : page.sessions) {
     if (!entry.session->is_open()) continue;
-    const web::Server* server = eco_.server_at(entry.session->peer().address);
+    const web::Server* server = server_at(entry.session->peer().address);
     if (server == nullptr || !server->idle_timeout().has_value()) continue;
     const util::SimTime close_at =
         entry.last_activity + *server->idle_timeout();
@@ -609,6 +619,10 @@ PageLoadResult Browser::load(const web::Website& site,
   // thread-count invariant. The resolver consults it for this load only.
   page.plan = fault::FaultPlan{options_.faults, seed_, site.url};
   resolver_.set_fault_injector(&page.plan);
+  // Generated sites carry their hosting cluster as an overlay: server and
+  // DNS lookups consult it before the shared ecosystem for this load only.
+  overlay_ = site.deployment.get();
+  resolver_.set_overlay(overlay_ != nullptr ? &overlay_->records : nullptr);
   if (options_.record_trace) {
     page.result.trace.site = site.url;
     page.trace_root = page.result.trace.begin_span("page.load", start_time);
@@ -621,6 +635,8 @@ PageLoadResult Browser::load(const web::Website& site,
   // Post-load observation window: idle servers close their connections.
   close_idle_sessions(page, load_end + options_.post_load_wait);
   resolver_.set_fault_injector(nullptr);
+  resolver_.set_overlay(nullptr);
+  overlay_ = nullptr;
 
   if (page.trace_root >= 0) {
     // A session span covers the connection's observed lifetime: close
@@ -678,6 +694,8 @@ VisitResult Browser::visit(
   page.result.started_at = start_time;
   page.plan = fault::FaultPlan{options_.faults, seed_, site.url};
   resolver_.set_fault_injector(&page.plan);
+  overlay_ = site.deployment.get();
+  resolver_.set_overlay(overlay_ != nullptr ? &overlay_->records : nullptr);
 
   VisitResult result;
   util::SimTime now = start_time;
@@ -723,6 +741,8 @@ VisitResult Browser::visit(
 
   close_idle_sessions(page, now + options_.post_load_wait);
   resolver_.set_fault_injector(nullptr);
+  resolver_.set_overlay(nullptr);
+  overlay_ = nullptr;
   result.observation = netlog::stitch_site(site.url, page.log);
   result.log = std::move(page.log);
   return result;

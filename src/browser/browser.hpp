@@ -205,6 +205,10 @@ class Browser {
 
   util::SimTime rtt_to(const net::IpAddress& address) const;
 
+  /// The server at `address`: the active site's deployment overlay first
+  /// (streaming sites own their cluster), then the shared ecosystem.
+  const web::Server* server_at(const net::IpAddress& address) const noexcept;
+
   dns::Resolution resolve(PageState& page, const std::string& host,
                           util::SimTime now);
 
@@ -250,6 +254,10 @@ class Browser {
 
   const web::Ecosystem& eco_;
   dns::RecursiveResolver& resolver_;
+  /// The loaded site's deployment, installed for the duration of a
+  /// load()/visit() (same bracket as the resolver's fault injector and
+  /// record overlay); null for hand-built sites published into eco_.
+  const web::SiteDeployment* overlay_ = nullptr;
   BrowserOptions options_;
   std::uint64_t seed_;
   std::uint64_t next_session_id_ = 1;

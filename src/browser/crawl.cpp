@@ -48,11 +48,27 @@ struct Worker {
   explicit Worker(web::SiteUniverse& universe, const CrawlOptions& options,
                   const dns::ResolverProfile& profile, std::uint64_t seed)
       : resolver(profile, &universe.ecosystem().authority()),
-        browser(universe.ecosystem(), resolver, options.browser, seed) {}
+        browser(universe.ecosystem(), resolver, options.browser, seed),
+        sites(universe, options.stream ? options.site_cache : 0) {}
 
   dns::RecursiveResolver resolver;
   Browser browser;
+  /// Per-worker site lookup: the universe's shared cache first
+  /// (materialized mode), then a local LRU over the pure generator
+  /// (streaming mode). One lookup path for both modes keeps them
+  /// bit-identical by construction.
+  web::SiteCache sites;
 };
+
+/// Cache effectiveness is a function of scheduling (which worker claims
+/// which chunk), so these counters live in the diagnostic domain only.
+void record_cache_diagnostics(const Worker& worker, obs::Metrics* metrics) {
+  if (metrics == nullptr) return;
+  metrics->add_diag("sitegen.cache_shared_hits", worker.sites.shared_hits());
+  metrics->add_diag("sitegen.cache_hits", worker.sites.hits());
+  metrics->add_diag("sitegen.cache_misses", worker.sites.misses());
+  metrics->add_diag("sitegen.cache_evictions", worker.sites.evictions());
+}
 
 /// Loads the site at `rank`. Everything that feeds the observation is
 /// derived from (options.seed, site) and the site's deterministic load
@@ -69,7 +85,7 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
     result.reachable = false;
     return;
   }
-  const web::Website& site = universe.site(rank);
+  const web::Website& site = worker.sites.site(rank);
   worker.resolver.flush_cache();
   result.page = worker.browser.load(site, when);
   result.reachable = result.page.reachable;
@@ -168,7 +184,11 @@ CrawlSummary run_workers(web::SiteUniverse& universe, std::size_t first_rank,
                          std::size_t count, const CrawlOptions& options,
                          unsigned threads,
                          const dns::ResolverProfile& profile) {
-  universe.materialize(first_rank, count);
+  // Streaming crawls never materialize: workers regenerate sites on
+  // demand through their bounded caches (O(threads * site_cache) resident
+  // sites). Materialized crawls pre-generate the range into the shared
+  // cache, which every worker then reads lock-free.
+  if (!options.stream) universe.materialize(first_rank, count);
   const std::vector<std::size_t>* targets =
       options.chunked ? options.targets : nullptr;
   const std::size_t items = targets != nullptr ? targets->size() : count;
@@ -243,6 +263,7 @@ CrawlSummary run_workers(web::SiteUniverse& universe, std::size_t first_rank,
           shard.merge(event.summary);
         }
       }
+      record_cache_diagnostics(worker, metrics);
       counters.wall_ms = wall_now_ms() - wall_start;
       counters.cpu_ms = thread_cpu_ms() - cpu_start;
     });
@@ -285,6 +306,7 @@ CrawlSummary run_sequential(web::SiteUniverse& universe,
     account(summary, counters, result, metrics);
     if (observer != nullptr) observer->site(0, result);
   }
+  record_cache_diagnostics(worker, metrics);
   counters.wall_ms = wall_now_ms() - wall_start;
   counters.cpu_ms = thread_cpu_ms() - cpu_start;
   summary.wall_ms = counters.wall_ms;

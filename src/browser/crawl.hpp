@@ -66,6 +66,17 @@ struct CrawlOptions {
   /// drained work-queue chunk to Observer::chunk with the chunk's
   /// absolute rank runs and counters.
   bool chunked = false;
+  /// Streaming mode: skip the up-front materialization of the rank range
+  /// and let every worker regenerate its sites on demand through a
+  /// bounded per-worker SiteCache — O(threads * site_cache) resident
+  /// sites instead of O(count), which is what makes million-site crawls
+  /// fit in bounded memory. Generation is a pure function of (universe
+  /// seed, rank), so a streaming crawl is bit-identical to a materialized
+  /// one: both run the same generator, streaming merely forgets.
+  bool stream = false;
+  /// Streaming mode: per-worker site-LRU capacity (0 = unbounded). 64
+  /// covers the reorder window of a chunked crawl comfortably.
+  std::size_t site_cache = 64;
 };
 
 struct SiteResult {

@@ -71,13 +71,10 @@ void AggregateReport::merge(const AggregateReport& shard) {
   }
 
   closed_connections += shard.closed_connections;
-  for (const auto& [lifetime, count] : shard.closed_lifetimes_ms) {
-    closed_lifetimes_ms[lifetime] += count;
-  }
+  closed_lifetimes_ms.merge(shard.closed_lifetimes_ms);
   cred_same_domain_connections += shard.cred_same_domain_connections;
   for (const auto& [cause, histogram] : shard.redundant_open_offsets) {
-    TimeHistogram& dst = redundant_open_offsets[cause];
-    for (const auto& [offset, count] : histogram) dst[offset] += count;
+    redundant_open_offsets[cause].merge(histogram);
   }
 }
 
@@ -109,7 +106,7 @@ void Aggregator::add_site(const SiteObservation& site,
     }
     if (conn.closed_at.has_value()) {
       ++report_.closed_connections;
-      ++report_.closed_lifetimes_ms[*conn.closed_at - conn.opened_at];
+      report_.closed_lifetimes_ms.add(*conn.closed_at - conn.opened_at);
     }
   }
 
@@ -128,7 +125,9 @@ void Aggregator::add_site(const SiteObservation& site,
     const ConnectionRecord& conn = site.connections[finding.connection_index];
     const std::string domain = util::to_lower(conn.initial_domain);
     for (Cause cause : finding.causes) {
-      ++report_.redundant_open_offsets[cause][conn.opened_at - page_start];
+      report_.redundant_open_offsets
+          .try_emplace(cause, TimeHistogram{hist_budget_})
+          .first->second.add(conn.opened_at - page_start);
     }
 
     if (finding.causes.count(Cause::kIp) > 0) {

@@ -121,11 +121,15 @@ struct AggregateReport {
 
 /// Streaming aggregator: feed (observation, classification) pairs, read the
 /// report at the end. The AS database is optional; without it the AS table
-/// stays empty.
+/// stays empty. A nonzero `hist_budget` bounds every TimeHistogram the
+/// report accumulates to that many bins (see stats::TimeHistogram).
 class Aggregator {
  public:
-  explicit Aggregator(const asdb::AsDatabase* as_database = nullptr)
-      : as_database_(as_database) {}
+  explicit Aggregator(const asdb::AsDatabase* as_database = nullptr,
+                      std::uint32_t hist_budget = 0)
+      : as_database_(as_database), hist_budget_(hist_budget) {
+    report_.closed_lifetimes_ms = TimeHistogram{hist_budget};
+  }
 
   void add_site(const SiteObservation& site, const SiteClassification& cls);
 
@@ -133,6 +137,7 @@ class Aggregator {
 
  private:
   const asdb::AsDatabase* as_database_;
+  std::uint32_t hist_budget_ = 0;
   AggregateReport report_;
 };
 

@@ -152,15 +152,28 @@ json::Value histogram_to_json(const stats::TimeHistogram& histogram) {
     pair.emplace_back(static_cast<std::int64_t>(count));
     samples.emplace_back(std::move(pair));
   }
-  return json::Value{std::move(samples)};
+  if (histogram.bin_budget() == 0) {
+    // Exact histograms keep the legacy array shape, byte-for-byte.
+    return json::Value{std::move(samples)};
+  }
+  // Budgeted sketches carry their quantization level explicitly: it
+  // cannot be re-derived from sparse bins, and resuming with a wrong
+  // level would break merge determinism.
+  json::Object obj;
+  obj.set("budget", static_cast<std::int64_t>(histogram.bin_budget()));
+  obj.set("level", static_cast<std::int64_t>(histogram.level()));
+  obj.set("bins", std::move(samples));
+  return json::Value{std::move(obj)};
 }
 
-util::Expected<stats::TimeHistogram> histogram_from_json(
+namespace {
+
+util::Expected<stats::TimeHistogram::Map> histogram_bins_from_json(
     const json::Value& value) {
   if (!value.is_array()) {
     return util::unexpected(util::Error{"histogram is not an array"});
   }
-  stats::TimeHistogram histogram;
+  stats::TimeHistogram::Map bins;
   bool first = true;
   util::SimTime last = 0;
   for (const json::Value& pair : value.as_array()) {
@@ -178,10 +191,40 @@ util::Expected<stats::TimeHistogram> histogram_from_json(
       return util::unexpected(
           util::Error{"histogram samples not strictly increasing"});
     }
-    histogram[sample] = static_cast<std::uint64_t>(count);
+    bins[sample] = static_cast<std::uint64_t>(count);
     last = sample;
     first = false;
   }
+  return bins;
+}
+
+}  // namespace
+
+util::Expected<stats::TimeHistogram> histogram_from_json(
+    const json::Value& value) {
+  if (value.is_object()) {
+    const json::Value& budget = value["budget"];
+    const json::Value& level = value["level"];
+    if (!budget.is_int() || budget.as_int() <= 0 ||
+        budget.as_int() > 0xFFFFFFFFll || !level.is_int() ||
+        level.as_int() < 0 || level.as_int() > 0xFFFFFFFFll) {
+      return util::unexpected(
+          util::Error{"budgeted histogram without valid budget/level"});
+    }
+    auto bins = histogram_bins_from_json(value["bins"]);
+    if (!bins) return util::unexpected(bins.error());
+    auto restored = stats::TimeHistogram::restore(
+        static_cast<std::uint32_t>(budget.as_int()),
+        static_cast<std::uint32_t>(level.as_int()), std::move(*bins));
+    if (!restored) {
+      return util::unexpected(util::Error{"inconsistent budgeted histogram"});
+    }
+    return *restored;
+  }
+  auto bins = histogram_bins_from_json(value);
+  if (!bins) return util::unexpected(bins.error());
+  stats::TimeHistogram histogram;
+  for (const auto& [sample, count] : *bins) histogram.add(sample, count);
   return histogram;
 }
 

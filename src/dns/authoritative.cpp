@@ -56,6 +56,15 @@ const RecordSet* AuthoritativeServer::find(
   return it == records_.end() ? nullptr : &it->second;
 }
 
+const RecordSet* AuthoritativeServer::find(
+    std::string_view name, const RecordOverlay* overlay) const noexcept {
+  if (overlay != nullptr) {
+    const auto it = overlay->find(name);
+    if (it != overlay->end()) return &it->second;
+  }
+  return find(name);
+}
+
 std::vector<net::IpAddress> AuthoritativeServer::select_addresses(
     const RecordSet& rs, const QueryContext& ctx) const {
   if (rs.pool.empty()) return {};
@@ -117,11 +126,17 @@ std::vector<net::IpAddress> AuthoritativeServer::select_addresses(
 
 Answer AuthoritativeServer::query(std::string_view name,
                                   const QueryContext& ctx) const {
+  return query(name, ctx, nullptr);
+}
+
+Answer AuthoritativeServer::query(std::string_view name,
+                                  const QueryContext& ctx,
+                                  const RecordOverlay* overlay) const {
   Answer answer;
   std::string current = util::to_lower(name);
   constexpr int kMaxChain = 8;
   for (int depth = 0; depth <= kMaxChain; ++depth) {
-    const RecordSet* rs = find(current);
+    const RecordSet* rs = find(current, overlay);
     if (rs == nullptr) return answer;  // NXDOMAIN
     if (rs->type == RecordType::kCNAME) {
       answer.cname_chain.push_back(rs->cname_target);

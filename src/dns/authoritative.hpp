@@ -54,6 +54,12 @@ class Zone {
   std::map<std::string, RecordSet, std::less<>> records_;
 };
 
+/// A per-site overlay of record sets (web::SiteDeployment::records):
+/// consulted before the shared records at every step of a CNAME chain,
+/// which is how lazily generated sites resolve without ever being
+/// published into the shared authority.
+using RecordOverlay = std::map<std::string, RecordSet, std::less<>>;
+
 /// The union of all zones in the simulated Internet, with deterministic
 /// load-balanced answer selection.
 class AuthoritativeServer {
@@ -70,6 +76,13 @@ class AuthoritativeServer {
   /// terminal record set's LB policy under `ctx`.
   Answer query(std::string_view name, const QueryContext& ctx) const;
 
+  /// Same, but names found in `overlay` (nullable; keys must be
+  /// lowercase) shadow the shared records. Selection uses the same
+  /// server seed either way, so an overlay record answers exactly as it
+  /// would had it been published via add_record_set.
+  Answer query(std::string_view name, const QueryContext& ctx,
+               const RecordOverlay* overlay) const;
+
   /// Answer selection for one record set under `ctx` — exposed for tests
   /// and for the Figure 3 study which inspects raw answer sets.
   std::vector<net::IpAddress> select_addresses(const RecordSet& rs,
@@ -81,6 +94,8 @@ class AuthoritativeServer {
 
  private:
   const RecordSet* find(std::string_view name) const noexcept;
+  const RecordSet* find(std::string_view name,
+                        const RecordOverlay* overlay) const noexcept;
 
   std::uint64_t seed_;
   std::map<std::string, RecordSet, std::less<>> records_;

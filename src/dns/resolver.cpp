@@ -61,7 +61,7 @@ Resolution RecursiveResolver::resolve(std::string_view name,
     ctx.ecs_client_region = std::string(client_region);
   }
   ctx.now = now;
-  const Answer answer = authority_->query(key, ctx);
+  const Answer answer = authority_->query(key, ctx, overlay_);
 
   Resolution r;
   r.ok = answer.ok;

@@ -76,6 +76,15 @@ class RecursiveResolver {
   /// shard before its loop starts.
   void set_metrics(obs::Metrics* metrics) noexcept { metrics_ = metrics; }
 
+  /// Installs (or clears, with nullptr) the per-site record overlay
+  /// passed to upstream queries (see AuthoritativeServer::query). Not
+  /// owned; the browser sets the loaded site's deployment records for
+  /// the duration of a page load, the same bracket as the fault
+  /// injector.
+  void set_overlay(const RecordOverlay* overlay) noexcept {
+    overlay_ = overlay;
+  }
+
   std::size_t cache_size() const noexcept { return cache_.size(); }
 
   std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
@@ -90,6 +99,7 @@ class RecursiveResolver {
   const AuthoritativeServer* authority_;
   fault::FaultInjector* injector_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  const RecordOverlay* overlay_ = nullptr;
   std::map<std::string, CacheEntry, std::less<>> cache_;
   std::uint64_t upstream_queries_ = 0;
   std::uint64_t cache_hits_ = 0;

@@ -1,6 +1,7 @@
 #include "experiments/study.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <map>
@@ -14,6 +15,8 @@
 #include "core/classify.hpp"
 #include "journal/checkpoint.hpp"
 #include "journal/journal.hpp"
+#include "journal/spill.hpp"
+#include "obs/process.hpp"
 #include "util/env.hpp"
 #include "web/catalog.hpp"
 #include "web/ecosystem.hpp"
@@ -33,9 +36,12 @@ class CampaignObserver final : public obs::Observer {
  public:
   using MakeSink = std::function<browser::ShardSink(unsigned)>;
 
-  CampaignObserver(MakeSink make_sink, browser::ChunkSink chunk_sink)
+  CampaignObserver(MakeSink make_sink, browser::ChunkSink chunk_sink,
+                   std::uint32_t hist_budget)
       : make_sink_(std::move(make_sink)),
-        chunk_sink_(std::move(chunk_sink)) {}
+        chunk_sink_(std::move(chunk_sink)) {
+    registry_.set_histogram_budget(hist_budget);
+  }
 
   void begin(unsigned workers) override {
     for (unsigned t = static_cast<unsigned>(sinks_.size()); t < workers;
@@ -101,7 +107,10 @@ std::uint32_t universe_digest(web::SiteUniverse& universe,
     if (universe.unreachable(rank)) {
       sample += '-';
     } else {
-      sample += universe.site(rank).url;
+      // Pure regeneration: the digest must not materialize anything (a
+      // streaming study samples millions of ranks' worth of universe
+      // without holding any of it).
+      sample += universe.generate_site(rank).url;
     }
     sample += '\n';
   };
@@ -132,6 +141,11 @@ json::Value config_fingerprint(const StudyConfig& config,
   fp.set("run_har", config.run_har);
   fp.set("faults", config.faults.signature());
   fp.set("site_deadline_ms", static_cast<std::int64_t>(config.site_deadline));
+  // The histogram budget changes serialized report bytes, so resuming a
+  // journal under a different budget would mix sketch resolutions;
+  // `stream` is deliberately absent — streaming and materialized runs
+  // produce identical bytes, so either may resume the other's journal.
+  fp.set("hist_budget", static_cast<std::int64_t>(config.hist_budget));
   fp.set("universe_crc", static_cast<std::int64_t>(universe_crc));
   return json::Value{std::move(fp)};
 }
@@ -185,6 +199,10 @@ StudyConfig StudyConfig::from_env() {
       static_cast<util::SimTime>(util::env_u64("H2R_SITE_DEADLINE_MS", 0, 1));
   config.journal_path = util::env_string("H2R_JOURNAL");
   config.resume = util::env_flag("H2R_RESUME");
+  config.stream = util::env_flag("H2R_STREAM");
+  config.hist_budget = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      util::env_u64("H2R_HIST_BUDGET", config.hist_budget, 1),
+      0xFFFFFFFFull));
   config.metrics_path = util::env_string("H2R_METRICS");
   return config;
 }
@@ -209,12 +227,16 @@ StudyResults run_study(const StudyConfig& config) {
       std::max<std::size_t>(config.har_first_rank + config.har_sites, 2);
   web::SiteUniverse universe{eco, catalog, universe_config};
 
-  // Site generation mutates the shared ecosystem; materialize every rank
-  // any campaign will touch before the campaigns (and their workers) run
-  // concurrently against the then-immutable universe.
-  universe.materialize(0, config.alexa_sites);
-  if (config.run_har) {
-    universe.materialize(config.har_first_rank, config.har_sites);
+  // Materialize every rank any campaign will touch before the campaigns
+  // (and their workers) run concurrently against the then-immutable
+  // shared cache — except in streaming mode, where workers regenerate
+  // sites on demand through bounded per-worker caches and the shared
+  // cache stays empty (peak memory independent of the site count).
+  if (!config.stream) {
+    universe.materialize(0, config.alexa_sites);
+    if (config.run_har) {
+      universe.materialize(config.har_first_rank, config.har_sites);
+    }
   }
 
   const asdb::AsDatabase* as_db = &eco.as_database();
@@ -343,11 +365,15 @@ StudyResults run_study(const StudyConfig& config) {
   // partial reports afterwards — AggregateReport::merge is
   // order-independent, so the merged report is identical to a sequential
   // single-pass accumulation (tests/crawl_parallel_test.cpp pins this).
-  // With journaling on, the shard aggregators become CHUNK-local: at
-  // every work-queue chunk boundary the worker serializes them into a
-  // checkpoint, commits it, folds them into its running totals and
-  // resets. The same commutativity makes recovered + freshly-crawled
-  // chunks merge to the uninterrupted result, bit for bit.
+  // In WINDOWED mode (journaling and/or streaming) the shard aggregators
+  // become CHUNK-local: at every work-queue chunk boundary the worker
+  // serializes them into a checkpoint window, commits it to the journal
+  // (when journaling), folds it into the campaign's ReportFold and
+  // resets. The same commutativity makes windowed totals — and recovered
+  // + freshly-crawled chunks — merge to the uninterrupted result, bit
+  // for bit, while bounding per-worker report state to one window.
+  const bool windowed = writer != nullptr || config.stream;
+  std::atomic<std::uint64_t> report_windows{0};
 
   // ---------------------------------------------- Alexa-like crawl (EU)
   auto alexa_campaign = [&]() {
@@ -355,13 +381,11 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator exact;
       core::Aggregator endless;
       core::Aggregator overlap;
-      core::AggregateReport exact_total;
-      core::AggregateReport endless_total;
-      core::AggregateReport overlap_total;
-      explicit Shard(const asdb::AsDatabase* db)
-          : exact(db), endless(db), overlap(db) {}
+      Shard(const asdb::AsDatabase* db, std::uint32_t budget)
+          : exact(db, budget), endless(db, budget), overlap(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
+    journal::ReportFold fold;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -373,10 +397,11 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.threads = config.threads;
     crawl.start_time = util::days(1);
     crawl.har_path = false;
+    crawl.stream = config.stream;
 
     auto make_sink = [&](unsigned worker) -> browser::ShardSink {
       while (shards.size() <= worker) {
-        shards.push_back(std::make_unique<Shard>(as_db));
+        shards.push_back(std::make_unique<Shard>(as_db, config.hist_budget));
       }
       Shard* shard = shards[worker].get();
       return [shard, &in_overlap](const browser::SiteResult& site) {
@@ -398,7 +423,7 @@ StudyResults run_study(const StudyConfig& config) {
     };
 
     browser::ChunkSink chunk_sink;
-    if (writer != nullptr) {
+    if (windowed) {
       chunk_sink = [&](const browser::ChunkEvent& event) {
         Shard* shard = shards[event.worker].get();
         journal::ChunkCheckpoint checkpoint;
@@ -410,31 +435,32 @@ StudyResults run_study(const StudyConfig& config) {
                                         shard->endless.report());
         checkpoint.reports.emplace_back("overlap",
                                         shard->overlap.report());
-        journal_chunk(checkpoint);
-        shard->exact_total.merge(shard->exact.report());
-        shard->endless_total.merge(shard->endless.report());
-        shard->overlap_total.merge(shard->overlap.report());
-        shard->exact = core::Aggregator(as_db);
-        shard->endless = core::Aggregator(as_db);
-        shard->overlap = core::Aggregator(as_db);
+        if (writer != nullptr) journal_chunk(checkpoint);
+        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        shard->exact = core::Aggregator(as_db, config.hist_budget);
+        shard->endless = core::Aggregator(as_db, config.hist_budget);
+        shard->overlap = core::Aggregator(as_db, config.hist_budget);
       };
     }
-    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    CampaignObserver observer{make_sink, std::move(chunk_sink),
+                              config.hist_budget};
     crawl.observer = &observer;
     std::vector<std::size_t> targets;
-    if (writer != nullptr) {
-      targets = targets_for("alexa");
+    if (windowed) {
       crawl.chunked = true;
-      crawl.targets = &targets;
+      if (writer != nullptr) {
+        targets = targets_for("alexa");
+        crawl.targets = &targets;
+      }
     }
     results.alexa_summary =
         browser::crawl(universe, 0, config.alexa_sites, crawl);
-    if (writer != nullptr) {
-      for (const auto& shard : shards) {
-        results.alexa_exact.merge(shard->exact_total);
-        results.alexa_endless.merge(shard->endless_total);
-        results.overlap_alexa_endless.merge(shard->overlap_total);
-      }
+    if (windowed) {
+      auto totals = fold.finish();  // resident: cannot fail
+      results.alexa_exact.merge(totals->reports["exact"]);
+      results.alexa_endless.merge(totals->reports["endless"]);
+      results.overlap_alexa_endless.merge(totals->reports["overlap"]);
+      report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.alexa_exact.merge(shard->exact.report());
@@ -449,10 +475,11 @@ StudyResults run_study(const StudyConfig& config) {
   auto nofetch_campaign = [&]() {
     struct Shard {
       core::Aggregator exact;
-      core::AggregateReport exact_total;
-      explicit Shard(const asdb::AsDatabase* db) : exact(db) {}
+      Shard(const asdb::AsDatabase* db, std::uint32_t budget)
+          : exact(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
+    journal::ReportFold fold;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = false;  // patched Chromium
@@ -465,10 +492,11 @@ StudyResults run_study(const StudyConfig& config) {
     // The paper measured the patched run ~days later; different LB slots.
     crawl.start_time = util::days(4);
     crawl.har_path = false;
+    crawl.stream = config.stream;
 
     auto make_sink = [&](unsigned worker) -> browser::ShardSink {
       while (shards.size() <= worker) {
-        shards.push_back(std::make_unique<Shard>(as_db));
+        shards.push_back(std::make_unique<Shard>(as_db, config.hist_budget));
       }
       core::Aggregator* exact = &shards[worker]->exact;
       return [exact](const browser::SiteResult& site) {
@@ -480,7 +508,7 @@ StudyResults run_study(const StudyConfig& config) {
     };
 
     browser::ChunkSink chunk_sink;
-    if (writer != nullptr) {
+    if (windowed) {
       chunk_sink = [&](const browser::ChunkEvent& event) {
         Shard* shard = shards[event.worker].get();
         journal::ChunkCheckpoint checkpoint;
@@ -488,25 +516,28 @@ StudyResults run_study(const StudyConfig& config) {
         checkpoint.ranges = event.ranges;
         checkpoint.summary = event.summary;
         checkpoint.reports.emplace_back("exact", shard->exact.report());
-        journal_chunk(checkpoint);
-        shard->exact_total.merge(shard->exact.report());
-        shard->exact = core::Aggregator(as_db);
+        if (writer != nullptr) journal_chunk(checkpoint);
+        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        shard->exact = core::Aggregator(as_db, config.hist_budget);
       };
     }
-    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    CampaignObserver observer{make_sink, std::move(chunk_sink),
+                              config.hist_budget};
     crawl.observer = &observer;
     std::vector<std::size_t> targets;
-    if (writer != nullptr) {
-      targets = targets_for("nofetch");
+    if (windowed) {
       crawl.chunked = true;
-      crawl.targets = &targets;
+      if (writer != nullptr) {
+        targets = targets_for("nofetch");
+        crawl.targets = &targets;
+      }
     }
     results.nofetch_summary =
         browser::crawl(universe, 0, config.alexa_sites, crawl);
-    if (writer != nullptr) {
-      for (const auto& shard : shards) {
-        results.nofetch_exact.merge(shard->exact_total);
-      }
+    if (windowed) {
+      auto totals = fold.finish();  // resident: cannot fail
+      results.nofetch_exact.merge(totals->reports["exact"]);
+      report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.nofetch_exact.merge(shard->exact.report());
@@ -522,14 +553,11 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator immediate;
       core::Aggregator overlap;
       std::uint64_t overlap_sites = 0;
-      core::AggregateReport endless_total;
-      core::AggregateReport immediate_total;
-      core::AggregateReport overlap_total;
-      std::uint64_t overlap_sites_total = 0;
-      explicit Shard(const asdb::AsDatabase* db)
-          : endless(db), immediate(db), overlap(db) {}
+      Shard(const asdb::AsDatabase* db, std::uint32_t budget)
+          : endless(db, budget), immediate(db, budget), overlap(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
+    journal::ReportFold fold;
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -541,10 +569,11 @@ StudyResults run_study(const StudyConfig& config) {
     crawl.threads = config.threads;
     crawl.start_time = util::days(8);
     crawl.har_path = true;  // export + filtered re-import
+    crawl.stream = config.stream;
 
     auto make_sink = [&](unsigned worker) -> browser::ShardSink {
       while (shards.size() <= worker) {
-        shards.push_back(std::make_unique<Shard>(as_db));
+        shards.push_back(std::make_unique<Shard>(as_db, config.hist_budget));
       }
       Shard* shard = shards[worker].get();
       return [shard, &in_overlap](const browser::SiteResult& site) {
@@ -566,7 +595,7 @@ StudyResults run_study(const StudyConfig& config) {
     };
 
     browser::ChunkSink chunk_sink;
-    if (writer != nullptr) {
+    if (windowed) {
       chunk_sink = [&](const browser::ChunkEvent& event) {
         Shard* shard = shards[event.worker].get();
         journal::ChunkCheckpoint checkpoint;
@@ -580,34 +609,34 @@ StudyResults run_study(const StudyConfig& config) {
         checkpoint.reports.emplace_back("overlap",
                                         shard->overlap.report());
         checkpoint.overlap_sites = shard->overlap_sites;
-        journal_chunk(checkpoint);
-        shard->endless_total.merge(shard->endless.report());
-        shard->immediate_total.merge(shard->immediate.report());
-        shard->overlap_total.merge(shard->overlap.report());
-        shard->overlap_sites_total += shard->overlap_sites;
-        shard->endless = core::Aggregator(as_db);
-        shard->immediate = core::Aggregator(as_db);
-        shard->overlap = core::Aggregator(as_db);
+        if (writer != nullptr) journal_chunk(checkpoint);
+        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        shard->endless = core::Aggregator(as_db, config.hist_budget);
+        shard->immediate = core::Aggregator(as_db, config.hist_budget);
+        shard->overlap = core::Aggregator(as_db, config.hist_budget);
         shard->overlap_sites = 0;
       };
     }
-    CampaignObserver observer{make_sink, std::move(chunk_sink)};
+    CampaignObserver observer{make_sink, std::move(chunk_sink),
+                              config.hist_budget};
     crawl.observer = &observer;
     std::vector<std::size_t> targets;
-    if (writer != nullptr) {
-      targets = targets_for("har");
+    if (windowed) {
       crawl.chunked = true;
-      crawl.targets = &targets;
+      if (writer != nullptr) {
+        targets = targets_for("har");
+        crawl.targets = &targets;
+      }
     }
     results.har_summary = browser::crawl(universe, config.har_first_rank,
                                          config.har_sites, crawl);
-    if (writer != nullptr) {
-      for (const auto& shard : shards) {
-        results.har_endless.merge(shard->endless_total);
-        results.har_immediate.merge(shard->immediate_total);
-        results.overlap_har_endless.merge(shard->overlap_total);
-        results.overlap_sites += shard->overlap_sites_total;
-      }
+    if (windowed) {
+      auto totals = fold.finish();  // resident: cannot fail
+      results.har_endless.merge(totals->reports["endless"]);
+      results.har_immediate.merge(totals->reports["immediate"]);
+      results.overlap_har_endless.merge(totals->reports["overlap"]);
+      results.overlap_sites += totals->overlap_sites;
+      report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.har_endless.merge(shard->endless.report());
@@ -688,6 +717,17 @@ StudyResults run_study(const StudyConfig& config) {
     results.metrics.add_diag("study.resumed_chunks", results.resumed_chunks);
     results.metrics.add_diag("study.resumed_sites", results.resumed_sites);
   }
+  // Windowed-mode telemetry: how many per-worker report windows were
+  // folded, and the process's memory high-water mark. Both depend on
+  // chunk scheduling / the platform — diagnostic domain only.
+  if (const std::uint64_t windows =
+          report_windows.load(std::memory_order_relaxed);
+      windows > 0) {
+    results.metrics.add_diag("study.report_windows", windows);
+  }
+  if (const std::uint64_t rss = obs::peak_rss_kib(); rss > 0) {
+    results.metrics.add_diag("process.peak_rss_kib", rss);
+  }
 
   return results;
 }
@@ -701,12 +741,15 @@ const StudyResults& shared_study(const StudyConfig& config) {
   // deadline ARE part of the key — different regimes are different
   // experiments — and so are the journal knobs, because a journaling
   // bench must actually pay for its fsyncs instead of hitting the cache.
+  // The histogram budget changes the serialized aggregates, so it is
+  // keyed too; `stream` is not, because streaming runs are bit-identical.
   const std::string key = std::to_string(config.har_sites) + "/" +
                           std::to_string(config.alexa_sites) + "/" +
                           std::to_string(config.har_first_rank) + "/" +
                           std::to_string(config.seed) + "/" +
                           config.faults.signature() + "/dl" +
-                          std::to_string(config.site_deadline) + "/j[" +
+                          std::to_string(config.site_deadline) + "/hb" +
+                          std::to_string(config.hist_budget) + "/j[" +
                           config.journal_path +
                           (config.resume ? "+resume" : "") + "]";
   std::lock_guard<std::mutex> lock(mutex);

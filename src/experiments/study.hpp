@@ -65,6 +65,24 @@ struct StudyConfig {
   /// this config — thread count aside — or run_study throws.
   /// `from_env()` reads H2R_RESUME (any value but "" / "0").
   bool resume = false;
+  /// Streaming mode: skip the up-front materialization of both site
+  /// populations and regenerate sites on demand through bounded
+  /// per-worker caches (CrawlOptions::stream), folding per-chunk report
+  /// windows as they commit (journal::ReportFold). Peak memory becomes
+  /// O(threads * cache + totals) instead of O(sites) — the only mode
+  /// that fits a 1-10M-site universe. Results are BIT-IDENTICAL to a
+  /// materialized run (generation is a pure function of seed and rank),
+  /// which is why `stream` is absent from the journal fingerprint and
+  /// the shared_study cache key. `from_env()` reads H2R_STREAM.
+  bool stream = false;
+  /// Bin budget for every duration histogram the study aggregates
+  /// (reports and metric shards). 0 = exact histograms; N > 0 bounds
+  /// each histogram to N bins by deterministically coarsening the time
+  /// resolution (stats::TimeHistogram), making report memory independent
+  /// of crawl length. Changes serialized bytes, so it IS part of the
+  /// journal fingerprint and the shared_study key. `from_env()` reads
+  /// H2R_HIST_BUDGET.
+  std::uint32_t hist_budget = 0;
   /// Path to write the study's merged metric snapshot to (pretty JSON,
   /// obs::to_json schema); empty = don't write one. Only DETERMINISTIC
   /// metrics are exported — the snapshot is bit-identical for every
@@ -75,9 +93,10 @@ struct StudyConfig {
 
   /// Reads H2R_HAR_SITES / H2R_ALEXA_SITES / H2R_SEED / H2R_THREADS /
   /// H2R_FAULT_* / H2R_SITE_DEADLINE_MS / H2R_JOURNAL / H2R_RESUME /
-  /// H2R_METRICS overrides via util/env.hpp. Invalid or non-positive
-  /// values fall back to the defaults; H2R_THREADS is clamped to the
-  /// machine's hardware concurrency.
+  /// H2R_STREAM / H2R_HIST_BUDGET / H2R_METRICS overrides via
+  /// util/env.hpp. Invalid or non-positive values fall back to the
+  /// defaults; H2R_THREADS is clamped to the machine's hardware
+  /// concurrency.
   static StudyConfig from_env();
 };
 

@@ -41,9 +41,16 @@ void Metrics::observe(std::string_view name, util::SimTime value,
   if (count == 0) return;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), stats::TimeHistogram{}).first;
+    it = histograms_
+             .emplace(std::string(name), stats::TimeHistogram{hist_budget_})
+             .first;
   }
-  it->second[value] += count;
+  it->second.add(value, count);
+}
+
+void Metrics::restore_histogram(std::string_view name,
+                                stats::TimeHistogram hist) {
+  histograms_.insert_or_assign(std::string(name), std::move(hist));
 }
 
 void Metrics::add_diag(std::string_view name, std::uint64_t delta) {
@@ -64,7 +71,7 @@ void Metrics::merge(const Metrics& other) {
   });
   merge_into(histograms_, other.histograms_,
              [](stats::TimeHistogram& a, const stats::TimeHistogram& b) {
-               for (const auto& [value, count] : b) a[value] += count;
+               a.merge(b);
              });
   merge_into(diag_counters_, other.diag_counters_,
              [](std::uint64_t& a, std::uint64_t b) { a += b; });
@@ -93,8 +100,15 @@ std::uint64_t Metrics::diag_counter(std::string_view name) const noexcept {
 }
 
 Metrics& MetricRegistry::shard(unsigned worker) {
-  while (shards_.size() <= worker) shards_.emplace_back();
+  while (shards_.size() <= worker) {
+    shards_.emplace_back().set_histogram_budget(hist_budget_);
+  }
   return shards_[worker];
+}
+
+void MetricRegistry::set_histogram_budget(std::uint32_t bin_budget) {
+  hist_budget_ = bin_budget;
+  for (Metrics& shard : shards_) shard.set_histogram_budget(bin_budget);
 }
 
 Metrics MetricRegistry::merged() const {
@@ -128,7 +142,17 @@ json::Value to_json(const Metrics& metrics) {
       pair.emplace_back(static_cast<std::int64_t>(count));
       pairs.emplace_back(std::move(pair));
     }
-    histograms.set(name, std::move(pairs));
+    if (histogram.bin_budget() == 0) {
+      histograms.set(name, std::move(pairs));
+    } else {
+      // Budgeted sketch: the level must ride along — it cannot be
+      // re-derived from sparse bins (see stats::TimeHistogram).
+      json::Object sketch;
+      sketch.set("budget", static_cast<std::int64_t>(histogram.bin_budget()));
+      sketch.set("level", static_cast<std::int64_t>(histogram.level()));
+      sketch.set("bins", std::move(pairs));
+      histograms.set(name, std::move(sketch));
+    }
   }
   doc.set("histograms", std::move(histograms));
   return json::Value{std::move(doc)};
@@ -172,13 +196,37 @@ util::Expected<Metrics> metrics_from_json(const json::Value& value) {
   if (!histograms.is_object()) {
     return util::unexpected(util::Error{"metrics: bad histograms section"});
   }
-  for (const auto& [name, pairs] : histograms.as_object()) {
-    if (!pairs.is_array()) {
+  for (const auto& [name, entry] : histograms.as_object()) {
+    const json::Value* pairs = &entry;
+    std::uint32_t budget = 0;
+    std::uint32_t level = 0;
+    if (entry.is_object()) {
+      for (const auto& [key, unused] : entry.as_object()) {
+        (void)unused;
+        if (key != "budget" && key != "level" && key != "bins") {
+          return util::unexpected(
+              util::Error{"metrics: unknown histogram key: " + key});
+        }
+      }
+      const json::Value& budget_value = entry["budget"];
+      const json::Value& level_value = entry["level"];
+      if (!budget_value.is_int() || budget_value.as_int() <= 0 ||
+          budget_value.as_int() > 0xFFFFFFFFll || !level_value.is_int() ||
+          level_value.as_int() < 0 || level_value.as_int() > 0xFFFFFFFFll) {
+        return util::unexpected(
+            util::Error{"metrics: bad histogram budget/level: " + name});
+      }
+      budget = static_cast<std::uint32_t>(budget_value.as_int());
+      level = static_cast<std::uint32_t>(level_value.as_int());
+      pairs = &entry["bins"];
+    }
+    if (!pairs->is_array()) {
       return util::unexpected(util::Error{"metrics: bad histogram: " + name});
     }
+    stats::TimeHistogram::Map bins;
     bool first = true;
     util::SimTime previous = 0;
-    for (const json::Value& pair : pairs.as_array()) {
+    for (const json::Value& pair : pairs->as_array()) {
       if (!pair.is_array() || pair.as_array().size() != 2 ||
           !pair.at(0).is_int() || !pair.at(1).is_int() ||
           pair.at(1).as_int() <= 0) {
@@ -192,9 +240,15 @@ util::Expected<Metrics> metrics_from_json(const json::Value& value) {
       }
       first = false;
       previous = sample;
-      metrics.observe(name, sample,
-                      static_cast<std::uint64_t>(pair.at(1).as_int()));
+      bins[sample] = static_cast<std::uint64_t>(pair.at(1).as_int());
     }
+    auto restored = stats::TimeHistogram::restore(budget, level,
+                                                  std::move(bins));
+    if (!restored) {
+      return util::unexpected(
+          util::Error{"metrics: inconsistent histogram: " + name});
+    }
+    metrics.restore_histogram(name, std::move(*restored));
   }
   return metrics;
 }

@@ -58,6 +58,19 @@ class Metrics {
   void observe(std::string_view name, util::SimTime value,
                std::uint64_t count = 1);
 
+  /// Bounds every histogram created by observe() from now on to
+  /// `bin_budget` bins (0 = exact; see stats::TimeHistogram). Budgeted
+  /// sketches stay order-independent, so the determinism contract is
+  /// unchanged — but the budget is part of the measurement, so all
+  /// shards being merged must share one value.
+  void set_histogram_budget(std::uint32_t bin_budget) noexcept {
+    hist_budget_ = bin_budget;
+  }
+
+  /// Installs a deserialized histogram verbatim (JSON parser only;
+  /// replaces any histogram already recorded under `name`).
+  void restore_histogram(std::string_view name, stats::TimeHistogram hist);
+
   /// Diagnostic counter (scheduling/wall-clock domain; excluded from
   /// to_json and the determinism contract).
   void add_diag(std::string_view name, std::uint64_t delta = 1);
@@ -106,6 +119,7 @@ class Metrics {
   std::map<std::string, std::int64_t, std::less<>> gauges_;
   std::map<std::string, stats::TimeHistogram, std::less<>> histograms_;
   std::map<std::string, std::uint64_t, std::less<>> diag_counters_;
+  std::uint32_t hist_budget_ = 0;
 };
 
 /// Owns the per-worker shards of one crawl/campaign. Shard addresses are
@@ -120,16 +134,24 @@ class MetricRegistry {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  /// Histogram bin budget applied to every shard, existing and future
+  /// (0 = exact). Set before the workers start recording.
+  void set_histogram_budget(std::uint32_t bin_budget);
+
   /// Commutative fold of every shard into one Metrics.
   Metrics merged() const;
 
  private:
   std::deque<Metrics> shards_;
+  std::uint32_t hist_budget_ = 0;
 };
 
 /// Deterministic snapshot -> strict JSON:
 ///   {"counters": {name: n}, "gauges": {name: v},
 ///    "histograms": {name: [[value_ms, count], ...]}}
+/// Budgeted histograms (see set_histogram_budget) serialize as
+///   {"budget": B, "level": L, "bins": [[value_ms, count], ...]}
+/// because the quantization level cannot be re-derived from sparse bins.
 /// Diagnostics are excluded so the document is byte-identical across
 /// thread counts. Keys are emitted in sorted order.
 json::Value to_json(const Metrics& metrics);

@@ -1,0 +1,29 @@
+#include "obs/process.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace h2r::obs {
+
+std::uint64_t peak_rss_kib() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    // "VmHWM:     123456 kB" — the high-water mark of the resident set.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace h2r::obs

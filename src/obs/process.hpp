@@ -1,0 +1,20 @@
+// Process-level resource observations.
+//
+// Peak RSS is the one number the streaming-crawl work is accountable to:
+// a million-site study must finish under a fixed memory budget, and CI
+// enforces that with the H2R_RSS_BUDGET_MB guard (bench_scale_sites and
+// the RSS test in tests/streaming_crawl_test.cpp). The value is a
+// property of the machine and allocator, not of the simulation — strictly
+// diagnostic domain, never serialized into deterministic snapshots.
+#pragma once
+
+#include <cstdint>
+
+namespace h2r::obs {
+
+/// The process's peak resident set size ("VmHWM" from /proc/self/status)
+/// in KiB. Returns 0 on platforms without procfs or when the read fails —
+/// callers treat 0 as "unknown", never as "no memory used".
+std::uint64_t peak_rss_kib();
+
+}  // namespace h2r::obs

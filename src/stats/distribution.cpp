@@ -7,6 +7,61 @@
 
 namespace h2r::stats {
 
+util::SimTime TimeHistogram::quantize(util::SimTime value) const noexcept {
+  // Arithmetic shifts (well-defined in C++20): floor to a multiple of
+  // 2^level_, for negative values too.
+  return (value >> level_) << level_;
+}
+
+void TimeHistogram::set_level(std::uint32_t level) {
+  if (level <= level_) return;
+  level_ = level;
+  Map coarse;
+  for (const auto& [value, count] : bins_) coarse[quantize(value)] += count;
+  bins_ = std::move(coarse);
+}
+
+void TimeHistogram::coarsen() {
+  while (budget_ != 0 && bins_.size() > budget_ && level_ < kMaxLevel) {
+    set_level(level_ + 1);
+  }
+}
+
+void TimeHistogram::add(util::SimTime value, std::uint64_t count) {
+  if (count == 0) return;
+  bins_[quantize(value)] += count;
+  coarsen();
+}
+
+void TimeHistogram::merge(const TimeHistogram& other) {
+  // Budget 0 means "unset"; a merge adopts the tighter nonzero budget so
+  // that default-constructed totals folding budgeted shards stay bounded.
+  if (other.budget_ != 0 &&
+      (budget_ == 0 || other.budget_ < budget_)) {
+    budget_ = other.budget_;
+  }
+  if (other.level_ > level_) set_level(other.level_);
+  for (const auto& [value, count] : other.bins_) {
+    bins_[quantize(value)] += count;
+  }
+  coarsen();
+}
+
+std::optional<TimeHistogram> TimeHistogram::restore(std::uint32_t bin_budget,
+                                                    std::uint32_t level,
+                                                    Map bins) {
+  if (level > kMaxLevel) return std::nullopt;
+  if (bin_budget == 0 && level > 0) return std::nullopt;
+  TimeHistogram out{bin_budget};
+  out.level_ = level;
+  for (const auto& [value, count] : bins) {
+    if (count == 0) return std::nullopt;
+    if (out.quantize(value) != value) return std::nullopt;
+  }
+  out.bins_ = std::move(bins);
+  return out;
+}
+
 std::uint64_t histogram_count(const TimeHistogram& histogram) noexcept {
   std::uint64_t total = 0;
   for (const auto& [value, count] : histogram) total += count;

@@ -12,11 +12,93 @@
 
 namespace h2r::stats {
 
-/// Multiset of SimTime samples stored as a value -> count histogram.
+/// Multiset of SimTime samples stored as a value -> count histogram,
+/// optionally bounded to a fixed bin budget.
+///
 /// Unlike a vector of samples, the representation is independent of
 /// accumulation order, which is what lets aggregate reports built from
 /// merged per-worker shards compare bit-identical to single-pass ones.
-using TimeHistogram = std::map<util::SimTime, std::uint64_t>;
+///
+/// With `bin_budget() == 0` (the default) every distinct sample value is
+/// its own bin — exactly the historical std::map behaviour. With a
+/// positive budget the histogram is a deterministic coarsening sketch:
+/// whenever the bin count exceeds the budget, the quantization level L is
+/// raised and every value is floored to a multiple of 2^L
+/// (`(v >> L) << L`, arithmetic shift). Because coarsening only ever
+/// moves the level up, and merge() first lifts both operands to the
+/// larger level, the final (level, bins) state is a pure function of the
+/// raw sample multiset — independent of add/merge order and of how the
+/// samples were partitioned across workers. That confluence is the
+/// thread-count-invariance contract; stats_test.cpp pins it with
+/// shuffled-shard property tests.
+class TimeHistogram {
+ public:
+  using Map = std::map<util::SimTime, std::uint64_t>;
+  using key_type = Map::key_type;
+  using mapped_type = Map::mapped_type;
+  using value_type = Map::value_type;
+  using const_iterator = Map::const_iterator;
+  using const_reverse_iterator = Map::const_reverse_iterator;
+
+  /// Levels beyond this stop coarsening: |v| < 2^62 for all SimTime
+  /// values that fit the sign bit, so level 62 collapses every
+  /// non-negative sample into one bin (and negatives into another). The
+  /// cap keeps the shift well-defined and is itself deterministic; a
+  /// histogram straddling it may exceed its budget by one bin.
+  static constexpr std::uint32_t kMaxLevel = 62;
+
+  TimeHistogram() = default;
+  /// A histogram bounded to at most `bin_budget` bins (0 = exact).
+  explicit TimeHistogram(std::uint32_t bin_budget) : budget_(bin_budget) {}
+
+  /// Records `count` occurrences of `value` (quantized to the current
+  /// level), coarsening if the budget is exceeded.
+  void add(util::SimTime value, std::uint64_t count = 1);
+
+  /// Folds `other` into this histogram. The merged budget is the
+  /// smaller nonzero budget of the two (0 counts as "unset"), the level
+  /// is lifted to the larger of the two before bins are combined, and
+  /// the result coarsens further if needed — the same state any other
+  /// add/merge order would reach.
+  void merge(const TimeHistogram& other);
+
+  std::uint32_t bin_budget() const noexcept { return budget_; }
+  std::uint32_t level() const noexcept { return level_; }
+  const Map& bins() const noexcept { return bins_; }
+
+  const_iterator begin() const noexcept { return bins_.begin(); }
+  const_iterator end() const noexcept { return bins_.end(); }
+  const_reverse_iterator rbegin() const noexcept { return bins_.rbegin(); }
+  const_reverse_iterator rend() const noexcept { return bins_.rend(); }
+  std::size_t size() const noexcept { return bins_.size(); }
+  bool empty() const noexcept { return bins_.empty(); }
+  const_iterator find(util::SimTime value) const noexcept {
+    return bins_.find(value);
+  }
+  /// Count stored at bin `value`; throws std::out_of_range when absent.
+  std::uint64_t at(util::SimTime value) const { return bins_.at(value); }
+  const_iterator lower_bound(util::SimTime value) const noexcept {
+    return bins_.lower_bound(value);
+  }
+
+  /// Rebuilds a histogram from serialized state; nullopt when the state
+  /// is inconsistent (level above the cap, level set without a budget,
+  /// a bin key that is not a multiple of 2^level, or a zero count).
+  static std::optional<TimeHistogram> restore(std::uint32_t bin_budget,
+                                              std::uint32_t level, Map bins);
+
+  friend bool operator==(const TimeHistogram&,
+                         const TimeHistogram&) noexcept = default;
+
+ private:
+  util::SimTime quantize(util::SimTime value) const noexcept;
+  void set_level(std::uint32_t level);
+  void coarsen();
+
+  Map bins_;
+  std::uint32_t budget_ = 0;  // 0 = exact (unbounded)
+  std::uint32_t level_ = 0;   // bins are multiples of 2^level_
+};
 
 /// Number of samples in a histogram.
 std::uint64_t histogram_count(const TimeHistogram& histogram) noexcept;

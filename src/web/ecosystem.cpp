@@ -1,5 +1,6 @@
 #include "web/ecosystem.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -159,6 +160,177 @@ std::vector<net::IpAddress> Ecosystem::add_cluster(const ClusterSpec& spec) {
     }
   }
   return ips;
+}
+
+std::vector<net::IpAddress> Ecosystem::plan_addresses(
+    const std::string& as_name, std::size_t count, bool spread,
+    util::Rng& rng) const {
+  const auto it = as_spaces_.find(as_name);
+  if (it == as_spaces_.end()) {
+    throw std::invalid_argument("unknown AS: " + as_name);
+  }
+  const AsSpace& space = it->second;
+  assert(space.prefix.base().is_v4() && "v4 address space expected");
+  const std::uint32_t base = space.prefix.base().v4_value();
+  const std::uint32_t span =
+      space.prefix.length() >= 32 ? 1u : (1u << (32 - space.prefix.length()));
+  // Hashed allocations live in the upper-middle of the prefix: at or
+  // above span/2 — beyond the catalog's sequential bottom-up region —
+  // and below the top `reserve` addresses its /24-spread blocks are
+  // carved from (see allocate()). Planned clusters therefore never
+  // collide with catalog servers, however many of either exist.
+  const std::uint32_t reserve = std::min(span / 4, 16384u);
+  const std::uint32_t lo = span / 2;
+  const std::uint32_t size = span - reserve - lo;
+  if (size < 1024 || count >= size / 4) {
+    throw std::runtime_error("address space of " + as_name +
+                             " too small for planned clusters");
+  }
+  std::vector<net::IpAddress> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t offset = lo + static_cast<std::uint32_t>(rng.index(size));
+    const auto taken = [&](std::uint32_t candidate) {
+      for (const net::IpAddress& ip : out) {
+        const std::uint32_t other = ip.v4_value() - base;
+        if (other == candidate) return true;
+        if (spread && (other >> 8) == (candidate >> 8)) return true;
+      }
+      return false;
+    };
+    // Deterministic probing within the region: step past .0/.255 and
+    // addresses this cluster already holds (a whole /24 when spreading).
+    for (;;) {
+      if ((offset & 0xFF) == 0 || (offset & 0xFF) == 255) {
+        offset = lo + (offset - lo + 1u) % size;
+        continue;
+      }
+      if (taken(offset)) {
+        offset = lo + (offset - lo + (spread ? 256u : 1u)) % size;
+        continue;
+      }
+      break;
+    }
+    out.push_back(net::IpAddress::v4(base + offset));
+  }
+  return out;
+}
+
+SiteDeployment Ecosystem::plan_cluster(const ClusterSpec& spec,
+                                       std::uint64_t alloc_seed) const {
+  if (spec.ip_count == 0 || spec.domains.empty()) {
+    throw std::invalid_argument("cluster needs ips and domains");
+  }
+  util::Rng rng{alloc_seed};
+  const std::vector<net::IpAddress> ips =
+      plan_addresses(spec.as_name, spec.ip_count, spec.spread_slash24, rng);
+
+  // Mirror CertificateAuthority::issue (tls/issuance.cpp), but with a
+  // serial hashed from the allocation seed: a planned cluster has no
+  // per-issuer CA counter to increment, and 64-bit hashed serials
+  // collide with negligible probability.
+  std::vector<tls::CertificatePtr> group_certs;
+  group_certs.reserve(spec.certs.size());
+  for (std::size_t g = 0; g < spec.certs.size(); ++g) {
+    const CertGroupSpec& group = spec.certs[g];
+    tls::Certificate::Spec cert_spec;
+    cert_spec.subject_common_name =
+        group.sans.empty() ? "" : group.sans.front();
+    cert_spec.san_dns_names = group.sans;
+    cert_spec.issuer_organization = group.issuer;
+    cert_spec.not_before = group.not_before;
+    cert_spec.not_after = group.not_after;
+    cert_spec.serial = util::combine_seed(alloc_seed, 0xCE47ull + g);
+    group_certs.push_back(tls::Certificate::make(std::move(cert_spec)));
+  }
+
+  const auto cert_for_domain =
+      [&group_certs](const std::string& domain) -> tls::CertificatePtr {
+    for (const tls::CertificatePtr& cert : group_certs) {
+      if (cert->covers(domain)) return cert;
+    }
+    return nullptr;
+  };
+
+  std::vector<std::shared_ptr<Server>> servers;
+  servers.reserve(ips.size());
+  for (const net::IpAddress& ip : ips) {
+    auto server = std::make_shared<Server>(ip, spec.operator_name);
+    if (spec.idle_timeout.has_value()) {
+      server->set_idle_timeout(*spec.idle_timeout);
+    }
+    server->set_h2_enabled(spec.h2_enabled);
+    server->set_h3_enabled(spec.h3_enabled);
+    servers.push_back(std::move(server));
+  }
+
+  SiteDeployment deployment;
+  for (const DomainSpec& domain : spec.domains) {
+    const std::string name = util::to_lower(domain.name);
+    tls::CertificatePtr cert;
+    if (domain.cert_group.has_value()) {
+      cert = group_certs.at(*domain.cert_group);
+      if (!cert->covers(name)) {
+        throw std::invalid_argument("certificate group does not cover " +
+                                    name);
+      }
+    } else {
+      cert = cert_for_domain(name);
+    }
+    if (cert == nullptr) {
+      throw std::invalid_argument("no certificate group covers " + name);
+    }
+    deployment.domain_certs[name] = cert;
+
+    const auto& serve_idx = domain.serves_on;
+    if (serve_idx.empty()) {
+      for (const auto& server : servers) server->add_virtual_host(name, cert);
+    } else {
+      for (std::size_t idx : serve_idx) {
+        servers.at(idx)->add_virtual_host(name, cert);
+      }
+    }
+
+    std::vector<net::IpAddress> pool;
+    if (domain.dns_pool.empty()) {
+      pool = ips;
+    } else {
+      pool.reserve(domain.dns_pool.size());
+      for (std::size_t idx : domain.dns_pool) pool.push_back(ips.at(idx));
+    }
+    dns::LbConfig lb = domain.lb;
+    if (lb.seed_salt == 0) {
+      // Derived, not counted: the shared allocator's ++lb_salt_counter_
+      // is order-dependent. Zero is the "unset" sentinel, so avoid it.
+      lb.seed_salt = util::hash_seed(util::combine_seed(alloc_seed, 0x5A17),
+                                     name);
+      if (lb.seed_salt == 0) lb.seed_salt = 1;
+    }
+
+    dns::RecordSet rs;
+    rs.name = name;
+    rs.type = dns::RecordType::kA;
+    rs.ttl_seconds = domain.ttl_seconds;
+    rs.pool = std::move(pool);
+    rs.lb = lb;
+    deployment.records[name] = std::move(rs);
+  }
+
+  if (spec.announce_origin_frame) {
+    for (const auto& server : servers) {
+      http2::OriginFrame frame;
+      for (const std::string& domain : server->served_domains()) {
+        frame.origins.push_back("https://" + domain);
+      }
+      server->set_origin_frame(std::move(frame));
+    }
+  }
+
+  for (std::shared_ptr<Server>& server : servers) {
+    const net::IpAddress address = server->address();
+    deployment.servers.emplace(address, std::move(server));
+  }
+  return deployment;
 }
 
 const Server* Ecosystem::server_at(

@@ -28,6 +28,7 @@
 #include "net/ip.hpp"
 #include "tls/certificate.hpp"
 #include "tls/issuance.hpp"
+#include "util/rng.hpp"
 #include "web/server.hpp"
 
 namespace h2r::web {
@@ -79,6 +80,30 @@ struct ClusterSpec {
   bool h3_enabled = false;
 };
 
+/// A self-contained cluster deployment owned by one website instead of
+/// the shared ecosystem: its servers, DNS record sets and certificates.
+/// Produced by Ecosystem::plan_cluster as a pure function of the cluster
+/// spec and an allocation seed, which is what lets crawl workers
+/// regenerate sites lazily (streaming mode) without mutating — or even
+/// locking — the shared ecosystem. The browser treats a site's
+/// deployment as an overlay: lookups consult it first, then fall back to
+/// the shared catalog.
+struct SiteDeployment {
+  std::map<net::IpAddress, std::shared_ptr<const Server>> servers;
+  /// Keys are lowercase; handed to the resolver as its record overlay.
+  dns::RecordOverlay records;
+  std::map<std::string, tls::CertificatePtr, std::less<>> domain_certs;
+
+  const Server* server_at(const net::IpAddress& address) const noexcept {
+    const auto it = servers.find(address);
+    return it == servers.end() ? nullptr : it->second.get();
+  }
+  tls::CertificatePtr certificate_of(std::string_view domain) const noexcept {
+    const auto it = domain_certs.find(domain);
+    return it == domain_certs.end() ? nullptr : it->second;
+  }
+};
+
 class Ecosystem {
  public:
   explicit Ecosystem(std::uint64_t seed = 1);
@@ -94,6 +119,18 @@ class Ecosystem {
   /// hosts + certificates, and publishes DNS records.
   /// Returns the allocated addresses.
   std::vector<net::IpAddress> add_cluster(const ClusterSpec& spec);
+
+  /// Pure (const) counterpart of add_cluster: builds the same cluster as
+  /// a free-standing SiteDeployment without touching the shared
+  /// ecosystem. Everything order-dependent in add_cluster is replaced by
+  /// a pure function of `alloc_seed`: addresses are hashed into a region
+  /// of the AS prefix that the shared allocator never reaches, LB salts
+  /// and certificate serials are derived from the seed. Two plans of the
+  /// same (spec, alloc_seed) are identical, regardless of what else was
+  /// planned or added before — the determinism foundation of streaming
+  /// crawls.
+  SiteDeployment plan_cluster(const ClusterSpec& spec,
+                              std::uint64_t alloc_seed) const;
 
   // ------------------------------------------------------------- lookup
 
@@ -123,6 +160,9 @@ class Ecosystem {
 
   std::vector<net::IpAddress> allocate(const std::string& as_name,
                                        std::size_t count, bool spread);
+  std::vector<net::IpAddress> plan_addresses(const std::string& as_name,
+                                             std::size_t count, bool spread,
+                                             util::Rng& rng) const;
 
   std::uint64_t seed_;
   dns::AuthoritativeServer authority_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "util/clock.hpp"
 
 namespace h2r::web {
+
+struct SiteDeployment;  // web/ecosystem.hpp
 
 struct Resource {
   /// Host serving the resource. May be overridden per vantage region via
@@ -57,6 +60,11 @@ struct Website {
   std::string landing_domain;
   /// Top-level resources referenced by the document.
   std::vector<Resource> resources;
+  /// The site's own hosting cluster (servers, DNS records, certs) when it
+  /// was generated as a self-contained overlay (SiteUniverse); null for
+  /// hand-built sites that were published into the shared ecosystem.
+  /// Shared: copies of the Website alias one immutable deployment.
+  std::shared_ptr<const SiteDeployment> deployment;
 };
 
 /// Total number of requests a website will issue (document + all resources).

@@ -117,9 +117,17 @@ bool SiteUniverse::unreachable(std::size_t rank) const {
 const Website& SiteUniverse::site(std::size_t rank) {
   const auto it = cache_.find(rank);
   if (it != cache_.end()) return it->second;
+  return cache_.emplace(rank, generate_site(rank)).first->second;
+}
+
+Website SiteUniverse::generate_site(std::size_t rank) const {
   util::Rng rng{util::combine_seed(config_.seed, rank)};
-  Website site = generate(rank, rng);
-  return cache_.emplace(rank, std::move(site)).first->second;
+  return generate(rank, rng);
+}
+
+const Website* SiteUniverse::cached(std::size_t rank) const noexcept {
+  const auto it = cache_.find(rank);
+  return it == cache_.end() ? nullptr : &it->second;
 }
 
 void SiteUniverse::materialize(std::size_t first_rank, std::size_t count) {
@@ -128,8 +136,30 @@ void SiteUniverse::materialize(std::size_t first_rank, std::size_t count) {
   }
 }
 
+const Website& SiteCache::site(std::size_t rank) {
+  if (const Website* shared = universe_->cached(rank)) {
+    ++shared_hits_;
+    return *shared;
+  }
+  const auto it = index_.find(rank);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++misses_;
+  lru_.emplace_front(rank, universe_->generate_site(rank));
+  index_[rank] = lru_.begin();
+  if (capacity_ != 0 && lru_.size() > capacity_) {
+    ++evictions_;
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
 void SiteUniverse::build_first_party(Website& site, std::size_t rank,
-                                     util::Rng& rng, bool bare) {
+                                     util::Rng& rng, bool bare) const {
   const std::string base = "site" + std::to_string(rank);
   static const char* kTlds[] = {"com", "com", "com", "net",
                                 "org", "de",  "io",  "shop"};
@@ -234,7 +264,14 @@ void SiteUniverse::build_first_party(Website& site, std::size_t rank,
         util::seconds(60 + static_cast<std::int64_t>(rng.uniform(0, 130)));
   }
   spec.announce_origin_frame = config_.announce_origin_frames;
-  eco_.add_cluster(spec);
+  // The site's cluster is planned as a self-contained overlay, not added
+  // to the shared ecosystem: plan_cluster derives addresses, LB salts and
+  // cert serials purely from the allocation seed (its own Rng — the
+  // site-body stream `rng` is untouched), so any worker regenerating
+  // this rank gets the identical deployment.
+  site.deployment = std::make_shared<const SiteDeployment>(eco_.plan_cluster(
+      spec, util::combine_seed(config_.seed,
+                               0xA110Cull ^ static_cast<std::uint64_t>(rank))));
 
   if (bare) return;
 
@@ -316,7 +353,7 @@ std::vector<std::vector<Resource>> SiteUniverse::internal_pages(
   return out;
 }
 
-Website SiteUniverse::generate(std::size_t rank, util::Rng& rng) {
+Website SiteUniverse::generate(std::size_t rank, util::Rng& rng) const {
   Website site;
   const bool bare = rng.chance(config_.p_bare_site);
   build_first_party(site, rank, rng, bare);

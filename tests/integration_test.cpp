@@ -52,8 +52,16 @@ TEST_P(CrawlInvariants, HoldAcrossSeeds) {
         EXPECT_GE(req.finished_at, req.started_at);
         EXPECT_FALSE(req.domain.empty());
       }
-      // Every connected endpoint exists in the ecosystem and serves h2.
+      // Every connected endpoint exists in the ecosystem — or in the
+      // site's own deployment overlay (generated first-party clusters are
+      // self-contained, not published) — and serves h2.
       const web::Server* server = eco.server_at(conn.endpoint.address);
+      if (server == nullptr) {
+        const auto& deployment = universe.site(site.rank).deployment;
+        if (deployment != nullptr) {
+          server = deployment->server_at(conn.endpoint.address);
+        }
+      }
       ASSERT_NE(server, nullptr);
       EXPECT_TRUE(server->h2_enabled());
       // The SNI certificate must cover the initial domain (the browser

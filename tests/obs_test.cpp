@@ -185,83 +185,76 @@ Trace crawl_pinned_trace() {
 // model itself changes (then re-pin deliberately).
 constexpr const char* kGoldenTrace =
     "https://www.site0.com\n"
-    "  page.load [86400000 .. 86402407]\n"
+    "  page.load [86400000 .. 86402419]\n"
     "    dns.resolve [86400000 .. 86400000] from_cache=0 host=www.site0.com\n"
-    "    h2.session [86400000 .. 86402407] host=www.site0.com "
-    "ip=104.16.0.75 protocol=h2\n"
-    "      tls.handshake [86400000 .. 86400087]\n"
-    "    dns.resolve [86400185 .. 86400185] from_cache=0 "
-    "host=fonts.gstatic.com\n"
-    "    h2.session [86400185 .. 86402407] host=fonts.gstatic.com "
+    "    h2.session [86400000 .. 86402419] host=www.site0.com "
+    "ip=104.21.26.71 protocol=h2\n"
+    "      tls.handshake [86400000 .. 86400095]\n"
+    "    dns.resolve [86400197 .. 86400197] from_cache=0 host=fonts.gstatic.com\n"
+    "    h2.session [86400197 .. 86402419] host=fonts.gstatic.com "
     "ip=142.250.0.4 protocol=h2\n"
-    "      tls.handshake [86400185 .. 86400250]\n"
-    "    dns.resolve [86400287 .. 86400287] from_cache=0 "
+    "      tls.handshake [86400197 .. 86400262]\n"
+    "    dns.resolve [86400299 .. 86400299] from_cache=0 "
     "host=fonts.googleapis.com\n"
-    "    h2.session [86400287 .. 86402407] host=fonts.googleapis.com "
+    "    h2.session [86400299 .. 86402419] host=fonts.googleapis.com "
     "ip=142.250.0.14 protocol=h2\n"
-    "      tls.handshake [86400287 .. 86400354]\n"
-    "    dns.resolve [86400312 .. 86400312] from_cache=0 "
-    "host=img.site0.com\n"
-    "    h2.session [86400312 .. 86402407] host=img.site0.com "
-    "ip=104.16.0.75 protocol=h2\n"
-    "      tls.handshake [86400312 .. 86400395]\n"
-    "    dns.resolve [86400412 .. 86400412] from_cache=1 "
-    "host=fonts.gstatic.com\n"
-    "    h2.session [86400412 .. 86402407] host=fonts.gstatic.com "
+    "      tls.handshake [86400299 .. 86400366]\n"
+    "    dns.resolve [86400324 .. 86400324] from_cache=0 host=img.site0.com\n"
+    "    h2.session [86400324 .. 86402419] host=img.site0.com "
+    "ip=104.21.26.71 protocol=h2\n"
+    "      tls.handshake [86400324 .. 86400415]\n"
+    "    dns.resolve [86400424 .. 86400424] from_cache=1 host=fonts.gstatic.com\n"
+    "    h2.session [86400424 .. 86402419] host=fonts.gstatic.com "
     "ip=142.250.0.6 protocol=h2\n"
-    "      tls.handshake [86400412 .. 86400478]\n"
-    "    dns.resolve [86400453 .. 86400453] from_cache=0 "
-    "host=www.gstatic.com\n"
-    "    h2.session [86400453 .. 86402407] host=www.gstatic.com "
+    "      tls.handshake [86400424 .. 86400490]\n"
+    "    dns.resolve [86400465 .. 86400465] from_cache=0 host=www.gstatic.com\n"
+    "    h2.session [86400465 .. 86402419] host=www.gstatic.com "
     "ip=142.250.0.3 protocol=h2\n"
-    "      tls.handshake [86400453 .. 86400521]\n"
-    "    dns.resolve [86400494 .. 86400494] from_cache=0 "
+    "      tls.handshake [86400465 .. 86400533]\n"
+    "    dns.resolve [86400506 .. 86400506] from_cache=0 "
     "host=www.googletagmanager.com\n"
-    "    h2.session [86400494 .. 86402407] host=www.googletagmanager.com "
+    "    h2.session [86400506 .. 86402419] host=www.googletagmanager.com "
     "ip=142.250.0.7 protocol=h2\n"
-    "      tls.handshake [86400494 .. 86400564]\n"
-    "    dns.resolve [86400595 .. 86400595] from_cache=0 "
+    "      tls.handshake [86400506 .. 86400576]\n"
+    "    dns.resolve [86400607 .. 86400607] from_cache=0 "
     "host=cdn.svc36.example-cdn.net\n"
-    "    h2.session [86400595 .. 86402407] host=cdn.svc36.example-cdn.net "
+    "    h2.session [86400607 .. 86402419] host=cdn.svc36.example-cdn.net "
     "ip=152.195.0.2 protocol=h2\n"
-    "      tls.handshake [86400595 .. 86400667]\n"
-    "    dns.resolve [86400659 .. 86400659] from_cache=0 "
+    "      tls.handshake [86400607 .. 86400679]\n"
+    "    dns.resolve [86400671 .. 86400671] from_cache=0 "
     "host=www.google-analytics.com\n"
-    "    h2.session [86400659 .. 86402407] host=www.google-analytics.com "
+    "    h2.session [86400671 .. 86402419] host=www.google-analytics.com "
     "ip=142.250.0.9 protocol=h2\n"
-    "      tls.handshake [86400659 .. 86400726]\n"
-    "    dns.resolve [86400704 .. 86400704] from_cache=0 "
-    "host=apis.google.com\n"
-    "    h2.session [86400704 .. 86402407] host=apis.google.com "
+    "      tls.handshake [86400671 .. 86400738]\n"
+    "    dns.resolve [86400716 .. 86400716] from_cache=0 host=apis.google.com\n"
+    "    h2.session [86400716 .. 86402419] host=apis.google.com "
     "ip=142.250.0.16 protocol=h2\n"
-    "      tls.handshake [86400704 .. 86400768]\n"
-    "    dns.resolve [86400817 .. 86400817] from_cache=0 "
+    "      tls.handshake [86400716 .. 86400780]\n"
+    "    dns.resolve [86400829 .. 86400829] from_cache=0 "
     "host=cdn.svc47.example-cdn.net\n"
-    "    h2.session [86400817 .. 86402407] host=cdn.svc47.example-cdn.net "
+    "    h2.session [86400829 .. 86402419] host=cdn.svc47.example-cdn.net "
     "ip=13.32.0.47 protocol=h2\n"
-    "      tls.handshake [86400817 .. 86400853]\n"
-    "    dns.resolve [86400877 .. 86400877] from_cache=0 "
+    "      tls.handshake [86400829 .. 86400865]\n"
+    "    dns.resolve [86400889 .. 86400889] from_cache=0 "
     "host=cdn.svc140.example-cdn.net\n"
-    "    h2.session [86400877 .. 86402407] host=cdn.svc140.example-cdn.net "
+    "    h2.session [86400889 .. 86402419] host=cdn.svc140.example-cdn.net "
     "ip=13.32.0.125 protocol=h2\n"
-    "      tls.handshake [86400877 .. 86400910]\n"
-    "    dns.resolve [86400937 .. 86400937] from_cache=0 "
+    "      tls.handshake [86400889 .. 86400922]\n"
+    "    dns.resolve [86400949 .. 86400949] from_cache=0 "
     "host=cdn.svc24.example-cdn.net\n"
-    "    h2.session [86400937 .. 86402407] host=cdn.svc24.example-cdn.net "
+    "    h2.session [86400949 .. 86402419] host=cdn.svc24.example-cdn.net "
     "ip=54.144.0.9 protocol=h2\n"
-    "      tls.handshake [86400937 .. 86400990]\n"
-    "    dns.resolve [86401001 .. 86401001] from_cache=0 "
+    "      tls.handshake [86400949 .. 86401002]\n"
+    "    dns.resolve [86401013 .. 86401013] from_cache=0 "
     "host=app.svc140.example-cdn.net\n"
-    "    dns.resolve [86401121 .. 86401121] from_cache=0 "
-    "host=ogs.google.com\n"
-    "    dns.resolve [86401200 .. 86401200] from_cache=0 "
-    "host=www.google.de\n"
-    "    dns.resolve [86401373 .. 86401373] from_cache=0 "
+    "    dns.resolve [86401133 .. 86401133] from_cache=0 host=ogs.google.com\n"
+    "    dns.resolve [86401212 .. 86401212] from_cache=0 host=www.google.de\n"
+    "    dns.resolve [86401385 .. 86401385] from_cache=0 "
     "host=stats.g.doubleclick.net\n"
-    "    h2.session [86401373 .. 86402407] host=stats.g.doubleclick.net "
+    "    h2.session [86401385 .. 86402419] host=stats.g.doubleclick.net "
     "ip=142.250.0.21 protocol=h2\n"
-    "      tls.handshake [86401373 .. 86401442]\n"
-    "    site.classify [86402407 .. 86402407]\n";
+    "      tls.handshake [86401385 .. 86401454]\n"
+    "    site.classify [86402419 .. 86402419]\n";
 
 TEST(TraceGolden, PinnedSiteRendersExactly) {
   const Trace trace = crawl_pinned_trace();

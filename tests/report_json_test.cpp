@@ -167,7 +167,7 @@ AggregateReport random_report(util::Rng& rng) {
     if (rng.uniform01() < 0.7) {
       TimeHistogram& offsets = r.redundant_open_offsets[cause];
       for (std::uint64_t i = count(6); i > 0; --i) {
-        offsets[static_cast<util::SimTime>(count(90000))] += count(5) + 1;
+        offsets.add(static_cast<util::SimTime>(count(90000)), count(5) + 1);
       }
     }
   }
@@ -199,8 +199,8 @@ AggregateReport random_report(util::Rng& rng) {
     r.ip_ases["AS" + std::to_string(i)] = as_tally;
   }
   for (std::uint64_t i = count(12); i > 0; --i) {
-    r.closed_lifetimes_ms[static_cast<util::SimTime>(count(600000))] +=
-        count(9) + 1;
+    r.closed_lifetimes_ms.add(static_cast<util::SimTime>(count(600000)),
+                              count(9) + 1);
   }
   return r;
 }
@@ -298,9 +298,9 @@ TEST(ReportJsonFull, RejectsMalformedDocuments) {
 
 TEST(HistogramJson, RoundTripAndStrictness) {
   stats::TimeHistogram histogram;
-  histogram[0] = 3;
-  histogram[122200] = 1;
-  histogram[600000] = 7;
+  histogram.add(0, 3);
+  histogram.add(122200, 1);
+  histogram.add(600000, 7);
   const json::Value v = histogram_to_json(histogram);
   const auto round = histogram_from_json(v);
   ASSERT_TRUE(round.has_value()) << round.error().message;

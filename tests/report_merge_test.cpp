@@ -216,7 +216,7 @@ TEST(TimeHistogram, QuantileMatchesSortedSamples) {
     for (std::size_t i = 0; i < n; ++i) {
       const auto v = static_cast<util::SimTime>(rng.uniform(0, 50));
       samples.push_back(v);
-      ++histogram[v];
+      histogram.add(v);
     }
     std::sort(samples.begin(), samples.end());
     EXPECT_EQ(stats::histogram_count(histogram), samples.size());

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
 #include "stats/distribution.hpp"
 #include "stats/table.hpp"
+#include "util/rng.hpp"
 
 namespace h2r::stats {
 namespace {
@@ -122,6 +127,136 @@ TEST(Table, FirstColumnLeftAligned) {
   t.add_row({"longer-name", "2"});
   const std::string out = t.render();
   EXPECT_NE(out.find("a          "), std::string::npos);
+}
+
+// --------------------------------------- budgeted TimeHistogram sketch
+//
+// The confluence contract: the final (level, bins) state of a budgeted
+// histogram is a pure function of the raw sample multiset — independent
+// of add order, merge order and how the samples were sharded. That is
+// what makes budgeted reports thread-count invariant.
+
+/// Deterministic heavy-tailed sample set (distinct values force
+/// coarsening under small budgets).
+std::vector<util::SimTime> sketch_samples(std::uint64_t seed,
+                                          std::size_t count) {
+  util::Rng rng{seed};
+  std::vector<util::SimTime> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t magnitude = rng.uniform(0, 1u << 16);
+    samples.push_back(
+        static_cast<util::SimTime>(magnitude * (1 + rng.uniform(0, 7))));
+  }
+  return samples;
+}
+
+TimeHistogram sketch_of(const std::vector<util::SimTime>& samples,
+                        std::uint32_t budget) {
+  TimeHistogram histogram{budget};
+  for (const util::SimTime sample : samples) histogram.add(sample);
+  return histogram;
+}
+
+TEST(TimeHistogramSketch, BudgetBoundsTheBinCount) {
+  const auto samples = sketch_samples(1, 4000);
+  for (const std::uint32_t budget : {1u, 2u, 8u, 64u, 512u}) {
+    const TimeHistogram histogram = sketch_of(samples, budget);
+    EXPECT_LE(histogram.size(), budget) << "budget=" << budget;
+    EXPECT_EQ(histogram_count(histogram), 4000u);
+  }
+}
+
+TEST(TimeHistogramSketch, MergeIsCommutative) {
+  const TimeHistogram a = sketch_of(sketch_samples(2, 500), 32);
+  const TimeHistogram b = sketch_of(sketch_samples(3, 700), 32);
+  TimeHistogram ab = a;
+  ab.merge(b);
+  TimeHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(TimeHistogramSketch, MergeIsAssociative) {
+  const TimeHistogram a = sketch_of(sketch_samples(4, 300), 16);
+  const TimeHistogram b = sketch_of(sketch_samples(5, 400), 16);
+  const TimeHistogram c = sketch_of(sketch_samples(6, 500), 16);
+  TimeHistogram left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  TimeHistogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  TimeHistogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+}
+
+TEST(TimeHistogramSketch, ShuffledShardsConvergeToSinglePassState) {
+  // Property: split the samples into random shards, accumulate each
+  // shard independently, merge in random order — identical (level, bins)
+  // to one-pass accumulation. 20 trials across budgets.
+  util::Rng rng{0x5EEDED};
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const auto samples =
+        sketch_samples(100 + static_cast<std::uint64_t>(trial),
+                       200 + rng.index(2000));
+    const std::uint32_t budget =
+        static_cast<std::uint32_t>(1u << rng.uniform(0, 9));
+    const TimeHistogram single = sketch_of(samples, budget);
+
+    const std::size_t n_shards = rng.uniform(2, 7);
+    std::vector<TimeHistogram> shards(n_shards, TimeHistogram{budget});
+    for (const util::SimTime sample : samples) {
+      shards[rng.index(n_shards)].add(sample);
+    }
+    std::vector<std::size_t> order(n_shards);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    TimeHistogram merged{budget};
+    for (const std::size_t shard : order) merged.merge(shards[shard]);
+
+    EXPECT_EQ(merged, single);
+    EXPECT_LE(merged.size(), budget);
+  }
+}
+
+TEST(TimeHistogramSketch, GoldenQuantilesArePinned) {
+  // Pinned coarsened quantiles: any change to the quantization or merge
+  // rules shows up here as a different value, not just a different shape.
+  const auto samples = sketch_samples(7, 10000);
+  const TimeHistogram exact = sketch_of(samples, 0);
+  const TimeHistogram sketch = sketch_of(samples, 32);
+  ASSERT_EQ(histogram_count(sketch), histogram_count(exact));
+
+  EXPECT_EQ(histogram_quantile(exact, 0.5).value(), 116488);
+  EXPECT_EQ(histogram_quantile(sketch, 0.5).value(), 114688);
+  EXPECT_EQ(histogram_quantile(exact, 0.9).value(), 337728);
+  EXPECT_EQ(histogram_quantile(sketch, 0.9).value(), 327680);
+  EXPECT_EQ(sketch.level(), 14u);
+
+  // The sketch floors values to multiples of 2^level, so a coarsened
+  // quantile can undershoot the exact one by at most one quantum.
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const util::SimTime coarse = histogram_quantile(sketch, q).value();
+    const util::SimTime fine = histogram_quantile(exact, q).value();
+    EXPECT_LE(coarse, fine) << "q=" << q;
+    EXPECT_GT(coarse + (util::SimTime{1} << sketch.level()), fine)
+        << "q=" << q;
+  }
+}
+
+TEST(TimeHistogramSketch, HugeBudgetEqualsExactHistogram) {
+  // budget = "infinity" (larger than the number of distinct values) must
+  // never coarsen: same bins, level 0, same quantiles as budget 0.
+  const auto samples = sketch_samples(8, 3000);
+  const TimeHistogram exact = sketch_of(samples, 0);
+  const TimeHistogram huge = sketch_of(samples, 0xFFFFFFFFu);
+  EXPECT_EQ(huge.level(), 0u);
+  EXPECT_EQ(huge.bins(), exact.bins());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(histogram_quantile(huge, q), histogram_quantile(exact, q));
+  }
 }
 
 }  // namespace

@@ -55,21 +55,21 @@ const StudyResults& golden_study() {
 
 TEST(StudyGolden, AlexaCauseCounts) {
   const StudyResults& r = golden_study();
-  EXPECT_EQ(cause_line(r.alexa_exact), "sites=59 h2=57 conns=1040 redundant=57/334 CERT=16/20 IP=54/243 CRED=48/81");
-  EXPECT_EQ(cause_line(r.alexa_endless), "sites=59 h2=57 conns=1040 redundant=57/334 CERT=16/20 IP=54/243 CRED=48/81");
-  EXPECT_EQ(cause_line(r.nofetch_exact), "sites=59 h2=57 conns=977 redundant=55/274 CERT=20/23 IP=55/260 CRED=0/0");
+  EXPECT_EQ(cause_line(r.alexa_exact), "sites=59 h2=57 conns=1041 redundant=57/335 CERT=16/20 IP=54/244 CRED=48/81");
+  EXPECT_EQ(cause_line(r.alexa_endless), "sites=59 h2=57 conns=1041 redundant=57/335 CERT=16/20 IP=54/244 CRED=48/81");
+  EXPECT_EQ(cause_line(r.nofetch_exact), "sites=59 h2=57 conns=976 redundant=55/273 CERT=20/23 IP=55/259 CRED=0/0");
 }
 
 TEST(StudyGolden, HarCauseCounts) {
   const StudyResults& r = golden_study();
-  EXPECT_EQ(cause_line(r.har_endless), "sites=115 h2=108 conns=1364 redundant=101/394 CERT=25/32 IP=91/302 CRED=54/71");
-  EXPECT_EQ(cause_line(r.har_immediate), "sites=115 h2=108 conns=1364 redundant=57/81 CERT=6/6 IP=44/60 CRED=15/15");
+  EXPECT_EQ(cause_line(r.har_endless), "sites=115 h2=108 conns=1366 redundant=100/393 CERT=24/32 IP=91/302 CRED=54/71");
+  EXPECT_EQ(cause_line(r.har_immediate), "sites=115 h2=108 conns=1366 redundant=58/82 CERT=5/5 IP=45/61 CRED=16/16");
 }
 
 TEST(StudyGolden, OverlapCauseCounts) {
   const StudyResults& r = golden_study();
-  EXPECT_EQ(cause_line(r.overlap_har_endless), "sites=29 h2=28 conns=460 redundant=28/140 CERT=6/8 IP=27/108 CRED=20/30");
-  EXPECT_EQ(cause_line(r.overlap_alexa_endless), "sites=29 h2=28 conns=548 redundant=28/188 CERT=8/11 IP=27/135 CRED=26/48");
+  EXPECT_EQ(cause_line(r.overlap_har_endless), "sites=29 h2=28 conns=461 redundant=28/139 CERT=6/8 IP=27/107 CRED=20/30");
+  EXPECT_EQ(cause_line(r.overlap_alexa_endless), "sites=29 h2=28 conns=549 redundant=28/189 CERT=8/11 IP=27/136 CRED=26/48");
   EXPECT_EQ(r.overlap_sites, 29u);
 }
 
@@ -84,8 +84,8 @@ TEST(StudyGolden, SummariesStayPinned) {
                   static_cast<unsigned long long>(s.connections_opened));
     return std::string(buf);
   };
-  EXPECT_EQ(summary_line(r.alexa_summary), "visited=59 unreachable=1 conns=1040");
-  EXPECT_EQ(summary_line(r.nofetch_summary), "visited=59 unreachable=1 conns=977");
+  EXPECT_EQ(summary_line(r.alexa_summary), "visited=59 unreachable=1 conns=1041");
+  EXPECT_EQ(summary_line(r.nofetch_summary), "visited=59 unreachable=1 conns=976");
   EXPECT_EQ(summary_line(r.har_summary), "visited=115 unreachable=5 conns=1652");
 }
 

@@ -311,8 +311,14 @@ TEST(SiteGen, SiteHasResolvableLandingDomain) {
   ServiceCatalog catalog{eco, 42};
   SiteUniverse universe{eco, catalog};
   const Website& site = universe.site(3);
+  // Generated sites publish their DNS records through a per-site overlay
+  // (the deployment), not the shared authority.
+  ASSERT_NE(site.deployment, nullptr);
   dns::QueryContext ctx;
-  EXPECT_TRUE(eco.authority().query(site.landing_domain, ctx).ok);
+  EXPECT_TRUE(eco.authority()
+                  .query(site.landing_domain, ctx, &site.deployment->records)
+                  .ok);
+  EXPECT_FALSE(eco.authority().query(site.landing_domain, ctx).ok);
   EXPECT_EQ(site.url, "https://" + site.landing_domain);
 }
 

@@ -45,7 +45,7 @@ int usage() {
                "usage:\n"
                "  h2r audit <page.har> [--json]\n"
                "  h2r study [--journal <path>] [--resume] [--json <out>]\n"
-               "            [--metrics <out>]\n"
+               "            [--metrics <out>] [--stream] [--hist-budget <n>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -57,7 +57,11 @@ int usage() {
                "durability:  H2R_JOURNAL (or --journal) / H2R_RESUME (or "
                "--resume) / H2R_SITE_DEADLINE_MS\n"
                "metrics:     H2R_METRICS (or --metrics) — write the "
-               "deterministic metric snapshot as JSON\n");
+               "deterministic metric snapshot as JSON\n"
+               "scale:       H2R_STREAM (or --stream) — bounded-memory "
+               "streaming crawl, bit-identical results\n"
+               "             H2R_HIST_BUDGET (or --hist-budget) — cap every "
+               "duration histogram at <n> bins\n");
   return 2;
 }
 
@@ -144,6 +148,11 @@ int cmd_study(int argc, char** argv) {
       json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       config.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      config.stream = true;
+    } else if (std::strcmp(argv[i], "--hist-budget") == 0 && i + 1 < argc) {
+      config.hist_budget =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return usage();
     }
@@ -159,6 +168,13 @@ int cmd_study(int argc, char** argv) {
   if (!config.journal_path.empty()) {
     std::printf("journal: %s%s\n", config.journal_path.c_str(),
                 config.resume ? " (resuming)" : "");
+  }
+  if (config.stream) {
+    std::printf("streaming: bounded-memory crawl (results bit-identical to "
+                "materialized mode)\n");
+  }
+  if (config.hist_budget > 0) {
+    std::printf("histograms: budgeted to %u bins\n", config.hist_budget);
   }
   std::printf("\n");
   experiments::StudyResults r;
