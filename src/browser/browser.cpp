@@ -62,11 +62,11 @@ dns::Resolution Browser::resolve(PageState& page, const std::string& host,
   for (const net::IpAddress& ip : res.addresses) {
     addresses.push_back(ip.to_string());
   }
-  std::map<std::string, std::string> params{
+  netlog::ParamList params{
       {"host", host},
       {"addresses", join_list(addresses)},
       {"from_cache", res.from_cache ? "1" : "0"}};
-  if (res.injected_fault) params["fault"] = "1";
+  if (res.injected_fault) params.emplace_back("fault", "1");
   page.log.record(netlog::EventType::kDnsResolved, now, 0,
                   std::move(params));
   if (page.trace_root >= 0) {
@@ -84,17 +84,16 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
                                      AcquireStatus& status) {
   status = AcquireStatus{};
   status.ok = true;
-  const GroupKey key{host, 443, privacy};
 
   // 1. Group hit: an existing (possibly still connecting) session for this
   //    exact host and privacy mode. A fault retry skips it — the whole
   //    point of the retry is a brand-new connection.
   if (!fresh_connection) {
-    if (const auto it = page.groups.find(key); it != page.groups.end()) {
-      SessionEntry& entry = page.sessions[it->second];
+    if (const std::size_t* hit = page.find_group(host, privacy)) {
+      SessionEntry& entry = page.sessions[*hit];
       if (entry.session->is_open() && !entry.session->is_rejected(host)) {
         ++page.result.group_reuses;
-        return it->second;
+        return *hit;
       }
     }
   }
@@ -129,7 +128,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
       page.log.record(netlog::EventType::kSessionAliasReused, now,
                       session.id(), {{"host", host}});
       ++page.result.alias_reuses;
-      page.groups[key] = i;  // register the alias for future group hits
+      page.group_slot(host, privacy) = i;  // register for future group hits
       return i;
     }
   }
@@ -145,7 +144,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
       page.log.record(netlog::EventType::kSessionAliasReused, now,
                       session.id(), {{"host", host}, {"via", "origin"}});
       ++page.result.origin_frame_reuses;
-      page.groups[key] = i;
+      page.group_slot(host, privacy) = i;
       return i;
     }
   }
@@ -155,7 +154,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   //    through the answer list — Chromium's connect jobs do not pin the
   //    previous socket's address, so multi-IP answers surface here (the
   //    paper's same-domain-different-IP corner case).
-  const std::size_t existing = page.conns_per_domain[host];
+  const std::size_t existing = page.domain_conns(host);
   const net::IpAddress address =
       res.addresses[existing % res.addresses.size()];
   const web::Server* server = server_at(address);
@@ -220,6 +219,7 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
   entry.session = std::make_unique<http2::Session>(std::move(params));
   entry.available_at = now + handshake;
   entry.last_activity = now;
+  entry.idle_timeout = server->idle_timeout();
   if (page.trace_root >= 0) {
     obs::Trace& trace = page.result.trace;
     entry.trace_span = trace.begin_span("h2.session", now, page.trace_root);
@@ -256,8 +256,8 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
 
   page.sessions.push_back(std::move(entry));
   const std::size_t index = page.sessions.size() - 1;
-  page.groups[key] = index;
-  ++page.conns_per_domain[host];
+  page.group_slot(host, privacy) = index;
+  ++page.domain_conns(host);
   ++page.result.connections_opened;
   return index;
 }
@@ -454,8 +454,7 @@ Browser::FetchOutcome Browser::fetch_with_retry(
 
 void Browser::preconnect(PageState& page, const std::string& host,
                          bool privacy, util::SimTime now) {
-  const GroupKey key{host, 443, privacy};
-  if (page.groups.find(key) != page.groups.end()) return;
+  if (page.find_group(host, privacy) != nullptr) return;
   AcquireStatus acquired;
   const std::size_t index =
       acquire_session(page, host, privacy, now, /*allow_pooling=*/true,
@@ -480,8 +479,18 @@ util::SimTime Browser::run_page(PageState& page,
       return std::tie(time, seq) > std::tie(other.time, other.seq);
     }
   };
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  // Reserve for the initial schedule up front; only late-discovered
+  // children (import chains) can grow the heap afterwards.
+  std::vector<Pending> storage;
+  storage.reserve(resources.size() + 8);
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue{
+      std::greater<>{}, std::move(storage)};
   std::size_t seq = 0;
+
+  // A fetched resource logs a handful of events (resolve, connect,
+  // request start/finish); reserving here keeps the per-page event
+  // buffer from doubling through its growth sequence.
+  page.log.reserve(page.log.size() + resources.size() * 6 + 16);
 
   const fetch::Origin document_origin = fetch::Origin::https(landing_domain);
 
@@ -590,10 +599,8 @@ util::SimTime Browser::run_page(PageState& page,
 void Browser::close_idle_sessions(PageState& page, util::SimTime until) {
   for (SessionEntry& entry : page.sessions) {
     if (!entry.session->is_open()) continue;
-    const web::Server* server = server_at(entry.session->peer().address);
-    if (server == nullptr || !server->idle_timeout().has_value()) continue;
-    const util::SimTime close_at =
-        entry.last_activity + *server->idle_timeout();
+    if (!entry.idle_timeout.has_value()) continue;
+    const util::SimTime close_at = entry.last_activity + *entry.idle_timeout;
     if (close_at <= until) {
       page.log.record(netlog::EventType::kSessionGoaway, close_at,
                       entry.session->id(), {});

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -164,6 +165,10 @@ class Browser {
     std::unique_ptr<http2::Session> session;
     util::SimTime available_at = 0;  // TLS handshake completion
     util::SimTime last_activity = 0;
+    /// The server's idle timeout, cached at connect time (the server a
+    /// session points at never changes within a load) so the per-page
+    /// idle sweep skips the address -> server lookup.
+    std::optional<util::SimTime> idle_timeout;
     int trace_span = -1;  // h2.session span index when tracing
   };
 
@@ -185,8 +190,35 @@ class Browser {
 
   struct PageState {
     std::vector<SessionEntry> sessions;
-    std::map<GroupKey, std::size_t> groups;
-    std::map<std::string, std::size_t> conns_per_domain;
+    /// Flat lookup tables: a page holds a handful of groups/domains, so a
+    /// linear scan beats a map's per-node heap traffic. Neither table is
+    /// ever iterated, so their order cannot leak into any output.
+    std::vector<std::pair<GroupKey, std::size_t>> groups;
+    std::vector<std::pair<std::string, std::size_t>> conns_per_domain;
+
+    /// Session index for (host, 443, privacy), or nullptr. Takes the key
+    /// fields rather than a GroupKey so lookups never copy the host.
+    std::size_t* find_group(const std::string& host, bool privacy) noexcept {
+      for (auto& [key, index] : groups) {
+        if (key.privacy_mode == privacy && key.port == 443 &&
+            key.host == host) {
+          return &index;
+        }
+      }
+      return nullptr;
+    }
+    /// Find-or-insert; the GroupKey (host copy) only materializes on miss.
+    std::size_t& group_slot(const std::string& host, bool privacy) {
+      if (std::size_t* hit = find_group(host, privacy)) return *hit;
+      return groups.emplace_back(GroupKey{host, 443, privacy}, 0).second;
+    }
+    /// Connection count per initial domain (find-or-insert, starts at 0).
+    std::size_t& domain_conns(const std::string& host) {
+      for (auto& [domain, count] : conns_per_domain) {
+        if (domain == host) return count;
+      }
+      return conns_per_domain.emplace_back(host, 0).second;
+    }
     std::map<std::pair<std::string, bool>, std::int64_t> h1_conns;
     bool document_ok = true;
     netlog::NetLog log;

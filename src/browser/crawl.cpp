@@ -89,7 +89,6 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
   worker.resolver.flush_cache();
   result.page = worker.browser.load(site, when);
   result.reachable = result.page.reachable;
-  result.netlog_observation = result.page.observation;
   if (options.har_path) {
     util::Rng quirk_rng{util::hash_seed(
         util::combine_seed(options.seed, 0x4a52), site.url)};
@@ -100,6 +99,10 @@ void process_site(web::SiteUniverse& universe, const CrawlOptions& options,
     result.har_observation = har::import_site(har_log, &stats);
     result.har_stats = stats;
   }
+  // The page's observation has exactly one downstream consumer slot;
+  // moving (after the HAR export above read it) saves a deep copy of
+  // every connection record per site.
+  result.netlog_observation = std::move(result.page.observation);
   if (!result.page.trace.empty()) {
     // Close the pipeline the ISSUE of record describes: the site has now
     // been handed to classification. Zero-length span at load end, child

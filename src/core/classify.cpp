@@ -97,70 +97,131 @@ std::size_t SiteClassification::count_cause(Cause cause) const noexcept {
                     }));
 }
 
-SiteClassification classify_site(const SiteObservation& site,
-                                 const ClassifyOptions& options) {
-  SiteClassification result;
-  result.site_url = site.site_url;
-  result.total_connections = site.connections.size();
+ClassifyContext::ClassifyContext(bool use_arena)
+    : arena_(use_arena ? std::make_unique<util::Arena>() : nullptr) {}
 
-  const auto& conns = site.connections;
-  for (std::size_t i = 1; i < conns.size(); ++i) {
-    assert(conns[i].opened_at >= conns[i - 1].opened_at &&
-           "connections must be sorted by open time");
+void ClassifyContext::prepare(const SiteObservation& site) {
+  site_ = &site;
+  // Site-scoped scratch dies here; the table is rebuilt on the rewound
+  // arena. (With the arena off the columns free/reallocate on the heap —
+  // slower, identical values.)
+  table_.reset();
+  if (arena_ != nullptr) arena_->reset();
+  // Workers live for millions of sites: cap the interner so unique
+  // per-site domains cannot grow it without bound. Ids never escape the
+  // context, so the reset is invisible to results.
+  if (interner_.pool_bytes() > (1u << 22) || interner_.size() > (1u << 18)) {
+    interner_.clear();
+  }
+  table_.emplace(arena_.get());
+  table_->build(site, interner_);
+}
+
+SiteClassification ClassifyContext::classify(const ClassifyOptions& options) {
+  assert(site_ != nullptr && "prepare() must run before classify()");
+  const ConnectionTable& table = *table_;
+  const std::size_t n = table.size();
+  const std::size_t ndom = table.distinct_domains();
+
+  SiteClassification result;
+  result.site_url = site_->site_url;
+  result.total_connections = n;
+
+  // Availability end per connection under this duration model — the only
+  // model-dependent column, O(n) per sweep.
+  avail_end_.assign(n, util::kSimTimeMax);
+  switch (options.duration) {
+    case DurationModel::kEndless:
+      break;
+    case DurationModel::kImmediate:
+      // Closed right after the last request finished; the half-open end
+      // (+1) keeps a connection usable at that exact instant.
+      for (std::size_t j = 0; j < n; ++j) {
+        avail_end_[j] = table.last_request_end[j] + 1;
+      }
+      break;
+    case DurationModel::kExact:
+      for (std::size_t j = 0; j < n; ++j) {
+        avail_end_[j] = table.closed_or_max[j];
+      }
+      break;
   }
 
-  for (std::size_t i = 0; i < conns.size(); ++i) {
-    const ConnectionRecord& current = conns[i];
-    const std::string domain = util::to_lower(current.initial_domain);
+  marks_.assign(3 * ndom, 0);
+  generation_ = 0;
 
-    ConnectionFinding finding;
-    finding.connection_index = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t dom_i = table.domain[i];
+    const std::uint32_t local_i = table.local_domain[i];
+    const std::uint32_t ep_i = table.endpoint[i];
+    const util::SimTime opened_i = table.opened[i];
+
+    ++generation_;
+    touched_.clear();
+    std::set<Cause> causes;
 
     for (std::size_t j = 0; j < i; ++j) {
-      const ConnectionRecord& prev = conns[j];
-      // The previous connection must have been available when `current`
-      // was opened.
-      if (!availability(prev, options.duration).contains(current.opened_at)) {
-        continue;
-      }
+      // The previous connection must have been available when `i` was
+      // opened (open order makes opened[j] <= opened_i; the lower bound
+      // is kept for hand-built, unsorted observations in release mode).
+      if (opened_i >= avail_end_[j] || opened_i < table.opened[j]) continue;
       // Explicitly excluded domains are ignored (§4.1).
-      if (prev.excludes(domain)) continue;
+      if (table.excludes_domain(j, local_i)) continue;
 
-      const bool same_endpoint = prev.endpoint == current.endpoint;
-      const bool covers = prev.certificate_covers(domain);
-      const bool same_initial_domain =
-          util::to_lower(prev.initial_domain) == domain;
+      const bool same_endpoint = table.endpoint[j] == ep_i;
+      const bool covers = table.covers_domain(j, local_i);
+      const bool same_initial_domain = table.domain[j] == dom_i;
 
+      Cause cause;
       if (same_endpoint) {
-        if (covers) {
-          finding.causes.insert(Cause::kCred);
-          finding.reusable_previous_domains[Cause::kCred].insert(
-              util::to_lower(prev.initial_domain));
-        } else {
-          finding.causes.insert(Cause::kCert);
-          finding.reusable_previous_domains[Cause::kCert].insert(
-              util::to_lower(prev.initial_domain));
-        }
+        cause = covers ? Cause::kCred : Cause::kCert;
       } else if (same_initial_domain) {
         // Corner case (§4.1): same initial domain on different IPs only
         // happens when CRED forbids reuse and DNS announces several IPs.
-        finding.causes.insert(Cause::kCred);
-        finding.reusable_previous_domains[Cause::kCred].insert(
-            util::to_lower(prev.initial_domain));
+        cause = Cause::kCred;
       } else if (covers) {
-        finding.causes.insert(Cause::kIp);
-        finding.reusable_previous_domains[Cause::kIp].insert(
-            util::to_lower(prev.initial_domain));
+        cause = Cause::kIp;
+      } else {
+        // No match: `j` could not have served this request — an unknown
+        // third party relative to `j`.
+        continue;
       }
-      // No match: `prev` could not have served this request — an unknown
-      // third party relative to `prev`.
+      causes.insert(cause);
+      const std::uint32_t mark = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(cause) * ndom + table.local_domain[j]);
+      if (marks_[mark] != generation_) {
+        marks_[mark] = generation_;
+        touched_.push_back(mark);
+      }
     }
 
-    if (!finding.causes.empty()) {
+    if (!causes.empty()) {
+      ConnectionFinding finding;
+      finding.connection_index = i;
+      finding.causes = std::move(causes);
+      // Materialize interned ids back into strings here and only here:
+      // findings (and everything serialized from them) carry the domain
+      // text, so per-worker id spaces never leak into output.
+      for (const std::uint32_t mark : touched_) {
+        const Cause cause = static_cast<Cause>(mark / ndom);
+        const std::uint32_t dom = table.domains[mark % ndom];
+        finding.reusable_previous_domains[cause].insert(
+            std::string(interner_.str(dom)));
+      }
       result.findings.push_back(std::move(finding));
     }
   }
   return result;
+}
+
+SiteClassification classify_site(const SiteObservation& site,
+                                 const ClassifyOptions& options) {
+  // One context per thread: callers that loop (tests, examples, the
+  // study's per-worker sinks before they switched to explicit contexts)
+  // get warmed-up arena + interner reuse for free.
+  thread_local ClassifyContext context;
+  context.prepare(site);
+  return context.classify(options);
 }
 
 }  // namespace h2r::core

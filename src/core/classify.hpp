@@ -21,12 +21,17 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/connection.hpp"
+#include "core/connection_table.hpp"
+#include "core/intern.hpp"
+#include "util/arena.hpp"
 
 namespace h2r::core {
 
@@ -60,6 +65,50 @@ struct SiteClassification {
 
 struct ClassifyOptions {
   DurationModel duration = DurationModel::kExact;
+};
+
+/// Reusable per-worker classification state: an arena for site-scoped
+/// scratch, a deterministic interner for domains/SANs, and the SoA
+/// ConnectionTable the sweep iterates. prepare() builds the table once
+/// per site; classify() then sweeps it once per duration model, so the
+/// model-independent work (lowering, SAN matching, exclusion tests) is
+/// paid once instead of once per model per pair.
+///
+/// Results are byte-identical to classify_site() — the free function is
+/// now a thin wrapper over a thread-local context, and every id the
+/// context assigns stays internal (findings materialize interned
+/// STRINGS, never ids — DESIGN §12).
+///
+/// Not thread-safe; one context per worker.
+class ClassifyContext {
+ public:
+  /// `use_arena` defaults to the process-wide H2R_ARENA knob; off means
+  /// table columns fall back to plain heap allocation (same results —
+  /// tests/arena_test.cpp pins the differential).
+  explicit ClassifyContext(bool use_arena = util::arena_enabled());
+
+  /// Builds the table for `site`. The observation must outlive the next
+  /// prepare() (classify() reads site_url and the connection count).
+  void prepare(const SiteObservation& site);
+
+  /// Classifies the prepared site under `options`.
+  SiteClassification classify(const ClassifyOptions& options);
+
+  /// The table built by the last prepare() (for tests/benches).
+  const ConnectionTable& table() const noexcept { return *table_; }
+
+ private:
+  std::unique_ptr<util::Arena> arena_;  // null when use_arena is false
+  Interner interner_;
+  const SiteObservation* site_ = nullptr;
+  std::optional<ConnectionTable> table_;
+  // Model-dependent availability-end column, rebuilt per classify().
+  std::vector<util::SimTime> avail_end_;
+  // Per-connection (cause x distinct-domain) match marks, generation
+  // stamped so clearing is O(matches) instead of O(matrix).
+  std::vector<std::uint32_t> marks_;
+  std::vector<std::uint32_t> touched_;
+  std::uint32_t generation_ = 0;
 };
 
 /// Classifies one site's connections. `connections` must be in open order

@@ -1,0 +1,135 @@
+#include "core/connection_table.hpp"
+
+#include <cassert>
+
+namespace h2r::core {
+
+namespace {
+
+/// Wildcard-aware SAN match against an already-lowered host, mirroring
+/// tls::matches_dns_name (which tests/classify_property_test.cpp pins as
+/// the ConnectionTable's reference semantics): "*.suffix" matches exactly
+/// one extra label, the suffix must contain at least one label, anything
+/// not starting with "*." is literal equality — handled by the caller as
+/// an interned-id compare.
+bool wildcard_matches(std::string_view lowered_pattern,
+                      std::string_view lowered_host) noexcept {
+  const std::string_view suffix = lowered_pattern.substr(1);  // ".suffix"
+  if (suffix.size() <= 1) return false;                       // "*." matches nothing
+  if (lowered_host.size() <= suffix.size()) return false;     // label non-empty
+  if (lowered_host.substr(lowered_host.size() - suffix.size()) != suffix) {
+    return false;
+  }
+  const std::string_view label =
+      lowered_host.substr(0, lowered_host.size() - suffix.size());
+  return label.find('.') == std::string_view::npos;
+}
+
+}  // namespace
+
+void ConnectionTable::build(const SiteObservation& site, Interner& interner) {
+  const auto& conns = site.connections;
+  const std::size_t n = conns.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    assert(conns[i].opened_at >= conns[i - 1].opened_at &&
+           "connections must be sorted by open time");
+  }
+
+  opened.assign(n, 0);
+  closed_or_max.assign(n, 0);
+  last_request_end.assign(n, 0);
+  domain.assign(n, 0);
+  local_domain.assign(n, 0);
+  endpoint.assign(n, 0);
+  domains.clear();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConnectionRecord& c = conns[i];
+    opened[i] = c.opened_at;
+    closed_or_max[i] =
+        c.closed_at.has_value() ? *c.closed_at : util::kSimTimeMax;
+    util::SimTime last = c.opened_at;
+    for (const RequestRecord& r : c.requests) {
+      last = std::max(last, std::max(r.started_at, r.finished_at));
+    }
+    last_request_end[i] = last;
+
+    const std::uint32_t dom = interner.intern_lower(c.initial_domain);
+    domain[i] = dom;
+    std::uint32_t local = static_cast<std::uint32_t>(domains.size());
+    for (std::uint32_t d = 0; d < domains.size(); ++d) {
+      if (domains[d] == dom) {
+        local = d;
+        break;
+      }
+    }
+    if (local == domains.size()) domains.push_back(dom);
+    local_domain[i] = local;
+
+    // Dense endpoint ids: equal endpoints (IP + port) share an id, so the
+    // sweep's same-endpoint test is one integer compare. Sites have a
+    // handful of endpoints; the linear scan is cheaper than any map.
+    std::uint32_t ep = 0;
+    while (ep < i && !(conns[ep].endpoint == c.endpoint)) ++ep;
+    endpoint[i] = ep < i ? endpoint[ep] : static_cast<std::uint32_t>(i);
+  }
+
+  const std::size_t ndom = domains.size();
+  covers.assign(n * ndom, 0);
+  excluded.assign(n * ndom, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const ConnectionRecord& c = conns[j];
+    std::uint8_t* cover_row = covers.data() + j * ndom;
+    std::uint8_t* excl_row = excluded.data() + j * ndom;
+
+    if (c.has_certificate) {
+      for (const std::string& san : c.san_dns_names) {
+        if (san.empty()) continue;
+        if (san.size() >= 2 && san[0] == '*' && san[1] == '.') {
+          const std::uint32_t pattern = interner.intern_lower(san);
+          for (std::size_t d = 0; d < ndom; ++d) {
+            if (cover_row[d] == 0 &&
+                wildcard_matches(interner.str(pattern),
+                                 interner.str(domains[d]))) {
+              cover_row[d] = 1;
+            }
+          }
+        } else {
+          // Literal SAN: lowered equality is interned-id equality.
+          const std::uint32_t san_id = interner.intern_lower(san);
+          for (std::size_t d = 0; d < ndom; ++d) {
+            if (domains[d] == san_id) cover_row[d] = 1;
+          }
+        }
+      }
+    }
+
+    // Exclusion semantics, exactly as ConnectionRecord::excludes: the
+    // 421 list wins, then an announced origin set excludes every domain
+    // outside it. Entries are compared RAW against the lowered domain —
+    // a stored entry only ever matched the host when byte-equal to it.
+    if (!c.excluded_domains.empty() || c.origin_set.has_value()) {
+      for (std::size_t d = 0; d < ndom; ++d) {
+        const std::string_view dom_str = interner.str(domains[d]);
+        for (const std::string& excl : c.excluded_domains) {
+          if (excl == dom_str) {
+            excl_row[d] = 1;
+            break;
+          }
+        }
+        if (excl_row[d] == 0 && c.origin_set.has_value()) {
+          bool in_set = false;
+          for (const std::string& origin : *c.origin_set) {
+            if (origin == dom_str) {
+              in_set = true;
+              break;
+            }
+          }
+          if (!in_set) excl_row[d] = 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace h2r::core

@@ -1,0 +1,119 @@
+#include "core/intern.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2r::core {
+
+namespace {
+
+constexpr char ascii_lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
+bool is_ascii_lower(std::string_view s) noexcept {
+  for (const char c : s) {
+    if (c >= 'A' && c <= 'Z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t Interner::intern(std::string_view s) {
+  const std::uint32_t hash = fnv1a(s);
+  const std::size_t mask = buckets_.size() - 1;
+  for (std::size_t b = hash & mask;; b = (b + 1) & mask) {
+    const std::uint32_t slot = buckets_[b];
+    if (slot == 0) return insert(s, hash);
+    const std::uint32_t id = slot - 1;
+    if (entries_[id].hash == hash && str(id) == s) return id;
+  }
+}
+
+std::uint32_t Interner::intern_lower(std::string_view s) {
+  if (is_ascii_lower(s)) return intern(s);
+  // Rare path: fold into a small stack buffer (domains are short); spill
+  // to a heap string only for pathological lengths.
+  char stack[256];
+  if (s.size() <= sizeof(stack)) {
+    for (std::size_t i = 0; i < s.size(); ++i) stack[i] = ascii_lower(s[i]);
+    return intern(std::string_view(stack, s.size()));
+  }
+  std::string lowered(s);
+  for (char& c : lowered) c = ascii_lower(c);
+  return intern(lowered);
+}
+
+std::uint32_t Interner::find(std::string_view s) const noexcept {
+  const std::uint32_t hash = fnv1a(s);
+  const std::size_t mask = buckets_.size() - 1;
+  for (std::size_t b = hash & mask;; b = (b + 1) & mask) {
+    const std::uint32_t slot = buckets_[b];
+    if (slot == 0) return kNpos;
+    const std::uint32_t id = slot - 1;
+    if (entries_[id].hash == hash && str(id) == s) return id;
+  }
+}
+
+std::uint32_t Interner::insert(std::string_view s, std::uint32_t hash) {
+  assert(entries_.size() < kNpos);
+  Entry e;
+  e.offset = static_cast<std::uint32_t>(pool_.size());
+  e.size = static_cast<std::uint32_t>(s.size());
+  e.hash = hash;
+  pool_.append(s);
+  const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(e);
+  if ((entries_.size() + 1) * 4 > buckets_.size() * 3) {
+    rehash(buckets_.size() * 2);  // re-places every id, including this one
+  } else {
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t b = hash & mask;
+    while (buckets_[b] != 0) b = (b + 1) & mask;
+    buckets_[b] = id + 1;
+  }
+  return id;
+}
+
+void Interner::rehash(std::size_t buckets) {
+  buckets_.assign(buckets, 0);
+  const std::size_t mask = buckets - 1;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    std::size_t b = entries_[id].hash & mask;
+    while (buckets_[b] != 0) b = (b + 1) & mask;
+    buckets_[b] = id + 1;
+  }
+}
+
+void Interner::clear() {
+  pool_.clear();
+  entries_.clear();
+  rehash(1024);
+}
+
+CanonicalRemap::CanonicalRemap(const std::vector<const Interner*>& shards) {
+  // Union of every shard's strings, sorted lexicographically: the
+  // canonical order is a pure function of the SET of strings, so any
+  // sharding of the same work yields the same canonical ids.
+  for (const Interner* shard : shards) {
+    for (std::uint32_t id = 0; id < shard->size(); ++id) {
+      strings_.push_back(shard->str(id));
+    }
+  }
+  std::sort(strings_.begin(), strings_.end());
+  strings_.erase(std::unique(strings_.begin(), strings_.end()),
+                 strings_.end());
+  tables_.reserve(shards.size());
+  for (const Interner* shard : shards) {
+    std::vector<std::uint32_t> table(shard->size());
+    for (std::uint32_t id = 0; id < shard->size(); ++id) {
+      const auto it = std::lower_bound(strings_.begin(), strings_.end(),
+                                       shard->str(id));
+      table[id] = static_cast<std::uint32_t>(it - strings_.begin());
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+}  // namespace h2r::core

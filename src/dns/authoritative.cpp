@@ -133,7 +133,18 @@ Answer AuthoritativeServer::query(std::string_view name,
                                   const QueryContext& ctx,
                                   const RecordOverlay* overlay) const {
   Answer answer;
-  std::string current = util::to_lower(name);
+  // Stack-fold the query name; CNAME hops re-point `current` at the
+  // target string stored (already lowered) in the record set, so the
+  // whole chain walk allocates nothing.
+  char folded[254];
+  std::string current_storage;
+  std::string_view current;
+  if (name.size() <= sizeof(folded)) {
+    current = util::to_lower_into(name, folded, sizeof(folded));
+  } else {
+    current_storage = util::to_lower(name);
+    current = current_storage;
+  }
   constexpr int kMaxChain = 8;
   for (int depth = 0; depth <= kMaxChain; ++depth) {
     const RecordSet* rs = find(current, overlay);

@@ -8,7 +8,17 @@ Resolution RecursiveResolver::resolve(std::string_view name,
                                       util::SimTime now,
                                       std::string_view client_region) {
   if (metrics_ != nullptr) metrics_->add("dns.queries");
-  const std::string key = util::to_lower(name);
+  // Fold the lookup key on the stack — the cache is consulted once per
+  // fetch, and the old per-resolve heap key showed up in the profile.
+  char folded[254];  // DNS name length cap
+  std::string key_storage;
+  std::string_view key;
+  if (name.size() <= sizeof(folded)) {
+    key = util::to_lower_into(name, folded, sizeof(folded));
+  } else {
+    key_storage = util::to_lower(name);
+    key = key_storage;
+  }
   if (const auto it = cache_.find(key); it != cache_.end()) {
     if (it->second.resolution.expires_at > now) {
       ++cache_hits_;
@@ -69,7 +79,7 @@ Resolution RecursiveResolver::resolve(std::string_view name,
   r.cname_chain = answer.cname_chain;
   r.expires_at = now + util::seconds(answer.ttl_seconds);
   if (r.ok) {
-    cache_[key] = CacheEntry{r};
+    cache_.insert_or_assign(std::string(key), CacheEntry{r});
   }
   return r;
 }

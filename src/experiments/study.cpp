@@ -204,6 +204,7 @@ StudyConfig StudyConfig::from_env() {
       util::env_u64("H2R_HIST_BUDGET", config.hist_budget, 1),
       0xFFFFFFFFull));
   config.metrics_path = util::env_string("H2R_METRICS");
+  config.spill_dir = util::env_string("H2R_SPILL");
   return config;
 }
 
@@ -374,6 +375,47 @@ StudyResults run_study(const StudyConfig& config) {
   // for bit, while bounding per-worker report state to one window.
   const bool windowed = writer != nullptr || config.stream;
   std::atomic<std::uint64_t> report_windows{0};
+  std::atomic<std::uint64_t> spilled_total{0};
+
+  // Spilling folds only see data through chunk windows; outside windowed
+  // mode they would silently fold nothing and the study would return
+  // empty reports — fail loudly instead.
+  if (!config.spill_dir.empty() && !windowed) {
+    throw std::runtime_error(
+        "spill_dir (H2R_SPILL) requires streaming or journaling mode");
+  }
+
+  // One fold per campaign: resident by default, spilling to
+  // <spill_dir>/h2r-spill-<campaign>.spill when a spill dir is set.
+  auto make_fold =
+      [&](const char* campaign) -> std::unique_ptr<journal::ReportFold> {
+    if (config.spill_dir.empty()) {
+      return std::make_unique<journal::ReportFold>();
+    }
+    auto spilling = journal::ReportFold::spilling(
+        config.spill_dir + "/h2r-spill-" + campaign + ".spill");
+    if (!spilling) {
+      throw std::runtime_error("spill fold (" + std::string(campaign) +
+                               "): " + spilling.error().message);
+    }
+    return std::move(*spilling);
+  };
+
+  // A failed spill write, like a failed journal append, is surfaced
+  // after the campaigns join — workers keep crawling meanwhile.
+  std::mutex spill_error_mutex;  // guards: spill_error
+  std::exception_ptr spill_error;
+  auto fold_window = [&](journal::ReportFold& fold,
+                         const journal::ChunkCheckpoint& checkpoint) {
+    auto folded = fold.fold(checkpoint);
+    if (!folded) {
+      std::lock_guard<std::mutex> lock(spill_error_mutex);
+      if (spill_error == nullptr) {
+        spill_error = std::make_exception_ptr(std::runtime_error(
+            "report spill failed: " + folded.error().message));
+      }
+    }
+  };
 
   // ---------------------------------------------- Alexa-like crawl (EU)
   auto alexa_campaign = [&]() {
@@ -381,11 +423,12 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator exact;
       core::Aggregator endless;
       core::Aggregator overlap;
+      core::ClassifyContext classify;
       Shard(const asdb::AsDatabase* db, std::uint32_t budget)
           : exact(db, budget), endless(db, budget), overlap(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
-    journal::ReportFold fold;
+    std::unique_ptr<journal::ReportFold> fold = make_fold("alexa");
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -407,17 +450,20 @@ StudyResults run_study(const StudyConfig& config) {
       return [shard, &in_overlap](const browser::SiteResult& site) {
         if (!site.reachable) return;
         const auto& obs = site.netlog_observation;
+        // One table build per site, one sweep per duration model; the
+        // endless classification serves the overlap aggregate too (the
+        // classifier is a pure function, so the third sweep the old
+        // per-call API paid for was always identical).
+        shard->classify.prepare(obs);
         shard->exact.add_site(
-            obs, core::classify_site(obs, {core::DurationModel::kExact}));
-        shard->endless.add_site(
-            obs,
-            core::classify_site(obs, {core::DurationModel::kEndless}));
+            obs, shard->classify.classify({core::DurationModel::kExact}));
+        const core::SiteClassification endless =
+            shard->classify.classify({core::DurationModel::kEndless});
+        shard->endless.add_site(obs, endless);
         if (in_overlap(site.rank)) {
           // The paper's overlap tables use the endless model on both
           // datasets ("HAR Overlap Endless" / "Alexa Overlap Endless").
-          shard->overlap.add_site(
-              obs,
-              core::classify_site(obs, {core::DurationModel::kEndless}));
+          shard->overlap.add_site(obs, endless);
         }
       };
     };
@@ -436,7 +482,7 @@ StudyResults run_study(const StudyConfig& config) {
         checkpoint.reports.emplace_back("overlap",
                                         shard->overlap.report());
         if (writer != nullptr) journal_chunk(checkpoint);
-        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        fold_window(*fold, checkpoint);
         shard->exact = core::Aggregator(as_db, config.hist_budget);
         shard->endless = core::Aggregator(as_db, config.hist_budget);
         shard->overlap = core::Aggregator(as_db, config.hist_budget);
@@ -456,11 +502,16 @@ StudyResults run_study(const StudyConfig& config) {
     results.alexa_summary =
         browser::crawl(universe, 0, config.alexa_sites, crawl);
     if (windowed) {
-      auto totals = fold.finish();  // resident: cannot fail
+      auto totals = fold->finish();
+      if (!totals) {
+        throw std::runtime_error("fold finish (alexa): " +
+                                 totals.error().message);
+      }
       results.alexa_exact.merge(totals->reports["exact"]);
       results.alexa_endless.merge(totals->reports["endless"]);
       results.overlap_alexa_endless.merge(totals->reports["overlap"]);
       report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
+      spilled_total.fetch_add(totals->spill_bytes, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.alexa_exact.merge(shard->exact.report());
@@ -475,11 +526,12 @@ StudyResults run_study(const StudyConfig& config) {
   auto nofetch_campaign = [&]() {
     struct Shard {
       core::Aggregator exact;
+      core::ClassifyContext classify;
       Shard(const asdb::AsDatabase* db, std::uint32_t budget)
           : exact(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
-    journal::ReportFold fold;
+    std::unique_ptr<journal::ReportFold> fold = make_fold("nofetch");
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = false;  // patched Chromium
@@ -498,12 +550,13 @@ StudyResults run_study(const StudyConfig& config) {
       while (shards.size() <= worker) {
         shards.push_back(std::make_unique<Shard>(as_db, config.hist_budget));
       }
-      core::Aggregator* exact = &shards[worker]->exact;
-      return [exact](const browser::SiteResult& site) {
+      Shard* shard = shards[worker].get();
+      return [shard](const browser::SiteResult& site) {
         if (!site.reachable) return;
         const auto& obs = site.netlog_observation;
-        exact->add_site(
-            obs, core::classify_site(obs, {core::DurationModel::kExact}));
+        shard->classify.prepare(obs);
+        shard->exact.add_site(
+            obs, shard->classify.classify({core::DurationModel::kExact}));
       };
     };
 
@@ -517,7 +570,7 @@ StudyResults run_study(const StudyConfig& config) {
         checkpoint.summary = event.summary;
         checkpoint.reports.emplace_back("exact", shard->exact.report());
         if (writer != nullptr) journal_chunk(checkpoint);
-        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        fold_window(*fold, checkpoint);
         shard->exact = core::Aggregator(as_db, config.hist_budget);
       };
     }
@@ -535,9 +588,14 @@ StudyResults run_study(const StudyConfig& config) {
     results.nofetch_summary =
         browser::crawl(universe, 0, config.alexa_sites, crawl);
     if (windowed) {
-      auto totals = fold.finish();  // resident: cannot fail
+      auto totals = fold->finish();
+      if (!totals) {
+        throw std::runtime_error("fold finish (nofetch): " +
+                                 totals.error().message);
+      }
       results.nofetch_exact.merge(totals->reports["exact"]);
       report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
+      spilled_total.fetch_add(totals->spill_bytes, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.nofetch_exact.merge(shard->exact.report());
@@ -552,12 +610,13 @@ StudyResults run_study(const StudyConfig& config) {
       core::Aggregator endless;
       core::Aggregator immediate;
       core::Aggregator overlap;
+      core::ClassifyContext classify;
       std::uint64_t overlap_sites = 0;
       Shard(const asdb::AsDatabase* db, std::uint32_t budget)
           : endless(db, budget), immediate(db, budget), overlap(db, budget) {}
     };
     std::vector<std::unique_ptr<Shard>> shards;
-    journal::ReportFold fold;
+    std::unique_ptr<journal::ReportFold> fold = make_fold("har");
 
     browser::CrawlOptions crawl;
     crawl.browser.follow_fetch_credentials = true;
@@ -579,17 +638,15 @@ StudyResults run_study(const StudyConfig& config) {
       return [shard, &in_overlap](const browser::SiteResult& site) {
         if (!site.reachable) return;
         const auto& obs = site.har_observation;
-        shard->endless.add_site(
-            obs,
-            core::classify_site(obs, {core::DurationModel::kEndless}));
+        shard->classify.prepare(obs);
+        const core::SiteClassification endless =
+            shard->classify.classify({core::DurationModel::kEndless});
+        shard->endless.add_site(obs, endless);
         shard->immediate.add_site(
-            obs,
-            core::classify_site(obs, {core::DurationModel::kImmediate}));
+            obs, shard->classify.classify({core::DurationModel::kImmediate}));
         if (in_overlap(site.rank)) {
           ++shard->overlap_sites;
-          shard->overlap.add_site(
-              obs,
-              core::classify_site(obs, {core::DurationModel::kEndless}));
+          shard->overlap.add_site(obs, endless);
         }
       };
     };
@@ -610,7 +667,7 @@ StudyResults run_study(const StudyConfig& config) {
                                         shard->overlap.report());
         checkpoint.overlap_sites = shard->overlap_sites;
         if (writer != nullptr) journal_chunk(checkpoint);
-        (void)fold.fold(checkpoint);  // resident folds cannot fail
+        fold_window(*fold, checkpoint);
         shard->endless = core::Aggregator(as_db, config.hist_budget);
         shard->immediate = core::Aggregator(as_db, config.hist_budget);
         shard->overlap = core::Aggregator(as_db, config.hist_budget);
@@ -631,12 +688,17 @@ StudyResults run_study(const StudyConfig& config) {
     results.har_summary = browser::crawl(universe, config.har_first_rank,
                                          config.har_sites, crawl);
     if (windowed) {
-      auto totals = fold.finish();  // resident: cannot fail
+      auto totals = fold->finish();
+      if (!totals) {
+        throw std::runtime_error("fold finish (har): " +
+                                 totals.error().message);
+      }
       results.har_endless.merge(totals->reports["endless"]);
       results.har_immediate.merge(totals->reports["immediate"]);
       results.overlap_har_endless.merge(totals->reports["overlap"]);
       results.overlap_sites += totals->overlap_sites;
       report_windows.fetch_add(totals->windows, std::memory_order_relaxed);
+      spilled_total.fetch_add(totals->spill_bytes, std::memory_order_relaxed);
     } else {
       for (const auto& shard : shards) {
         results.har_endless.merge(shard->endless.report());
@@ -669,6 +731,8 @@ StudyResults run_study(const StudyConfig& config) {
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
   if (journal_error != nullptr) std::rethrow_exception(journal_error);
+  if (spill_error != nullptr) std::rethrow_exception(spill_error);
+  results.spill_bytes = spilled_total.load(std::memory_order_relaxed);
 
   // Fold the journal-recovered shards in. Same commutative merges as the
   // live shards, so a resumed study lands on the uninterrupted bytes.
@@ -717,6 +781,9 @@ StudyResults run_study(const StudyConfig& config) {
     results.metrics.add_diag("study.resumed_chunks", results.resumed_chunks);
     results.metrics.add_diag("study.resumed_sites", results.resumed_sites);
   }
+  if (results.spill_bytes > 0) {
+    results.metrics.add_diag("study.spill_bytes", results.spill_bytes);
+  }
   // Windowed-mode telemetry: how many per-worker report windows were
   // folded, and the process's memory high-water mark. Both depend on
   // chunk scheduling / the platform — diagnostic domain only.
@@ -743,6 +810,8 @@ const StudyResults& shared_study(const StudyConfig& config) {
   // bench must actually pay for its fsyncs instead of hitting the cache.
   // The histogram budget changes the serialized aggregates, so it is
   // keyed too; `stream` is not, because streaming runs are bit-identical.
+  // The spill dir is keyed like the journal knobs (a spilling bench must
+  // pay for its spill I/O), even though its results are bit-identical.
   const std::string key = std::to_string(config.har_sites) + "/" +
                           std::to_string(config.alexa_sites) + "/" +
                           std::to_string(config.har_first_rank) + "/" +
@@ -751,7 +820,8 @@ const StudyResults& shared_study(const StudyConfig& config) {
                           std::to_string(config.site_deadline) + "/hb" +
                           std::to_string(config.hist_budget) + "/j[" +
                           config.journal_path +
-                          (config.resume ? "+resume" : "") + "]";
+                          (config.resume ? "+resume" : "") + "]/sp[" +
+                          config.spill_dir + "]";
   std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[key];
   if (slot == nullptr) {

@@ -83,6 +83,20 @@ struct StudyConfig {
   /// journal fingerprint and the shared_study key. `from_env()` reads
   /// H2R_HIST_BUDGET.
   std::uint32_t hist_budget = 0;
+  /// Directory for ReportFold spill files; empty = resident folds. With
+  /// a directory set, each campaign's per-chunk report windows are
+  /// framed to `<spill_dir>/h2r-spill-<campaign>.spill` as they commit
+  /// and only merged back into totals at the end of the crawl, keeping
+  /// even the campaign totals off the heap while the crawl runs (the
+  /// last resident per-site-scale state in --stream mode). Requires
+  /// windowed mode (stream and/or journaling) — without chunk windows
+  /// there is nothing to spill, and run_study throws rather than
+  /// silently returning empty reports. Totals are BIT-IDENTICAL to
+  /// resident folds (merge commutativity + full-fidelity codec;
+  /// tests/streaming_crawl_test.cpp pins the study-level equivalence),
+  /// so spill_dir is absent from the journal fingerprint and the
+  /// shared_study cache key. `from_env()` reads H2R_SPILL.
+  std::string spill_dir;
   /// Path to write the study's merged metric snapshot to (pretty JSON,
   /// obs::to_json schema); empty = don't write one. Only DETERMINISTIC
   /// metrics are exported — the snapshot is bit-identical for every
@@ -129,6 +143,8 @@ struct StudyResults {
   /// Work recovered from the journal on resume instead of re-crawled.
   std::uint64_t resumed_chunks = 0;
   std::uint64_t resumed_sites = 0;
+  /// Bytes framed through ReportFold spill files (0 = resident folds).
+  std::uint64_t spill_bytes = 0;
 
   /// Metric snapshot merged over the three campaigns' per-worker shards
   /// (dns.* / net.* / tls.* / h2.* / browser.* / crawl.* counters and

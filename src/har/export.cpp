@@ -1,6 +1,8 @@
 #include "har/export.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 
 #include "util/strings.hpp"
 
@@ -16,7 +18,13 @@ Log export_site(const core::SiteObservation& site,
       site.connections.empty() ? 0 : site.connections.front().opened_at;
 
   std::uint64_t request_counter = 0;
+  std::size_t total_entries = h1_entries.size();
   for (const core::ConnectionRecord& conn : site.connections) {
+    total_entries += conn.requests.size();
+  }
+  log.entries.reserve(total_entries);
+  for (const core::ConnectionRecord& conn : site.connections) {
+    const std::string server_ip = conn.endpoint.address.to_string();
     for (const core::RequestRecord& req : conn.requests) {
       Entry e;
       e.pageref = "page_1";
@@ -28,7 +36,7 @@ Log export_site(const core::SiteObservation& site,
       e.url = "https://" + req.domain + "/";
       e.http_version = conn.protocol.empty() ? "h2" : conn.protocol;
       e.status = req.status;
-      e.server_ip = conn.endpoint.address.to_string();
+      e.server_ip = server_ip;
       // Chrome logs every QUIC request with socket id 0 — the exact
       // inconsistency that forces the paper to exclude HTTP/3 (§4.2.1).
       e.connection_id = conn.protocol == "h3"
@@ -62,10 +70,21 @@ Log export_site(const core::SiteObservation& site,
   }
 
   log.entries.insert(log.entries.end(), h1_entries.begin(), h1_entries.end());
-  std::stable_sort(log.entries.begin(), log.entries.end(),
-                   [](const Entry& a, const Entry& b) {
-                     return a.started < b.started;
+  // Sort indices, then apply the permutation with one move per entry —
+  // stable_sorting the entries directly would move each ~15-string Entry
+  // O(log n) times. Stability keeps equal timestamps in record order.
+  std::vector<std::uint32_t> order(log.entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return log.entries[a].started < log.entries[b].started;
                    });
+  std::vector<Entry> sorted;
+  sorted.reserve(log.entries.size());
+  for (const std::uint32_t i : order) {
+    sorted.push_back(std::move(log.entries[i]));
+  }
+  log.entries = std::move(sorted);
   return log;
 }
 

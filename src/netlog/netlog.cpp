@@ -1,5 +1,7 @@
 #include "netlog/netlog.hpp"
 
+#include <algorithm>
+
 namespace h2r::netlog {
 
 std::string to_string(EventType type) {
@@ -23,20 +25,16 @@ std::string to_string(EventType type) {
   return "UNKNOWN";
 }
 
-const std::string& Event::param(std::string_view key) const noexcept {
-  static const std::string kEmpty;
-  const auto it = params.find(std::string(key));
-  return it == params.end() ? kEmpty : it->second;
-}
-
 void NetLog::record(EventType type, util::SimTime time,
-                    std::uint64_t source_id,
-                    std::map<std::string, std::string> params) {
+                    std::uint64_t source_id, ParamList params) {
   Event e;
   e.type = type;
   e.time = time;
   e.source_id = source_id;
   e.params = std::move(params);
+  // Sorted params are the Event invariant: param() binary-searches and
+  // to_json relies on the order for byte-stable dumps.
+  std::sort(e.params.begin(), e.params.end());
   events_.push_back(std::move(e));
 }
 
@@ -90,8 +88,9 @@ util::Expected<NetLog> NetLog::from_json(const json::Value& value) {
     e.time = item["time"].as_int();
     e.source_id = static_cast<std::uint64_t>(item["source"].as_int());
     for (const auto& [key, param] : item["params"].as_object()) {
-      e.params[key] = param.as_string();
+      e.params.emplace_back(key, param.as_string());
     }
+    std::sort(e.params.begin(), e.params.end());
     log.events_.push_back(std::move(e));
   }
   return log;

@@ -7,10 +7,11 @@
 // core::ConnectionRecords from nothing but the event stream.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "json/json.hpp"
@@ -43,25 +44,43 @@ enum class EventType : std::uint8_t {
 
 std::string to_string(EventType type);
 
+/// Event parameters as a flat key/value list, sorted by key. A browser
+/// run records millions of events; a std::map cost one tree node per
+/// parameter, which dominated the crawl's allocation profile. record()
+/// establishes the sort order, so to_json still emits keys in the same
+/// (sorted) order a map produced — dump bytes are unchanged.
+using ParamList = std::vector<std::pair<std::string, std::string>>;
+
 struct Event {
   EventType type = EventType::kSessionCreated;
   util::SimTime time = 0;
   /// Session id the event belongs to (0 = no session, e.g. DNS).
   std::uint64_t source_id = 0;
-  /// Free-form parameters, mirroring NetLog's JSON params.
-  std::map<std::string, std::string> params;
+  /// Free-form parameters, mirroring NetLog's JSON params. Sorted by
+  /// key; param() binary-searches.
+  ParamList params;
 
-  const std::string& param(std::string_view key) const noexcept;
+  // Inline: stitch reads several params per event over millions of
+  // events, so the binary search must not pay a call per key.
+  const std::string& param(std::string_view key) const noexcept {
+    static const std::string kEmpty;
+    const auto it = std::lower_bound(
+        params.begin(), params.end(), key,
+        [](const auto& entry, std::string_view k) { return entry.first < k; });
+    return it == params.end() || it->first != key ? kEmpty : it->second;
+  }
 };
 
 class NetLog {
  public:
   void record(EventType type, util::SimTime time, std::uint64_t source_id,
-              std::map<std::string, std::string> params = {});
+              ParamList params = {});
 
   const std::vector<Event>& events() const noexcept { return events_; }
   std::size_t size() const noexcept { return events_.size(); }
   void clear() noexcept { events_.clear(); }
+  /// Pre-size the event buffer (the browser reserves per page load).
+  void reserve(std::size_t n) { events_.reserve(n); }
 
   /// Events of one session, in order.
   std::vector<const Event*> for_source(std::uint64_t source_id) const;

@@ -1,0 +1,14 @@
+#include "util/arena.hpp"
+
+#include "util/env.hpp"
+
+namespace h2r::util {
+
+bool arena_enabled() {
+  // Default ON: H2R_ARENA=0 falls back to plain heap allocation.
+  // Deliberately NOT cached: the knob is read at context construction
+  // (cold), and tests flip it between in-process crawls.
+  return env_string("H2R_ARENA", "1") != "0";
+}
+
+}  // namespace h2r::util

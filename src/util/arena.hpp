@@ -1,0 +1,141 @@
+// Per-worker monotonic arena for per-site scratch.
+//
+// The crawl's hot loop used to build and tear down thousands of little
+// heap blocks per site (classifier columns, cover/exclusion matrices,
+// per-finding scratch). An Arena turns that into pointer bumps: scratch
+// is allocated monotonically from reusable chunks and the whole site's
+// worth of it is released with one reset() at the next site's start —
+// chunks are kept and rewound, so a warmed-up worker allocates nothing.
+//
+// Lifetime rules (DESIGN §12):
+//   * arena memory is SITE-SCOPED: nothing allocated from an arena may
+//     outlive the reset() that ends its site — anything that escapes the
+//     per-site scope (findings, reports, observations) is copied into
+//     ordinary heap-owned containers first;
+//   * deallocate() is a no-op: containers that grow leak their old
+//     buffers into the current site's chunk, reclaimed wholesale by
+//     reset();
+//   * one arena per worker, never shared across threads.
+//
+// ArenaAllocator is a std-compatible allocator over an Arena. With a
+// null arena it degrades to plain operator new/delete — that is the
+// H2R_ARENA=0 escape hatch (arena_enabled()), which tests/arena_test.cpp
+// uses to pin that results are allocator-independent, byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace h2r::util {
+
+/// H2R_ARENA knob (default on; exactly "0" disables), read through
+/// util/env.hpp at every call. Callers sample it when they construct
+/// their per-worker state, so a run's workers all see one answer.
+bool arena_enabled();
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes < 256 ? 256 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). Requests
+  /// larger than the chunk size get a dedicated chunk.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    std::size_t offset = (used_ + (align - 1)) & ~(align - 1);
+    if (current_ >= chunks_.size() || offset + bytes > chunks_[current_].size) {
+      next_chunk(bytes + align);
+      offset = (used_ + (align - 1)) & ~(align - 1);
+    }
+    used_ = offset + bytes;
+    high_water_ += bytes;
+    return chunks_[current_].data.get() + offset;
+  }
+
+  /// Rewinds to empty without releasing chunks: the next site's scratch
+  /// reuses the same memory. Everything previously allocated is invalid.
+  void reset() noexcept {
+    current_ = 0;
+    used_ = 0;
+    high_water_ = 0;
+  }
+
+  /// Bytes handed out since the last reset() (diagnostics only).
+  std::size_t bytes_used() const noexcept { return high_water_; }
+  /// Chunks currently owned (they survive reset()).
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void next_chunk(std::size_t min_bytes) {
+    // Advance into an already-owned chunk when one is large enough;
+    // otherwise grow. Rewound chunks are reused in order, so a steady
+    // per-site working set stops allocating after the first site.
+    std::size_t next = current_ >= chunks_.size() ? 0 : current_ + 1;
+    while (next < chunks_.size() && chunks_[next].size < min_bytes) ++next;
+    if (next == chunks_.size()) {
+      const std::size_t size =
+          min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+      chunks_.push_back(Chunk{std::unique_ptr<char[]>(new char[size]), size});
+    }
+    current_ = next;
+    used_ = 0;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // index of the chunk being bumped
+  std::size_t used_ = 0;     // bytes bumped in chunks_[current_]
+  std::size_t high_water_ = 0;
+};
+
+/// std allocator over an Arena; with arena == nullptr it is plain heap
+/// allocation, so the same container type serves both H2R_ARENA modes.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by Arena::reset().
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace h2r::util

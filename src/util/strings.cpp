@@ -42,11 +42,26 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 }
 
 std::string to_lower(std::string_view s) {
+  // ASCII-only fold, branch-local instead of a locale lookup per char:
+  // this runs on every domain the stitcher and aggregator touch. The
+  // inputs are DNS names, so the C-locale std::tolower it replaces
+  // behaved identically.
   std::string out(s);
   for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + ('a' - 'A'));
   }
   return out;
+}
+
+std::string_view to_lower_into(std::string_view s, char* buf,
+                               std::size_t buf_size) noexcept {
+  const std::size_t n = s.size() < buf_size ? s.size() : buf_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = s[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + ('a' - 'A'));
+    buf[i] = c;
+  }
+  return {buf, n};
 }
 
 std::string_view trim(std::string_view s) noexcept {

@@ -1,6 +1,7 @@
 // Small string utilities shared across modules.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,14 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// ASCII lowercase copy.
 std::string to_lower(std::string_view s);
+
+/// ASCII-folds `s` into the caller's buffer and returns the folded view —
+/// the allocation-free variant for hot paths (DNS keys, host compares).
+/// `buf_size` must be >= s.size(); callers pass a stack array sized for
+/// the domain (e.g. 254 bytes, the DNS name cap) and fall back to
+/// to_lower() for oversized inputs.
+std::string_view to_lower_into(std::string_view s, char* buf,
+                               std::size_t buf_size) noexcept;
 
 /// Strips leading/trailing ASCII whitespace.
 std::string_view trim(std::string_view s) noexcept;

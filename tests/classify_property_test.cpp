@@ -191,5 +191,117 @@ TEST_P(ClassifierProperties, CausesAreConsistentWithRecords) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierProperties,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
+// ----------------------- certificate_covers wildcard edge semantics
+//
+// RFC 6125-ish matching as the paper's measurement pipeline applies it:
+// a wildcard is ONLY the leading "*." form, it eats exactly one label,
+// matching is ASCII-case-insensitive, and no cert/no SANs covers
+// nothing. The SoA ConnectionTable must agree bit-for-bit — its covers
+// matrix is precomputed from interned lowered strings, so any drift
+// here would silently skew every CERT/IP tally downstream.
+
+ConnectionRecord cert_with(std::vector<std::string> sans) {
+  ConnectionRecord rec;
+  rec.id = 1;
+  rec.endpoint.address = net::IpAddress::v4(10, 9, 9, 9);
+  rec.endpoint.port = 443;
+  rec.initial_domain = "origin.example";
+  rec.has_certificate = true;
+  rec.san_dns_names = std::move(sans);
+  return rec;
+}
+
+TEST(CertificateCovers, LeadingWildcardEatsExactlyOneLabel) {
+  const ConnectionRecord rec = cert_with({"*.shard.example"});
+  EXPECT_TRUE(rec.certificate_covers("img.shard.example"));
+  EXPECT_TRUE(rec.certificate_covers("a.shard.example"));
+  // The wildcard never spans label boundaries...
+  EXPECT_FALSE(rec.certificate_covers("a.b.shard.example"));
+  // ...never matches the bare suffix itself...
+  EXPECT_FALSE(rec.certificate_covers("shard.example"));
+  // ...and never matches an empty label.
+  EXPECT_FALSE(rec.certificate_covers(".shard.example"));
+}
+
+TEST(CertificateCovers, MidLabelAsteriskIsALiteralNotAWildcard) {
+  // "img*.example" / "i*g.example" are not the leading "*." form; the
+  // pipeline treats them as literal (never-matching) names rather than
+  // partial-label wildcards.
+  const ConnectionRecord rec = cert_with({"img*.example", "i*g.example"});
+  EXPECT_FALSE(rec.certificate_covers("img1.example"));
+  EXPECT_FALSE(rec.certificate_covers("img.example"));
+  EXPECT_FALSE(rec.certificate_covers("ig.example"));
+  // The literal spelling itself DOES match, case-insensitively.
+  EXPECT_TRUE(rec.certificate_covers("img*.example"));
+  EXPECT_TRUE(rec.certificate_covers("IMG*.Example"));
+}
+
+TEST(CertificateCovers, MatchingFoldsAsciiCaseBothWays) {
+  const ConnectionRecord rec = cert_with({"*.Shard.EXAMPLE", "WWW.example"});
+  EXPECT_TRUE(rec.certificate_covers("img.shard.example"));
+  EXPECT_TRUE(rec.certificate_covers("IMG.SHARD.EXAMPLE"));
+  EXPECT_TRUE(rec.certificate_covers("www.example"));
+  EXPECT_TRUE(rec.certificate_covers("WwW.ExAmPlE"));
+  EXPECT_FALSE(rec.certificate_covers("shard.example"));
+}
+
+TEST(CertificateCovers, EmptySanListOrMissingCertCoversNothing) {
+  const ConnectionRecord none = cert_with({});
+  EXPECT_FALSE(none.certificate_covers("origin.example"));
+  EXPECT_FALSE(none.certificate_covers(""));
+
+  ConnectionRecord no_cert = cert_with({"*.example", "origin.example"});
+  no_cert.has_certificate = false;
+  EXPECT_FALSE(no_cert.certificate_covers("origin.example"));
+  EXPECT_FALSE(no_cert.certificate_covers("img.example"));
+}
+
+TEST(CertificateCovers, DegenerateWildcardPatternsMatchNothing) {
+  const ConnectionRecord rec = cert_with({"*.", "*", ""});
+  EXPECT_FALSE(rec.certificate_covers("example"));
+  EXPECT_FALSE(rec.certificate_covers("a.example"));
+  EXPECT_FALSE(rec.certificate_covers(""));
+  EXPECT_FALSE(rec.certificate_covers("."));
+}
+
+TEST(CertificateCovers, ConnectionTableCoversMatrixAgrees) {
+  // Same edges through the SoA path: build a site where connection 0
+  // carries the tricky SANs and later connections probe them as
+  // initial domains; the table's precomputed covers bits must equal
+  // certificate_covers on every (conn, domain) pair.
+  SiteObservation site;
+  site.site_url = "https://wildcard.example";
+  ConnectionRecord first =
+      cert_with({"*.Shard.example", "img*.example", "WWW.example", ""});
+  first.opened_at = 10;
+  site.connections.push_back(first);
+  util::SimTime t = 20;
+  for (const char* domain :
+       {"img.shard.example", "A.B.shard.example", "shard.example",
+        "img1.example", "IMG*.EXAMPLE", "www.EXAMPLE", ".shard.example"}) {
+    ConnectionRecord probe = cert_with({});
+    probe.id = 2;
+    probe.endpoint.address = net::IpAddress::v4(10, 1, 1, 1);
+    probe.initial_domain = domain;
+    probe.opened_at = t;
+    t += 10;
+    site.connections.push_back(probe);
+  }
+
+  util::Arena arena;
+  Interner interner;
+  ConnectionTable table{&arena};
+  table.build(site, interner);
+  ASSERT_EQ(table.size(), site.connections.size());
+  for (std::size_t j = 0; j < table.size(); ++j) {
+    for (std::size_t d = 0; d < table.distinct_domains(); ++d) {
+      const std::string domain{interner.str(table.domains[d])};
+      EXPECT_EQ(table.covers_domain(j, d),
+                site.connections[j].certificate_covers(domain))
+          << "conn " << j << " vs domain " << domain;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace h2r::core

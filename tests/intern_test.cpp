@@ -1,0 +1,191 @@
+// Property tests for the deterministic string interner (core/intern.hpp):
+// ids are a pure function of first-seen order, the canonical shard-merge
+// remap makes any worker count emit byte-identical JSON, and id<->string
+// round-trips survive randomized workloads (seeded like json_fuzz_test —
+// fixed seeds, reproducible failures).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/intern.hpp"
+#include "json/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace h2r::core {
+namespace {
+
+/// Deterministic domain-ish corpus: repeats dominate (like a crawl's
+/// shared CDN domains) with a long unique tail.
+std::vector<std::string> corpus(util::Rng& rng, std::size_t size) {
+  static const char* kTlds[] = {"com", "net", "org", "io", "dev"};
+  std::vector<std::string> out;
+  out.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (!out.empty() && rng.index(100) < 40) {
+      out.push_back(out[rng.index(out.size())]);  // repeat
+      continue;
+    }
+    std::string host;
+    const std::size_t labels = 1 + rng.index(3);
+    for (std::size_t l = 0; l < labels; ++l) {
+      const std::size_t len = 1 + rng.index(10);
+      for (std::size_t c = 0; c < len; ++c) {
+        // Mixed case: interning must fold deterministically.
+        const char base = rng.index(2) == 0 ? 'a' : 'A';
+        host.push_back(static_cast<char>(base + rng.index(26)));
+      }
+      host.push_back('.');
+    }
+    host += kTlds[rng.index(5)];
+    out.push_back(std::move(host));
+  }
+  return out;
+}
+
+TEST(Interner, IdsAreFirstSeenOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.intern("a.example"), 0u);
+  EXPECT_EQ(interner.intern("b.example"), 1u);
+  EXPECT_EQ(interner.intern("a.example"), 0u);  // repeat keeps its id
+  EXPECT_EQ(interner.intern("c.example"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.str(1), "b.example");
+  EXPECT_EQ(interner.find("c.example"), 2u);
+  EXPECT_EQ(interner.find("missing"), Interner::kNpos);
+}
+
+TEST(Interner, LowerFoldsBeforeInterning) {
+  Interner interner;
+  const std::uint32_t id = interner.intern_lower("CDN.Example.COM");
+  EXPECT_EQ(interner.str(id), "cdn.example.com");
+  EXPECT_EQ(interner.intern_lower("cdn.EXAMPLE.com"), id);
+  EXPECT_EQ(interner.intern("cdn.example.com"), id);
+  // Raw interning of the cased form is a DIFFERENT string.
+  EXPECT_NE(interner.intern("CDN.Example.COM"), id);
+}
+
+class InternerSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InternerSeeds, IdsArePureFunctionOfFirstSeenOrder) {
+  util::Rng rng{GetParam()};
+  const auto strings = corpus(rng, 2000);
+
+  // Interning the same sequence twice — into fresh interners — must
+  // assign identical ids at every step (no hidden hashing/pointer order).
+  Interner a;
+  Interner b;
+  for (const std::string& s : strings) {
+    EXPECT_EQ(a.intern(s), b.intern(s));
+  }
+  EXPECT_EQ(a.size(), b.size());
+  for (std::uint32_t id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.str(id), b.str(id));
+  }
+}
+
+TEST_P(InternerSeeds, RoundTripIdString) {
+  util::Rng rng{GetParam() ^ 0x1237abcdull};
+  const auto strings = corpus(rng, 3000);
+  Interner interner;
+  std::vector<std::pair<std::string, std::uint32_t>> seen;
+  for (const std::string& s : strings) {
+    const std::uint32_t id = interner.intern(s);
+    ASSERT_LT(id, interner.size());
+    EXPECT_EQ(interner.str(id), s);  // id -> string
+    EXPECT_EQ(interner.find(s), id);  // string -> id
+    EXPECT_EQ(interner.intern(s), id);
+    // Lower-interning agrees with interning the lowered copy.
+    EXPECT_EQ(interner.intern_lower(s), interner.intern(util::to_lower(s)));
+    seen.emplace_back(s, id);
+  }
+  // Growth/rehash along the way must not have moved ANY earlier id.
+  for (const auto& [s, id] : seen) {
+    EXPECT_EQ(interner.find(s), id);
+    EXPECT_EQ(interner.str(id), s);
+  }
+}
+
+/// Shard-merge model of a study: workers tally id-keyed counts in their
+/// own id spaces; the canonical remap folds the shards into one
+/// thread-count-invariant JSON report.
+std::string sharded_report(const std::vector<std::string>& stream,
+                           unsigned threads) {
+  std::vector<Interner> interners(threads);
+  std::vector<std::vector<std::uint64_t>> counts(threads);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // Deterministic round-robin sharding: which worker sees a string —
+    // and hence its shard-local id — depends on the thread count.
+    const unsigned worker = static_cast<unsigned>(i % threads);
+    const std::uint32_t id = interners[worker].intern_lower(stream[i]);
+    if (counts[worker].size() <= id) counts[worker].resize(id + 1, 0);
+    ++counts[worker][id];
+  }
+
+  std::vector<const Interner*> shards;
+  for (const Interner& interner : interners) shards.push_back(&interner);
+  const CanonicalRemap remap{shards};
+
+  std::vector<std::uint64_t> merged(remap.size(), 0);
+  for (unsigned t = 0; t < threads; ++t) {
+    for (std::uint32_t id = 0; id < interners[t].size(); ++id) {
+      merged[remap.remap(t, id)] += counts[t][id];
+    }
+  }
+
+  json::Array rows;
+  for (std::uint32_t c = 0; c < remap.size(); ++c) {
+    json::Object row;
+    row.set("domain", std::string(remap.str(c)));
+    row.set("count", static_cast<std::int64_t>(merged[c]));
+    rows.emplace_back(std::move(row));
+  }
+  json::Object root;
+  root.set("domains", std::move(rows));
+  return json::write(json::Value{std::move(root)});
+}
+
+TEST_P(InternerSeeds, CanonicalRemapIsThreadCountInvariant) {
+  util::Rng rng{GetParam() ^ 0x7151ull};
+  const auto stream = corpus(rng, 4000);
+  const std::string one = sharded_report(stream, 1);
+  EXPECT_EQ(one, sharded_report(stream, 2));
+  EXPECT_EQ(one, sharded_report(stream, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerSeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CanonicalRemap, AssignsLexicographicIds) {
+  Interner a;
+  Interner b;
+  a.intern("zebra.example");
+  a.intern("alpha.example");
+  b.intern("mid.example");
+  b.intern("alpha.example");  // shared with shard a
+  const CanonicalRemap remap{{&a, &b}};
+  ASSERT_EQ(remap.size(), 3u);
+  EXPECT_EQ(remap.str(0), "alpha.example");
+  EXPECT_EQ(remap.str(1), "mid.example");
+  EXPECT_EQ(remap.str(2), "zebra.example");
+  EXPECT_EQ(remap.remap(0, 0), 2u);  // zebra
+  EXPECT_EQ(remap.remap(0, 1), 0u);  // alpha
+  EXPECT_EQ(remap.remap(1, 0), 1u);  // mid
+  EXPECT_EQ(remap.remap(1, 1), 0u);  // alpha, same canonical id as shard a's
+}
+
+TEST(Interner, ClearResetsIdSpace) {
+  Interner interner;
+  interner.intern("a");
+  interner.intern("b");
+  EXPECT_GT(interner.pool_bytes(), 0u);
+  interner.clear();
+  EXPECT_EQ(interner.size(), 0u);
+  EXPECT_EQ(interner.find("a"), Interner::kNpos);
+  EXPECT_EQ(interner.intern("b"), 0u);  // fresh first-seen order
+}
+
+}  // namespace
+}  // namespace h2r::core

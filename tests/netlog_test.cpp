@@ -21,7 +21,7 @@ TEST(NetLog, RecordsEventsInOrder) {
 
 TEST(NetLog, ParamAccess) {
   Event e;
-  e.params["key"] = "value";
+  e.params.emplace_back("key", "value");
   EXPECT_EQ(e.param("key"), "value");
   EXPECT_EQ(e.param("missing"), "");
 }

@@ -189,7 +189,9 @@ AggregateReport random_report(util::Rng& rng) {
     IssuerTally tally;
     tally.connections = count(800);
     for (std::uint64_t j = count(5); j > 0; --j) {
-      tally.domains.insert("d" + std::to_string(count(60)));
+      // std::string("d") +: dodges GCC 12's -Wrestrict false positive
+      // (PR 105651) on const char* + string&&.
+      tally.domains.insert(std::string("d") + std::to_string(count(60)));
     }
     r.cert_issuers["issuer" + std::to_string(i)] = tally;
     r.all_issuers["issuer" + std::to_string(i)] = tally;
@@ -229,8 +231,8 @@ TEST(ReportJsonFull, FullViewIsUntruncated) {
   for (int i = 0; i < 40; ++i) {
     OriginTally tally;
     tally.connections = static_cast<std::uint64_t>(100 + i);
-    tally.previous_origins["p" + std::to_string(i)] = 2;
-    report.ip_origins["o" + std::to_string(i)] = tally;
+    tally.previous_origins[std::string("p") + std::to_string(i)] = 2;
+    report.ip_origins[std::string("o") + std::to_string(i)] = tally;
   }
   const json::Value summary_view = to_json(report);
   const json::Value full_view = to_json_full(report);

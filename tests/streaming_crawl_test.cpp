@@ -110,6 +110,36 @@ TEST(StreamingCrawl, FaultyStreamingIsBitIdenticalAcrossThreadCounts) {
   streaming_matches_materialized(0.25);
 }
 
+TEST(StreamingCrawl, SpillingStudyIsBitIdenticalToResidentStreaming) {
+  // The study-level spill differential: --stream with ReportFold spill
+  // files must reproduce the resident streaming run's bytes exactly —
+  // the spill file is a framed detour, not a different aggregation.
+  StudyConfig resident_config = small_config(0.0);
+  resident_config.stream = true;
+  resident_config.threads = 2;
+  const StudyResults resident = run_study(resident_config);
+
+  for (const unsigned threads : {1u, 3u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StudyConfig config = small_config(0.0);
+    config.stream = true;
+    config.threads = threads;
+    config.spill_dir = ::testing::TempDir();
+    const StudyResults spilled = run_study(config);
+    expect_identical(spilled, resident);
+    // The spill actually happened: every fold wrote frames.
+    EXPECT_GT(spilled.spill_bytes, 0u);
+  }
+}
+
+TEST(StreamingCrawl, SpillWithoutWindowedModeIsAHardError) {
+  // A spilling fold outside stream/journal mode would silently fold
+  // nothing and return empty reports — run_study must refuse instead.
+  StudyConfig config = small_config(0.0);
+  config.spill_dir = ::testing::TempDir();
+  EXPECT_THROW(run_study(config), std::runtime_error);
+}
+
 TEST(StreamingCrawl, HistogramBudgetIsModeIndependent) {
   // A budgeted streaming run must equal a budgeted materialized run —
   // the sketch coarsens identically on both paths.

@@ -45,7 +45,8 @@ int usage() {
                "usage:\n"
                "  h2r audit <page.har> [--json]\n"
                "  h2r study [--journal <path>] [--resume] [--json <out>]\n"
-               "            [--metrics <out>] [--stream] [--hist-budget <n>]\n"
+               "            [--metrics <out>] [--stream] [--spill <dir>]\n"
+               "            [--hist-budget <n>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -60,6 +61,8 @@ int usage() {
                "deterministic metric snapshot as JSON\n"
                "scale:       H2R_STREAM (or --stream) — bounded-memory "
                "streaming crawl, bit-identical results\n"
+               "             H2R_SPILL (or --spill) — spill report windows "
+               "to <dir> and merge at the end (needs --stream/--journal)\n"
                "             H2R_HIST_BUDGET (or --hist-budget) — cap every "
                "duration histogram at <n> bins\n");
   return 2;
@@ -150,6 +153,8 @@ int cmd_study(int argc, char** argv) {
       config.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       config.stream = true;
+    } else if (std::strcmp(argv[i], "--spill") == 0 && i + 1 < argc) {
+      config.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--hist-budget") == 0 && i + 1 < argc) {
       config.hist_budget =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -172,6 +177,10 @@ int cmd_study(int argc, char** argv) {
   if (config.stream) {
     std::printf("streaming: bounded-memory crawl (results bit-identical to "
                 "materialized mode)\n");
+  }
+  if (!config.spill_dir.empty()) {
+    std::printf("spill: report windows spill to %s\n",
+                config.spill_dir.c_str());
   }
   if (config.hist_budget > 0) {
     std::printf("histograms: budgeted to %u bins\n", config.hist_budget);
@@ -227,6 +236,11 @@ int cmd_study(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (!config.spill_dir.empty()) {
+    std::printf("\nspill: %llu bytes of report windows framed to %s\n",
+                static_cast<unsigned long long>(r.spill_bytes),
+                config.spill_dir.c_str());
+  }
 
   if (!r.metrics.empty()) {
     std::printf("\nmetrics:\n%s", obs::render_table(r.metrics).c_str());
@@ -278,7 +292,7 @@ int cmd_crawl(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     web::Resource r;
     r.domain = argv[i];
-    r.path = "/";
+    r.path = std::string("/");  // dodges GCC 12 -Wrestrict FP (PR 105651)
     r.destination = fetch::Destination::kScript;
     r.start_delay = web::jitter(rng, 20, 300);
     site.resources.push_back(std::move(r));
