@@ -95,6 +95,14 @@ int main() {
   const experiments::StudyConfig sc = experiments::StudyConfig::from_env();
   const std::size_t sites = sc.alexa_sites;
   std::printf("# ablation: HTTP/3 via Alt-Svc, %zu sites\n\n", sites);
+  if (sites == 0) {
+    // Machine-readable status (one line, key=value): lets CI and the
+    // reproduction scorecard tell an intentional skip apart from a crash
+    // or an accidentally-empty run.
+    std::printf("STATUS bench=ablation_h3 result=SKIPPED reason=no-sites "
+                "sites=0\n");
+    return 0;
+  }
 
   const RunResult h2_only = run(false, sites, sc.seed);
   const RunResult with_h3 = run(true, sites, sc.seed);
@@ -113,5 +121,12 @@ int main() {
               util::human_count(with_h3.har_stats.h3_entries).c_str());
   std::printf("\nconclusion: the cause mix is protocol-agnostic — HTTP/3 "
               "inherits the redundancy (paper §6).\n");
+  std::printf("STATUS bench=ablation_h3 result=OK sites=%zu "
+              "h3_connections=%llu h2_connections=%llu "
+              "har_h3_dropped=%llu\n",
+              sites,
+              static_cast<unsigned long long>(with_h3.h3_connections),
+              static_cast<unsigned long long>(with_h3.h2_connections),
+              static_cast<unsigned long long>(with_h3.har_stats.h3_entries));
   return 0;
 }

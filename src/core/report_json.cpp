@@ -254,6 +254,17 @@ util::Expected<fault::FailureSummary> failure_summary_from_json(
           {"degraded_resources", &fault::FailureSummary::degraded_resources},
           {"degraded_sites", &fault::FailureSummary::degraded_sites},
           {"deadline_exceeded", &fault::FailureSummary::deadline_exceeded},
+          {"pool_stale_handouts", &fault::FailureSummary::pool_stale_handouts},
+          {"pool_connect_failures",
+           &fault::FailureSummary::pool_connect_failures},
+          {"pool_connect_abandoned",
+           &fault::FailureSummary::pool_connect_abandoned},
+          {"pool_dead_discards", &fault::FailureSummary::pool_dead_discards},
+          {"pool_idle_evictions", &fault::FailureSummary::pool_idle_evictions},
+          {"pool_cap_evictions", &fault::FailureSummary::pool_cap_evictions},
+          {"pool_breaker_rejected",
+           &fault::FailureSummary::pool_breaker_rejected},
+          {"pool_breaker_opens", &fault::FailureSummary::pool_breaker_opens},
       };
   for (const auto& [key, member] : counters) {
     const auto count = parse_count(value, key);
@@ -590,6 +601,22 @@ json::Value to_json(const fault::FailureSummary& summary) {
            static_cast<std::int64_t>(summary.degraded_sites));
   root.set("deadline_exceeded",
            static_cast<std::int64_t>(summary.deadline_exceeded));
+  root.set("pool_stale_handouts",
+           static_cast<std::int64_t>(summary.pool_stale_handouts));
+  root.set("pool_connect_failures",
+           static_cast<std::int64_t>(summary.pool_connect_failures));
+  root.set("pool_connect_abandoned",
+           static_cast<std::int64_t>(summary.pool_connect_abandoned));
+  root.set("pool_dead_discards",
+           static_cast<std::int64_t>(summary.pool_dead_discards));
+  root.set("pool_idle_evictions",
+           static_cast<std::int64_t>(summary.pool_idle_evictions));
+  root.set("pool_cap_evictions",
+           static_cast<std::int64_t>(summary.pool_cap_evictions));
+  root.set("pool_breaker_rejected",
+           static_cast<std::int64_t>(summary.pool_breaker_rejected));
+  root.set("pool_breaker_opens",
+           static_cast<std::int64_t>(summary.pool_breaker_opens));
   return json::Value{std::move(root)};
 }
 

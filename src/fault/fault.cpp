@@ -117,6 +117,14 @@ void FailureSummary::add(const FailureSummary& other) noexcept {
   degraded_resources += other.degraded_resources;
   degraded_sites += other.degraded_sites;
   deadline_exceeded += other.deadline_exceeded;
+  pool_stale_handouts += other.pool_stale_handouts;
+  pool_connect_failures += other.pool_connect_failures;
+  pool_connect_abandoned += other.pool_connect_abandoned;
+  pool_dead_discards += other.pool_dead_discards;
+  pool_idle_evictions += other.pool_idle_evictions;
+  pool_cap_evictions += other.pool_cap_evictions;
+  pool_breaker_rejected += other.pool_breaker_rejected;
+  pool_breaker_opens += other.pool_breaker_opens;
 }
 
 std::string describe(const FailureSummary& summary) {
@@ -158,6 +166,19 @@ std::string describe(const FailureSummary& summary) {
                   static_cast<unsigned long long>(summary.deadline_exceeded));
     out += line;
   }
+  std::string pool;
+  append_count(pool, summary.pool_stale_handouts, "stale-handouts");
+  append_count(pool, summary.pool_connect_failures, "connect-failures");
+  append_count(pool, summary.pool_connect_abandoned, "abandoned");
+  append_count(pool, summary.pool_dead_discards, "dead-discards");
+  append_count(pool, summary.pool_idle_evictions, "idle-evictions");
+  append_count(pool, summary.pool_cap_evictions, "cap-evictions");
+  append_count(pool, summary.pool_breaker_rejected, "breaker-rejected");
+  append_count(pool, summary.pool_breaker_opens, "breaker-opens");
+  if (!pool.empty()) {
+    std::snprintf(line, sizeof(line), "  pool: %s\n", pool.c_str());
+    out += line;
+  }
   return out;
 }
 
@@ -167,6 +188,9 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t browser_seed,
       rng_(util::hash_seed(util::combine_seed(config.seed, browser_seed),
                            site_url)),
       active_(config.enabled()) {}
+
+FaultPlan::FaultPlan(const FaultConfig& config, EventSeed seed)
+    : config_(config), rng_(seed.value), active_(config.enabled()) {}
 
 bool FaultPlan::fire(FaultKind kind) {
   if (!active_) return false;

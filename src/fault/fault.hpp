@@ -118,6 +118,27 @@ struct FailureSummary {
   /// fire on natural stragglers too.
   std::uint64_t deadline_exceeded = 0;
 
+  // How the edge-proxy pool coped (src/pool). Conservation identities the
+  // chaos suite asserts: every injected pool-path fault lands in exactly
+  // one of these buckets, so
+  //   goaways + rst_streams            == pool_dead_discards
+  //   connect_refused + connect_reset
+  //     + tls_handshake + tls_cert     == pool_stale_handouts
+  //                                       + pool_connect_failures
+  //   retries                          == pool_stale_handouts
+  //                                       + pool_connect_failures
+  //                                       - pool_connect_abandoned
+  // hold exactly on replay traffic (the browser path uses its own
+  // FailureSummary instances, so the buckets never mix).
+  std::uint64_t pool_stale_handouts = 0;    // pooled conn died on first use
+  std::uint64_t pool_connect_failures = 0;  // fresh upstream connect failed
+  std::uint64_t pool_connect_abandoned = 0;  // gave up after backoff budget
+  std::uint64_t pool_dead_discards = 0;   // conn errored in-request, dropped
+  std::uint64_t pool_idle_evictions = 0;  // idle-timeout sweep closed it
+  std::uint64_t pool_cap_evictions = 0;   // per-key idle cap pushed it out
+  std::uint64_t pool_breaker_rejected = 0;  // request fail-fasted (open)
+  std::uint64_t pool_breaker_opens = 0;     // closed -> open transitions
+
   std::uint64_t& count(FaultKind kind) noexcept;
   std::uint64_t count(FaultKind kind) const noexcept;
 
@@ -156,6 +177,14 @@ class FaultPlan final : public FaultInjector {
   FaultPlan() = default;
   FaultPlan(const FaultConfig& config, std::uint64_t browser_seed,
             std::string_view site_url);
+  /// Event-scoped plan: the caller supplies the fully mixed seed. The pool
+  /// replay layer derives one per (rank, visit, sequence) so a decision is
+  /// a pure function of event identity — invariant to shard count, thread
+  /// count and processing order.
+  struct EventSeed {
+    std::uint64_t value = 0;
+  };
+  FaultPlan(const FaultConfig& config, EventSeed seed);
 
   bool fire(FaultKind kind) override;
   util::SimTime latency_penalty() override;

@@ -24,4 +24,17 @@ ConnectResult simulate_connect(const Endpoint& endpoint,
   return result;
 }
 
+HandoutResult simulate_handout(fault::FaultInjector* injector,
+                               obs::Metrics* metrics) {
+  HandoutResult result;
+  if (metrics != nullptr) metrics->add("net.handout_attempts");
+  if (injector == nullptr) return result;
+  if (injector->fire(fault::FaultKind::kConnectReset)) {
+    result.ok = false;
+    result.injected_fault = true;
+    if (metrics != nullptr) metrics->add("net.handout_stale");
+  }
+  return result;
+}
+
 }  // namespace h2r::net

@@ -30,4 +30,19 @@ ConnectResult simulate_connect(const Endpoint& endpoint,
                                fault::FaultInjector* injector,
                                obs::Metrics* metrics = nullptr);
 
+struct HandoutResult {
+  bool ok = true;
+  /// True when the pooled connection turned out stale (injected reset).
+  bool injected_fault = false;
+};
+
+/// The upstream pool's handout hook: decides whether an idle pooled
+/// connection is still alive when handed out. A server may have silently
+/// closed it while it idled — modeled as an injected kConnectReset (the
+/// same kind a mid-establishment reset uses; the pool layer attributes it
+/// to pool_stale_handouts). `injector` may be null (always alive). When
+/// `metrics` is set, records net.handout_attempts / net.handout_stale.
+HandoutResult simulate_handout(fault::FaultInjector* injector,
+                               obs::Metrics* metrics = nullptr);
+
 }  // namespace h2r::net

@@ -1,0 +1,56 @@
+#include "pool/breaker.hpp"
+
+namespace h2r::pool {
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerState CircuitBreaker::admit(util::SimTime now) {
+  if (policy_.threshold <= 0) return BreakerState::kClosed;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return BreakerState::kClosed;
+    case BreakerState::kOpen:
+      if (now < open_until_) return BreakerState::kOpen;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return BreakerState::kHalfOpen;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return BreakerState::kOpen;
+      probe_in_flight_ = true;
+      return BreakerState::kHalfOpen;
+  }
+  return BreakerState::kClosed;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_ = 0;
+  state_ = BreakerState::kClosed;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::record_failure(util::SimTime now) {
+  if (policy_.threshold <= 0) return false;
+  ++consecutive_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: straight back to open, cooldown restarted.
+    state_ = BreakerState::kOpen;
+    open_until_ = now + policy_.cooldown;
+    probe_in_flight_ = false;
+    return true;
+  }
+  if (state_ == BreakerState::kClosed && consecutive_ >= policy_.threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ = now + policy_.cooldown;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace h2r::pool

@@ -1,0 +1,62 @@
+// Per-upstream circuit breaker in simulated time.
+//
+// The pool's fail-fast layer: after `threshold` consecutive terminal
+// request failures against one upstream key, stop dialing it for
+// `cooldown` and reject requests immediately (closed -> open). The first
+// request after the cooldown runs as a half-open probe — success closes
+// the breaker, failure reopens it and restarts the cooldown. All state
+// advances on simulated timestamps supplied by the caller, so the machine
+// is a pure function of its input sequence (pool_test pins the full
+// transition table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.hpp"
+
+namespace h2r::pool {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+std::string to_string(BreakerState state);
+
+struct BreakerPolicy {
+  /// Consecutive terminal failures that open the breaker; 0 disables it.
+  int threshold = 5;
+  /// How long an open breaker rejects before allowing a probe.
+  util::SimTime cooldown = util::seconds(30);
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+  /// Admission decision for a request arriving at `now`:
+  ///   kClosed   — admit normally,
+  ///   kHalfOpen — admit as the one probe (a second request while the
+  ///               probe is unresolved is rejected as kOpen),
+  ///   kOpen     — reject (fail fast).
+  BreakerState admit(util::SimTime now);
+
+  /// Terminal request success: closes the breaker, resets the streak.
+  void record_success();
+
+  /// Terminal request failure at `now`. Returns true when this failure
+  /// OPENED the breaker (closed -> open at the threshold, or a failed
+  /// half-open probe reopening).
+  bool record_failure(util::SimTime now);
+
+  BreakerState state() const noexcept { return state_; }
+  int consecutive_failures() const noexcept { return consecutive_; }
+
+ private:
+  BreakerPolicy policy_{};
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_ = 0;
+  util::SimTime open_until_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace h2r::pool

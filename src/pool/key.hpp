@@ -1,0 +1,46 @@
+// The upstream pool key, Pingora-style.
+//
+// Pingora keys its upstream pool on everything that makes two connections
+// interchangeable from the proxy's point of view: destination IP:port,
+// scheme, the SNI sent, the client certificate presented, and the
+// verification flags in force (SNIPPETS.md #1). Two requests may share a
+// pooled connection only when ALL of these match — a connection opened
+// with verification off must never serve a request that wants it on.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "net/ip.hpp"
+
+namespace h2r::pool {
+
+struct PoolKey {
+  net::Endpoint endpoint;    // destination IP + port
+  std::string scheme = "https";
+  std::string sni;           // server name sent in the handshake
+  std::string client_cert;   // client certificate id; empty = none
+  bool verify_cert = true;
+  bool verify_hostname = true;
+
+  friend std::strong_ordering operator<=>(const PoolKey&,
+                                          const PoolKey&) = default;
+  friend bool operator==(const PoolKey&, const PoolKey&) = default;
+
+  /// "ip:port|scheme|sni|cert|vc|vh" — stable, used for rendering and as
+  /// seed material.
+  std::string to_string() const {
+    std::string out = endpoint.to_string();
+    out += '|';
+    out += scheme;
+    out += '|';
+    out += sni;
+    out += '|';
+    out += client_cert;
+    out += verify_cert ? "|1" : "|0";
+    out += verify_hostname ? "|1" : "|0";
+    return out;
+  }
+};
+
+}  // namespace h2r::pool

@@ -26,4 +26,22 @@ HandshakeResult simulate_handshake(const CertificatePtr& certificate,
   return result;
 }
 
+HandshakeResult simulate_upstream_handshake(std::string_view sni,
+                                            fault::FaultInjector* injector,
+                                            obs::Metrics* metrics) {
+  (void)sni;  // trust decisions are baked into the pool key's verify flags
+  HandshakeResult result;
+  if (metrics != nullptr) metrics->add("tls.upstream_handshakes");
+  if (injector != nullptr) {
+    if (injector->fire(fault::FaultKind::kTlsHandshake) ||
+        injector->fire(fault::FaultKind::kTlsCertValidation)) {
+      result.injected_fault = true;
+      if (metrics != nullptr) metrics->add("tls.upstream_failures");
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace h2r::tls

@@ -34,4 +34,15 @@ HandshakeResult simulate_handshake(const CertificatePtr& certificate,
                                    fault::FaultInjector* injector,
                                    obs::Metrics* metrics = nullptr);
 
+/// The upstream pool's fresh-connect hook: the handshake an edge proxy
+/// performs toward an origin it already trusts (pinned roots, no natural
+/// chain-validation path here — that was decided when the key's verify
+/// flags were set). Only injected aborts (kTlsHandshake /
+/// kTlsCertValidation — an OCSP hiccup, a mid-rotation cert) can fail
+/// it. When `metrics` is set, records tls.upstream_handshakes /
+/// tls.upstream_failures.
+HandshakeResult simulate_upstream_handshake(std::string_view sni,
+                                            fault::FaultInjector* injector,
+                                            obs::Metrics* metrics = nullptr);
+
 }  // namespace h2r::tls

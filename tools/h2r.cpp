@@ -5,6 +5,9 @@
 //   h2r crawl <config.json> <landing-domain> [resources...]
 //                                 build an ecosystem from JSON, load a page
 //                                 against it and audit the result
+//   h2r replay [--proxy shared|worker|both]
+//                                 replay crawl traffic through the
+//                                 edge-proxy upstream pool architectures
 //   h2r dns-overlap               run the Figure 3 resolver-overlap study
 //   h2r snapshot <out.json> [N]   crawl N universe sites, save the exact
 //                                 connection records as a dataset
@@ -30,6 +33,8 @@
 #include "journal/checkpoint.hpp"
 #include "har/import.hpp"
 #include "obs/metrics.hpp"
+#include "pool/pool.hpp"
+#include "pool/replay.hpp"
 #include "stats/table.hpp"
 #include "util/format.hpp"
 #include "web/catalog.hpp"
@@ -47,6 +52,8 @@ int usage() {
                "  h2r study [--journal <path>] [--resume] [--json <out>]\n"
                "            [--metrics <out>] [--stream] [--spill <dir>]\n"
                "            [--hist-budget <n>]\n"
+               "  h2r replay [--proxy shared|worker|both] [--sites N]\n"
+               "            [--json <out>] [--metrics <out>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -271,6 +278,104 @@ int cmd_study(int argc, char** argv) {
   return 0;
 }
 
+int cmd_replay(int argc, char** argv) {
+  const experiments::StudyConfig study = experiments::StudyConfig::from_env();
+  proxy::ReplayOptions options;
+  options.pool = pool::PoolConfig::from_env();
+  options.crawl.seed = study.seed;
+  options.crawl.threads = study.threads;
+  options.threads = study.threads;
+  std::size_t sites = study.alexa_sites;
+  bool want_shared = true;
+  bool want_worker = true;
+  switch (options.pool.arch) {
+    case pool::Architecture::kShared: want_worker = false; break;
+    case pool::Architecture::kWorker: want_shared = false; break;
+  }
+  const char* json_out = nullptr;
+  const char* metrics_out = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--proxy") == 0 && i + 1 < argc) {
+      const char* arch = argv[++i];
+      if (std::strcmp(arch, "shared") == 0) {
+        want_shared = true;
+        want_worker = false;
+      } else if (std::strcmp(arch, "worker") == 0) {
+        want_shared = false;
+        want_worker = true;
+      } else if (std::strcmp(arch, "both") == 0) {
+        want_shared = true;
+        want_worker = true;
+      } else {
+        std::fprintf(stderr, "--proxy wants shared|worker|both, got %s\n",
+                     arch);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+      sites = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("replaying %zu site(s) x %zu visit(s) through the edge proxy "
+              "(%s), seed %llu, %u thread(s)\n",
+              sites, options.pool.visits, options.pool.signature().c_str(),
+              static_cast<unsigned long long>(study.seed), study.threads);
+
+  web::Ecosystem eco{study.seed};
+  web::ServiceCatalog catalog{eco, study.seed};
+  web::UniverseConfig universe_config = web::UniverseConfig::defaults();
+  universe_config.seed = study.seed;
+  web::SiteUniverse universe{eco, catalog, universe_config};
+  const std::vector<proxy::SiteTrace> traces =
+      proxy::collect_traces(universe, 0, sites, options.crawl);
+
+  json::Object json_root;
+  json::Object metrics_root;
+  const pool::Architecture archs[] = {pool::Architecture::kWorker,
+                                      pool::Architecture::kShared};
+  for (const pool::Architecture arch : archs) {
+    if (arch == pool::Architecture::kShared ? !want_shared : !want_worker) {
+      continue;
+    }
+    options.pool.arch = arch;
+    const proxy::ReplayReport report = proxy::replay_traces(traces, options);
+    std::printf("\n%s", proxy::render(report).c_str());
+    const std::string name = pool::to_string(arch);
+    json_root.set(name, proxy::to_json(report));
+    metrics_root.set(name, obs::to_json(report.metrics));
+  }
+
+  if (metrics_out != nullptr) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out);
+      return 1;
+    }
+    json::WriteOptions opts;
+    opts.pretty = true;
+    out << json::write(json::Value{std::move(metrics_root)}, opts) << "\n";
+    std::printf("\nwrote metric snapshot to %s\n", metrics_out);
+  }
+  if (json_out != nullptr) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out);
+      return 1;
+    }
+    json::WriteOptions opts;
+    opts.pretty = true;
+    out << json::write(json::Value{std::move(json_root)}, opts) << "\n";
+    std::printf("\nwrote replay report to %s\n", json_out);
+  }
+  return 0;
+}
+
 int cmd_crawl(int argc, char** argv) {
   const auto text = read_file(argv[0]);
   if (!text) {
@@ -413,6 +518,7 @@ int main(int argc, char** argv) {
     return cmd_audit(argv[2], as_json);
   }
   if (std::strcmp(cmd, "study") == 0) return cmd_study(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "replay") == 0) return cmd_replay(argc - 2, argv + 2);
   if (std::strcmp(cmd, "crawl") == 0 && argc >= 4) {
     return cmd_crawl(argc - 2, argv + 2);
   }
