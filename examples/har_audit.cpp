@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
       core::classify_site(site, {core::DurationModel::kEndless});
   const auto immediate =
       core::classify_site(site, {core::DurationModel::kImmediate});
-  const core::AuditReport report = core::audit_site(site, endless);
+  const core::AuditReport report = core::audit_site(
+      site, endless, core::Policy{core::DurationModel::kEndless});
   std::printf("%s", core::render(report).c_str());
   std::printf("\n(lower bound if connections close after their last "
               "request: %zu redundant)\n",

@@ -240,7 +240,9 @@ std::size_t Browser::acquire_session(PageState& page, const std::string& host,
        {"privacy", privacy ? "1" : "0"},
        {"cert_sans", join_list(cert->san_dns_names())},
        {"cert_issuer", cert->issuer_organization()},
-       {"cert_serial", std::to_string(cert->serial())}});
+       {"cert_serial", std::to_string(cert->serial())},
+       {"operator", server->operator_name()},
+       {"served", join_list(server->served_domains())}});
   page.log.record(netlog::EventType::kSessionAvailable, entry.available_at,
                   entry.session->id(), {});
 

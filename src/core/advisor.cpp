@@ -26,6 +26,37 @@ std::string to_string(RemedyKind kind) {
   return "?";
 }
 
+std::string_view remedy_slug(RemedyKind kind) {
+  switch (kind) {
+    case RemedyKind::kSyncDnsLoadBalancing:
+      return "sync_dns";
+    case RemedyKind::kDeployOriginFrame:
+      return "origin_frame";
+    case RemedyKind::kMergeCertificates:
+      return "merge_certificates";
+    case RemedyKind::kAlignCrossoriginUsage:
+      return "align_crossorigin";
+    case RemedyKind::kRelaxFetchCredentials:
+      return "relax_credentials";
+  }
+  return "?";
+}
+
+PolicyKnob remedy_knob(RemedyKind kind) noexcept {
+  switch (kind) {
+    case RemedyKind::kSyncDnsLoadBalancing:
+      return kKnobSyncDns;
+    case RemedyKind::kDeployOriginFrame:
+      return kKnobOriginFrame;
+    case RemedyKind::kMergeCertificates:
+      return kKnobCertConsolidation;
+    case RemedyKind::kAlignCrossoriginUsage:
+    case RemedyKind::kRelaxFetchCredentials:
+      return kKnobIgnoreCredentials;
+  }
+  return kKnobOriginFrame;
+}
+
 namespace {
 
 struct Key {
@@ -39,10 +70,18 @@ struct Key {
   }
 };
 
+std::size_t knob_index(RemedyKind kind) noexcept {
+  std::uint8_t bit = static_cast<std::uint8_t>(remedy_knob(kind));
+  std::size_t index = 0;
+  while ((bit >>= 1) != 0) ++index;
+  return index;
+}
+
 }  // namespace
 
 AuditReport audit_site(const SiteObservation& site,
-                       const SiteClassification& classification) {
+                       const SiteClassification& classification,
+                       const Policy& base) {
   AuditReport report;
   report.site_url = site.site_url;
   report.total_connections = site.connections.size();
@@ -99,18 +138,53 @@ AuditReport audit_site(const SiteObservation& site,
     report.advice.push_back(std::move(advice));
   }
 
+  // Measure each remedy instead of guessing: replay the visit once per
+  // policy knob and read off what the intervention actually recovers.
+  std::map<std::string, std::uint64_t> recovered_by_domain[kPolicyKnobCount];
+  std::uint64_t remaining[kPolicyKnobCount] = {};
+  {
+    thread_local ClassifyContext ctx;
+    ctx.prepare(site);
+    for (std::size_t k = 0; k < kPolicyKnobCount; ++k) {
+      const SiteClassification& replay = ctx.classify(
+          Policy::with_mask(static_cast<std::uint8_t>(1u << k), base));
+      remaining[k] = replay.redundant_connections();
+      for (const RecoveredConnection& rec : replay.recovered) {
+        const ConnectionRecord& conn = site.connections[rec.connection_index];
+        ++recovered_by_domain[k][util::to_lower(conn.initial_domain)];
+      }
+    }
+  }
+  for (RemedyKind kind : kAllRemedies) {
+    report.remaining_redundant[kind] = remaining[knob_index(kind)];
+  }
+  for (Advice& advice : report.advice) {
+    const auto& by_domain = recovered_by_domain[knob_index(advice.remedy)];
+    const auto it = by_domain.find(advice.domain);
+    if (it != by_domain.end()) advice.recovered = it->second;
+  }
+
+  // Most connections first; full tie-break so equal-volume advice has a
+  // stable order (domain, then cause, then reusable domain).
   std::sort(report.advice.begin(), report.advice.end(),
             [](const Advice& a, const Advice& b) {
               if (a.connections != b.connections) {
                 return a.connections > b.connections;
               }
-              return a.domain < b.domain;
+              return std::tie(a.domain, a.cause, a.reusable_domain) <
+                     std::tie(b.domain, b.cause, b.reusable_domain);
             });
   return report;
 }
 
+AuditReport audit_site(const SiteObservation& site,
+                       const SiteClassification& classification) {
+  return audit_site(site, classification, Policy{});
+}
+
 AuditReport audit_site(const SiteObservation& site) {
-  return audit_site(site, classify_site(site, {DurationModel::kExact}));
+  return audit_site(site, classify_site(site, {DurationModel::kExact}),
+                    Policy{});
 }
 
 std::string render(const AuditReport& report) {
@@ -125,7 +199,21 @@ std::string render(const AuditReport& report) {
   for (const Advice& advice : report.advice) {
     out += "  [" + to_string(advice.cause) + " x" +
            std::to_string(advice.connections) + "] " + advice.message +
-           "\n      fix: " + to_string(advice.remedy) + "\n";
+           "\n      fix: " + to_string(advice.remedy);
+    if (advice.recovered > 0) {
+      out += " (replay recovers " + std::to_string(advice.recovered) +
+             " to " + advice.domain + ")";
+    }
+    out += "\n";
+  }
+  if (!report.remaining_redundant.empty()) {
+    out += "  measured by policy replay — redundant left if applied:\n";
+    for (RemedyKind kind : kAllRemedies) {
+      const auto it = report.remaining_redundant.find(kind);
+      if (it == report.remaining_redundant.end()) continue;
+      out += "      " + std::string(remedy_slug(kind)) + ": " +
+             std::to_string(it->second) + "\n";
+    }
   }
   return out;
 }

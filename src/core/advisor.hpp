@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/classify.hpp"
 #include "core/connection.hpp"
+#include "core/policy.hpp"
 
 namespace h2r::core {
 
@@ -26,7 +28,18 @@ enum class RemedyKind : std::uint8_t {
   kRelaxFetchCredentials,  // cause CRED, browser-side
 };
 
+inline constexpr RemedyKind kAllRemedies[] = {
+    RemedyKind::kSyncDnsLoadBalancing, RemedyKind::kDeployOriginFrame,
+    RemedyKind::kMergeCertificates, RemedyKind::kAlignCrossoriginUsage,
+    RemedyKind::kRelaxFetchCredentials};
+
 std::string to_string(RemedyKind kind);
+
+/// Short stable identifier ("sync_dns", "origin_frame", ...) for JSON maps.
+std::string_view remedy_slug(RemedyKind kind);
+
+/// The policy knob that models this remedy in a replay.
+PolicyKnob remedy_knob(RemedyKind kind) noexcept;
 
 struct Advice {
   Cause cause = Cause::kIp;
@@ -37,6 +50,10 @@ struct Advice {
   std::string reusable_domain;
   /// How many of the site's redundant connections this item covers.
   std::uint64_t connections = 0;
+  /// MEASURED: connections to `domain` the policy replay recovers when
+  /// this advice's remedy (its policy knob) is applied — not a heuristic
+  /// count. Advice rows for the same domain and knob share the pool.
+  std::uint64_t recovered = 0;
   /// Human-readable one-liner.
   std::string message;
 };
@@ -50,9 +67,19 @@ struct AuditReport {
   /// Connections that would remain redundant if all IP-cause advice were
   /// followed (i.e. CERT + CRED leftovers).
   std::uint64_t non_ip_redundant = 0;
+
+  /// Per remedy: how many connections stay redundant when that remedy's
+  /// policy knob is applied, measured by the policy replay (generalizes
+  /// the old IP-only `non_ip_redundant`).
+  std::map<RemedyKind, std::uint64_t> remaining_redundant;
 };
 
 /// Builds the audit for one site from its observation + classification.
+/// `base` supplies the duration model (and horizon) the per-remedy policy
+/// replays run under — pass the policy the classification was made with.
+AuditReport audit_site(const SiteObservation& site,
+                       const SiteClassification& classification,
+                       const Policy& base);
 AuditReport audit_site(const SiteObservation& site,
                        const SiteClassification& classification);
 

@@ -31,6 +31,7 @@
 #include "core/connection.hpp"
 #include "core/connection_table.hpp"
 #include "core/intern.hpp"
+#include "core/policy.hpp"
 #include "util/arena.hpp"
 
 namespace h2r::core {
@@ -51,10 +52,25 @@ struct ConnectionFinding {
   std::map<Cause, std::set<std::string>> reusable_previous_domains;
 };
 
+/// One connection a counterfactual policy replay recovered: the browser
+/// under the policy would have reused `reused_connection_index` instead of
+/// opening `connection_index`.
+struct RecoveredConnection {
+  std::size_t connection_index = 0;        // into SiteObservation::connections
+  std::size_t reused_connection_index = 0; // the survivor it folds into
+  /// Operator credited with the recovery: the recovered connection's own
+  /// operator, else the survivor's, else the base domain of the
+  /// connection's initial domain.
+  std::string operator_name;
+};
+
 struct SiteClassification {
   std::string site_url;
   std::size_t total_connections = 0;
   std::vector<ConnectionFinding> findings;  // redundant connections only
+  /// Connections a counterfactual policy recovered (empty for baseline
+  /// policies). `findings` then describe the surviving connections only.
+  std::vector<RecoveredConnection> recovered;
 
   bool has_cause(Cause cause) const noexcept;
   std::size_t count_cause(Cause cause) const noexcept;
@@ -63,9 +79,9 @@ struct SiteClassification {
   }
 };
 
-struct ClassifyOptions {
-  DurationModel duration = DurationModel::kExact;
-};
+/// Deprecated name from before the policy redesign; new code should spell
+/// out core::Policy (h2r-lint's policy.alias rule flags this alias).
+using ClassifyOptions = Policy;  // h2r-lint: allow(policy.alias) -- alias definition
 
 /// Reusable per-worker classification state: an arena for site-scoped
 /// scratch, a deterministic interner for domains/SANs, and the SoA
@@ -88,11 +104,18 @@ class ClassifyContext {
   explicit ClassifyContext(bool use_arena = util::arena_enabled());
 
   /// Builds the table for `site`. The observation must outlive the next
-  /// prepare() (classify() reads site_url and the connection count).
+  /// prepare() (classify() reads site_url, the connection count, and —
+  /// for horizon policies — per-request times). prepare() is
+  /// knob-independent: one table serves every policy point.
   void prepare(const SiteObservation& site);
 
-  /// Classifies the prepared site under `options`.
-  SiteClassification classify(const ClassifyOptions& options);
+  /// Classifies the prepared site under `policy`. Baseline policies
+  /// (mask() == 0, no horizon) run the exact paper sweep; counterfactual
+  /// policies first replay the browser's reuse decisions under the knobs
+  /// (phase 1: recovery), then re-classify the surviving connections
+  /// (phase 2) with endpoints remapped as the counterfactual browser
+  /// would have rotated addresses.
+  SiteClassification classify(const Policy& policy);
 
   /// The table built by the last prepare() (for tests/benches).
   const ConnectionTable& table() const noexcept { return *table_; }
@@ -109,11 +132,20 @@ class ClassifyContext {
   std::vector<std::uint32_t> marks_;
   std::vector<std::uint32_t> touched_;
   std::uint32_t generation_ = 0;
+
+  // Policy-replay scratch (counterfactual / horizon classifies only).
+  std::vector<util::SimTime> cf_last_;      // counterfactual last activity
+  std::vector<util::SimTime> cf_end_;       // counterfactual availability end
+  std::vector<util::SimTime> idle_gap_;     // closed - last_request_end
+  std::vector<std::uint32_t> recovered_into_;
+  std::vector<std::uint32_t> remap_;        // survivor -> baseline slot
+
+  SiteClassification classify_replay(const Policy& policy);
 };
 
 /// Classifies one site's connections. `connections` must be in open order
 /// (ties broken by record order); the classifier asserts monotonicity.
 SiteClassification classify_site(const SiteObservation& site,
-                                 const ClassifyOptions& options = {});
+                                 const Policy& policy = {});
 
 }  // namespace h2r::core

@@ -54,6 +54,21 @@ struct ConnectionRecord {
   /// benches do.)
   std::optional<std::vector<std::string>> origin_set;
 
+  /// True when the connection lived in the credentialless/privacy pool
+  /// (fetch credentials mode forbade sharing with the default pool).
+  bool privacy = false;
+
+  /// Operator that terminated the connection (NetLog path; empty on the
+  /// HAR path, which cannot see it). Policy replays use it for the
+  /// cert-consolidation knob and per-operator recovery attribution.
+  std::string operator_name;
+
+  /// Every domain the contacted server actually serves (its vhost list,
+  /// lowered + sorted), recorded regardless of whether the server
+  /// announced an ORIGIN frame. Ground truth for the origin_frame and
+  /// sync_dns policy knobs; empty on the HAR path.
+  std::vector<std::string> served_domains;
+
   /// True if any SAN covers `host` (wildcard-aware); false without a cert.
   bool certificate_covers(std::string_view host) const noexcept;
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/strings.hpp"
+
 namespace h2r::core {
 
 namespace {
@@ -41,6 +43,11 @@ void ConnectionTable::build(const SiteObservation& site, Interner& interner) {
   domain.assign(n, 0);
   local_domain.assign(n, 0);
   endpoint.assign(n, 0);
+  base_domain.assign(n, 0);
+  operator_id.assign(n, kNoOperator);
+  host_order.assign(n, 0);
+  privacy.assign(n, 0);
+  has_served.assign(n, 0);
   domains.clear();
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -65,6 +72,19 @@ void ConnectionTable::build(const SiteObservation& site, Interner& interner) {
     }
     if (local == domains.size()) domains.push_back(dom);
     local_domain[i] = local;
+    base_domain[i] = interner.intern_lower(util::base_domain(c.initial_domain));
+    if (!c.operator_name.empty()) {
+      operator_id[i] = interner.intern_lower(c.operator_name);
+    }
+    privacy[i] = c.privacy ? 1 : 0;
+    // nth connection the browser created for this initial domain — the
+    // policy replay's survivor remap is keyed on it (address rotation
+    // picks the destination by per-host creation count).
+    std::uint32_t order = 0;
+    for (std::size_t k = 0; k < i; ++k) {
+      if (domain[k] == dom) ++order;
+    }
+    host_order[i] = order;
 
     // Dense endpoint ids: equal endpoints (IP + port) share an id, so the
     // sweep's same-endpoint test is one integer compare. Sites have a
@@ -77,10 +97,24 @@ void ConnectionTable::build(const SiteObservation& site, Interner& interner) {
   const std::size_t ndom = domains.size();
   covers.assign(n * ndom, 0);
   excluded.assign(n * ndom, 0);
+  served.assign(n * ndom, 0);
   for (std::size_t j = 0; j < n; ++j) {
     const ConnectionRecord& c = conns[j];
     std::uint8_t* cover_row = covers.data() + j * ndom;
     std::uint8_t* excl_row = excluded.data() + j * ndom;
+
+    if (!c.served_domains.empty()) {
+      has_served[j] = 1;
+      std::uint8_t* served_row = served.data() + j * ndom;
+      for (const std::string& name : c.served_domains) {
+        // Vhost names are literal (no wildcards): lowered equality is
+        // interned-id equality, like literal SANs below.
+        const std::uint32_t name_id = interner.intern_lower(name);
+        for (std::size_t d = 0; d < ndom; ++d) {
+          if (domains[d] == name_id) served_row[d] = 1;
+        }
+      }
+    }
 
     if (c.has_certificate) {
       for (const std::string& san : c.san_dns_names) {

@@ -32,6 +32,9 @@
 namespace h2r::core {
 
 struct ConnectionTable {
+  /// Sentinel operator id when the record carried no operator name.
+  static constexpr std::uint32_t kNoOperator = 0xFFFFFFFFu;
+
   explicit ConnectionTable(util::Arena* arena)
       : opened(alloc_time(arena)),
         closed_or_max(alloc_time(arena)),
@@ -39,9 +42,15 @@ struct ConnectionTable {
         domain(alloc_u32(arena)),
         local_domain(alloc_u32(arena)),
         endpoint(alloc_u32(arena)),
+        base_domain(alloc_u32(arena)),
+        operator_id(alloc_u32(arena)),
+        host_order(alloc_u32(arena)),
+        privacy(alloc_u8(arena)),
+        has_served(alloc_u8(arena)),
         domains(alloc_u32(arena)),
         covers(alloc_u8(arena)),
-        excluded(alloc_u8(arena)) {}
+        excluded(alloc_u8(arena)),
+        served(alloc_u8(arena)) {}
 
   /// Builds every column and matrix from `site` (connections in open
   /// order, as the classifier contract requires). Lowered domains and
@@ -59,6 +68,12 @@ struct ConnectionTable {
   bool excludes_domain(std::size_t j, std::size_t d) const noexcept {
     return excluded[j * domains.size() + d] != 0;
   }
+  /// Does connection `j`'s server serve distinct domain `d`? Only
+  /// meaningful when has_served[j] (NetLog records carry vhost lists; HAR
+  /// records do not).
+  bool serves_domain(std::size_t j, std::size_t d) const noexcept {
+    return served[j * domains.size() + d] != 0;
+  }
 
   // Per-connection columns, index = connection index in open order.
   util::ArenaVector<util::SimTime> opened;
@@ -67,6 +82,12 @@ struct ConnectionTable {
   util::ArenaVector<std::uint32_t> domain;        // interned lowered domain
   util::ArenaVector<std::uint32_t> local_domain;  // index into `domains`
   util::ArenaVector<std::uint32_t> endpoint;      // dense per-site endpoint
+  util::ArenaVector<std::uint32_t> base_domain;   // interned eTLD+1 of domain
+  util::ArenaVector<std::uint32_t> operator_id;   // interned; kNoOperator
+  util::ArenaVector<std::uint32_t> host_order;    // nth connection (0-based)
+                                                  // of this initial domain
+  util::ArenaVector<std::uint8_t> privacy;        // credentialless pool bit
+  util::ArenaVector<std::uint8_t> has_served;     // served row is meaningful
 
   /// Distinct interned initial domains, in first-appearance order.
   util::ArenaVector<std::uint32_t> domains;
@@ -74,6 +95,7 @@ struct ConnectionTable {
   // size() x distinct_domains() matrices, row-major by connection.
   util::ArenaVector<std::uint8_t> covers;
   util::ArenaVector<std::uint8_t> excluded;
+  util::ArenaVector<std::uint8_t> served;
 
  private:
   static util::ArenaAllocator<util::SimTime> alloc_time(util::Arena* a) {

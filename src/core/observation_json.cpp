@@ -62,6 +62,17 @@ json::Value connection_to_json(const ConnectionRecord& conn) {
     }
     obj.set("origin_set", std::move(origins));
   }
+  // Policy-replay provenance (PR 9): emitted only when present so cached
+  // observations from earlier runs stay byte-identical.
+  if (conn.privacy) obj.set("privacy", true);
+  if (!conn.operator_name.empty()) obj.set("operator", conn.operator_name);
+  if (!conn.served_domains.empty()) {
+    json::Array served;
+    for (const std::string& domain : conn.served_domains) {
+      served.emplace_back(domain);
+    }
+    obj.set("served_domains", std::move(served));
+  }
   return json::Value{std::move(obj)};
 }
 
@@ -104,6 +115,15 @@ util::Expected<ConnectionRecord> connection_from_json(
       origins.push_back(origin.as_string());
     }
     conn.origin_set = std::move(origins);
+  }
+  conn.privacy = value["privacy"].as_bool(false);
+  if (value["operator"].is_string()) {
+    conn.operator_name = value["operator"].as_string();
+  }
+  if (value["served_domains"].is_array()) {
+    for (const json::Value& domain : value["served_domains"].as_array()) {
+      conn.served_domains.push_back(domain.as_string());
+    }
   }
   return conn;
 }

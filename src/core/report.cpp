@@ -22,6 +22,35 @@ std::optional<util::SimTime> AggregateReport::median_open_offset(
   return stats::histogram_quantile(it->second, 0.5);
 }
 
+void PolicyTally::add_site(const SiteClassification& baseline,
+                           const SiteClassification& replayed) {
+  ++sites;
+  baseline_connections += baseline.total_connections;
+  baseline_redundant += baseline.findings.size();
+  recovered += replayed.recovered.size();
+  remaining_redundant += replayed.findings.size();
+  for (const ConnectionFinding& finding : replayed.findings) {
+    for (const Cause cause : finding.causes) ++remaining_by_cause[cause];
+  }
+  for (const RecoveredConnection& rec : replayed.recovered) {
+    ++recovered_by_operator[rec.operator_name];
+  }
+}
+
+void PolicyTally::merge(const PolicyTally& shard) {
+  sites += shard.sites;
+  baseline_connections += shard.baseline_connections;
+  baseline_redundant += shard.baseline_redundant;
+  recovered += shard.recovered;
+  remaining_redundant += shard.remaining_redundant;
+  for (const auto& [cause, count] : shard.remaining_by_cause) {
+    remaining_by_cause[cause] += count;
+  }
+  for (const auto& [name, count] : shard.recovered_by_operator) {
+    recovered_by_operator[name] += count;
+  }
+}
+
 void AggregateReport::merge(const AggregateReport& shard) {
   analyzed_sites += shard.analyzed_sites;
   h2_sites += shard.h2_sites;

@@ -119,6 +119,35 @@ struct AggregateReport {
   std::uint64_t sites_with_at_least(std::size_t n) const noexcept;
 };
 
+/// Per-policy replay totals (DESIGN §14): what one counterfactual policy
+/// point recovered across a site set. Deliberately small — the optimizer
+/// sweeps 2^k of these per chunk window, so unlike AggregateReport it
+/// carries only the ranking surface.
+struct PolicyTally {
+  std::uint64_t sites = 0;
+  /// Baseline connections / redundant connections over the same sites.
+  std::uint64_t baseline_connections = 0;
+  std::uint64_t baseline_redundant = 0;
+  /// Connections the policy's replay recovered (not opened at all).
+  std::uint64_t recovered = 0;
+  /// Redundant connections still classified among the survivors.
+  std::uint64_t remaining_redundant = 0;
+  /// Remaining redundant connections by cause.
+  std::map<Cause, std::uint64_t> remaining_by_cause;
+  /// Recovered connections credited per operator (server operator when
+  /// recorded, else the connection's base domain).
+  std::map<std::string, std::uint64_t> recovered_by_operator;
+
+  /// Accumulates one site's replay under this tally's policy.
+  void add_site(const SiteClassification& baseline,
+                const SiteClassification& replayed);
+
+  /// Commutative shard merge (sums / map-sums), like AggregateReport.
+  void merge(const PolicyTally& shard);
+
+  bool operator==(const PolicyTally&) const = default;
+};
+
 /// Streaming aggregator: feed (observation, classification) pairs, read the
 /// report at the end. The AS database is optional; without it the AS table
 /// stays empty. A nonzero `hist_budget` bounds every TimeHistogram the

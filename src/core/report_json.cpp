@@ -550,7 +550,94 @@ json::Value to_json(const SiteClassification& classification) {
     findings.emplace_back(std::move(item));
   }
   root.set("findings", std::move(findings));
+  if (!classification.recovered.empty()) {
+    root.set("recovered_connections",
+             static_cast<std::int64_t>(classification.recovered.size()));
+    json::Array recovered;
+    for (const RecoveredConnection& rec : classification.recovered) {
+      json::Object item;
+      item.set("connection_index",
+               static_cast<std::int64_t>(rec.connection_index));
+      item.set("reused_connection_index",
+               static_cast<std::int64_t>(rec.reused_connection_index));
+      item.set("operator", rec.operator_name);
+      recovered.emplace_back(std::move(item));
+    }
+    root.set("recovered", std::move(recovered));
+  }
   return json::Value{std::move(root)};
+}
+
+json::Value to_json(const PolicyTally& tally) {
+  json::Object root;
+  root.set("sites", static_cast<std::int64_t>(tally.sites));
+  root.set("baseline_connections",
+           static_cast<std::int64_t>(tally.baseline_connections));
+  root.set("baseline_redundant",
+           static_cast<std::int64_t>(tally.baseline_redundant));
+  root.set("recovered", static_cast<std::int64_t>(tally.recovered));
+  root.set("remaining_redundant",
+           static_cast<std::int64_t>(tally.remaining_redundant));
+  json::Object by_cause;
+  for (const auto& [cause, count] : tally.remaining_by_cause) {
+    by_cause.set(to_string(cause), static_cast<std::int64_t>(count));
+  }
+  root.set("remaining_by_cause", std::move(by_cause));
+  json::Object by_operator;
+  for (const auto& [name, count] : tally.recovered_by_operator) {
+    by_operator.set(name, static_cast<std::int64_t>(count));
+  }
+  root.set("recovered_by_operator", std::move(by_operator));
+  return json::Value{std::move(root)};
+}
+
+util::Expected<PolicyTally> policy_tally_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return util::unexpected(util::Error{"policy tally must be an object"});
+  }
+  PolicyTally tally;
+  for (const auto& [field, dst] :
+       std::initializer_list<std::pair<const char*, std::uint64_t*>>{
+           {"sites", &tally.sites},
+           {"baseline_connections", &tally.baseline_connections},
+           {"baseline_redundant", &tally.baseline_redundant},
+           {"recovered", &tally.recovered},
+           {"remaining_redundant", &tally.remaining_redundant}}) {
+    const json::Value& v = value[field];
+    if (!v.is_int() || v.as_int() < 0) {
+      return util::unexpected(
+          util::Error{std::string("policy tally field '") + field +
+                      "' must be a non-negative integer"});
+    }
+    *dst = static_cast<std::uint64_t>(v.as_int());
+  }
+  const json::Value& by_cause = value["remaining_by_cause"];
+  if (!by_cause.is_object()) {
+    return util::unexpected(
+        util::Error{"policy tally without remaining_by_cause"});
+  }
+  for (const auto& [name, count] : by_cause.as_object()) {
+    auto cause = cause_from_string(name);
+    if (!cause) return util::unexpected(cause.error());
+    if (!count.is_int() || count.as_int() < 0) {
+      return util::unexpected(util::Error{"bad policy tally cause count"});
+    }
+    tally.remaining_by_cause[*cause] =
+        static_cast<std::uint64_t>(count.as_int());
+  }
+  const json::Value& by_operator = value["recovered_by_operator"];
+  if (!by_operator.is_object()) {
+    return util::unexpected(
+        util::Error{"policy tally without recovered_by_operator"});
+  }
+  for (const auto& [name, count] : by_operator.as_object()) {
+    if (!count.is_int() || count.as_int() < 0) {
+      return util::unexpected(util::Error{"bad policy tally operator count"});
+    }
+    tally.recovered_by_operator[name] =
+        static_cast<std::uint64_t>(count.as_int());
+  }
+  return tally;
 }
 
 json::Value to_json(const AuditReport& report) {
@@ -562,6 +649,14 @@ json::Value to_json(const AuditReport& report) {
            static_cast<std::int64_t>(report.redundant_connections));
   root.set("non_ip_redundant",
            static_cast<std::int64_t>(report.non_ip_redundant));
+  if (!report.remaining_redundant.empty()) {
+    json::Object remaining;
+    for (const auto& [kind, count] : report.remaining_redundant) {
+      remaining.set(std::string(remedy_slug(kind)),
+                    static_cast<std::int64_t>(count));
+    }
+    root.set("remaining_redundant", std::move(remaining));
+  }
   json::Array advice;
   for (const Advice& item : report.advice) {
     json::Object obj;
@@ -570,6 +665,7 @@ json::Value to_json(const AuditReport& report) {
     obj.set("domain", item.domain);
     obj.set("reusable_domain", item.reusable_domain);
     obj.set("connections", static_cast<std::int64_t>(item.connections));
+    obj.set("recovered", static_cast<std::int64_t>(item.recovered));
     obj.set("message", item.message);
     advice.emplace_back(std::move(obj));
   }

@@ -74,6 +74,11 @@ json::Value to_json(const SiteClassification& classification);
 /// Audit report -> JSON (advice items with cause/remedy/volume).
 json::Value to_json(const AuditReport& report);
 
+/// Policy replay tally <-> JSON (DESIGN §14). The parser is strict, like
+/// report_from_json: journal checkpoints carry these per policy point.
+json::Value to_json(const PolicyTally& tally);
+util::Expected<PolicyTally> policy_tally_from_json(const json::Value& value);
+
 /// Fault-layer ledger -> JSON: per-kind injected counts plus the fetch /
 /// retry / degradation counters. Serialized alongside the crawl summary
 /// so chaos runs diff cleanly in CI.

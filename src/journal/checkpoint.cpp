@@ -129,6 +129,13 @@ json::Value to_json(const ChunkCheckpoint& chunk) {
     reports.set(name, core::to_json_full(report));
   }
   object.set("reports", json::Value{std::move(reports)});
+  if (!chunk.tallies.empty()) {
+    json::Object tallies;
+    for (const auto& [name, tally] : chunk.tallies) {
+      tallies.set(name, core::to_json(tally));
+    }
+    object.set("tallies", json::Value{std::move(tallies)});
+  }
   object.set("overlap_sites",
              static_cast<std::int64_t>(chunk.overlap_sites));
   return json::Value{std::move(object)};
@@ -171,6 +178,19 @@ util::Expected<ChunkCheckpoint> chunk_from_json(const json::Value& value) {
     auto report = core::report_from_json(report_json);
     if (!report) return util::unexpected(report.error());
     chunk.reports.emplace_back(name, std::move(report.value()));
+  }
+
+  // Optional: policy-replay tallies (absent in study journals).
+  const json::Value& tallies = value["tallies"];
+  if (!tallies.is_null()) {
+    if (!tallies.is_object()) {
+      return util::unexpected(util::Error{"chunk tallies must be an object"});
+    }
+    for (const auto& [name, tally_json] : tallies.as_object()) {
+      auto tally = core::policy_tally_from_json(tally_json);
+      if (!tally) return util::unexpected(tally.error());
+      chunk.tallies.emplace_back(name, std::move(tally.value()));
+    }
   }
 
   auto overlap = parse_count(value, "overlap_sites");

@@ -48,6 +48,10 @@ struct ChunkCheckpoint {
   browser::CrawlSummary summary;
   /// Named full-fidelity reports for exactly the sites in `ranges`.
   std::vector<std::pair<std::string, core::AggregateReport>> reports;
+  /// Named policy-replay tallies for the sites in `ranges` (optimizer
+  /// chunks only — one per policy point, keyed by Policy::label()).
+  /// Serialized only when non-empty, so study journal bytes are unchanged.
+  std::vector<std::pair<std::string, core::PolicyTally>> tallies;
   /// Sites that appeared in both study halves (har campaign only).
   std::uint64_t overlap_sites = 0;
 

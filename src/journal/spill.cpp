@@ -10,6 +10,9 @@ void merge_window(FoldTotals& totals, const ChunkCheckpoint& window) {
   for (const auto& [name, report] : window.reports) {
     totals.reports[name].merge(report);
   }
+  for (const auto& [name, tally] : window.tallies) {
+    totals.tallies[name].merge(tally);
+  }
   totals.summary.merge(window.summary);
   totals.overlap_sites += window.overlap_sites;
   ++totals.windows;

@@ -39,6 +39,8 @@ namespace h2r::journal {
 /// must NOT merge this one in). `windows`/`spill_bytes` are diagnostics.
 struct FoldTotals {
   std::map<std::string, core::AggregateReport> reports;
+  /// Policy-replay tallies by Policy::label() (optimizer folds only).
+  std::map<std::string, core::PolicyTally> tallies;
   browser::CrawlSummary summary;
   std::uint64_t overlap_sites = 0;
   std::uint64_t windows = 0;

@@ -48,6 +48,9 @@ core::SiteObservation stitch_site(const std::string& site_url,
             std::strtoull(e.param("cert_serial").c_str(), nullptr, 10);
         rec.has_certificate = !rec.san_dns_names.empty();
         if (!e.param("protocol").empty()) rec.protocol = e.param("protocol");
+        rec.privacy = e.param("privacy") == "1";
+        rec.operator_name = e.param("operator");
+        rec.served_domains = split_list(e.param("served"));
         sessions[e.source_id] = std::move(rec);
         break;
       }

@@ -1,0 +1,390 @@
+#include "optimize/optimize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/classify.hpp"
+#include "journal/checkpoint.hpp"
+#include "journal/spill.hpp"
+#include "util/env.hpp"
+#include "web/catalog.hpp"
+#include "web/ecosystem.hpp"
+#include "web/sitegen.hpp"
+
+namespace h2r::optimize {
+
+namespace {
+
+/// Observer bridging per-worker sinks + chunk windows onto the crawl,
+/// same shape as the study's CampaignObserver.
+class SweepObserver final : public obs::Observer {
+ public:
+  using MakeSink = std::function<browser::ShardSink(unsigned)>;
+
+  SweepObserver(MakeSink make_sink, browser::ChunkSink chunk_sink,
+                std::uint32_t hist_budget)
+      : make_sink_(std::move(make_sink)),
+        chunk_sink_(std::move(chunk_sink)) {
+    registry_.set_histogram_budget(hist_budget);
+  }
+
+  void begin(unsigned workers) override {
+    for (unsigned t = static_cast<unsigned>(sinks_.size()); t < workers;
+         ++t) {
+      sinks_.push_back(make_sink_(t));
+      (void)registry_.shard(t);  // materialize before the workers start
+    }
+  }
+
+  obs::Metrics* metrics(unsigned worker) override {
+    return &registry_.shard(worker);
+  }
+
+  void site(unsigned worker, browser::SiteResult& result) override {
+    sinks_[worker](result);
+  }
+
+  void chunk(const browser::ChunkEvent& event) override {
+    if (chunk_sink_) chunk_sink_(event);
+  }
+
+  obs::Metrics merged() const { return registry_.merged(); }
+
+ private:
+  MakeSink make_sink_;
+  browser::ChunkSink chunk_sink_;
+  std::vector<browser::ShardSink> sinks_;
+  obs::MetricRegistry registry_;
+};
+
+/// Every subset of the enabled knobs, mask-ascending (baseline first).
+std::vector<std::uint8_t> policy_points(std::uint8_t knob_mask) {
+  std::vector<std::uint8_t> points;
+  for (std::uint8_t mask = 0; mask <= core::kAllPolicyKnobs; ++mask) {
+    if ((mask & ~knob_mask) == 0) points.push_back(mask);
+  }
+  return points;
+}
+
+std::string percent(std::uint64_t part, std::uint64_t whole) {
+  char buffer[32];
+  const double pct =
+      whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                             static_cast<double>(whole);
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", pct);
+  return buffer;
+}
+
+}  // namespace
+
+OptimizeConfig OptimizeConfig::from_env() {
+  OptimizeConfig config;
+  config.sites = static_cast<std::size_t>(
+      util::env_u64("H2R_ALEXA_SITES", config.sites, 1));
+  config.seed = util::env_u64("H2R_SEED", config.seed, 1);
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  config.threads = std::min(
+      std::max(1u, static_cast<unsigned>(
+                       util::env_u64("H2R_THREADS", config.threads, 1))),
+      hardware);
+  config.stream = util::env_flag("H2R_STREAM");
+  config.spill_dir = util::env_string("H2R_SPILL");
+  config.hist_budget = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      util::env_u64("H2R_HIST_BUDGET", config.hist_budget, 1),
+      0xFFFFFFFFull));
+  config.faults = fault::FaultConfig::from_env();
+  // H2R_POLICY_DURATION picks the duration every point inherits; any
+  // H2R_POLICY_* knob flags RESTRICT the sweep to subsets of those knobs.
+  const core::Policy env_policy = core::Policy::from_env();
+  config.base.duration = env_policy.duration;
+  config.knob_mask =
+      env_policy.mask() != 0 ? env_policy.mask() : core::kAllPolicyKnobs;
+  return config;
+}
+
+OptimizeResults run_optimize(const OptimizeConfig& config) {
+  OptimizeResults results;
+  results.config = config;
+
+  const std::vector<std::uint8_t> points = policy_points(config.knob_mask);
+  std::vector<std::string> labels;
+  labels.reserve(points.size());
+  for (std::uint8_t mask : points) {
+    labels.push_back(core::Policy::with_mask(mask, config.base).label());
+  }
+
+  web::Ecosystem eco{config.seed};
+  web::ServiceCatalog catalog{eco, config.seed};
+  web::UniverseConfig universe_config = web::UniverseConfig::defaults();
+  universe_config.seed = config.seed;
+  universe_config.top_rank = std::max<std::size_t>(config.sites / 2, 1);
+  universe_config.tail_rank = std::max<std::size_t>(config.sites, 2);
+  web::SiteUniverse universe{eco, catalog, universe_config};
+  if (!config.stream) universe.materialize(0, config.sites);
+
+  const asdb::AsDatabase* as_db = &eco.as_database();
+
+  // Windowed mode: per-chunk tally windows fold through ReportFold, the
+  // same streaming spine the study uses — per-worker state stays O(one
+  // window) no matter how many sites the universe has.
+  const bool windowed = config.stream;
+  if (!config.spill_dir.empty() && !windowed) {
+    throw std::runtime_error(
+        "spill_dir (H2R_SPILL) requires streaming mode");
+  }
+  std::unique_ptr<journal::ReportFold> fold;
+  if (config.spill_dir.empty()) {
+    fold = std::make_unique<journal::ReportFold>();
+  } else {
+    auto spilling = journal::ReportFold::spilling(config.spill_dir +
+                                                  "/h2r-spill-optimize.spill");
+    if (!spilling) {
+      throw std::runtime_error("spill fold (optimize): " +
+                               spilling.error().message);
+    }
+    fold = std::move(*spilling);
+  }
+  std::mutex fold_error_mutex;  // guards: fold_error
+  std::exception_ptr fold_error;
+
+  struct Shard {
+    core::Aggregator baseline_agg;
+    std::vector<core::PolicyTally> tallies;  // parallel to `points`
+    core::ClassifyContext classify;
+    Shard(const asdb::AsDatabase* db, std::uint32_t budget,
+          std::size_t point_count)
+        : baseline_agg(db, budget), tallies(point_count) {}
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  // Crawl options identical to the study's Alexa campaign: the optimizer
+  // replays the SAME universe crawl the study measures.
+  browser::CrawlOptions crawl;
+  crawl.browser.follow_fetch_credentials = true;
+  crawl.browser.vantage_region = "eu";
+  crawl.browser.faults = config.faults;
+  crawl.vantage_index = 0;
+  crawl.seed = config.seed + 1;
+  crawl.threads = config.threads;
+  crawl.start_time = util::days(1);
+  crawl.har_path = false;
+  crawl.stream = config.stream;
+
+  auto make_sink = [&](unsigned worker) -> browser::ShardSink {
+    while (shards.size() <= worker) {
+      shards.push_back(std::make_unique<Shard>(as_db, config.hist_budget,
+                                               points.size()));
+    }
+    Shard* shard = shards[worker].get();
+    return [shard, &points, &config](const browser::SiteResult& site) {
+      if (!site.reachable) return;
+      const auto& obs = site.netlog_observation;
+      // One prepare() per site, one columnar sweep per policy point.
+      shard->classify.prepare(obs);
+      const core::SiteClassification baseline =
+          shard->classify.classify(config.base);
+      shard->baseline_agg.add_site(obs, baseline);
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p] == 0) {
+          shard->tallies[p].add_site(baseline, baseline);
+        } else {
+          shard->tallies[p].add_site(
+              baseline, shard->classify.classify(core::Policy::with_mask(
+                            points[p], config.base)));
+        }
+      }
+    };
+  };
+
+  browser::ChunkSink chunk_sink;
+  if (windowed) {
+    chunk_sink = [&](const browser::ChunkEvent& event) {
+      Shard* shard = shards[event.worker].get();
+      journal::ChunkCheckpoint checkpoint;
+      checkpoint.campaign = "optimize";
+      checkpoint.ranges = event.ranges;
+      checkpoint.summary = event.summary;
+      checkpoint.reports.emplace_back("baseline",
+                                      shard->baseline_agg.report());
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        checkpoint.tallies.emplace_back(labels[p], shard->tallies[p]);
+      }
+      auto folded = fold->fold(checkpoint);
+      if (!folded) {
+        std::lock_guard<std::mutex> lock(fold_error_mutex);
+        if (fold_error == nullptr) {
+          fold_error = std::make_exception_ptr(std::runtime_error(
+              "tally fold failed: " + folded.error().message));
+        }
+      }
+      shard->baseline_agg = core::Aggregator(as_db, config.hist_budget);
+      shard->tallies.assign(points.size(), core::PolicyTally{});
+    };
+  }
+
+  SweepObserver observer{make_sink, std::move(chunk_sink),
+                         config.hist_budget};
+  crawl.observer = &observer;
+  if (windowed) crawl.chunked = true;
+
+  results.summary = browser::crawl(universe, 0, config.sites, crawl);
+  if (fold_error != nullptr) std::rethrow_exception(fold_error);
+
+  std::vector<core::PolicyTally> totals(points.size());
+  if (windowed) {
+    auto folded = fold->finish();
+    if (!folded) {
+      throw std::runtime_error("fold finish (optimize): " +
+                               folded.error().message);
+    }
+    results.baseline.merge(folded->reports["baseline"]);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const auto it = folded->tallies.find(labels[p]);
+      if (it != folded->tallies.end()) totals[p].merge(it->second);
+    }
+    results.spill_bytes = folded->spill_bytes;
+  } else {
+    for (const auto& shard : shards) {
+      results.baseline.merge(shard->baseline_agg.report());
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        totals[p].merge(shard->tallies[p]);
+      }
+    }
+  }
+  results.metrics = observer.merged();
+
+  results.ranked.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    results.ranked.push_back(PolicyOutcome{
+        core::Policy::with_mask(points[p], config.base),
+        std::move(totals[p])});
+  }
+  std::sort(results.ranked.begin(), results.ranked.end(),
+            [](const PolicyOutcome& a, const PolicyOutcome& b) {
+              if (a.tally.recovered != b.tally.recovered) {
+                return a.tally.recovered > b.tally.recovered;
+              }
+              if (a.policy.knob_count() != b.policy.knob_count()) {
+                return a.policy.knob_count() < b.policy.knob_count();
+              }
+              return a.policy.mask() < b.policy.mask();
+            });
+  return results;
+}
+
+json::Value to_json(const OptimizeResults& results) {
+  json::Object root;
+  // `threads` and `stream` are deliberately absent: the document must be
+  // byte-identical across both (CI diffs it).
+  json::Object config;
+  config.set("sites", static_cast<std::int64_t>(results.config.sites));
+  config.set("seed", static_cast<std::int64_t>(results.config.seed));
+  config.set("duration", core::to_string(results.config.base.duration));
+  config.set("knob_mask",
+             static_cast<std::int64_t>(results.config.knob_mask));
+  config.set("faults", results.config.faults.signature());
+  root.set("config", json::Value{std::move(config)});
+
+  json::Object summary;
+  summary.set("sites_visited",
+              static_cast<std::int64_t>(results.summary.sites_visited));
+  summary.set("sites_unreachable",
+              static_cast<std::int64_t>(results.summary.sites_unreachable));
+  summary.set("connections_opened",
+              static_cast<std::int64_t>(results.summary.connections_opened));
+  root.set("summary", json::Value{std::move(summary)});
+
+  json::Array ranking;
+  std::int64_t rank = 1;
+  for (const PolicyOutcome& outcome : results.ranked) {
+    json::Object entry;
+    entry.set("rank", rank++);
+    entry.set("policy", outcome.policy.label());
+    entry.set("mask", static_cast<std::int64_t>(outcome.policy.mask()));
+    json::Array knobs;
+    for (std::size_t k = 0; k < core::kPolicyKnobCount; ++k) {
+      const auto bit = static_cast<core::PolicyKnob>(1u << k);
+      if ((outcome.policy.mask() & bit) != 0) {
+        knobs.push_back(json::Value{std::string(core::to_string(bit))});
+      }
+    }
+    entry.set("knobs", json::Value{std::move(knobs)});
+    entry.set("tally", core::to_json(outcome.tally));
+    ranking.push_back(json::Value{std::move(entry)});
+  }
+  root.set("ranking", json::Value{std::move(ranking)});
+  return json::Value{std::move(root)};
+}
+
+std::string render(const OptimizeResults& results) {
+  std::string out = "counterfactual reuse maximizer — " +
+                    std::to_string(results.config.sites) + " sites, seed " +
+                    std::to_string(results.config.seed) + ", " +
+                    core::to_string(results.config.base.duration) +
+                    " durations\n";
+  const core::PolicyTally* baseline = nullptr;
+  for (const PolicyOutcome& outcome : results.ranked) {
+    if (outcome.policy.mask() == 0) baseline = &outcome.tally;
+  }
+  if (baseline != nullptr) {
+    out += "crawled " + std::to_string(results.summary.sites_visited) +
+           " sites (" + std::to_string(results.summary.sites_unreachable) +
+           " unreachable): " +
+           std::to_string(baseline->baseline_connections) +
+           " connections, " + std::to_string(baseline->baseline_redundant) +
+           " redundant (" +
+           percent(baseline->baseline_redundant,
+                   baseline->baseline_connections) +
+           ")\n";
+  }
+  out += "\nrank  recovered  redundant-left  policy\n";
+  int rank = 1;
+  for (const PolicyOutcome& outcome : results.ranked) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%4d  %9llu  %14llu  ", rank++,
+                  static_cast<unsigned long long>(outcome.tally.recovered),
+                  static_cast<unsigned long long>(
+                      outcome.tally.remaining_redundant));
+    out += line;
+    out += outcome.policy.label();
+    if (outcome.tally.baseline_redundant > 0 && outcome.tally.recovered > 0) {
+      out += "  (" + percent(outcome.tally.recovered,
+                             outcome.tally.baseline_redundant) +
+             " of redundant)";
+    }
+    out += "\n";
+    // Who benefits: operators credited with the recovered connections,
+    // biggest first (name-ascending on ties), top three.
+    std::vector<std::pair<std::string, std::uint64_t>> operators(
+        outcome.tally.recovered_by_operator.begin(),
+        outcome.tally.recovered_by_operator.end());
+    std::sort(operators.begin(), operators.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (!operators.empty()) {
+      out += "                                 operators:";
+      const std::size_t shown = std::min<std::size_t>(operators.size(), 3);
+      for (std::size_t i = 0; i < shown; ++i) {
+        out += " " + operators[i].first + "(" +
+               std::to_string(operators[i].second) + ")";
+      }
+      if (operators.size() > shown) {
+        out += " +" + std::to_string(operators.size() - shown) + " more";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace h2r::optimize

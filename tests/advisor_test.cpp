@@ -121,6 +121,49 @@ TEST(Advisor, RenderMentionsEveryAdviceLine) {
   EXPECT_NE(text.find("merge the domains"), std::string::npos);
 }
 
+TEST(Advisor, MeasuresPerRemedyRecovery) {
+  // Same endpoint, disjoint certificates -> CERT. Only the certificate
+  // consolidation replay can recover it; the other knobs leave it
+  // redundant.
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "static.shop.example", {"static.shop.example"}, 0),
+      conn(2, "10.0.0.1", "img.shop.example", {"img.shop.example"}, 50),
+  }));
+  ASSERT_EQ(report.advice.size(), 1u);
+  EXPECT_EQ(report.advice[0].remedy, RemedyKind::kMergeCertificates);
+  EXPECT_EQ(report.advice[0].recovered, 1u);
+  EXPECT_EQ(report.remaining_redundant.at(RemedyKind::kMergeCertificates),
+            0u);
+  EXPECT_EQ(report.remaining_redundant.at(RemedyKind::kDeployOriginFrame),
+            1u);
+  EXPECT_EQ(report.remaining_redundant.at(RemedyKind::kSyncDnsLoadBalancing),
+            1u);
+  const std::string text = render(report);
+  EXPECT_NE(text.find("measured by policy replay"), std::string::npos);
+  EXPECT_NE(text.find("replay recovers 1 to img.shop.example"),
+            std::string::npos);
+}
+
+TEST(Advisor, EqualVolumeAdviceSortsByDomain) {
+  const AuditReport report = audit_site(site({
+      conn(1, "10.0.0.1", "a.shop.example", {"a.shop.example"}, 0),
+      conn(2, "10.0.0.1", "c.shop.example", {"c.shop.example"}, 50),
+      conn(3, "10.0.0.1", "b.shop.example", {"b.shop.example"}, 100),
+  }));
+  ASSERT_EQ(report.advice.size(), 2u);
+  EXPECT_EQ(report.advice[0].connections, report.advice[1].connections);
+  EXPECT_EQ(report.advice[0].domain, "b.shop.example");
+  EXPECT_EQ(report.advice[1].domain, "c.shop.example");
+}
+
+TEST(Advisor, RemedyKnobsCoverEveryRemedy) {
+  for (RemedyKind kind : kAllRemedies) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(remedy_knob(kind));
+    EXPECT_NE(bit & kAllPolicyKnobs, 0);
+    EXPECT_FALSE(remedy_slug(kind).empty());
+  }
+}
+
 TEST(Advisor, RemedyNames) {
   EXPECT_FALSE(to_string(RemedyKind::kSyncDnsLoadBalancing).empty());
   EXPECT_FALSE(to_string(RemedyKind::kDeployOriginFrame).empty());

@@ -167,7 +167,7 @@ void expect_same_classification(const core::SiteClassification& got,
 /// Reference implementation: the pre-table sweep, kept verbatim so the
 /// SoA path has an executable spec to diff against.
 core::SiteClassification classify_reference(
-    const core::SiteObservation& site, const core::ClassifyOptions& options) {
+    const core::SiteObservation& site, const core::Policy& options) {
   core::SiteClassification result;
   result.site_url = site.site_url;
   result.total_connections = site.connections.size();

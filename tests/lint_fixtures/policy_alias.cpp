@@ -1,0 +1,12 @@
+// Trips policy.alias: ClassifyOptions is the deprecated spelling of
+// core::Policy; an allow annotation suppresses it at the alias definition.
+namespace core { struct Policy {}; }
+
+void legacy(const core::Policy& p);
+
+using ClassifyOptions = core::Policy;  // h2r-lint: allow(policy.alias) -- alias definition
+
+void caller() {
+  ClassifyOptions options{};
+  legacy(options);
+}

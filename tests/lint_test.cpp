@@ -50,9 +50,16 @@ TEST(LintRules, InventoryIsStableAndSorted) {
       "allow.reason", "ban.async",       "ban.clock",
       "ban.rand",     "ban.thread-id",   "ban.time",
       "env.getenv",   "lock.atomic-mix", "lock.guards",
-      "order.unordered",
+      "order.unordered", "policy.alias",
   };
   EXPECT_EQ(ids, expected);
+}
+
+TEST(LintRules, PolicyAliasWarnsExceptWhereAllowed) {
+  // Line 7 (the alias definition) carries an allow annotation; the plain
+  // use in caller() trips.
+  EXPECT_EQ(keys(scan_fixture("policy_alias.cpp")),
+            (Keys{{"policy.alias", 10}}));
 }
 
 TEST(LintRules, CleanFixtureHasZeroFindings) {

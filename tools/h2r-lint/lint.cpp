@@ -303,7 +303,7 @@ constexpr std::string_view kRuleIds[] = {
     "allow.reason", "ban.async",       "ban.clock",
     "ban.rand",     "ban.thread-id",   "ban.time",
     "env.getenv",   "lock.atomic-mix", "lock.guards",
-    "order.unordered",
+    "order.unordered", "policy.alias",
 };
 
 void add_finding(std::vector<Finding>& out, std::string_view path, int line,
@@ -567,6 +567,21 @@ void rule_atomic_mix(std::string_view path, const std::vector<Line>& lines,
   }
 }
 
+void rule_policy_alias(std::string_view path, const std::vector<Line>& lines,
+                       std::vector<Finding>& out) {
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    if (has_ident(code, "ClassifyOptions")) {
+      add_finding(out, path, static_cast<int>(idx) + 1, "policy.alias",
+                  Severity::kWarning,
+                  "ClassifyOptions is a deprecated alias; new code should "
+                  "spell core::Policy (it carries the counterfactual knobs "
+                  "too)",
+                  code);
+    }
+  }
+}
+
 // ------------------------------------------------------------------ io
 
 util::Expected<Finding> finding_from_json(const json::Value& value) {
@@ -642,6 +657,7 @@ std::vector<Finding> scan_source(std::string_view path, std::string_view text,
   rule_ordered_output(path, lines, raw);
   rule_lock_guards(path, lines, raw);
   rule_atomic_mix(path, lines, raw);
+  rule_policy_alias(path, lines, raw);
 
   std::vector<Finding> findings;
   for (Finding& f : raw) {

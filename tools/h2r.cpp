@@ -8,6 +8,10 @@
 //   h2r replay [--proxy shared|worker|both]
 //                                 replay crawl traffic through the
 //                                 edge-proxy upstream pool architectures
+//   h2r optimize [--sites N]      rank counterfactual policy interventions
+//                                 (ORIGIN frames, DNS sync, cert merges,
+//                                 credential relaxation) by measured
+//                                 connections recovered — no re-crawl
 //   h2r dns-overlap               run the Figure 3 resolver-overlap study
 //   h2r snapshot <out.json> [N]   crawl N universe sites, save the exact
 //                                 connection records as a dataset
@@ -33,6 +37,7 @@
 #include "journal/checkpoint.hpp"
 #include "har/import.hpp"
 #include "obs/metrics.hpp"
+#include "optimize/optimize.hpp"
 #include "pool/pool.hpp"
 #include "pool/replay.hpp"
 #include "stats/table.hpp"
@@ -54,6 +59,8 @@ int usage() {
                "            [--hist-budget <n>]\n"
                "  h2r replay [--proxy shared|worker|both] [--sites N]\n"
                "            [--json <out>] [--metrics <out>]\n"
+               "  h2r optimize [--sites N] [--json <out>] [--stream]\n"
+               "            [--spill <dir>]\n"
                "  h2r crawl <config.json> <landing-domain> [resource-domain...]\n"
                "  h2r dns-overlap <config.json> <domain-a> <domain-b>\n"
                "  h2r snapshot <out.json> [site-count]\n"
@@ -71,7 +78,11 @@ int usage() {
                "             H2R_SPILL (or --spill) — spill report windows "
                "to <dir> and merge at the end (needs --stream/--journal)\n"
                "             H2R_HIST_BUDGET (or --hist-budget) — cap every "
-               "duration histogram at <n> bins\n");
+               "duration histogram at <n> bins\n"
+               "optimize:    H2R_POLICY_DURATION (endless|immediate|exact) / "
+               "H2R_POLICY_ORIGIN_FRAME / H2R_POLICY_SYNC_DNS /\n"
+               "             H2R_POLICY_CERT_CONSOLIDATION / "
+               "H2R_POLICY_IGNORE_CREDENTIALS — restrict the swept knobs\n");
   return 2;
 }
 
@@ -104,7 +115,9 @@ int cmd_audit(const char* path, bool as_json) {
   if (as_json) {
     json::Object root;
     root.set("classification", core::to_json(cls));
-    root.set("audit", core::to_json(core::audit_site(site, cls)));
+    root.set("audit",
+             core::to_json(core::audit_site(
+                 site, cls, core::Policy{core::DurationModel::kEndless})));
     json::WriteOptions opts;
     opts.pretty = true;
     std::printf("%s\n", json::write(json::Value{std::move(root)}, opts).c_str());
@@ -117,7 +130,11 @@ int cmd_audit(const char* path, bool as_json) {
               static_cast<unsigned long long>(stats.dropped()),
               static_cast<unsigned long long>(stats.h1_entries),
               static_cast<unsigned long long>(stats.h3_entries));
-  std::printf("%s", core::render(core::audit_site(site, cls)).c_str());
+  std::printf("%s",
+              core::render(
+                  core::audit_site(
+                      site, cls, core::Policy{core::DurationModel::kEndless}))
+                  .c_str());
   return 0;
 }
 
@@ -274,6 +291,52 @@ int cmd_study(int argc, char** argv) {
     opts.pretty = true;
     out << json::write(study_to_json(r), opts) << "\n";
     std::printf("wrote study report to %s\n", json_out);
+  }
+  return 0;
+}
+
+int cmd_optimize(int argc, char** argv) {
+  optimize::OptimizeConfig config = optimize::OptimizeConfig::from_env();
+  const char* json_out = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+      config.sites = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+      if (config.sites == 0) return usage();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      config.stream = true;
+    } else if (std::strcmp(argv[i], "--spill") == 0 && i + 1 < argc) {
+      config.spill_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  std::printf("optimizing reuse over %zu sites, seed %llu, %u thread(s), "
+              "knob mask 0x%x (%zu policies)\n\n",
+              config.sites, static_cast<unsigned long long>(config.seed),
+              config.threads, config.knob_mask,
+              static_cast<std::size_t>(1)
+                  << core::Policy::with_mask(config.knob_mask).knob_count());
+  optimize::OptimizeResults r;
+  try {
+    r = optimize::run_optimize(config);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "optimize failed: %s\n", error.what());
+    return 1;
+  }
+  std::printf("%s", optimize::render(r).c_str());
+  if (json_out != nullptr) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out);
+      return 1;
+    }
+    json::WriteOptions opts;
+    opts.pretty = true;
+    out << json::write(optimize::to_json(r), opts) << "\n";
+    std::printf("\nwrote intervention ranking to %s\n", json_out);
   }
   return 0;
 }
@@ -518,6 +581,9 @@ int main(int argc, char** argv) {
     return cmd_audit(argv[2], as_json);
   }
   if (std::strcmp(cmd, "study") == 0) return cmd_study(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "optimize") == 0) {
+    return cmd_optimize(argc - 2, argv + 2);
+  }
   if (std::strcmp(cmd, "replay") == 0) return cmd_replay(argc - 2, argv + 2);
   if (std::strcmp(cmd, "crawl") == 0 && argc >= 4) {
     return cmd_crawl(argc - 2, argv + 2);
