@@ -120,9 +120,13 @@ struct CrawlSummary {
   har::ImportStats har_stats;
 
   /// One entry per worker (index = worker id). Diagnostics only.
+  // contract: exclude(eq, codec) -- scheduling diagnostic: which worker
+  // claimed which chunk is timing-dependent; merge still concatenates it
   std::vector<WorkerCounters> per_worker;
   /// Wall time of the whole crawl_range call, including materialization
   /// and the ordered sink drain. Diagnostics only.
+  // contract: diagnostic -- real-clock reading, quarantined from the
+  // determinism contract (not merged, compared, or checkpointed)
   double wall_ms = 0.0;
 
   /// Folds a shard (another worker's or campaign's summary) into this

@@ -100,6 +100,8 @@ std::size_t SiteClassification::count_cause(Cause cause) const noexcept {
 ClassifyContext::ClassifyContext(bool use_arena)
     : arena_(use_arena ? std::make_unique<util::Arena>() : nullptr) {}
 
+// h2r-lint: hotpath -- runs once per site per worker; the arena reset +
+// SoA rebuild here is the 2.2x win the allocation rule guards
 void ClassifyContext::prepare(const SiteObservation& site) {
   site_ = &site;
   // Site-scoped scratch dies here; the table is rebuilt on the rewound

@@ -29,6 +29,8 @@ bool wildcard_matches(std::string_view lowered_pattern,
 
 }  // namespace
 
+// h2r-lint: hotpath -- per-site SoA flatten; every column must come from
+// the per-worker arena, not ad-hoc heap blocks
 void ConnectionTable::build(const SiteObservation& site, Interner& interner) {
   const auto& conns = site.connections;
   const std::size_t n = conns.size();

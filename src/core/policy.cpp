@@ -64,8 +64,14 @@ Policy Policy::from_env() {
 }
 
 bool operator==(const Policy& a, const Policy& b) noexcept {
+  // Field-by-field, not via mask(): mask() packs exactly the four knob
+  // bits today, but a comparison routed through it would silently ignore
+  // any future field that is not a knob — the exact gap
+  // contract.eq-coverage exists to catch.
   return a.duration == b.duration && a.horizon == b.horizon &&
-         a.mask() == b.mask();
+         a.origin_frame == b.origin_frame && a.sync_dns == b.sync_dns &&
+         a.cert_consolidation == b.cert_consolidation &&
+         a.ignore_credentials == b.ignore_credentials;
 }
 
 std::string_view to_string(PolicyKnob knob) {

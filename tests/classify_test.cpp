@@ -283,5 +283,38 @@ TEST(ToString, Names) {
   EXPECT_EQ(to_string(DurationModel::kExact), "exact");
 }
 
+// Regression for the eq-coverage gap h2r-lint's contract pass caught:
+// operator== used to compare mask() alone, so policies differing only in
+// duration or horizon (neither is a knob bit) compared equal — a cache
+// keyed on Policy equality would have conflated distinct policy points.
+TEST(Policy, EqualityCoversEveryFieldNotJustTheKnobMask) {
+  const Policy base;
+  EXPECT_EQ(base, Policy{});
+
+  Policy duration = base;
+  duration.duration = DurationModel::kImmediate;
+  EXPECT_FALSE(duration == base);
+
+  Policy horizon = base;
+  horizon.horizon = util::seconds(30);
+  EXPECT_FALSE(horizon == base);
+
+  Policy origin_frame = base;
+  origin_frame.origin_frame = true;
+  EXPECT_FALSE(origin_frame == base);
+
+  Policy sync_dns = base;
+  sync_dns.sync_dns = true;
+  EXPECT_FALSE(sync_dns == base);
+
+  Policy cert = base;
+  cert.cert_consolidation = true;
+  EXPECT_FALSE(cert == base);
+
+  Policy credentials = base;
+  credentials.ignore_credentials = true;
+  EXPECT_FALSE(credentials == base);
+}
+
 }  // namespace
 }  // namespace h2r::core

@@ -1,0 +1,31 @@
+// Trips contract.codec-coverage in both directions: `dropped` is written
+// by the encoder but never parsed back (lost on resume), and `resumed`
+// is parsed by the decoder but never written (reads a key that is never
+// there). `kept` round-trips and is fine.
+#include <cstdint>
+
+#include "json/json.hpp"
+
+namespace h2r::fixture {
+
+struct ChunkStats {
+  std::uint64_t kept = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t resumed = 0;
+};
+
+json::Value chunk_stats_to_json(const ChunkStats& stats) {
+  json::Object obj;
+  obj.set("kept", static_cast<std::int64_t>(stats.kept));
+  obj.set("dropped", static_cast<std::int64_t>(stats.dropped));
+  return json::Value(std::move(obj));
+}
+
+ChunkStats chunk_stats_from_json(const json::Value& value) {
+  ChunkStats stats;
+  stats.kept = static_cast<std::uint64_t>(value["kept"].as_int());
+  stats.resumed = static_cast<std::uint64_t>(value["resumed"].as_int());
+  return stats;
+}
+
+}  // namespace h2r::fixture

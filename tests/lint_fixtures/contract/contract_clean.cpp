@@ -1,0 +1,43 @@
+// A struct that honors the full contract: every field is merged, every
+// field participates in the defaulted operator==, the codec round-trips
+// every field, and the one diagnostic is annotated out of all three
+// surfaces. h2r-lint must report zero findings here.
+#include <cstdint>
+
+#include "json/json.hpp"
+
+namespace h2r::fixture {
+
+struct CleanTally {
+  std::uint64_t sites = 0;
+  std::uint64_t connections = 0;
+  // contract: diagnostic -- wall-clock scheduling noise, never part of
+  // the determinism contract
+  double wall_ms = 0.0;
+
+  void merge(const CleanTally& shard);
+  bool operator==(const CleanTally&) const = default;
+};
+
+void CleanTally::merge(const CleanTally& shard) {
+  sites += shard.sites;
+  connections += shard.connections;
+  wall_ms += shard.wall_ms;
+}
+
+json::Value clean_tally_to_json(const CleanTally& tally) {
+  json::Object obj;
+  obj.set("sites", static_cast<std::int64_t>(tally.sites));
+  obj.set("connections", static_cast<std::int64_t>(tally.connections));
+  return json::Value(std::move(obj));
+}
+
+CleanTally clean_tally_from_json(const json::Value& value) {
+  CleanTally tally;
+  tally.sites = static_cast<std::uint64_t>(value["sites"].as_int());
+  tally.connections =
+      static_cast<std::uint64_t>(value["connections"].as_int());
+  return tally;
+}
+
+}  // namespace h2r::fixture

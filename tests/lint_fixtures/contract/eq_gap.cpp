@@ -1,0 +1,18 @@
+// Trips contract.eq-coverage: the hand-written operator== compares two of
+// the three fields, so a differential test comparing ReuseStats values
+// would wave a divergence in misses straight through.
+#include <cstdint>
+
+namespace h2r::fixture {
+
+struct ReuseStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t misses = 0;
+};
+
+bool operator==(const ReuseStats& a, const ReuseStats& b) {
+  return a.lookups == b.lookups && a.reuses == b.reuses;
+}
+
+}  // namespace h2r::fixture

@@ -1,0 +1,16 @@
+// Malformed per-field contract annotations: an unknown rule key in the
+// exclude list, and an exclusion without a reason. Both must surface as
+// allow.reason findings — an annotation that silently did nothing would
+// be worse than no annotation at all.
+#include <cstdint>
+
+namespace h2r::fixture {
+
+struct BadAnnotations {
+  // contract: exclude(frobnicate) -- no such contract surface
+  std::uint64_t first = 0;
+  // contract: exclude(merge)
+  std::uint64_t second = 0;
+};
+
+}  // namespace h2r::fixture

@@ -1,0 +1,32 @@
+// Trips hotpath.alloc three ways inside the annotated per-site function:
+// a by-value std::string local, growth on a heap-backed member vector,
+// and a make_unique. The un-annotated helper below does all the same
+// things and stays quiet — the rule fires only where the hotpath
+// annotation promises allocation-freedom.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace h2r::fixture {
+
+struct Sweep {
+  std::vector<std::uint32_t> marks;
+
+  // h2r-lint: hotpath -- runs once per connection pair per site
+  void classify_site(const std::string& host) {
+    std::string needle = host;
+    marks.push_back(1);
+    auto scratch = std::make_unique<std::uint64_t>(0);
+    *scratch += needle.size();
+  }
+
+  void cold_report(const std::string& host) {
+    std::string needle = host;
+    marks.push_back(2);
+    auto scratch = std::make_unique<std::uint64_t>(0);
+    *scratch += needle.size();
+  }
+};
+
+}  // namespace h2r::fixture

@@ -1,0 +1,21 @@
+// An annotated hot function that keeps its promise: scratch lives in
+// arena-backed columns, string work binds by reference, and growth goes
+// through an ArenaVector — zero hotpath.alloc findings.
+#include <cstdint>
+#include <string>
+
+#include "util/arena.hpp"
+
+namespace h2r::fixture {
+
+struct ArenaSweep {
+  util::ArenaVector<std::uint32_t> marks;
+
+  // h2r-lint: hotpath -- per-site SoA sweep, arena-backed by design
+  void classify_site(const std::string& host) {
+    const std::string& needle = host;
+    marks.push_back(static_cast<std::uint32_t>(needle.size()));
+  }
+};
+
+}  // namespace h2r::fixture

@@ -1,0 +1,36 @@
+// Trips lock.order: refill() takes pool_ then (via evict()) stats_,
+// while report() takes stats_ then pool_ — a cross-thread deadlock
+// waiting for the right interleaving. The stats_ edge in refill() is
+// TRANSITIVE (acquired inside a callee), which is exactly the case a
+// per-function scan cannot see.
+#include <cstdint>
+#include <mutex>
+
+namespace h2r::fixture {
+
+class ShardedPool {
+ public:
+  void refill() {
+    std::lock_guard<std::mutex> pool_lock(pool_);
+    evict();
+  }
+
+  void evict() {
+    std::lock_guard<std::mutex> stats_lock(stats_);
+    evictions_ += 1;
+  }
+
+  void report() {
+    std::lock_guard<std::mutex> stats_lock(stats_);
+    std::lock_guard<std::mutex> pool_lock(pool_);
+    snapshots_ += evictions_;
+  }
+
+ private:
+  std::mutex pool_;   // guards: snapshots_
+  std::mutex stats_;  // guards: evictions_
+  std::uint64_t evictions_ = 0;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace h2r::fixture

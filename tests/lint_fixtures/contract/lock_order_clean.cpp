@@ -1,0 +1,34 @@
+// Consistent lock order: every path that holds both mutexes acquires
+// pool_ first, stats_ second — the acquisition graph is acyclic and
+// lock.order stays quiet.
+#include <cstdint>
+#include <mutex>
+
+namespace h2r::fixture {
+
+class ShardedPool {
+ public:
+  void refill() {
+    std::lock_guard<std::mutex> pool_lock(pool_);
+    evict();
+  }
+
+  void evict() {
+    std::lock_guard<std::mutex> stats_lock(stats_);
+    evictions_ += 1;
+  }
+
+  void report() {
+    std::lock_guard<std::mutex> pool_lock(pool_);
+    std::lock_guard<std::mutex> stats_lock(stats_);
+    snapshots_ += evictions_;
+  }
+
+ private:
+  std::mutex pool_;   // guards: snapshots_
+  std::mutex stats_;  // guards: evictions_
+  std::uint64_t evictions_ = 0;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace h2r::fixture

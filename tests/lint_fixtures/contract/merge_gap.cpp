@@ -1,0 +1,22 @@
+// Trips contract.merge-coverage: ShardTally's merge() combines sites and
+// connections but forgets hits — the exact "added a field, forgot the
+// merge" gap that makes threads=N diverge from threads=1.
+#include <cstdint>
+
+namespace h2r::fixture {
+
+struct ShardTally {
+  std::uint64_t sites = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t hits = 0;
+
+  void merge(const ShardTally& shard);
+  bool operator==(const ShardTally&) const = default;
+};
+
+void ShardTally::merge(const ShardTally& shard) {
+  sites += shard.sites;
+  connections += shard.connections;
+}
+
+}  // namespace h2r::fixture

@@ -1,0 +1,173 @@
+// The h2r-lint CLI, as a library function so tests can pin the exit-code
+// contract in-process (0 clean / 1 findings / 2 usage-or-internal) and
+// the stderr markers that let CI logs tell a broken gate from a failed
+// one. main.cpp is a thin wrapper.
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "lint.hpp"
+
+namespace h2r::lint {
+
+namespace {
+
+int usage(std::ostream& err) {
+  err << "usage: h2r-lint [options]\n"
+         "  --repo DIR            repository root (default: .)\n"
+         "  --root PATH           scan root, repeatable (default: "
+         "src bench tools)\n"
+         "  --baseline FILE       expected-findings baseline to suppress\n"
+         "  --write-baseline FILE write current findings as a baseline "
+         "and exit\n"
+         "  --format text|json    output format (default: text)\n"
+         "  --strict              promote warnings to errors (the CI "
+         "posture)\n"
+         "  --no-contract         skip the cross-TU contract pass "
+         "(token rules only)\n"
+         "  --list-rules          print the rule ids and exit\n"
+         "  --explain RULE        print a rule's rationale and "
+         "annotation grammar\n";
+  return 2;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::string repo = ".";
+  std::vector<std::string> roots;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string format = "text";
+  Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    // Value-taking options accept both `--opt value` and `--opt=value`.
+    std::string_view inline_value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+      arg = arg.substr(0, eq);
+    }
+    auto value = [&](std::string& slot) {
+      if (has_inline_value) {
+        slot = inline_value;
+        return true;
+      }
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (has_inline_value &&
+        (arg == "--strict" || arg == "--list-rules" ||
+         arg == "--no-contract")) {
+      return usage(err);
+    }
+    if (arg == "--repo") {
+      if (!value(repo)) return usage(err);
+    } else if (arg == "--root") {
+      std::string root;
+      if (!value(root)) return usage(err);
+      roots.push_back(std::move(root));
+    } else if (arg == "--baseline") {
+      if (!value(baseline_path)) return usage(err);
+    } else if (arg == "--write-baseline") {
+      if (!value(write_baseline_path)) return usage(err);
+    } else if (arg == "--format") {
+      if (!value(format) || (format != "text" && format != "json")) {
+        return usage(err);
+      }
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--no-contract") {
+      options.contract = false;
+    } else if (arg == "--list-rules") {
+      for (const std::string_view rule : rule_ids()) {
+        out << rule << '\n';
+      }
+      return 0;
+    } else if (arg == "--explain") {
+      std::string rule;
+      if (!value(rule)) return usage(err);
+      const std::string text = explain_rule(rule);
+      if (text.empty()) {
+        err << "h2r-lint: unknown rule '" << rule
+            << "' (--list-rules prints the inventory)\n";
+        return 2;
+      }
+      out << text;
+      return 0;
+    } else {
+      return usage(err);
+    }
+  }
+  if (roots.empty()) roots = {"src", "bench", "tools"};
+
+  TreeReport report = scan_tree(repo, roots, options);
+  if (report.files_scanned == 0) {
+    // Nothing scanned means the gate did not run — a misconfigured
+    // --repo/--root must not read as "clean".
+    err << "h2r-lint: internal error: no sources found under the given "
+           "roots (checked --repo "
+        << repo << ")\n";
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream file(write_baseline_path, std::ios::binary);
+    if (!file) {
+      err << "h2r-lint: internal error: cannot write "
+          << write_baseline_path << '\n';
+      return 2;
+    }
+    file << json::write(findings_to_json(report.findings), {.pretty = true})
+         << '\n';
+    err << "h2r-lint: wrote " << report.findings.size() << " finding(s) to "
+        << write_baseline_path << '\n';
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      err << "h2r-lint: internal error: cannot read baseline "
+          << baseline_path << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = json::parse(buffer.str());
+    if (!doc.has_value()) {
+      err << "h2r-lint: internal error: baseline " << baseline_path
+          << ": invalid JSON: " << doc.error().message << '\n';
+      return 2;
+    }
+    auto entries = findings_from_json(*doc);
+    if (!entries.has_value()) {
+      err << "h2r-lint: internal error: baseline " << baseline_path << ": "
+          << entries.error().message << '\n';
+      return 2;
+    }
+    report.findings =
+        apply_baseline(std::move(report.findings), *entries, &suppressed);
+  }
+
+  if (format == "json") {
+    out << json::write(report_to_json(report.findings, report.files_scanned,
+                                      suppressed),
+                       {.pretty = true})
+        << '\n';
+  } else {
+    out << render_text(report.findings, report.files_scanned, suppressed);
+  }
+  return has_errors(report.findings) ? 1 : 0;
+}
+
+}  // namespace h2r::lint

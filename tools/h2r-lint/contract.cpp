@@ -1,0 +1,617 @@
+#include "contract.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace h2r::lint {
+
+namespace {
+
+void add(std::vector<Finding>& out, std::string_view rule,
+         std::string_view path, int line, Severity severity,
+         std::string message, std::string_view snippet,
+         std::string fix_hint) {
+  Finding f;
+  f.rule = std::string(rule);
+  f.path = std::string(path);
+  f.line = line;
+  f.severity = severity;
+  f.message = std::move(message);
+  f.snippet = std::string(trim(snippet));
+  f.fix_hint = std::move(fix_hint);
+  out.push_back(std::move(f));
+}
+
+std::string at(const FunctionDef& fn) {
+  return fn.path + ":" + std::to_string(fn.header_line);
+}
+
+/// Shared context: the model plus the per-path file index.
+struct Ctx {
+  const Model& model;
+  std::map<std::string, const FileModel*> file_by_path;
+
+  explicit Ctx(const Model& m) : model(m) {
+    for (const FileModel& file : m.files) {
+      file_by_path.emplace(file.path, &file);
+    }
+  }
+
+  const FileModel* file_of(const FunctionDef& fn) const {
+    const auto it = file_by_path.find(fn.path);
+    return it == file_by_path.end() ? nullptr : it->second;
+  }
+
+  /// Body text with one level of same-file initializer-table expansion:
+  /// a codec driven by `constexpr CounterField kFields[] = {...}` covers
+  /// exactly the fields that table names.
+  std::string effective_body(const FunctionDef& fn) const {
+    std::string body = fn.body;
+    const FileModel* file = file_of(fn);
+    if (file != nullptr) {
+      for (const auto& [name, text] : file->tables) {
+        if (has_ident(fn.body, name)) {
+          body += '\n';
+          body += text;
+        }
+      }
+    }
+    return body;
+  }
+};
+
+// ------------------------------------------------------ field coverage
+
+/// Member (or out-of-line member) functions of `name` on struct `s` whose
+/// parameter list mentions the struct itself — the merge/operator==
+/// association.
+std::vector<const FunctionDef*> member_fns_taking_self(
+    const Ctx& ctx, const StructModel& s,
+    std::initializer_list<std::string_view> names, bool require_self) {
+  std::vector<const FunctionDef*> out;
+  for (std::string_view name : names) {
+    const auto it = ctx.model.functions_by_name.find(std::string(name));
+    if (it == ctx.model.functions_by_name.end()) continue;
+    for (const FunctionDef* fn : it->second) {
+      if (fn->templated || fn->body.empty()) continue;
+      const bool self_param = has_ident(fn->params, s.name);
+      if (fn->qualifier == s.name) {
+        if (!require_self || self_param) out.push_back(fn);
+      } else if (fn->qualifier.empty() && self_param) {
+        // Free function (free operator== / free merge helper).
+        out.push_back(fn);
+      }
+    }
+  }
+  return out;
+}
+
+std::string join_names(const std::vector<const FunctionDef*>& fns) {
+  std::string out;
+  for (const FunctionDef* fn : fns) {
+    if (!out.empty()) out += ", ";
+    if (!fn->qualifier.empty()) out += fn->qualifier + "::";
+    out += fn->name + " (" + at(*fn) + ")";
+  }
+  return out;
+}
+
+void rule_merge_coverage(const Ctx& ctx, std::vector<Finding>& out) {
+  for (const auto& [name, s] : ctx.model.structs) {
+    const std::vector<const FunctionDef*> merges = member_fns_taking_self(
+        ctx, *s, {"merge", "add"}, /*require_self=*/true);
+    if (merges.empty()) continue;
+    std::string combined;
+    for (const FunctionDef* fn : merges) {
+      combined += ctx.effective_body(*fn);
+      combined += '\n';
+    }
+    for (const FieldDecl& field : s->fields) {
+      if (field.excluded.count("merge") != 0) continue;
+      if (has_ident(combined, field.name)) continue;
+      add(out, "contract.merge-coverage", field.path, field.line,
+          Severity::kError,
+          "struct " + s->name + ": field '" + field.name +
+              "' is never combined in " + join_names(merges) +
+              " — a sharded run would silently drop it and threads=N "
+              "would diverge from threads=1",
+          field.decl,
+          "fold '" + field.name + "' into " + s->name +
+              "::" + merges.front()->name +
+              " (+=, min/max, map-sum or container-append), or annotate "
+              "the field `// contract: exclude(merge) -- <why>`");
+    }
+  }
+}
+
+void rule_eq_coverage(const Ctx& ctx, std::vector<Finding>& out) {
+  for (const auto& [name, s] : ctx.model.structs) {
+    if (s->defaulted_eq) continue;  // every field participates by language
+    const std::vector<const FunctionDef*> eqs = member_fns_taking_self(
+        ctx, *s, {"operator=="}, /*require_self=*/false);
+    if (eqs.empty()) continue;
+    std::string combined;
+    for (const FunctionDef* fn : eqs) {
+      combined += ctx.effective_body(*fn);
+      combined += '\n';
+    }
+    for (const FieldDecl& field : s->fields) {
+      if (field.excluded.count("eq") != 0) continue;
+      if (has_ident(combined, field.name)) continue;
+      add(out, "contract.eq-coverage", field.path, field.line,
+          Severity::kError,
+          "struct " + s->name + ": field '" + field.name +
+              "' does not participate in " + join_names(eqs) +
+              " — the differential tests comparing these values would "
+              "miss a divergence in it",
+          field.decl,
+          "compare '" + field.name +
+              "' in operator== (prefer `= default` when every field "
+              "belongs), or annotate the field `// contract: exclude(eq) "
+              "-- <why>`");
+    }
+  }
+}
+
+/// The struct a codec function serves: the known, non-templated struct
+/// whose identifier appears earliest in `domain`.
+const StructModel* earliest_struct(const Ctx& ctx, std::string_view domain) {
+  const StructModel* best = nullptr;
+  std::size_t best_off = std::string_view::npos;
+  for (const auto& [name, s] : ctx.model.structs) {
+    std::size_t off = 0;
+    if (has_ident(domain, name, &off) && off < best_off) {
+      best = s;
+      best_off = off;
+    }
+  }
+  return best;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+void rule_codec_coverage(const Ctx& ctx, std::vector<Finding>& out) {
+  // Associate encoders (x_to_json(const X&...)) and decoders
+  // (x_from_json(...) -> Expected<X> / X* out-param) to their structs.
+  std::map<const StructModel*, std::vector<const FunctionDef*>> encoders;
+  std::map<const StructModel*, std::vector<const FunctionDef*>> decoders;
+  for (const auto& [name, fns] : ctx.model.functions_by_name) {
+    const bool enc = name == "to_json" || ends_with(name, "_to_json");
+    const bool dec = ends_with(name, "from_json");
+    if (!enc && !dec) continue;
+    for (const FunctionDef* fn : fns) {
+      if (fn->templated || fn->body.empty()) continue;
+      if (enc) {
+        if (const StructModel* s = earliest_struct(ctx, fn->params)) {
+          encoders[s].push_back(fn);
+        }
+      } else {
+        const std::string domain = fn->return_text + " " + fn->params;
+        if (const StructModel* s = earliest_struct(ctx, domain)) {
+          decoders[s].push_back(fn);
+        }
+      }
+    }
+  }
+  for (const auto& [s, encs] : encoders) {
+    const auto dit = decoders.find(s);
+    if (dit == decoders.end()) continue;  // one-directional by design
+    const std::vector<const FunctionDef*>& decs = dit->second;
+    std::string enc_body;
+    for (const FunctionDef* fn : encs) {
+      enc_body += ctx.effective_body(*fn);
+      enc_body += '\n';
+    }
+    std::string dec_body;
+    for (const FunctionDef* fn : decs) {
+      dec_body += ctx.effective_body(*fn);
+      dec_body += '\n';
+    }
+    for (const FieldDecl& field : s->fields) {
+      if (field.excluded.count("codec") != 0) continue;
+      const bool in_enc = has_ident(enc_body, field.name);
+      const bool in_dec = has_ident(dec_body, field.name);
+      if (in_enc && in_dec) continue;
+      std::string gap;
+      if (in_enc) {
+        gap = "is serialized in " + join_names(encs) +
+              " but never parsed in " + join_names(decs) +
+              " — the value is lost on resume/import";
+      } else if (in_dec) {
+        gap = "is parsed in " + join_names(decs) +
+              " but never serialized in " + join_names(encs) +
+              " — the decoder reads a field the encoder never writes";
+      } else {
+        gap = "appears in neither " + join_names(encs) + " nor " +
+              join_names(decs) +
+              " — checkpoint round-trips silently drop it";
+      }
+      add(out, "contract.codec-coverage", field.path, field.line,
+          Severity::kError,
+          "struct " + s->name + ": field '" + field.name + "' " + gap,
+          field.decl,
+          "handle '" + field.name +
+              "' on both codec sides (or add it to the member-pointer "
+              "table both drive), or annotate the field `// contract: "
+              "exclude(codec) -- <why>`");
+    }
+  }
+}
+
+// ----------------------------------------------------------- lock.order
+
+void rule_lock_order(const Ctx& ctx, std::vector<Finding>& out) {
+  // Mutex name resolution: members by enclosing type, then file scope.
+  std::map<std::string, std::map<std::string, std::string>> by_owner;
+  std::map<std::string, std::map<std::string, std::string>> by_file;
+  for (const MutexDecl* m : ctx.model.mutexes) {
+    const std::size_t sep = m->id.rfind("::");
+    const std::string owner = m->id.substr(0, sep);
+    if (owner == m->path) {
+      by_file[m->path].emplace(m->name, m->id);
+    } else {
+      by_owner[owner].emplace(m->name, m->id);
+    }
+  }
+  const auto resolve = [&](const FunctionDef& fn,
+                           const std::string& name) -> std::string {
+    if (!fn.qualifier.empty()) {
+      const auto oit = by_owner.find(fn.qualifier);
+      if (oit != by_owner.end()) {
+        const auto it = oit->second.find(name);
+        if (it != oit->second.end()) return it->second;
+      }
+    }
+    const auto fit = by_file.find(fn.path);
+    if (fit != by_file.end()) {
+      const auto it = fit->second.find(name);
+      if (it != fit->second.end()) return it->second;
+    }
+    return {};
+  };
+
+  struct Acq {
+    std::string id;
+    std::size_t offset;
+    int line;
+  };
+  std::map<const FunctionDef*, std::vector<Acq>> direct;
+  std::vector<const FunctionDef*> fns;
+  for (const FileModel& file : ctx.model.files) {
+    for (const FunctionDef& fn : file.functions) {
+      std::vector<Acq> acqs;
+      for (const LockUse& use : fn.locks) {
+        std::string id = resolve(fn, use.mutex_name);
+        if (!id.empty()) acqs.push_back({std::move(id), use.offset, use.line});
+      }
+      if (!acqs.empty() || !fn.calls.empty()) {
+        direct.emplace(&fn, std::move(acqs));
+        fns.push_back(&fn);
+      }
+    }
+  }
+
+  // Transitive lock sets: which mutexes can a call into `fn` acquire?
+  // Callees resolve by unqualified name (over-approximation: all
+  // overloads), iterated to fixpoint.
+  std::map<const FunctionDef*, std::set<std::string>> holds;
+  for (const auto& [fn, acqs] : direct) {
+    for (const Acq& a : acqs) holds[fn].insert(a.id);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionDef* fn : fns) {
+      for (const CallSite& call : fn->calls) {
+        const auto cit = ctx.model.functions_by_name.find(call.callee);
+        if (cit == ctx.model.functions_by_name.end()) continue;
+        for (const FunctionDef* callee : cit->second) {
+          const auto hit = holds.find(callee);
+          if (hit == holds.end()) continue;
+          for (const std::string& id : hit->second) {
+            if (holds[fn].insert(id).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edges: holding A, acquire B — either a later direct acquisition in
+  // the same body, or a later call whose transitive set contains B.
+  struct Edge {
+    const FunctionDef* fn;
+    int line;
+  };
+  std::map<std::string, std::map<std::string, Edge>> graph;
+  const auto add_edge = [&](const std::string& from, const std::string& to,
+                            const FunctionDef* fn, int line) {
+    if (from == to) return;  // re-entrancy is not modeled (see DESIGN §15)
+    graph[from].emplace(to, Edge{fn, line});
+  };
+  for (const auto& [fn, acqs] : direct) {
+    for (std::size_t i = 0; i < acqs.size(); ++i) {
+      for (std::size_t j = i + 1; j < acqs.size(); ++j) {
+        add_edge(acqs[i].id, acqs[j].id, fn, acqs[j].line);
+      }
+      for (const CallSite& call : fn->calls) {
+        if (call.offset <= acqs[i].offset) continue;
+        const auto cit = ctx.model.functions_by_name.find(call.callee);
+        if (cit == ctx.model.functions_by_name.end()) continue;
+        for (const FunctionDef* callee : cit->second) {
+          const auto hit = holds.find(callee);
+          if (hit == holds.end()) continue;
+          for (const std::string& id : hit->second) {
+            add_edge(acqs[i].id, id, fn, call.line);
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection: DFS with colors over the sorted node set; each
+  // distinct cycle (by node set) is reported once, attributed to its
+  // closing edge.
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        const auto git = graph.find(node);
+        if (git != graph.end()) {
+          for (const auto& [next, edge] : git->second) {
+            if (color[next] == 1) {
+              // Back edge: the cycle is stack[first(next)..end] + next.
+              const auto begin =
+                  std::find(stack.begin(), stack.end(), next);
+              std::vector<std::string> cycle(begin, stack.end());
+              std::vector<std::string> key_nodes = cycle;
+              std::sort(key_nodes.begin(), key_nodes.end());
+              std::string key;
+              for (const std::string& n : key_nodes) key += n + "|";
+              if (reported.insert(key).second) {
+                std::ostringstream msg;
+                msg << "lock-order cycle: ";
+                for (const std::string& n : cycle) msg << n << " -> ";
+                msg << next;
+                msg << " (closing edge " << node << " -> " << next
+                    << " in " << edge.fn->name << " at " << at(*edge.fn)
+                    << "); two threads taking these locks in opposite "
+                       "orders deadlock";
+                add(out, "lock.order", edge.fn->path, edge.line,
+                    Severity::kError, msg.str(), "",
+                    "pick one global acquisition order for these mutexes "
+                    "(document it in their `guards:` comments) or "
+                    "collapse the critical sections so only one lock is "
+                    "ever held at a time");
+              }
+            } else if (color[next] == 0) {
+              dfs(next);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, unused] : graph) {
+    (void)unused;
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+// --------------------------------------------------------- hotpath.alloc
+
+enum class Backing { kArena, kHeap, kUnknown };
+
+/// Backing implied by one declaration's text, kUnknown when the text
+/// names neither an arena type nor a heap container.
+Backing backing_of_decl(const std::string& decl, std::size_t before) {
+  std::size_t type_off = 0;
+  if ((has_ident(decl, "ArenaVector", &type_off) ||
+       has_ident(decl, "ArenaString", &type_off) ||
+       has_ident(decl, "ArenaAllocator", &type_off) ||
+       has_ident(decl, "Arena", &type_off)) &&
+      type_off < before) {
+    return Backing::kArena;
+  }
+  for (std::string_view heap_type :
+       {"std::vector", "std::string", "std::deque", "std::map",
+        "std::set"}) {
+    // Boundary-aware: "std::string_view" must not match "std::string".
+    std::size_t t = 0;
+    if (has_ident(decl, heap_type, &t) && t < before) return Backing::kHeap;
+  }
+  return Backing::kUnknown;
+}
+
+/// Where does `receiver`'s storage come from? Resolution order:
+///   1. declarations inside the function body,
+///   2. fields of the function's own enclosing type (qualifier),
+///   3. fields named `receiver` anywhere in the model — but only when
+///      every such field agrees (names like `domains` recur across
+///      unrelated structs with different backings; a disagreement means
+///      we do not know which one this function touches, and kUnknown
+///      never flags).
+Backing resolve_receiver(const Ctx& ctx, const FunctionDef& fn,
+                         const std::string& receiver) {
+  std::istringstream body(fn.body);
+  std::string line;
+  while (std::getline(body, line)) {
+    std::size_t recv_off = 0;
+    if (!has_ident(line, receiver, &recv_off)) continue;
+    const Backing b = backing_of_decl(line, recv_off);
+    if (b != Backing::kUnknown) return b;
+  }
+  if (!fn.qualifier.empty()) {
+    const auto it = ctx.model.structs.find(fn.qualifier);
+    if (it != ctx.model.structs.end()) {
+      for (const FieldDecl& field : it->second->fields) {
+        if (field.name != receiver) continue;
+        const Backing b = backing_of_decl(field.decl, field.decl.size());
+        if (b != Backing::kUnknown) return b;
+      }
+    }
+  }
+  Backing agreed = Backing::kUnknown;
+  for (const FileModel& file : ctx.model.files) {
+    for (const StructModel& s : file.structs) {
+      for (const FieldDecl& field : s.fields) {
+        if (field.name != receiver) continue;
+        const Backing b = backing_of_decl(field.decl, field.decl.size());
+        if (b == Backing::kUnknown) continue;
+        if (agreed == Backing::kUnknown) {
+          agreed = b;
+        } else if (agreed != b) {
+          return Backing::kUnknown;
+        }
+      }
+    }
+  }
+  return agreed;
+}
+
+void rule_hotpath_alloc(const Ctx& ctx, std::vector<Finding>& out) {
+  constexpr std::string_view kHint =
+      "allocate through the per-site arena (util::Arena / ArenaVector / "
+      "the domain interner) or hoist the allocation out of the hot "
+      "function; `h2r-lint: allow(hotpath.alloc) -- <why>` if it is "
+      "genuinely cold";
+  for (const FileModel& file : ctx.model.files) {
+    for (const FunctionDef& fn : file.functions) {
+      if (!fn.hotpath) continue;
+      if (fn.hotpath_missing_reason) {
+        add(out, "allow.reason", fn.path, fn.hotpath_line, Severity::kError,
+            "hotpath annotation without a reason; write \"h2r-lint: "
+            "hotpath -- why this function is per-site hot\"",
+            "", "");
+      }
+      std::istringstream body(fn.body);
+      std::string line;
+      int line_no = fn.body_begin_line - 1;
+      while (std::getline(body, line)) {
+        ++line_no;
+        if (has_ident(line, "new") && !has_ident(line, "delete")) {
+          add(out, "hotpath.alloc", fn.path, line_no, Severity::kWarning,
+              "operator new inside hot-path function '" + fn.name +
+                  "' — PR 7's arena pass exists to keep this loop "
+                  "allocation-free",
+              line, std::string(kHint));
+          continue;
+        }
+        // has_ident, not has_call: the explicit template argument list
+        // (make_unique<T>(...)) separates the name from its '('.
+        if (has_ident(line, "make_unique") || has_ident(line, "make_shared")) {
+          add(out, "hotpath.alloc", fn.path, line_no, Severity::kWarning,
+              "heap-owning smart-pointer construction inside hot-path "
+              "function '" +
+                  fn.name + "'",
+              line, std::string(kHint));
+          continue;
+        }
+        // A by-value std::string / std::vector local: construction (and
+        // growth) allocates. References and pointers bind, they do not.
+        for (std::string_view owner : {"std::string", "std::vector"}) {
+          std::size_t pos = 0;
+          if (!has_ident(line, owner, &pos)) continue;
+          std::size_t i = pos + owner.size();
+          if (i < line.size() && line[i] == '<') {
+            int depth = 0;
+            for (; i < line.size(); ++i) {
+              if (line[i] == '<') ++depth;
+              if (line[i] == '>' && --depth == 0) {
+                ++i;
+                break;
+              }
+            }
+          }
+          while (i < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+          }
+          if (i < line.size() && ident_char(line[i])) {
+            add(out, "hotpath.alloc", fn.path, line_no, Severity::kWarning,
+                "by-value " + std::string(owner) +
+                    " declared inside hot-path function '" + fn.name +
+                    "' — its buffer is a per-site heap allocation",
+                line, std::string(kHint));
+            break;
+          }
+        }
+        // Growth on a known heap-backed container.
+        for (std::string_view grower : {"push_back", "emplace_back"}) {
+          std::size_t pos = 0;
+          std::size_t search = 0;
+          bool flagged = false;
+          while (!flagged &&
+                 (pos = line.find(grower, search)) != std::string::npos) {
+            search = pos + grower.size();
+            if (pos == 0 || (line[pos - 1] != '.' &&
+                             !(pos >= 2 && line[pos - 2] == '-' &&
+                               line[pos - 1] == '>'))) {
+              continue;
+            }
+            std::size_t recv_end = pos - 1;
+            if (line[recv_end] == '>') recv_end -= 1;  // '->'
+            std::size_t recv_begin = recv_end;
+            while (recv_begin > 0 && ident_char(line[recv_begin - 1])) {
+              --recv_begin;
+            }
+            if (recv_begin == recv_end) continue;
+            const std::string receiver(
+                line.substr(recv_begin, recv_end - recv_begin));
+            if (resolve_receiver(ctx, fn, receiver) == Backing::kHeap) {
+              add(out, "hotpath.alloc", fn.path, line_no,
+                  Severity::kWarning,
+                  "'" + receiver + "." + std::string(grower) +
+                      "' grows a heap-backed container inside hot-path "
+                      "function '" +
+                      fn.name + "'",
+                  line, std::string(kHint));
+              flagged = true;
+            }
+          }
+          if (flagged) break;
+        }
+      }
+    }
+  }
+}
+
+void rule_annotation_issues(const Ctx& ctx, std::vector<Finding>& out) {
+  for (const FileModel& file : ctx.model.files) {
+    for (const AnnotationIssue& issue : file.annotation_issues) {
+      add(out, "allow.reason", issue.path, issue.line, Severity::kError,
+          "contract annotation is malformed or missing its reason; write "
+          "\"contract: exclude(merge|eq|codec) -- why\" or \"contract: "
+          "diagnostic -- why\"",
+          issue.text, "");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> contract_findings(const Model& model,
+                                       const Options& options) {
+  (void)options;
+  Ctx ctx(model);
+  std::vector<Finding> out;
+  rule_merge_coverage(ctx, out);
+  rule_eq_coverage(ctx, out);
+  rule_codec_coverage(ctx, out);
+  rule_lock_order(ctx, out);
+  rule_hotpath_alloc(ctx, out);
+  rule_annotation_issues(ctx, out);
+  return out;
+}
+
+}  // namespace h2r::lint

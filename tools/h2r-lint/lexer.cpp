@@ -1,0 +1,181 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace h2r::lint {
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<Line> lex(std::string_view text) {
+  std::vector<Line> lines;
+  lines.emplace_back();
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_close;       // ")delim\"" that ends the raw string
+  char prev_significant = 0;   // last non-space code char (for 1'000)
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string states cannot legally cross a newline; reset
+      // so one bad line does not blank the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      prev_significant = 0;
+      continue;
+    }
+    Line& line = lines.back();
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : 0;
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line.code += "  ";
+          ++i;
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line.code += "  ";
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // R"delim( ... )delim" — the R must directly precede the quote.
+          if (prev_significant == 'R') {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && delim.size() < 16) {
+              delim += text[j++];
+            }
+            if (j < text.size() && text[j] == '(') {
+              state = State::kRawString;
+              raw_close = ")" + delim + "\"";
+              line.code += ' ';
+              break;
+            }
+          }
+          state = State::kString;
+          line.code += ' ';
+          break;
+        }
+        if (c == '\'' && !ident_char(prev_significant)) {
+          state = State::kChar;
+          line.code += ' ';
+          break;
+        }
+        line.code += c;
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          prev_significant = c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        line.comment += c;
+        line.code += ' ';
+        break;
+      case State::kBlockComment: {
+        const char next = i + 1 < text.size() ? text[i + 1] : 0;
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line.code += "  ";
+          ++i;
+        } else {
+          line.comment += c;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kString: {
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          line.code += "  ";
+          ++i;
+        } else {
+          if (c == '"') state = State::kCode;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kChar: {
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          line.code += "  ";
+          ++i;
+        } else {
+          if (c == '\'') state = State::kCode;
+          line.code += ' ';
+        }
+        break;
+      }
+      case State::kRawString: {
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size() && text[i + k] != '\n';
+               ++k) {
+            line.code += ' ';
+          }
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          line.code += ' ';
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+bool has_ident(std::string_view code, std::string_view name,
+               std::size_t* offset) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) {
+      if (offset != nullptr) *offset = pos;
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+bool has_call(std::string_view code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + name.size();
+    if (left_ok && (end >= code.size() || !ident_char(code[end]))) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      if (end < code.size() && code[end] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+}  // namespace h2r::lint

@@ -1,0 +1,46 @@
+// h2r-lint's lexing layer: the shared text substrate under both passes.
+//
+// The per-TU token rules (lint.cpp) and the cross-TU contract analyzer
+// (model.cpp / contract.cpp) look at the same prepared view of a source
+// file: physical lines whose comments and string/char-literal contents
+// have been blanked to spaces (columns preserved) with the comment text
+// kept alongside, so annotation grammars can be parsed without ever
+// confusing a comment for code. Hand-rolled in the spirit of src/json —
+// no libclang, no external deps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2r::lint {
+
+/// One physical line after lexing: `code` has comments and the contents
+/// of string/char literals blanked to spaces (column positions are
+/// preserved), `comment` holds the text of any comment on the line.
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits `text` into lines, blanking comments and literals. Handles //
+/// and block comments, escaped quotes, digit separators (1'000) and raw
+/// strings.
+std::vector<Line> lex(std::string_view text);
+
+bool ident_char(char c) noexcept;
+
+std::string_view trim(std::string_view s);
+
+/// True when `code` contains `name` as a standalone identifier (both
+/// neighbours are non-identifier characters). `offset` receives the
+/// match position.
+bool has_ident(std::string_view code, std::string_view name,
+               std::size_t* offset = nullptr);
+
+/// True when `code` calls `name` (identifier directly followed by an
+/// opening parenthesis, modulo whitespace).
+bool has_call(std::string_view code, std::string_view name);
+
+}  // namespace h2r::lint

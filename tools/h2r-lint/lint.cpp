@@ -9,201 +9,13 @@
 #include <sstream>
 #include <utility>
 
+#include "contract.hpp"
+#include "lexer.hpp"
+#include "model.hpp"
+
 namespace h2r::lint {
 
 namespace {
-
-// ------------------------------------------------------------------ text
-
-bool ident_char(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// One physical line after lexing: `code` has comments and the contents
-/// of string/char literals blanked to spaces (column positions are
-/// preserved), `comment` holds the text of any comment on the line.
-struct Line {
-  std::string code;
-  std::string comment;
-};
-
-/// Splits `text` into lines, blanking comments and literals. A
-/// hand-rolled lexer in the spirit of src/json: handles // and block
-/// comments, escaped quotes, digit separators (1'000) and raw strings.
-std::vector<Line> lex(std::string_view text) {
-  std::vector<Line> lines;
-  lines.emplace_back();
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_close;       // ")delim\"" that ends the raw string
-  char prev_significant = 0;   // last non-space code char (for 1'000)
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated string states cannot legally cross a newline; reset
-      // so one bad line does not blank the rest of the file.
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      lines.emplace_back();
-      prev_significant = 0;
-      continue;
-    }
-    Line& line = lines.back();
-    switch (state) {
-      case State::kCode: {
-        const char next = i + 1 < text.size() ? text[i + 1] : 0;
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          line.code += "  ";
-          ++i;
-          break;
-        }
-        if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          line.code += "  ";
-          ++i;
-          break;
-        }
-        if (c == '"') {
-          // R"delim( ... )delim" — the R must directly precede the quote.
-          if (prev_significant == 'R') {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(' && delim.size() < 16) {
-              delim += text[j++];
-            }
-            if (j < text.size() && text[j] == '(') {
-              state = State::kRawString;
-              raw_close = ")" + delim + "\"";
-              line.code += ' ';
-              break;
-            }
-          }
-          state = State::kString;
-          line.code += ' ';
-          break;
-        }
-        if (c == '\'' && !ident_char(prev_significant)) {
-          state = State::kChar;
-          line.code += ' ';
-          break;
-        }
-        line.code += c;
-        if (!std::isspace(static_cast<unsigned char>(c))) {
-          prev_significant = c;
-        }
-        break;
-      }
-      case State::kLineComment:
-        line.comment += c;
-        line.code += ' ';
-        break;
-      case State::kBlockComment: {
-        const char next = i + 1 < text.size() ? text[i + 1] : 0;
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          line.code += "  ";
-          ++i;
-        } else {
-          line.comment += c;
-          line.code += ' ';
-        }
-        break;
-      }
-      case State::kString: {
-        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
-          line.code += "  ";
-          ++i;
-        } else {
-          if (c == '"') state = State::kCode;
-          line.code += ' ';
-        }
-        break;
-      }
-      case State::kChar: {
-        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
-          line.code += "  ";
-          ++i;
-        } else {
-          if (c == '\'') state = State::kCode;
-          line.code += ' ';
-        }
-        break;
-      }
-      case State::kRawString: {
-        if (text.compare(i, raw_close.size(), raw_close) == 0) {
-          for (std::size_t k = 0; k < raw_close.size() && text[i + k] != '\n';
-               ++k) {
-            line.code += ' ';
-          }
-          i += raw_close.size() - 1;
-          state = State::kCode;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      }
-    }
-  }
-  return lines;
-}
-
-/// True when `code` contains `name` as a standalone identifier (both
-/// neighbours are non-identifier characters). `offset` receives the
-/// match position.
-bool has_ident(std::string_view code, std::string_view name,
-               std::size_t* offset = nullptr) {
-  std::size_t pos = 0;
-  while ((pos = code.find(name, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
-    const std::size_t end = pos + name.size();
-    const bool right_ok = end >= code.size() || !ident_char(code[end]);
-    if (left_ok && right_ok) {
-      if (offset != nullptr) *offset = pos;
-      return true;
-    }
-    pos += 1;
-  }
-  return false;
-}
-
-/// True when `code` calls `name` (identifier directly followed by an
-/// opening parenthesis, modulo whitespace).
-bool has_call(std::string_view code, std::string_view name) {
-  std::size_t pos = 0;
-  while ((pos = code.find(name, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
-    std::size_t end = pos + name.size();
-    if (left_ok && (end >= code.size() || !ident_char(code[end]))) {
-      while (end < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[end]))) {
-        ++end;
-      }
-      if (end < code.size() && code[end] == '(') return true;
-    }
-    pos += 1;
-  }
-  return false;
-}
 
 // ------------------------------------------------------------ annotations
 
@@ -300,10 +112,22 @@ Allows parse_allows(std::string_view path, const std::vector<Line>& lines) {
 // ------------------------------------------------------------------ rules
 
 constexpr std::string_view kRuleIds[] = {
-    "allow.reason", "ban.async",       "ban.clock",
-    "ban.rand",     "ban.thread-id",   "ban.time",
-    "env.getenv",   "lock.atomic-mix", "lock.guards",
-    "order.unordered", "policy.alias",
+    "allow.reason",
+    "ban.async",
+    "ban.clock",
+    "ban.rand",
+    "ban.thread-id",
+    "ban.time",
+    "contract.codec-coverage",
+    "contract.eq-coverage",
+    "contract.merge-coverage",
+    "env.getenv",
+    "hotpath.alloc",
+    "lock.atomic-mix",
+    "lock.guards",
+    "lock.order",
+    "order.unordered",
+    "policy.alias",
 };
 
 void add_finding(std::vector<Finding>& out, std::string_view path, int line,
@@ -590,7 +414,8 @@ util::Expected<Finding> finding_from_json(const json::Value& value) {
   for (const auto& [key, unused] : obj) {
     (void)unused;
     if (key != "rule" && key != "path" && key != "line" &&
-        key != "severity" && key != "message" && key != "snippet") {
+        key != "severity" && key != "message" && key != "snippet" &&
+        key != "fix_hint") {
       return util::unexpected(util::Error{"finding: unknown key '" + key + "'"});
     }
   }
@@ -634,6 +459,13 @@ util::Expected<Finding> finding_from_json(const json::Value& value) {
     }
     f.snippet = snippet->as_string();
   }
+  if (const json::Value* fix_hint = obj.find("fix_hint")) {
+    if (!fix_hint->is_string()) {
+      return util::unexpected(
+          util::Error{"finding: 'fix_hint' must be a string"});
+    }
+    f.fix_hint = fix_hint->as_string();
+  }
   return f;
 }
 
@@ -647,30 +479,170 @@ std::vector<std::string_view> rule_ids() {
   return {std::begin(kRuleIds), std::end(kRuleIds)};
 }
 
-std::vector<Finding> scan_source(std::string_view path, std::string_view text,
-                                 const Options& options) {
-  const std::vector<Line> lines = lex(text);
-  const Allows allows = parse_allows(path, lines);
+std::string explain_rule(std::string_view rule) {
+  struct Entry {
+    std::string_view id;
+    std::string_view why;
+    std::string_view grammar;
+  };
+  static constexpr Entry kExplanations[] = {
+      {"allow.reason",
+       "Every suppression must say why. An allow (or contract exclusion, "
+       "or hotpath annotation) without a ` -- reason` clause is itself a "
+       "finding: an unexplained exception rots into a blanket ignore.",
+       "// h2r-lint: allow(rule) -- why this use is safe"},
+      {"ban.async",
+       "std::async completion order is scheduler-dependent; the crawl "
+       "worker pool (browser::crawl) is the sanctioned concurrency "
+       "substrate and keeps merges deterministic.",
+       "// h2r-lint: allow(ban.async) -- reason"},
+      {"ban.clock",
+       "Real-clock reads (std::chrono system/steady/high_resolution "
+       "clocks, clock_gettime) make runs irreproducible; derive all "
+       "timing from util::SimTime.",
+       "// h2r-lint: allow(ban.clock) -- reason"},
+      {"ban.rand",
+       "Unseeded randomness (rand, srand, std::random_device) breaks "
+       "replay; all entropy must come from util::Rng seeded by (config "
+       "seed, site).",
+       "// h2r-lint: allow(ban.rand) -- reason"},
+      {"ban.thread-id",
+       "Thread identity is assigned by the scheduler; keying state on it "
+       "makes threads=N diverge from threads=1. Use the worker index.",
+       "// h2r-lint: allow(ban.thread-id) -- reason"},
+      {"ban.time",
+       "C time APIs (time, gettimeofday, localtime, ...) read the wall "
+       "clock; a simulated-time study must not.",
+       "// h2r-lint: allow(ban.time) -- reason"},
+      {"contract.codec-coverage",
+       "Cross-TU: every field of a struct that has both a *to_json "
+       "encoder and a *from_json decoder must be serialized by the "
+       "encoder AND parsed by the decoder (member-pointer tables the "
+       "codec drives count). One-sided codec edits and forgotten fields "
+       "silently drop data across checkpoint/resume round-trips.",
+       "// contract: exclude(codec) -- reason   (on the field)\n"
+       "// contract: diagnostic -- reason       (excludes all contracts)"},
+      {"contract.eq-coverage",
+       "Cross-TU: every field of a struct with a hand-written operator== "
+       "must participate in the comparison; a field outside == is "
+       "invisible to every differential test. `= default` passes by "
+       "construction.",
+       "// contract: exclude(eq) -- reason      (on the field)\n"
+       "// contract: diagnostic -- reason       (excludes all contracts)"},
+      {"contract.merge-coverage",
+       "Cross-TU: every field of a struct with a merge()/add(const S&) "
+       "must be combined in it, wherever the defining TU lives. A field "
+       "missing from merge makes sharded runs drop data and threads=N "
+       "diverge from threads=1.",
+       "// contract: exclude(merge) -- reason   (on the field)\n"
+       "// contract: diagnostic -- reason       (excludes all contracts)"},
+      {"env.getenv",
+       "Raw getenv/setenv bypass the strict typed parsers in "
+       "src/util/env.hpp; config read anywhere else escapes validation "
+       "and the env snapshot.",
+       "// h2r-lint: allow(env.getenv) -- reason"},
+      {"hotpath.alloc",
+       "Cross-TU: functions annotated `// h2r-lint: hotpath -- reason` "
+       "run once per site across million-site studies; PR 7's arena "
+       "pass bought 2.2x by keeping them allocation-free. Heap traffic "
+       "here (operator new, make_unique/make_shared, by-value "
+       "std::string/std::vector locals, push_back on heap-backed "
+       "containers) is a perf regression.",
+       "// h2r-lint: hotpath -- why this function is per-site hot\n"
+       "// h2r-lint: allow(hotpath.alloc) -- why this allocation is cold"},
+      {"lock.atomic-mix",
+       "One atomic accessed both through explicit memory-order calls and "
+       "implicit seq_cst operators hides which orderings the algorithm "
+       "needs; pick one discipline per variable.",
+       "// h2r-lint: allow(lock.atomic-mix) -- reason"},
+      {"lock.guards",
+       "A mutex without a `guards:` comment naming the state it protects "
+       "cannot be audited; the comment is the lock's contract.",
+       "// guards: <the state this mutex protects>"},
+      {"lock.order",
+       "Cross-TU: the analyzer builds the lock-acquisition graph over "
+       "every modeled mutex (struct members, namespace- and "
+       "function-scope declarations), including acquisitions reached "
+       "through calls, and fails on any cycle — two threads taking the "
+       "same pair of locks in opposite orders deadlock.",
+       "// h2r-lint: allow(lock.order) -- reason  (on the acquisition)"},
+      {"order.unordered",
+       "std::unordered_* iteration order is hash-seed dependent; in a TU "
+       "that serializes or merges it leaks into reports. Use std::map / "
+       "std::set or sort before output.",
+       "// h2r-lint: allow(order.unordered) -- reason"},
+      {"policy.alias",
+       "ClassifyOptions is a deprecated alias of core::Policy kept for "
+       "source compatibility; new code should spell core::Policy.",
+       "// h2r-lint: allow(policy.alias) -- reason"},
+  };
+  for (const Entry& entry : kExplanations) {
+    if (entry.id == rule) {
+      std::string out;
+      out += entry.id;
+      out += "\n\n";
+      out += entry.why;
+      out += "\n\nannotation grammar:\n  ";
+      for (const char c : entry.grammar) {
+        out += c;
+        if (c == '\n') out += "  ";
+      }
+      out += '\n';
+      return out;
+    }
+  }
+  return {};
+}
+
+TreeReport scan_files(const std::vector<SourceFile>& files,
+                      const Options& options) {
+  TreeReport report;
+  report.files_scanned = files.size();
 
   std::vector<Finding> raw;
-  rule_banned_apis(path, lines, raw);
-  rule_ordered_output(path, lines, raw);
-  rule_lock_guards(path, lines, raw);
-  rule_atomic_mix(path, lines, raw);
-  rule_policy_alias(path, lines, raw);
+  std::map<std::string, Allows> allows_by_path;
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const SourceFile& file : files) {
+    const std::vector<Line> lines = lex(file.text);
+    Allows allows = parse_allows(file.path, lines);
 
-  std::vector<Finding> findings;
+    rule_banned_apis(file.path, lines, raw);
+    rule_ordered_output(file.path, lines, raw);
+    rule_lock_guards(file.path, lines, raw);
+    rule_atomic_mix(file.path, lines, raw);
+    rule_policy_alias(file.path, lines, raw);
+
+    if (options.contract) models.push_back(parse_file(file.path, lines));
+    allows_by_path.emplace(file.path, std::move(allows));
+  }
+
+  if (options.contract) {
+    const Model model = build_model(models);
+    std::vector<Finding> contract = contract_findings(model, options);
+    raw.insert(raw.end(), std::make_move_iterator(contract.begin()),
+               std::make_move_iterator(contract.end()));
+  }
+
+  std::vector<Finding>& findings = report.findings;
   for (Finding& f : raw) {
-    if (allows.file_rules.count(f.rule) != 0) continue;
-    const auto it = allows.line_rules.find(f.line);
-    if (it != allows.line_rules.end() && it->second.count(f.rule) != 0) {
-      continue;
+    const auto ait = allows_by_path.find(f.path);
+    if (ait != allows_by_path.end()) {
+      const Allows& allows = ait->second;
+      if (allows.file_rules.count(f.rule) != 0) continue;
+      const auto it = allows.line_rules.find(f.line);
+      if (it != allows.line_rules.end() && it->second.count(f.rule) != 0) {
+        continue;
+      }
     }
     findings.push_back(std::move(f));
   }
   // Malformed annotations are findings in their own right and cannot be
   // allowed away.
-  for (const Finding& f : allows.malformed) findings.push_back(f);
+  for (auto& [path, allows] : allows_by_path) {
+    (void)path;
+    for (Finding& f : allows.malformed) findings.push_back(std::move(f));
+  }
 
   if (options.strict) {
     for (Finding& f : findings) f.severity = Severity::kError;
@@ -680,21 +652,27 @@ std::vector<Finding> scan_source(std::string_view path, std::string_view text,
               return std::tie(a.path, a.line, a.rule) <
                      std::tie(b.path, b.line, b.rule);
             });
-  return findings;
+  return report;
+}
+
+std::vector<Finding> scan_source(std::string_view path, std::string_view text,
+                                 const Options& options) {
+  std::vector<SourceFile> files;
+  files.push_back({std::string(path), std::string(text)});
+  return scan_files(files, options).findings;
 }
 
 TreeReport scan_tree(const std::string& repo_root,
                      const std::vector<std::string>& roots,
                      const Options& options) {
   namespace fs = std::filesystem;
-  TreeReport report;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   const fs::path base(repo_root);
   for (const std::string& root : roots) {
     const fs::path dir = base / root;
     std::error_code ec;
     if (fs::is_regular_file(dir, ec)) {
-      files.push_back(dir);
+      paths.push_back(dir);
       continue;
     }
     if (!fs::is_directory(dir, ec)) continue;
@@ -705,31 +683,22 @@ TreeReport scan_tree(const std::string& repo_root,
       const std::string ext = it->path().extension().string();
       if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".hh" ||
           ext == ".h" || ext == ".cxx") {
-        files.push_back(it->path());
+        paths.push_back(it->path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& file : files) {
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& file : paths) {
     std::ifstream in(file, std::ios::binary);
     if (!in) continue;
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string rel =
-        fs::relative(file, base).generic_string();
-    std::vector<Finding> found =
-        scan_source(rel, buffer.str(), options);
-    report.findings.insert(report.findings.end(),
-                           std::make_move_iterator(found.begin()),
-                           std::make_move_iterator(found.end()));
-    ++report.files_scanned;
+    files.push_back(
+        {fs::relative(file, base).generic_string(), buffer.str()});
   }
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.path, a.line, a.rule) <
-                     std::tie(b.path, b.line, b.rule);
-            });
-  return report;
+  return scan_files(files, options);
 }
 
 json::Value findings_to_json(const std::vector<Finding>& findings) {
@@ -743,6 +712,7 @@ json::Value findings_to_json(const std::vector<Finding>& findings) {
     obj.set("severity", std::string(severity_name(f.severity)));
     obj.set("message", f.message);
     obj.set("snippet", f.snippet);
+    if (!f.fix_hint.empty()) obj.set("fix_hint", f.fix_hint);
     array.emplace_back(std::move(obj));
   }
   return json::Value(std::move(array));

@@ -41,6 +41,30 @@
 //   allow.reason   an allow annotation with no ` -- reason` clause; an
 //                  unexplained suppression is itself a finding
 //
+// On top of the per-TU token rules sits the cross-TU contract pass
+// (model.hpp / contract.hpp), which builds a lightweight semantic model
+// of every scanned file together and proves relations no single-file
+// scan can see:
+//
+//   contract.merge-coverage  every field of a struct with a merge()/add()
+//                  taking the struct itself is combined in it
+//   contract.codec-coverage  every field is both serialized by the
+//                  struct's *to_json and parsed by its *from_json
+//   contract.eq-coverage     every field participates in operator==
+//                  (defaulted ==/<=> passes by construction)
+//   lock.order     the lock-acquisition graph over all modeled mutexes
+//                  (members, namespace- and function-scope) is acyclic
+//   hotpath.alloc  no heap allocation inside functions annotated
+//                  `// h2r-lint: hotpath -- reason`
+//
+// Per-field contract annotations (audited, reason mandatory):
+//
+//   // contract: diagnostic -- <reason>
+//       excludes the field from merge, eq and codec coverage (the obs
+//       diagnostic-domain quarantine).
+//   // contract: exclude(merge|eq|codec[, ...]) -- <reason>
+//       excludes the field from the named rules only.
+//
 // Suppression grammar (audited allows, not blanket ignores):
 //
 //   // h2r-lint: allow(rule[, rule...]) -- <reason>
@@ -60,6 +84,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,21 +108,34 @@ struct Finding {
   Severity severity = Severity::kError;
   std::string message;
   std::string snippet;
+  /// A concrete remediation ("fold 'x' into Foo::merge, or annotate
+  /// `// contract: exclude(merge) -- why`"). Serialized only when
+  /// non-empty; never part of baseline identity.
+  std::string fix_hint;
 
   friend bool operator==(const Finding&, const Finding&) = default;
 };
 
 struct Options {
-  /// Promote lock.* warnings to errors (the CI posture).
+  /// Promote lock.* / hotpath.* warnings to errors (the CI posture).
   bool strict = false;
+  /// Run the cross-TU contract pass (contract.*, lock.order,
+  /// hotpath.alloc) over the scanned set. On by default; --no-contract
+  /// turns it off for token-rule-only scans.
+  bool contract = true;
 };
 
 /// The stable rule-id list (sorted), for --list-rules and the tests.
 std::vector<std::string_view> rule_ids();
 
+/// The rationale + annotation grammar for one rule (--explain). Empty
+/// when `rule` is not a known rule id.
+std::string explain_rule(std::string_view rule);
+
 /// Scans one file's text. `path` is the repo-relative path used both for
 /// reporting and for path-scoped rules (env.getenv is legal inside
-/// src/util/env.*).
+/// src/util/env.*). The contract pass runs over the single file (a
+/// struct and its merge in one TU are still checked).
 std::vector<Finding> scan_source(std::string_view path, std::string_view text,
                                  const Options& options = {});
 
@@ -105,6 +143,19 @@ struct TreeReport {
   std::vector<Finding> findings;   // sorted by (path, line, rule)
   std::size_t files_scanned = 0;
 };
+
+/// One in-memory source file for scan_files.
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string text;
+};
+
+/// The core entry point: per-TU token rules on each file plus the
+/// cross-TU contract pass over the whole set (unless options.contract is
+/// off). Findings are allow-filtered, strict-promoted and sorted by
+/// (path, line, rule).
+TreeReport scan_files(const std::vector<SourceFile>& files,
+                      const Options& options = {});
 
 /// Walks `roots` (repo-relative directories or files) under `repo_root`
 /// and scans every C++ source/header (.cpp .hpp .cc .hh .h .cxx).
@@ -138,5 +189,16 @@ json::Value report_to_json(const std::vector<Finding>& findings,
 /// True when any finding is an error (after strict promotion) — the
 /// process exit criterion.
 bool has_errors(const std::vector<Finding>& findings);
+
+/// The full CLI (argument parsing, scanning, rendering), extracted so
+/// the exit-code contract is testable in-process:
+///
+///   0  clean (or warnings without --strict)
+///   1  findings at error severity
+///   2  usage error or internal failure — NEVER a lint verdict; the
+///      tool prints a "h2r-lint: internal error:" / "usage:" marker on
+///      stderr so CI logs can tell a broken gate from a failed one.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
 
 }  // namespace h2r::lint

@@ -1,151 +1,24 @@
-// h2r-lint CLI. Exit codes: 0 clean (or warnings only), 1 findings at
-// error severity, 2 usage or I/O failure. `cmake --build build --target
-// lint` runs this with --strict and the committed baseline; CI treats a
-// non-zero exit as a failed job.
-#include <cstdio>
-#include <cstring>
-#include <fstream>
+// h2r-lint CLI entry point. All logic lives in run_cli (cli.cpp) so the
+// exit-code contract is testable in-process. Exit codes: 0 clean (or
+// warnings only), 1 findings at error severity, 2 usage error or
+// internal failure — exit 2 is never a lint verdict, and prints a
+// "h2r-lint: internal error:" / "usage:" marker on stderr so CI logs
+// can tell a broken gate from a failed one.
+#include <exception>
 #include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include "json/json.hpp"
 #include "lint.hpp"
 
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: h2r-lint [options]\n"
-               "  --repo DIR            repository root (default: .)\n"
-               "  --root PATH           scan root, repeatable (default: "
-               "src bench tools)\n"
-               "  --baseline FILE       expected-findings baseline to "
-               "suppress\n"
-               "  --write-baseline FILE write current findings as a "
-               "baseline and exit\n"
-               "  --format text|json    output format (default: text)\n"
-               "  --strict              promote warnings to errors (the "
-               "CI posture)\n"
-               "  --list-rules          print the rule ids and exit\n");
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string repo = ".";
-  std::vector<std::string> roots;
-  std::string baseline_path;
-  std::string write_baseline_path;
-  std::string format = "text";
-  h2r::lint::Options options;
-
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    // Value-taking options accept both `--opt value` and `--opt=value`.
-    std::string_view inline_value;
-    bool has_inline_value = false;
-    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
-      inline_value = arg.substr(eq + 1);
-      has_inline_value = true;
-      arg = arg.substr(0, eq);
-    }
-    auto value = [&](std::string& slot) {
-      if (has_inline_value) {
-        slot = inline_value;
-        return true;
-      }
-      if (i + 1 >= argc) return false;
-      slot = argv[++i];
-      return true;
-    };
-    if (has_inline_value &&
-        (arg == "--strict" || arg == "--list-rules")) {
-      return usage();
-    }
-    if (arg == "--repo") {
-      if (!value(repo)) return usage();
-    } else if (arg == "--root") {
-      std::string root;
-      if (!value(root)) return usage();
-      roots.push_back(std::move(root));
-    } else if (arg == "--baseline") {
-      if (!value(baseline_path)) return usage();
-    } else if (arg == "--write-baseline") {
-      if (!value(write_baseline_path)) return usage();
-    } else if (arg == "--format") {
-      if (!value(format) || (format != "text" && format != "json")) {
-        return usage();
-      }
-    } else if (arg == "--strict") {
-      options.strict = true;
-    } else if (arg == "--list-rules") {
-      for (const std::string_view rule : h2r::lint::rule_ids()) {
-        std::cout << rule << '\n';
-      }
-      return 0;
-    } else {
-      return usage();
-    }
+  try {
+    return h2r::lint::run_cli(argc, argv, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "h2r-lint: internal error: unhandled exception: "
+              << e.what() << '\n';
+    return 2;
+  } catch (...) {
+    std::cerr << "h2r-lint: internal error: unhandled non-standard "
+                 "exception\n";
+    return 2;
   }
-  if (roots.empty()) roots = {"src", "bench", "tools"};
-
-  h2r::lint::TreeReport report =
-      h2r::lint::scan_tree(repo, roots, options);
-
-  if (!write_baseline_path.empty()) {
-    std::ofstream out(write_baseline_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "h2r-lint: cannot write %s\n",
-                   write_baseline_path.c_str());
-      return 2;
-    }
-    out << h2r::json::write(h2r::lint::findings_to_json(report.findings),
-                            {.pretty = true})
-        << '\n';
-    std::fprintf(stderr, "h2r-lint: wrote %zu finding(s) to %s\n",
-                 report.findings.size(), write_baseline_path.c_str());
-    return 0;
-  }
-
-  std::size_t suppressed = 0;
-  if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "h2r-lint: cannot read baseline %s\n",
-                   baseline_path.c_str());
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const auto doc = h2r::json::parse(buffer.str());
-    if (!doc.has_value()) {
-      std::fprintf(stderr, "h2r-lint: baseline %s: invalid JSON: %s\n",
-                   baseline_path.c_str(), doc.error().message.c_str());
-      return 2;
-    }
-    auto entries = h2r::lint::findings_from_json(*doc);
-    if (!entries.has_value()) {
-      std::fprintf(stderr, "h2r-lint: baseline %s: %s\n",
-                   baseline_path.c_str(), entries.error().message.c_str());
-      return 2;
-    }
-    report.findings = h2r::lint::apply_baseline(
-        std::move(report.findings), *entries, &suppressed);
-  }
-
-  if (format == "json") {
-    std::cout << h2r::json::write(
-                     h2r::lint::report_to_json(report.findings,
-                                               report.files_scanned,
-                                               suppressed),
-                     {.pretty = true})
-              << '\n';
-  } else {
-    std::cout << h2r::lint::render_text(report.findings,
-                                        report.files_scanned, suppressed);
-  }
-  return h2r::lint::has_errors(report.findings) ? 1 : 0;
 }

@@ -1,0 +1,147 @@
+// h2r-lint's cross-TU semantic model (AST-lite, no libclang).
+//
+// The per-TU token rules can ban an API wherever it appears, but the
+// repo's load-bearing invariants are RELATIONS between translation units:
+// a struct's fields live in one header, its merge() in a .cpp, its JSON
+// codec pair in a third file — and "added a field, forgot one of
+// merge()/operator==/to_json/from_json" is invisible to any single-file
+// scan. This model is the minimum structure needed to prove those
+// relations mechanically:
+//
+//   * struct definitions with their field lists (and per-field
+//     `// contract:` annotations),
+//   * every free or member function definition with its (blanked) body,
+//     qualifier, parameter text and return text — enough to associate
+//     merge()/add(), operator==, *to_json / *from_json functions back to
+//     the struct they serve, wherever the defining TU lives,
+//   * namespace-scope initializer tables (constexpr Field kX[] = {...})
+//     so codecs driven by member-pointer tables still count as covering
+//     the fields those tables name,
+//   * mutex declarations (identity = EnclosingType::name, or file::name
+//     for locals) and, per function, the lock acquisitions and call
+//     sites in body order — the raw material of the lock-order graph,
+//   * `// h2r-lint: hotpath -- reason` function annotations for the
+//     allocation rule.
+//
+// Deliberate non-goals (DESIGN §15): templates are not instantiated
+// (templated structs/functions are skipped), macros are not expanded,
+// and `class` types are trusted to police their own invariants through
+// their accessors — the contract rules cover aggregate `struct`s, which
+// is where every merge/codec/equality surface in this repo lives.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace h2r::lint {
+
+struct FieldDecl {
+  std::string name;
+  std::string path;  // file declaring the field
+  int line = 0;      // 1-based line of the declaration's end (the ';')
+  std::string decl;  // trimmed declaration text (snippet / baseline id)
+  /// Contract rules ("merge", "eq", "codec") this field is excluded from
+  /// via the per-field exclude/diagnostic annotations (grammar in
+  /// lint.hpp — spelling it out here would parse as an annotation).
+  std::set<std::string> excluded;
+};
+
+/// A lock acquisition or a call site inside one function body, in body
+/// order (offsets are into FunctionDef::body).
+struct LockUse {
+  std::string mutex_name;  // spelled name at the acquisition site
+  std::size_t offset = 0;
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;  // unqualified name
+  std::size_t offset = 0;
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;        // unqualified ("merge", "operator==", ...)
+  std::string qualifier;   // "Class" for out-of-line Class::name, or the
+                           // enclosing type for in-class definitions
+  std::string return_text; // header text before the (qualified) name
+  std::string params;      // blanked text inside the parameter parens
+  std::string path;
+  int header_line = 0;     // line the header's `(` is on
+  int body_begin_line = 0;
+  std::string body;        // blanked code of the body (braces excluded)
+  bool templated = false;
+  bool hotpath = false;            // `// h2r-lint: hotpath -- reason`
+  bool hotpath_missing_reason = false;
+  int hotpath_line = 0;
+  std::vector<LockUse> locks;
+  std::vector<CallSite> calls;
+};
+
+struct StructModel {
+  std::string name;  // unqualified
+  std::string path;
+  int line = 0;
+  bool templated = false;
+  std::vector<FieldDecl> fields;
+  /// True when the struct declares `operator==` or `operator<=>` with
+  /// `= default` — every field participates by construction.
+  bool defaulted_eq = false;
+  /// True when any operator== is declared (defaulted or not).
+  bool declares_eq = false;
+};
+
+struct MutexDecl {
+  std::string id;    // "Type::name" or "path::name"
+  std::string name;
+  std::string path;
+  int line = 0;
+};
+
+/// Malformed `// contract:` / hotpath annotations found while parsing
+/// (reported by the contract pass as allow.reason findings).
+struct AnnotationIssue {
+  std::string path;
+  int line = 0;
+  std::string text;  // the offending comment, trimmed
+};
+
+struct FileModel {
+  std::string path;
+  std::vector<StructModel> structs;
+  std::vector<FunctionDef> functions;
+  std::vector<MutexDecl> mutexes;
+  /// Namespace-scope initializer tables: name -> blanked initializer text.
+  std::map<std::string, std::string> tables;
+  std::vector<AnnotationIssue> annotation_issues;
+};
+
+/// Parses one lexed file into its model. `path` is repo-relative.
+FileModel parse_file(std::string_view path, const std::vector<Line>& lines);
+
+/// The repo-wide model: per-file models plus cross-file indexes.
+struct Model {
+  std::vector<FileModel> files;
+
+  /// Structs by unqualified name. Name collisions across namespaces merge
+  /// into the first definition seen (acceptable over-approximation for a
+  /// linter; an annotation can always silence a false positive).
+  std::map<std::string, const StructModel*> structs;
+  /// All function definitions sharing an unqualified name.
+  std::map<std::string, std::vector<const FunctionDef*>> functions_by_name;
+  std::vector<const MutexDecl*> mutexes;
+
+  /// Resolves a table reference from `file`: same-file tables win.
+  const std::string* find_table(const FileModel& file,
+                                const std::string& name) const;
+};
+
+Model build_model(const std::vector<FileModel>& files);
+
+}  // namespace h2r::lint
